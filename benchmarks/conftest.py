@@ -1,0 +1,79 @@
+"""Shared fixtures for the table/figure regeneration benchmarks.
+
+Heavy artifacts (trained tiny models, tokenizers, the simulator) are
+session-scoped so each benchmark file pays only for what it uses.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import AbstractGenerator, PackedDataset
+from repro.frontier import MemoryModel, PowerModel, RooflineModel
+from repro.models import GPTModel, preset
+from repro.parallel import TrainingSimulator
+from repro.tokenizers import BPETokenizer, UnigramTokenizer
+from repro.training import Trainer, TrainerConfig
+
+
+@pytest.fixture(scope="session")
+def corpus_texts():
+    return [d.text for d in AbstractGenerator(seed=0).sample(250,
+                                                             materials_fraction=1.0)]
+
+
+@pytest.fixture(scope="session")
+def hf_tokenizer(corpus_texts):
+    return BPETokenizer().train(corpus_texts, 512)
+
+
+@pytest.fixture(scope="session")
+def spm_tokenizer(corpus_texts):
+    return UnigramTokenizer().train(corpus_texts, 512)
+
+
+@pytest.fixture(scope="session")
+def lm_dataset(corpus_texts, hf_tokenizer):
+    return PackedDataset.from_texts(corpus_texts, hf_tokenizer, seq_len=48)
+
+
+def _train(arch: str, dataset, steps: int = 100) -> GPTModel:
+    model = GPTModel(preset(f"tiny-{arch}"), seed=0)
+    Trainer(model, dataset, TrainerConfig(
+        optimizer="adam", lr=5e-3, batch_size=8, max_steps=steps,
+        eval_every=10_000)).train()
+    return model
+
+
+@pytest.fixture(scope="session")
+def trained_llama(lm_dataset):
+    return _train("llama", lm_dataset)
+
+
+@pytest.fixture(scope="session")
+def trained_neox(lm_dataset):
+    return _train("neox", lm_dataset)
+
+
+@pytest.fixture(scope="session")
+def roofline():
+    return RooflineModel()
+
+
+@pytest.fixture(scope="session")
+def simulator():
+    return TrainingSimulator()
+
+
+@pytest.fixture(scope="session")
+def memory_model():
+    return MemoryModel()
+
+
+@pytest.fixture(scope="session")
+def power_model():
+    return PowerModel()
+
+
+def run_once(benchmark, fn):
+    """Run a regeneration function exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,53 @@
+"""Ablation — the large-ring bandwidth degradation drives the Fig 8 shape.
+
+The simulator degrades effective ring bandwidth for system-spanning
+collectives beyond 64 ranks (slow-link straggling).  This ablation turns
+the degradation off and shows two of Fig 8's signatures disappear: the
+ZeRO-1 falloff past 64 GPUs flattens, and the ZeRO/TP=2 crossover at 256
+GPUs vanishes — evidence that the mechanism, not a tuned constant, makes
+the figure.
+"""
+
+from conftest import run_once
+from repro.core import format_table
+from repro.frontier.hardware import FRONTIER
+from repro.models import preset
+from repro.parallel import CollectiveModel, ParallelConfig, TrainingSimulator
+
+
+def regenerate():
+    model = preset("neox-6.7b-hf-52k").with_flash(1)
+    default = TrainingSimulator()
+    no_degradation = TrainingSimulator(
+        collectives=CollectiveModel(FRONTIER.node, scale_degradation=0.0))
+    rows = []
+    for label, sim in (("with degradation", default),
+                       ("without degradation", no_degradation)):
+        zero64 = sim.per_gcd_tflops(model, ParallelConfig(dp=64, zero_stage=1))
+        zero256 = sim.per_gcd_tflops(model,
+                                     ParallelConfig(dp=256, zero_stage=1))
+        tp256 = sim.per_gcd_tflops(model, ParallelConfig(dp=128, tp=2))
+        rows.append([label, zero64, zero256, tp256,
+                     zero256 / zero64, tp256 - zero256])
+    return rows
+
+
+def test_ablation_comm_degradation(benchmark):
+    rows = run_once(benchmark, regenerate)
+    print()
+    print(format_table(
+        ["model", "ZeRO@64", "ZeRO@256", "TP2@256", "retention",
+         "TP2 lead"],
+        rows, title="Ablation — ring-bandwidth scale degradation",
+        float_fmt="{:.2f}"))
+
+    with_deg = rows[0]
+    without = rows[1]
+    # With the mechanism: ZeRO loses >15% of its per-GCD throughput from
+    # 64 to 256 GPUs (the paper's falloff) and TP=2 leads by a wide margin.
+    assert with_deg[4] < 0.90
+    assert with_deg[5] > 5.0
+    # Without it: the falloff (nearly) disappears and the TP=2 lead
+    # shrinks to a sliver — the degradation mechanism makes Fig 8's shape.
+    assert without[4] > 0.95
+    assert without[5] < 0.5 * with_deg[5]

@@ -1,0 +1,56 @@
+"""Ablation — which memory-model components carry the Fig 5 anchors.
+
+Decomposes the 1.7B footprint at each context length and shows that (a)
+the score-matrix term alone explains the no-flash OOM cliff, and (b)
+removing activation checkpointing (modeled as storing all layers'
+transients) would OOM far earlier — justifying the checkpointing
+assumption stated in the memory-model docs.
+"""
+
+from conftest import run_once
+from repro.core import format_table
+from repro.frontier import MemoryConstants, MemoryModel
+from repro.models import preset
+
+
+def regenerate():
+    cfg = preset("neox-1.7b-hf-52k")
+    default = MemoryModel()
+    # "No checkpointing": every layer's transient activations live at once.
+    no_ckpt = MemoryModel(constants=MemoryConstants(
+        activation_bytes=34.0 * cfg.num_layers,
+        softmax_peak_bytes=10.0 * cfg.num_layers))
+    rows = []
+    for s in (2048, 4096, 8192, 16384):
+        b = default.breakdown(cfg, seq_len=s, flash=0)
+        gb = b.as_gb()
+        rows.append([s, gb["model_states"], gb["transient"], gb["logits"],
+                     b.fits, no_ckpt.breakdown(cfg, seq_len=s, flash=0).fits])
+    max_default = default.max_seq_len(cfg, flash=0)
+    max_no_ckpt = no_ckpt.max_seq_len(cfg, flash=0)
+    max_flash_no_ckpt = no_ckpt.max_seq_len(cfg, flash=1)
+    return rows, max_default, max_no_ckpt, max_flash_no_ckpt
+
+
+def test_ablation_memory_components(benchmark):
+    rows, max_default, max_no_ckpt, max_flash_no_ckpt = run_once(
+        benchmark, regenerate)
+    print()
+    print(format_table(
+        ["seq", "states GB", "transient GB", "logits GB", "fits",
+         "fits w/o ckpt"], rows,
+        title="Ablation — memory components, 1.7B, no flash",
+        float_fmt="{:.1f}"))
+    print(f"max seq: checkpointed {max_default}, non-checkpointed "
+          f"{max_no_ckpt}, non-checkpointed+flash {max_flash_no_ckpt}")
+
+    # Model states are constant; the transient term makes the cliff.
+    states = [r[1] for r in rows]
+    assert max(states) - min(states) < 1e-9
+    transients = [r[2] for r in rows]
+    assert transients[-1] > 10 * transients[0]
+    # Checkpointing is what buys the paper's 8192 no-flash ceiling.
+    assert max_default == 8192
+    assert max_no_ckpt < max_default
+    # Even without checkpointing, flash still extends the ceiling.
+    assert max_flash_no_ckpt > max_no_ckpt

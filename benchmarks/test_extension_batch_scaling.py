@@ -1,0 +1,44 @@
+"""Extension — the large-batch generalization gap, measured live.
+
+The paper adopts LAMB because large DP batches degrade Adam.  This
+benchmark runs the fixed-token-budget batch sweep with real training
+(tiny model, same data) and asserts the mechanism: Adam's final loss
+climbs steeply with batch size while LAMB's curve stays flat.
+"""
+
+from conftest import run_once
+from repro.core import format_table
+from repro.models import preset
+from repro.training import batch_scaling_study
+
+
+def regenerate(lm_dataset):
+    return batch_scaling_study(lm_dataset, preset("tiny-llama"),
+                               batch_sizes=(4, 8, 16),
+                               optimizers=("adam", "lamb"),
+                               base_lr=5e-3, seed=0)
+
+
+def test_extension_batch_scaling(benchmark, lm_dataset):
+    curves = run_once(benchmark, lambda: regenerate(lm_dataset))
+    print()
+    rows = []
+    for opt, curve in curves.items():
+        for p in curve.points:
+            rows.append([opt, p.batch_size, p.steps, f"{p.lr:.4f}",
+                         p.final_val_loss])
+    print(format_table(["optimizer", "batch", "steps", "LR", "final val"],
+                       rows, title="Extension — batch scaling at fixed "
+                                   "token budget"))
+    adam = curves["adam"]
+    lamb = curves["lamb"]
+    print(f"degradation: adam {adam.degradation():+.1%}, "
+          f"lamb {lamb.degradation():+.1%}")
+
+    # Adam degrades monotonically and steeply with batch at fixed tokens.
+    adam_losses = adam.losses()
+    assert (adam_losses[1:] > adam_losses[:-1]).all()
+    assert adam.degradation() > 0.30
+    # LAMB is (nearly) batch-size-invariant — the paper's reason to use it.
+    assert abs(lamb.degradation()) < 0.10
+    assert adam.degradation() > 4 * abs(lamb.degradation())

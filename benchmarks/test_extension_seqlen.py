@@ -1,0 +1,55 @@
+"""Extension — flash attention's value grows with context length.
+
+Fig 5 shows flash attention's memory benefit grows with sequence length;
+this extension shows its *throughput* benefit does too, because the
+quadratic score traffic it eliminates becomes an ever larger share of
+the layer.  The sweep also demonstrates the long-context regime the
+paper motivates (flash "enables longer context window") end-to-end: the
+memory model admits the configuration and the roofline prices it.
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.core import format_table
+from repro.models import preset
+
+
+def regenerate(roofline, memory_model):
+    cfg = preset("neox-1.7b-hf-52k")
+    rows = []
+    for seq in (1024, 2048, 4096, 8192, 16384, 32768):
+        micro = max(1, 16384 // seq)  # keep tokens/step roughly fixed
+        base = roofline.achieved_tflops(cfg, seq_len=seq, micro_batch=micro,
+                                        flash=0)
+        flash = roofline.achieved_tflops(cfg, seq_len=seq, micro_batch=micro,
+                                         flash=2)
+        fits = memory_model.breakdown(cfg, seq_len=seq, micro_batch=1,
+                                      flash=2).fits
+        rows.append({"seq": seq, "base": base, "flash": flash,
+                     "gain": flash / base - 1, "fits_flash": fits})
+    return rows
+
+
+def test_extension_seqlen(benchmark, roofline, memory_model):
+    rows = run_once(benchmark, lambda: regenerate(roofline, memory_model))
+    print()
+    print(format_table(
+        ["seq", "no flash", "flash v2", "gain", "fits (flash)"],
+        [[r["seq"], r["base"], r["flash"], f"{r['gain']:+.1%}",
+          "yes" if r["fits_flash"] else "no"] for r in rows],
+        title="Extension — throughput vs context length (1.7B)",
+        float_fmt="{:.1f}"))
+
+    gains = [r["gain"] for r in rows]
+    # Flash gain grows monotonically with context length...
+    assert all(b >= a - 1e-9 for a, b in zip(gains, gains[1:]))
+    # ...from modest at 1-2k to dominant at 32k.
+    assert gains[0] < 0.25
+    assert gains[-1] > 0.6
+    # The whole flash sweep is memory-feasible (Fig 5's enablement).
+    assert all(r["fits_flash"] for r in rows)
+    # Without flash, long contexts also collapse in throughput terms:
+    # score traffic halves effective TFLOPS by 16k.
+    base_by_seq = {r["seq"]: r["base"] for r in rows}
+    assert base_by_seq[32768] < 0.5 * base_by_seq[2048]

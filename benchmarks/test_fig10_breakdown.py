@@ -1,0 +1,57 @@
+"""Fig 10 — latency proportions within one transformer layer.
+
+Regenerates (left) the per-component latency shares for a medium
+(h=2304) and a large (h=4096) layer, and (right) the per-GEMM split —
+checking the paper's takeaways: GEMMs dominate and their share grows
+with scale (65.9% -> 91.2% in the paper), with QKV and the MLP the
+largest GEMMs.
+"""
+
+from conftest import run_once
+from repro.core import format_table
+from repro.models import preset
+from repro.profiling import layer_breakdown
+
+
+def regenerate(roofline):
+    out = {}
+    for label, name in (("medium (1.7B)", "neox-1.7b-hf-52k"),
+                        ("large (6.7B)", "neox-6.7b-hf-52k")):
+        out[label] = {
+            "noflash": layer_breakdown(preset(name), flash=0,
+                                       roofline=roofline),
+            "flash": layer_breakdown(preset(name), flash=2,
+                                     roofline=roofline),
+        }
+    return out
+
+
+def test_fig10_breakdown(benchmark, roofline):
+    bd = run_once(benchmark, lambda: regenerate(roofline))
+    print()
+    rows = []
+    for label, pair in bd.items():
+        shares = pair["flash"].component_shares()
+        rows.append([label, f"{pair['flash'].gemm_fraction:.1%}"] +
+                    [f"{shares.get(k, 0.0):.1%}"
+                     for k in ("qkv", "flash", "linproj", "mlp", "other")])
+    print(format_table(
+        ["layer", "GEMM total", "qkv", "flash", "linproj", "mlp", "DR+LN"],
+        rows, title="Fig 10 — latency proportions (flash v2)"))
+
+    med = bd["medium (1.7B)"]["flash"]
+    big = bd["large (6.7B)"]["flash"]
+    # GEMM share grows with model scale and dominates both.
+    assert big.gemm_fraction > med.gemm_fraction > 0.60
+    # QKV + MLP account for the most GEMM runtime in the large layer.
+    gemm_shares = big.gemm_shares()
+    ranked = sorted(gemm_shares, key=gemm_shares.get, reverse=True)
+    assert set(ranked[:2]) == {"qkv", "mlp"}
+    assert gemm_shares["qkv"] + gemm_shares["mlp"] > 0.6
+    # Flash merges score+AOV into one fused component.
+    assert "flash" in gemm_shares and "score" not in gemm_shares
+    noflash = bd["large (6.7B)"]["noflash"].gemm_shares()
+    assert {"score", "aov"} <= set(noflash)
+    # Shares are proper distributions.
+    assert abs(sum(big.component_shares().values()) - 1.0) < 1e-9
+    assert abs(sum(gemm_shares.values()) - 1.0) < 1e-9

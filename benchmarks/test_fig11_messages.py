@@ -1,0 +1,64 @@
+"""Fig 11 — RCCL message histograms and aggregated volume per step.
+
+Regenerates the simulated RCCL logs for the three distributed runs of
+Fig 8 and checks the paper's claims: ZeRO-1 and TP=2 issue over an order
+of magnitude more calls than plain DP; DP and ZeRO move ~2x the model
+size per step, TP ~3x.
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.core import format_table
+from repro.models import preset
+from repro.parallel import ParallelConfig
+
+
+def regenerate(simulator):
+    m17 = preset("neox-1.7b-hf-52k").with_flash(1)
+    m67 = preset("neox-6.7b-hf-52k").with_flash(1)
+    runs = {
+        "1.7B DP": (m17, ParallelConfig(dp=256)),
+        "6.7B ZeRO-1": (m67, ParallelConfig(dp=256, zero_stage=1)),
+        "6.7B TP=2": (m67, ParallelConfig(dp=128, tp=2)),
+    }
+    logs = {}
+    for label, (model, pc) in runs.items():
+        log = simulator.step(model, pc).schedule.log
+        counts, edges = log.histogram()
+        logs[label] = (model, log, counts, edges)
+    return logs
+
+
+def test_fig11_messages(benchmark, simulator):
+    logs = run_once(benchmark, lambda: regenerate(simulator))
+    print()
+    rows = []
+    for label, (model, log, counts, edges) in logs.items():
+        nonzero = np.nonzero(counts)[0]
+        mode_bin = nonzero[np.argmax(counts[nonzero])]
+        rows.append([label, log.num_calls, log.total_bytes / 1e9,
+                     f"{log.volume_vs_model_size(model):.2f}x",
+                     f"~{edges[mode_bin]:.0e} B"])
+    print(format_table(
+        ["run", "RCCL calls", "GB/step/GPU", "vs model size",
+         "modal msg size"],
+        rows, title="Fig 11 — RCCL log simulation", float_fmt="{:.1f}"))
+
+    dp = logs["1.7B DP"][1]
+    zero = logs["6.7B ZeRO-1"][1]
+    tp = logs["6.7B TP=2"][1]
+    # Order of magnitude more calls for ZeRO and TP.
+    assert zero.num_calls >= 5 * dp.num_calls
+    assert tp.num_calls >= 5 * dp.num_calls
+    # Aggregated volumes: DP ~2x, ZeRO ~2x, TP ~3x the bf16 model size.
+    assert abs(dp.volume_vs_model_size(logs["1.7B DP"][0]) - 2.0) < 0.1
+    assert abs(zero.volume_vs_model_size(logs["6.7B ZeRO-1"][0]) - 2.0) < 0.1
+    assert abs(tp.volume_vs_model_size(logs["6.7B TP=2"][0]) - 3.0) < 0.3
+    # Operation mix per strategy.
+    assert set(dp.by_op()) == {"allreduce"}
+    assert set(zero.by_op()) == {"reducescatter", "allgather"}
+    assert set(tp.by_op()) == {"allreduce"}
+    # Histograms account for every call.
+    for label, (_, log, counts, _) in logs.items():
+        assert counts.sum() == log.num_calls, label

@@ -1,0 +1,62 @@
+"""Fig 16 — distance and cosine distributions of formula embeddings.
+
+Regenerates the pairwise Euclidean-distance and cosine-similarity
+densities for MatGPT and MatSciBERT-style embeddings of material
+formulas, checking the paper's two observations: GPT embeddings are
+closer to each other, and their cosines pile up near 1 (all vectors
+point the same way), while MatSciBERT's spread out.
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.core import format_table
+from repro.data import FormulaGenerator
+from repro.matsci import (GPTFormulaEmbedder, MatSciBERTEmbedder,
+                          cosine_similarities, diagnose_embeddings,
+                          pairwise_distances)
+
+
+def regenerate(trained_llama, hf_tokenizer):
+    formulas = [str(f) for f in FormulaGenerator(seed=0).sample_many(200)]
+    gpt = GPTFormulaEmbedder(trained_llama, hf_tokenizer)
+    bert = MatSciBERTEmbedder()
+    out = {}
+    for name, embedder in (("MatGPT", gpt), ("MatSciBERT", bert)):
+        X = embedder.embed_many(formulas)
+        Xn = X / np.linalg.norm(X, axis=1, keepdims=True)
+        out[name] = {
+            "diag": diagnose_embeddings(name, X),
+            "dists": pairwise_distances(Xn),
+            "cosines": cosine_similarities(X),
+        }
+    return out
+
+
+def test_fig16_embeddings(benchmark, trained_llama, hf_tokenizer):
+    out = run_once(benchmark,
+                   lambda: regenerate(trained_llama, hf_tokenizer))
+    print()
+    rows = []
+    for name, d in out.items():
+        rows.append([name, d["diag"].mean_distance,
+                     float(np.percentile(d["dists"], 90)),
+                     d["diag"].mean_cosine, d["diag"].cosine_std])
+    print(format_table(
+        ["embedder", "mean dist", "p90 dist", "mean cos", "cos std"], rows,
+        title="Fig 16 — embedding geometry (unit-normalized)"))
+
+    gpt = out["MatGPT"]
+    bert = out["MatSciBERT"]
+    # (left) GPT embedding vectors are closer to each other.
+    assert gpt["diag"].mean_distance < bert["diag"].mean_distance
+    assert np.percentile(gpt["dists"], 90) < np.percentile(bert["dists"], 50)
+    # (right) GPT cosines concentrate near 1; BERT's spread near 0.
+    assert gpt["diag"].mean_cosine > 0.7
+    assert gpt["diag"].cosine_std < 0.2
+    assert bert["diag"].mean_cosine < 0.3
+    assert gpt["diag"].is_anisotropic
+    assert not bert["diag"].is_anisotropic
+    # Densities are valid distributions over the sampled pairs.
+    assert (gpt["cosines"] <= 1 + 1e-9).all()
+    assert (bert["dists"] >= 0).all()

@@ -1,0 +1,30 @@
+"""Fig 1 — evolution of LLM architectures since 2018.
+
+Regenerates the per-year, per-branch release counts and checks the
+paper's three claims: encoder-only popularity in 2018-2019, decoder-only
+dominance from 2021, and flat encoder-decoder counts.
+"""
+
+from conftest import run_once
+from repro.core import dominant_branch, format_table, releases_per_year
+
+
+def test_fig1_evolution(benchmark):
+    table = run_once(benchmark, releases_per_year)
+    years = sorted(table)
+    print()
+    print(format_table(
+        ["year", "encoder-only", "encoder-decoder", "decoder-only"],
+        [[y, table[y]["encoder-only"], table[y]["encoder-decoder"],
+          table[y]["decoder-only"]] for y in years],
+        title="Fig 1 — major releases per branch"))
+
+    assert years == [2018, 2019, 2020, 2021, 2022, 2023]
+    assert dominant_branch(2019) == "encoder-only"
+    for year in (2021, 2022, 2023):
+        assert dominant_branch(year) == "decoder-only"
+    # Decoder-only counts grow strongly into the GPT era.
+    assert table[2023]["decoder-only"] > 2 * table[2019]["decoder-only"]
+    # Encoder-decoder "stayed about the same".
+    ed = [table[y]["encoder-decoder"] for y in years]
+    assert max(ed) - min(ed) <= 2

@@ -1,0 +1,55 @@
+"""Fig 2 — per-layer parameters and FLOPs of the NeoX and LLaMA layers.
+
+Regenerates the layer accounting for the 1.7B architectures at the
+paper's reference point (sequence 2048, batch 16) and checks the figure's
+central claims: identical attention blocks, matched parameter/FLOP
+budgets, and the LayerNorm-vs-RMSNorm / GELU-vs-SwiGLU differences.
+"""
+
+from conftest import run_once
+from repro.core import format_table
+from repro.models import layer_accounting, preset
+
+
+def regenerate():
+    out = {}
+    for arch in ("neox", "llama"):
+        cfg = preset(f"{arch}-1.7b-hf-52k")
+        out[arch] = layer_accounting(cfg, seq_len=2048, batch_size=16)
+    return out
+
+
+def test_fig2_layer_accounting(benchmark):
+    acc = run_once(benchmark, regenerate)
+    print()
+    rows = []
+    for arch, a in acc.items():
+        comps = a.flops_by_component()
+        rows.append([arch, a.total_params, a.params["attention"],
+                     a.params["mlp"], a.params["norms"],
+                     f"{a.total_forward_flops / 1e12:.2f}T",
+                     f"{comps['mlp'] / 1e12:.2f}T"])
+    print(format_table(
+        ["arch", "layer params", "attn", "mlp", "norms", "fwd FLOPs",
+         "mlp FLOPs"], rows, title="Fig 2 — 1.7B layer, seq 2048, batch 16",
+        float_fmt="{:,.0f}"))
+
+    neox, llama = acc["neox"], acc["llama"]
+    # "approximately the same number of parameters and FLOPs".
+    assert abs(neox.total_params - llama.total_params) / neox.total_params \
+        < 0.01
+    assert abs(neox.total_forward_flops - llama.total_forward_flops) \
+        / neox.total_forward_flops < 0.01
+    # "the multi-head attention layers are exactly identical".
+    assert neox.attention_flops() == llama.attention_flops()
+    assert neox.params["attention"] - llama.params["attention"] == \
+        4 * 2304  # only the NeoX biases differ
+    # Norm parameterization: LayerNorm (w+b) vs RMSNorm (w only).
+    assert neox.params["norms"] == 2 * llama.params["norms"]
+    # MLP structure: 2 matrices (NeoX) vs 3 matrices (LLaMA).
+    neox_mlp_gemms = [g for g in neox.gemms if g.name == "mlp"]
+    llama_mlp_gemms = [g for g in llama.gemms if g.name == "mlp"]
+    assert len(neox_mlp_gemms) == 2
+    assert len(llama_mlp_gemms) == 3
+    # Training FLOPs = 3x forward.
+    assert neox.total_training_flops == 3 * neox.total_forward_flops

@@ -1,0 +1,50 @@
+"""Fig 4 — training-throughput heatmap and flash-attention boosts.
+
+Regenerates (left) the TFLOPS/GCD heatmap over the ~1B architecture grid
+and (right) the per-architecture flash v1/v2 throughput for the eight
+eligible cells A-H, checking every anchor the paper reports.
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.core import (flash_boost_table, format_heatmap, format_table,
+                        run_grid_search)
+
+
+def regenerate(roofline):
+    heatmap = run_grid_search("neox", roofline=roofline)
+    boosts = flash_boost_table("neox", roofline=roofline)
+    return heatmap, boosts
+
+
+def test_fig4_heatmap(benchmark, roofline):
+    heatmap, boosts = run_once(benchmark, lambda: regenerate(roofline))
+    layers, hiddens, matrix = heatmap.as_matrix()
+    print()
+    print(format_heatmap(layers, hiddens, matrix,
+                         title="Fig 4 (left) — TFLOPS/GCD, NeoX, no flash"))
+    print()
+    print(format_table(
+        ["arch", "layers", "hidden", "hd", "base", "v1", "v2"],
+        [[r["label"], r["layers"], r["hidden"], r["head_dim"], r["base"],
+          r["flash_v1"], r["flash_v2"]] for r in boosts],
+        title="Fig 4 (right) — flash boost, A-H", float_fmt="{:.1f}"))
+
+    # Paper: throughput varies 58-76; best is 24 layers x 2304 hidden.
+    assert 50 < heatmap.worst_tflops < 62
+    assert 72 < heatmap.best_tflops < 80
+    assert (heatmap.best_cell.num_layers,
+            heatmap.best_cell.hidden_size) == (24, 2304)
+    assert heatmap.best_cell.head_dim == 96
+    # Eligible (head_dim % 8) cells are top performers per layer row.
+    assert heatmap.eligible_outperform_rate() >= 0.6
+    # Average boosts ~14% (v1) and ~19% (v2); best ~82/84 TFLOPS.
+    v1 = float(np.mean([r["boost_v1"] for r in boosts]))
+    v2 = float(np.mean([r["boost_v2"] for r in boosts]))
+    assert 0.10 < v1 < 0.18
+    assert 0.15 < v2 < 0.23
+    assert 78 < max(r["flash_v1"] for r in boosts) < 88
+    assert 80 < max(r["flash_v2"] for r in boosts) < 92
+    # Observation 1: over 43% of the 191.5 TFLOPS GCD peak with flash.
+    assert max(r["flash_v2"] for r in boosts) / 191.5 > 0.43

@@ -1,0 +1,52 @@
+"""Fig 5 — peak memory vs sequence length, with and without flash.
+
+Regenerates the 1.7B memory curve for context lengths 2048-65536 and
+checks the paper's anchors: OOM beyond 8192 without flash; linear growth
+and a 4x longer maximum context (32768) with flash.
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.core import format_table
+from repro.models import preset
+
+
+def regenerate(memory_model):
+    cfg = preset("neox-1.7b-hf-52k")
+    seqs = [2048, 4096, 8192, 16384, 32768, 65536]
+    rows = []
+    for s in seqs:
+        no_flash = memory_model.breakdown(cfg, seq_len=s, flash=0)
+        flash = memory_model.breakdown(cfg, seq_len=s, flash=1)
+        rows.append([s, no_flash.utilization, no_flash.fits,
+                     flash.utilization, flash.fits])
+    return cfg, seqs, rows
+
+
+def test_fig5_memory(benchmark, memory_model):
+    cfg, seqs, rows = run_once(benchmark, lambda: regenerate(memory_model))
+    print()
+    print(format_table(
+        ["seq", "no-flash %HBM", "fits", "flash %HBM", "fits"],
+        [[s, f"{u0:.0%}", f0, f"{u1:.0%}", f1]
+         for (s, u0, f0, u1, f1) in rows],
+        title="Fig 5 — MatGPT 1.7B peak memory on one 64 GB GCD"))
+
+    by_seq = {r[0]: r for r in rows}
+    # Without flash: fits through 8192, OOM beyond (paper's anchor).
+    assert by_seq[8192][2] is True
+    assert by_seq[16384][2] is False
+    # With flash: fits through 32768 (4x), OOM at 65536.
+    assert by_seq[32768][4] is True
+    assert by_seq[65536][4] is False
+    assert memory_model.max_seq_len(cfg, flash=1) == \
+        4 * memory_model.max_seq_len(cfg, flash=0)
+    # Flash growth is ~linear once seq dominates; no-flash superlinear.
+    flash_ratio = by_seq[32768][3] / by_seq[16384][3]
+    noflash_ratio = by_seq[32768][1] / by_seq[16384][1]
+    assert flash_ratio < 2.2
+    assert noflash_ratio > 2.5
+    # The 12x model-state rule anchors the flat part of the curve.
+    base = memory_model.breakdown(cfg, seq_len=2048, flash=1)
+    assert base.model_states == 12.0 * cfg.num_parameters()

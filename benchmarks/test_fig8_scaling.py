@@ -1,0 +1,75 @@
+"""Fig 8 — scaling to 256 GPUs and the rocprof kernel breakdown.
+
+Regenerates (top) the weak-scaling sweeps for 1.7B DP, 6.7B ZeRO-1 and
+6.7B TP=2, and (bottom) the compute/communication/IO aggregation at 256
+GPUs, checking all the paper's anchors: >18 PFLOPS and ~88% efficiency
+for 1.7B DP; ZeRO-1 flat through 64 GPUs then dropping; TP=2 sustaining
+~71%+ efficiency and overtaking ZeRO at scale; ZeRO comm ~40%, IO ~5%.
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.core import format_series, format_table
+from repro.models import preset
+from repro.parallel import ParallelConfig
+from repro.profiling import aggregate_step
+
+GPUS = [8, 16, 32, 64, 128, 256]
+
+
+def regenerate(simulator):
+    m17 = preset("neox-1.7b-hf-52k").with_flash(1)
+    m67 = preset("neox-6.7b-hf-52k").with_flash(1)
+    sweeps = {
+        "1.7B DP": simulator.scaling_sweep(m17, "dp", GPUS),
+        "6.7B ZeRO-1": simulator.scaling_sweep(m67, "zero1", GPUS),
+        "6.7B TP=2": simulator.scaling_sweep(m67, "tp2", GPUS),
+    }
+    fractions = {
+        "1.7B DP": aggregate_step(
+            simulator.step(m17, ParallelConfig(dp=256))).fractions(),
+        "6.7B ZeRO-1": aggregate_step(
+            simulator.step(m67, ParallelConfig(dp=256,
+                                               zero_stage=1))).fractions(),
+        "6.7B TP=2": aggregate_step(
+            simulator.step(m67, ParallelConfig(dp=128, tp=2))).fractions(),
+    }
+    return sweeps, fractions
+
+
+def test_fig8_scaling(benchmark, simulator):
+    sweeps, fractions = run_once(benchmark, lambda: regenerate(simulator))
+    print()
+    print(format_series(
+        np.array(GPUS),
+        {k: np.array([p.per_gcd_tflops for p in v])
+         for k, v in sweeps.items()},
+        x_label="GPUs", title="Fig 8 (top) — TFLOPS/GCD"))
+    print()
+    print(format_table(
+        ["run", "compute", "comm", "io"],
+        [[k, f["compute"], f["comm"], f["io"]]
+         for k, f in fractions.items()],
+        title="Fig 8 (bottom) — rocprof aggregation at 256 GPUs"))
+
+    dp = {p.n_gpus: p for p in sweeps["1.7B DP"]}
+    zero = {p.n_gpus: p for p in sweeps["6.7B ZeRO-1"]}
+    tp = {p.n_gpus: p for p in sweeps["6.7B TP=2"]}
+
+    # 1.7B DP: >18 PFLOPS aggregate, high efficiency (paper: 88%).
+    assert dp[256].aggregate_pflops > 17.0
+    assert dp[256].efficiency > 0.80
+    # ZeRO-1: roughly flat to 64 GPUs, then drops (all-device collectives).
+    assert zero[64].per_gcd_tflops > 0.97 * zero[16].per_gcd_tflops
+    assert zero[256].per_gcd_tflops < 0.90 * zero[64].per_gcd_tflops
+    # TP=2 overtakes ZeRO-1 beyond 64 GPUs and sustains efficiency.
+    assert tp[256].per_gcd_tflops > zero[256].per_gcd_tflops
+    assert tp[256].efficiency > 0.71
+    assert zero[64].per_gcd_tflops >= tp[64].per_gcd_tflops - 3.0
+    # rocprof shape: ZeRO comm large (~40%), IO ~5%; DP compute-dominated.
+    z = fractions["6.7B ZeRO-1"]
+    assert 0.25 < z["comm"] < 0.50
+    assert 0.02 < z["io"] < 0.08
+    assert fractions["1.7B DP"]["comm"] < z["comm"]
+    assert fractions["1.7B DP"]["compute"] > 0.75

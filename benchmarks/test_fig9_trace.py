@@ -1,0 +1,60 @@
+"""Fig 9 — runtime and GPU power trace of one 6.7B training step.
+
+Regenerates the OmniTrace-style single-step timeline (forward layers,
+backward, allreduce tail, optimizer) with its synchronized power trace,
+and checks the structure the paper describes: 32 forward layer groups, a
+backward ~2x the forward, a significant allreduce span, and power that
+drops during communication.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import run_once
+from repro.models import preset
+from repro.parallel import ParallelConfig
+from repro.profiling import build_step_trace
+
+
+def regenerate(simulator, power_model):
+    model = preset("neox-6.7b-hf-52k").with_flash(2)
+    profile = simulator.step(model, ParallelConfig(dp=256, zero_stage=1))
+    trace = build_step_trace(model, profile, flash=2)
+    times, watts = trace.power_trace(power_model, dt=5e-3)
+    return trace, times, watts
+
+
+def test_fig9_trace(benchmark, simulator, power_model):
+    trace, times, watts = run_once(
+        benchmark, lambda: regenerate(simulator, power_model))
+
+    fwd = trace.events_in("forward")
+    bwd = trace.events_in("backward")
+    comm = trace.events_in("comm")
+    print()
+    print(f"Fig 9 — one training step, 6.7B ZeRO-1 @ 256 GPUs")
+    print(f"  step duration: {trace.duration_s:.2f} s")
+    print(f"  forward: {sum(e.duration_s for e in fwd):.2f} s "
+          f"({len(fwd)} kernel spans over 32 layers)")
+    print(f"  backward: {sum(e.duration_s for e in bwd):.2f} s")
+    print(f"  allreduce tail: {sum(e.duration_s for e in comm):.2f} s")
+    print(f"  power: min {watts.min():.0f} W, max {watts.max():.0f} W")
+
+    # 32 forward layers, each containing a fused flash-attention span.
+    layers = {e.name.split("/")[0] for e in fwd if "/" in e.name}
+    assert len(layers) == 32
+    assert any(e.name == "layer0/flash_attention" for e in fwd)
+    # Backward ~2x the forward compute.
+    fwd_compute = sum(e.duration_s for e in fwd if e.phase == "compute")
+    bwd_time = sum(e.duration_s for e in bwd)
+    assert 1.7 < bwd_time / fwd_compute < 2.3
+    # "The allreduce operation takes a significant amount of time."
+    assert sum(e.duration_s for e in comm) > 0.1 * trace.duration_s
+    # Power oscillates: high during compute, dropping in communication.
+    assert watts.max() > 470
+    assert watts.min() < 400
+    # Trace covers the full step and events don't overlap.
+    events = sorted(trace.events, key=lambda e: e.start_s)
+    for a, b in zip(events, events[1:]):
+        assert b.start_s >= a.end_s - 1e-9
+    assert times[-1] == pytest.approx(trace.duration_s, rel=0.02)

@@ -1,0 +1,65 @@
+"""Table I — corpus sources, document counts and token totals.
+
+Regenerates the paper's data-source table at the 1e-4 scale factor and
+checks the structural properties: per-source document counts match the
+scaled paper numbers, CORE's full-texts dominate the token budget, and
+screening keeps only materials documents.
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.core import format_table
+from repro.data import (AbstractGenerator, ScreeningClassifier,
+                        build_all_sources, corpus_token_table, screen_sources)
+
+#: Paper rows (source, abstracts, full-text, tokens).
+PAPER_TABLE_I = {
+    "CORE": (2.5e6, 0.3e6, 8.8e9),
+    "MAG": (15e6, 0.0, 3.5e9),
+    "Aminer": (3e6, 0.0, 1.2e9),
+    "SCOPUS": (6e6, 0.0, 1.5e9),
+}
+
+
+def regenerate(tokenizer=None):
+    sources = build_all_sources(seed=0)
+    rows = corpus_token_table(sources, tokenizer=tokenizer)
+    labeled = AbstractGenerator(seed=1000).sample(250, materials_fraction=0.5)
+    clf = ScreeningClassifier().fit(
+        [d.text for d in labeled],
+        np.array([d.is_materials for d in labeled], dtype=float))
+    kept, reports = screen_sources(sources, clf)
+    return rows, kept, reports
+
+
+def test_table1_corpus(benchmark, hf_tokenizer):
+    rows, kept, reports = run_once(
+        benchmark, lambda: regenerate(tokenizer=hf_tokenizer))
+
+    print()
+    print(format_table(["source", "abstracts", "fulltext", "tokens"],
+                       [[r["source"], r["abstracts"], r["fulltext"],
+                         r["tokens"]] for r in rows],
+                       title="Table I (scale 1e-4)"))
+    print(format_table(["source", "total", "kept", "precision"],
+                       [[r.source, r.total, r.kept, r.precision]
+                        for r in reports], title="screening"))
+
+    by_src = {r["source"]: r for r in rows}
+    # Scaled document counts match the paper exactly.
+    for name, (n_abs, n_full, _) in PAPER_TABLE_I.items():
+        assert by_src[name]["abstracts"] == round(n_abs * 1e-4), name
+        assert by_src[name]["fulltext"] == round(n_full * 1e-4), name
+    total = by_src["All"]
+    assert total["abstracts"] == 2650     # 26.5M x 1e-4
+    assert total["fulltext"] == 30        # 0.3M x 1e-4
+    # Token-share shape: CORE dominates via full-texts (8.8B of 15B).
+    assert by_src["CORE"]["tokens"] > 0.4 * total["tokens"]
+    assert by_src["CORE"]["tokens"] == max(
+        by_src[s]["tokens"] for s in PAPER_TABLE_I)
+    # Screening is high precision and keeps every SCOPUS document.
+    assert all(r.precision > 0.9 for r in reports)
+    assert [r for r in reports if r.source == "SCOPUS"][0].keep_rate == 1.0
+    assert all(d.is_materials or d.source == "SCOPUS" for d in kept) or \
+        sum(not d.is_materials for d in kept) / len(kept) < 0.1

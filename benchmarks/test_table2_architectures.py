@@ -1,0 +1,49 @@
+"""Table II — the MatGPT architecture grid.
+
+Regenerates the architecture table (parameters, hidden size, layers,
+heads, head-dim, tokenizer, vocab) from the presets and verifies the
+parameter counts against both the paper's nominal sizes and the live
+NumPy models (scaled presets instantiate exactly).
+"""
+
+from conftest import run_once
+from repro.core import format_table
+from repro.models import GPTModel, TABLE_II, preset
+
+
+def regenerate():
+    rows = []
+    for key, cfg in TABLE_II.items():
+        rows.append([cfg.name, f"{cfg.num_parameters() / 1e9:.2f}B",
+                     cfg.hidden_size, cfg.num_layers, cfg.num_heads,
+                     cfg.head_dim, cfg.tokenizer.upper(),
+                     f"{cfg.vocab_size // 1000}K"])
+    return rows
+
+
+def test_table2_architectures(benchmark):
+    rows = run_once(benchmark, regenerate)
+    print()
+    print(format_table(
+        ["arch", "#params", "hidden", "#layers", "#heads", "head-dim",
+         "tokenizer", "vocab"], rows, title="Table II"))
+
+    # Paper values: 1.7B -> (2304, 24, 24, 96); 6.7B -> (4096, 32, 32, 128).
+    for key in ("llama-1.7b-hf-52k", "neox-1.7b-hf-52k"):
+        cfg = TABLE_II[key]
+        assert (cfg.hidden_size, cfg.num_layers, cfg.num_heads,
+                cfg.head_dim) == (2304, 24, 24, 96)
+        assert abs(cfg.num_parameters() - 1.7e9) / 1.7e9 < 0.05
+    for key in ("llama-6.7b-hf-52k", "neox-6.7b-hf-52k"):
+        cfg = TABLE_II[key]
+        assert (cfg.hidden_size, cfg.num_layers, cfg.num_heads,
+                cfg.head_dim) == (4096, 32, 32, 128)
+        assert abs(cfg.num_parameters() - 6.7e9) / 6.7e9 < 0.05
+    # The SPM/32K tokenizer variants exist (Fig 13/14 studies).
+    assert TABLE_II["llama-1.7b-spm-32k"].tokenizer == "spm"
+    assert TABLE_II["llama-1.7b-hf-32k"].vocab_size == 32000
+
+    # Analytic counts match live models exactly (tiny scale instantiation).
+    for name in ("tiny-neox", "tiny-llama", "small-neox", "small-llama"):
+        model = GPTModel(preset(name), seed=0)
+        assert model.num_parameters() == preset(name).num_parameters()

@@ -1,0 +1,67 @@
+"""Architecture search on the Frontier performance model (paper §III/IV-B).
+
+Reproduces the paper's computationally-efficient design loop:
+
+* sweep layer count x hidden size around ~1B parameters and simulate the
+  training throughput heatmap (Fig 4 left);
+* identify the flash-eligible architectures A–H (head_dim % 8 == 0) and
+  their flash v1/v2 boosts (Fig 4 right);
+* compare GPT-NeoX vs LLaMA throughput on the eligible cells (Fig 6);
+* check the feasibility constraints (Eqs 1–5) for candidate 3D layouts.
+
+Run:  python examples/architecture_search.py
+"""
+
+from repro.core import (FIG4_GRID, flash_boost_table, format_heatmap,
+                        format_table, run_grid_search)
+from repro.frontier import RooflineModel
+from repro.models import ModelConfig
+from repro.parallel import feasible_configs
+
+
+def main() -> None:
+    roofline = RooflineModel()
+
+    print("=== Fig 4 (left): TFLOPS/GCD heatmap, NeoX, no flash ===")
+    heatmap = run_grid_search("neox", roofline=roofline)
+    layers, hiddens, matrix = heatmap.as_matrix()
+    print(format_heatmap(layers, hiddens, matrix))
+    best = heatmap.best_cell
+    print(f"\nbest: {best.num_layers} layers x {best.hidden_size} hidden "
+          f"(head_dim {best.head_dim}) at {heatmap.best_tflops:.1f} "
+          f"TFLOPS/GCD; range {heatmap.worst_tflops:.1f}-"
+          f"{heatmap.best_tflops:.1f}  [paper: 58-76, best 24x2304]")
+
+    print("\n=== Fig 4 (right): flash-attention boost for A-H ===")
+    rows = flash_boost_table("neox", roofline=roofline)
+    print(format_table(
+        ["arch", "layers", "hidden", "hd", "base", "v1", "v2",
+         "boost_v1", "boost_v2"],
+        [[r["label"], r["layers"], r["hidden"], r["head_dim"], r["base"],
+          r["flash_v1"], r["flash_v2"], f"{r['boost_v1']:+.1%}",
+          f"{r['boost_v2']:+.1%}"] for r in rows], float_fmt="{:.1f}"))
+    mean_v1 = sum(r["boost_v1"] for r in rows) / len(rows)
+    mean_v2 = sum(r["boost_v2"] for r in rows) / len(rows)
+    print(f"mean boost: v1 {mean_v1:+.1%}, v2 {mean_v2:+.1%} "
+          f"[paper: +14% / +19%]")
+
+    print("\n=== Fig 6: NeoX vs LLaMA on eligible cells (flash v1) ===")
+    results = []
+    for cell in (c for c in FIG4_GRID if c.eligible):
+        neox = roofline.achieved_tflops(cell.to_config("neox"), flash=1)
+        llama = roofline.achieved_tflops(cell.to_config("llama"), flash=1)
+        results.append([f"{cell.num_layers}x{cell.hidden_size}", neox, llama,
+                        "NeoX" if neox > llama else "LLaMA"])
+    print(format_table(["arch", "NeoX", "LLaMA", "winner"], results,
+                       float_fmt="{:.1f}"))
+
+    print("\n=== Eqs 1-5: feasible 3D layouts for 6.7B on 64 GPUs ===")
+    model = ModelConfig(arch="neox", hidden_size=4096, num_layers=32,
+                        num_heads=32)
+    for pc in feasible_configs(model, 64, max_tp=4, max_pp=4):
+        print(f"  dp={pc.dp:<3} tp={pc.tp} pp={pc.pp} "
+              f"zero={pc.zero_stage}  ({pc.label})")
+
+
+if __name__ == "__main__":
+    main()

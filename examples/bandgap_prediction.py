@@ -1,0 +1,79 @@
+"""Scientific downstream task: band-gap prediction with LLM fusion.
+
+Reproduces the paper's Fig 3 paradigm and Table V experiment:
+
+1. generate a synthetic Materials-Project-style crystal dataset;
+2. pre-train a tiny MatGPT on the materials corpus;
+3. train the four GNN baselines (CGCNN / MEGNet / ALIGNN / MF-CGNN);
+4. fuse MF-CGNN with MatSciBERT-style and MatGPT formula embeddings;
+5. analyze the two embedding spaces (Fig 16 distances/cosines, Fig 17
+   t-SNE clustering).
+
+Run:  python examples/bandgap_prediction.py
+"""
+
+import numpy as np
+
+from repro.core import format_table
+from repro.data import AbstractGenerator, PackedDataset
+from repro.matsci import (GPTFormulaEmbedder, MatSciBERTEmbedder,
+                          diagnose_embeddings, generate_dataset, kmeans,
+                          run_table_v, tsne)
+from repro.models import GPTModel, preset
+from repro.tokenizers import BPETokenizer
+from repro.training import Trainer, TrainerConfig
+
+
+def main() -> None:
+    print("=== dataset ===")
+    dataset = generate_dataset(500, seed=0)
+    counts = dataset.class_counts()
+    print(f"{len(dataset)} materials; classes {counts}; "
+          f"gap range {dataset.band_gaps().min():.2f}-"
+          f"{dataset.band_gaps().max():.2f} eV")
+
+    print("\n=== pre-training MatGPT for embeddings ===")
+    texts = [d.text for d in AbstractGenerator(seed=0).sample(200)]
+    tokenizer = BPETokenizer().train(texts, 512)
+    lm_data = PackedDataset.from_texts(texts, tokenizer, seq_len=48)
+    gpt = GPTModel(preset("tiny-llama"), seed=0)
+    Trainer(gpt, lm_data, TrainerConfig(optimizer="adam", lr=3e-3,
+                                        batch_size=8, max_steps=50,
+                                        eval_every=1000)).train()
+    gpt_embedder = GPTFormulaEmbedder(gpt, tokenizer)
+    bert_embedder = MatSciBERTEmbedder()
+
+    print("\n=== Table V: band-gap MAE (eV) ===")
+    results = run_table_v(dataset, gpt_embedder, bert_embedder,
+                          epochs=250, seed=0)
+    print(format_table(["model", "test MAE", "train MAE"],
+                       [[r.model, r.test_mae, r.train_mae]
+                        for r in results]))
+    print("[paper: CGCNN 0.388, MEGNet 0.33, ALIGNN 0.218, MF-CGNN 0.215, "
+          "+SciBERT 0.204, +GPT 0.197]")
+
+    print("\n=== Fig 16: embedding geometry ===")
+    formulas = dataset.formulas()[:150]
+    rows = []
+    for name, embedder in (("MatGPT", gpt_embedder),
+                           ("MatSciBERT", bert_embedder)):
+        diag = diagnose_embeddings(name, embedder.embed_many(formulas))
+        rows.append([name, diag.mean_distance, diag.mean_cosine,
+                     diag.cosine_std,
+                     "yes" if diag.is_anisotropic else "no"])
+    print(format_table(["embedder", "mean dist", "mean cos", "cos std",
+                        "anisotropic"], rows))
+
+    print("\n=== Fig 17: t-SNE + k-means clustering ===")
+    for name, embedder in (("MatGPT", gpt_embedder),
+                           ("MatSciBERT", bert_embedder)):
+        X = embedder.embed_many(formulas)
+        Y = tsne(X, n_iter=150, seed=0)
+        labels, _ = kmeans(Y, 3, seed=0)
+        sizes = sorted(np.bincount(labels), reverse=True)
+        print(f"{name}: t-SNE map spread {Y.std():.1f}, "
+              f"3-means cluster sizes {sizes}")
+
+
+if __name__ == "__main__":
+    main()

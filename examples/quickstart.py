@@ -1,0 +1,63 @@
+"""Quickstart: pre-train a tiny MatGPT and use it.
+
+Walks the core loop of the paper at laptop scale:
+
+1. generate a synthetic materials-science corpus (Table I pipeline);
+2. train an HF-style BPE tokenizer;
+3. pre-train a tiny LLaMA-family model with the cosine-warmup recipe;
+4. generate text and run a zero-shot science-QA evaluation.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import format_bars
+from repro.data import AbstractGenerator, PackedDataset
+from repro.evalharness import EvalRunner, build_benchmark_suite
+from repro.models import GPTModel, preset
+from repro.tokenizers import BPETokenizer
+from repro.training import Trainer, TrainerConfig
+
+
+def main() -> None:
+    print("=== 1. corpus ===")
+    corpus = AbstractGenerator(seed=0).sample(250, materials_fraction=1.0)
+    texts = [d.text for d in corpus]
+    print(f"{len(texts)} abstracts; sample:\n  {texts[0][:120]}...")
+
+    print("\n=== 2. tokenizer ===")
+    tokenizer = BPETokenizer().train(texts, vocab_size=512)
+    sample = "the band gap of GaAs"
+    ids = tokenizer.encode(sample)
+    print(f"vocab={tokenizer.vocab_size}; {sample!r} -> {len(ids)} tokens; "
+          f"round-trip ok: {tokenizer.decode(ids) == sample}")
+
+    print("\n=== 3. pre-training (tiny-llama) ===")
+    dataset = PackedDataset.from_texts(texts, tokenizer, seq_len=48)
+    model = GPTModel(preset("tiny-llama"), seed=0)
+    print(f"parameters: {model.num_parameters():,}")
+    trainer = Trainer(model, dataset, TrainerConfig(
+        optimizer="adam", lr=5e-3, batch_size=8, max_steps=100,
+        eval_every=25))
+    history = trainer.train()
+    print(f"loss: {history.train_loss[0]:.3f} -> "
+          f"{history.final_train_loss:.3f} "
+          f"(val {history.final_val_loss:.3f})")
+
+    print("\n=== 4a. generation ===")
+    prompt = "The electronic structure of"
+    out = model.generate(tokenizer.encode(prompt), max_new_tokens=12)
+    print(f"  {prompt!r} -> {tokenizer.decode(out)!r}")
+
+    print("\n=== 4b. zero-shot evaluation ===")
+    runner = EvalRunner(build_benchmark_suite(n_questions=20))
+    report = runner.run(model, tokenizer, model_name="tiny-llama",
+                        tasks=["sciq", "piqa", "arc_e", "arc_c"])
+    print(format_bars(report.accuracies(0), title="zero-shot accuracy"))
+    print(f"\nmean accuracy: {report.mean_accuracy(0):.3f} "
+          f"(random baseline ~0.3)")
+
+
+if __name__ == "__main__":
+    main()

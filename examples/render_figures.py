@@ -1,0 +1,140 @@
+"""Render every reproducible paper figure to SVG under ./figures/.
+
+Uses the repository's dependency-free SVG plotting layer
+(:mod:`repro.core.svgplot`) over the same data the benchmarks assert on:
+
+* fig4_heatmap.svg / fig4_flash.svg   — throughput grid + flash boosts
+* fig5_memory.svg                     — peak memory vs context length
+* fig8_scaling.svg                    — weak-scaling sweeps
+* fig13_loss.svg                      — surrogate loss curves
+* fig14_zeroshot.svg                  — zero-shot accuracy bars
+* fig16_cosines.svg                   — embedding cosine densities
+* fig17_tsne_{gpt,bert}.svg           — t-SNE cluster maps
+
+Run:  python examples/render_figures.py  [output_dir]
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import flash_boost_table, run_grid_search
+from repro.core.svgplot import (bar_chart, density_chart, heatmap_chart,
+                                line_chart, scatter_chart)
+from repro.data import AbstractGenerator, PackedDataset
+from repro.evalharness import EvalRunner, build_benchmark_suite
+from repro.frontier import MemoryModel
+from repro.matsci import (GPTFormulaEmbedder, MatSciBERTEmbedder,
+                          cosine_similarities, generate_dataset, kmeans,
+                          tsne)
+from repro.models import GPTModel, preset
+from repro.parallel import TrainingSimulator
+from repro.tokenizers import BPETokenizer
+from repro.training import LossCurveModel, Trainer, TrainerConfig
+
+
+def main(out_dir: str = "figures") -> None:
+    out = Path(out_dir)
+    written = []
+
+    # -- Fig 4 -----------------------------------------------------------
+    heatmap = run_grid_search("neox")
+    layers, hiddens, matrix = heatmap.as_matrix()
+    written.append(heatmap_chart(
+        layers, hiddens, matrix,
+        title="Fig 4 (left) — TFLOPS/GCD heatmap").save(out / "fig4_heatmap"))
+    boosts = flash_boost_table("neox")
+    written.append(bar_chart(
+        {r["label"]: {"base": r["base"], "flash v1": r["flash_v1"],
+                      "flash v2": r["flash_v2"]} for r in boosts},
+        title="Fig 4 (right) — flash-attention boost",
+        ylabel="TFLOPS/GCD").save(out / "fig4_flash"))
+
+    # -- Fig 5 -----------------------------------------------------------
+    mm = MemoryModel()
+    cfg17 = preset("neox-1.7b-hf-52k")
+    seqs = np.array([2048, 4096, 8192, 16384, 32768])
+    series = {
+        "no flash": np.array([mm.breakdown(cfg17, seq_len=int(s),
+                                           flash=0).utilization * 100
+                              for s in seqs]),
+        "flash": np.array([mm.breakdown(cfg17, seq_len=int(s),
+                                        flash=1).utilization * 100
+                           for s in seqs]),
+    }
+    written.append(line_chart(
+        seqs, series, title="Fig 5 — peak memory vs context (1.7B)",
+        xlabel="sequence length", ylabel="% of 64 GB HBM",
+        log_x=True).save(out / "fig5_memory"))
+
+    # -- Fig 8 -----------------------------------------------------------
+    sim = TrainingSimulator()
+    gpus = [8, 16, 32, 64, 128, 256]
+    sweeps = {
+        "1.7B DP": sim.scaling_sweep(
+            preset("neox-1.7b-hf-52k").with_flash(1), "dp", gpus),
+        "6.7B ZeRO-1": sim.scaling_sweep(
+            preset("neox-6.7b-hf-52k").with_flash(1), "zero1", gpus),
+        "6.7B TP=2": sim.scaling_sweep(
+            preset("neox-6.7b-hf-52k").with_flash(1), "tp2", gpus),
+    }
+    written.append(line_chart(
+        np.array(gpus),
+        {k: np.array([p.per_gcd_tflops for p in v])
+         for k, v in sweeps.items()},
+        title="Fig 8 — weak scaling", xlabel="GPUs",
+        ylabel="TFLOPS/GCD", log_x=True).save(out / "fig8_scaling"))
+
+    # -- Fig 13 ----------------------------------------------------------
+    lm = LossCurveModel(num_points=80)
+    curves = {r.label: lm.curve(r) for r in lm.fig13_recipes()[:5]}
+    first = next(iter(curves.values()))
+    written.append(line_chart(
+        first.tokens,
+        {label: c.train for label, c in curves.items()},
+        title="Fig 13 — training loss (surrogate)",
+        xlabel="tokens", ylabel="loss", log_x=True).save(out / "fig13_loss"))
+
+    # -- Real tiny model for Figs 14/16/17 -------------------------------
+    texts = [d.text for d in AbstractGenerator(seed=0).sample(200)]
+    tok = BPETokenizer().train(texts, 512)
+    data = PackedDataset.from_texts(texts, tok, seq_len=48)
+    model = GPTModel(preset("tiny-llama"), seed=0)
+    Trainer(model, data, TrainerConfig(optimizer="adam", lr=5e-3,
+                                       batch_size=8, max_steps=80,
+                                       eval_every=10 ** 9)).train()
+
+    runner = EvalRunner(build_benchmark_suite(n_questions=16))
+    report = runner.run(model, tok, "tiny-llama",
+                        tasks=["sciq", "piqa", "arc_e", "arc_c", "ht_cc"])
+    written.append(bar_chart(
+        {task: {"tiny-llama": acc}
+         for task, acc in report.accuracies(0).items()},
+        title="Fig 14 — zero-shot accuracy (tiny scale)",
+        ylabel="accuracy").save(out / "fig14_zeroshot"))
+
+    dataset = generate_dataset(150, seed=0)
+    formulas = dataset.formulas()
+    gpt_X = GPTFormulaEmbedder(model, tok).embed_many(formulas)
+    bert_X = MatSciBERTEmbedder().embed_many(formulas)
+    written.append(density_chart(
+        {"MatGPT": cosine_similarities(gpt_X),
+         "MatSciBERT": cosine_similarities(bert_X)},
+        title="Fig 16 — pairwise cosine similarity",
+        xlabel="cosine").save(out / "fig16_cosines"))
+
+    for name, X in (("gpt", gpt_X), ("bert", bert_X)):
+        Y = tsne(X, n_iter=150, seed=0)
+        labels, _ = kmeans(Y, 3, seed=0)
+        written.append(scatter_chart(
+            Y, labels,
+            title=f"Fig 17 — t-SNE ({name})").save(out / f"fig17_tsne_{name}"))
+
+    print(f"wrote {len(written)} figures:")
+    for path in written:
+        print(f"  {path}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "figures")

@@ -1,0 +1,111 @@
+"""Distributed-training scaling study on simulated Frontier (Figs 7-12).
+
+Reproduces the paper's parallelism analysis:
+
+* single-node (8 GCD) comparison of ZeRO-1 / TP=2 / PP=2 for 1.7B and
+  6.7B, with memory-feasibility checks (Fig 7);
+* weak-scaling sweeps to 256 GPUs with compute/comm/IO breakdowns
+  (Fig 8) and RCCL message statistics (Fig 11);
+* power, energy and TFLOPS/Watt (Fig 12, Table IV).
+
+Run:  python examples/scaling_study.py
+"""
+
+import numpy as np
+
+from repro.core import format_series, format_table
+from repro.frontier import MemoryModel, PowerModel
+from repro.models import model_flops_per_token, preset
+from repro.parallel import ParallelConfig, TrainingSimulator
+from repro.profiling import sample_run
+
+TOTAL_TOKENS = 28e9  # ~1.9 epochs over the 15B-token corpus (see EXPERIMENTS.md)
+
+
+def main() -> None:
+    sim = TrainingSimulator()
+    mm = MemoryModel()
+    m17 = preset("neox-1.7b-hf-52k").with_flash(1)
+    m67 = preset("neox-6.7b-hf-52k").with_flash(1)
+
+    print("=== Fig 7: single node (8 GCDs) ===")
+    rows = []
+    for model, name in ((m17, "1.7B"), (m67, "6.7B")):
+        for pc in (ParallelConfig(dp=8), ParallelConfig(dp=8, zero_stage=1),
+                   ParallelConfig(dp=4, tp=2), ParallelConfig(dp=4, pp=2)):
+            prof = sim.step(model, pc, check_memory=True)
+            if prof.memory.fits:
+                tflops = f"{sim.per_gcd_tflops(model, pc):.1f}"
+            else:
+                tflops = "OOM"
+            rows.append([name, pc.label, tflops,
+                         f"{prof.memory.utilization:.0%}"])
+    print(format_table(["model", "strategy", "TFLOPS/GCD", "HBM"], rows))
+
+    print("\n=== Fig 8 (top): weak scaling to 256 GPUs ===")
+    gpus = [8, 16, 32, 64, 128, 256]
+    series = {}
+    for strategy, model, label in (("dp", m17, "1.7B DP"),
+                                   ("zero1", m67, "6.7B ZeRO-1"),
+                                   ("tp2", m67, "6.7B TP=2")):
+        pts = sim.scaling_sweep(model, strategy, gpus)
+        series[label] = np.array([p.per_gcd_tflops for p in pts])
+        final = pts[-1]
+        print(f"{label}: {final.aggregate_pflops:.1f} PFLOPS aggregate, "
+              f"{final.efficiency:.0%} efficiency at 256 GPUs")
+    print(format_series(np.array(gpus), series, x_label="GPUs"))
+
+    print("\n=== Fig 8 (bottom): kernel breakdown at 256 GPUs ===")
+    rows = []
+    for model, pc, label in ((m17, ParallelConfig(dp=256), "1.7B DP"),
+                             (m67, ParallelConfig(dp=256, zero_stage=1),
+                              "6.7B ZeRO-1"),
+                             (m67, ParallelConfig(dp=128, tp=2),
+                              "6.7B TP=2")):
+        fr = sim.step(model, pc).kernel_fractions()
+        rows.append([label, fr["compute"], fr["comm"], fr["io"]])
+    print(format_table(["run", "compute", "comm", "io"], rows))
+
+    print("\n=== Fig 11: RCCL message statistics per step per GPU ===")
+    rows = []
+    for model, pc, label in ((m17, ParallelConfig(dp=256), "1.7B DP"),
+                             (m67, ParallelConfig(dp=256, zero_stage=1),
+                              "6.7B ZeRO-1"),
+                             (m67, ParallelConfig(dp=128, tp=2),
+                              "6.7B TP=2")):
+        log = sim.step(model, pc).schedule.log
+        rows.append([label, log.num_calls, f"{log.total_bytes / 1e9:.1f}",
+                     f"{log.volume_vs_model_size(model):.1f}x"])
+    print(format_table(["run", "RCCL calls", "GB", "vs model size"], rows))
+
+    print("\n=== Fig 12 / Table IV: power and energy at 256 GPUs ===")
+    pm = PowerModel()
+    rows = []
+    for model, pc, label in ((m17, ParallelConfig(dp=256), "1.7B"),
+                             (m67, ParallelConfig(dp=256, zero_stage=1),
+                              "6.7B")):
+        prof = sim.step(model, pc)
+        mem = mm.breakdown(model, micro_batch=8, dp=pc.dp, tp=pc.tp,
+                           zero_stage=pc.zero_stage).total / 1e9
+        trace = sample_run(prof, memory_gb=mem, num_steps=3)
+        tflops = sim.per_gcd_tflops(model, pc)
+        step_tokens = 256 * 8 * 2048
+        steps = TOTAL_TOKENS / step_tokens
+        duration = steps * prof.total_s
+        summary = pm.run_summary(
+            {"compute": prof.kernel_fractions()["compute"],
+             "comm": prof.kernel_fractions()["comm"],
+             "io": prof.kernel_fractions()["io"]},
+            duration_s=duration, num_gcds=256)
+        rows.append([label, 256, f"{duration / 3600:.1f}",
+                     f"{trace.mean_power:.0f}",
+                     f"{summary.energy_mwh:.2f}",
+                     f"{summary.tflops_per_watt(tflops):.2f}"])
+    print(format_table(
+        ["model", "GPUs", "hours", "W/MI250X", "MWh", "TFLOPS/W"], rows))
+    print("[paper Table IV: 1.7B 4.1h 0.23MWh 0.33; "
+          "6.7B 16.5h 0.91MWh 0.27]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""repro — reproduction of "Comparative Study of Large Language Model
+Architectures on Frontier" (Yin et al., IPDPS 2024).
+
+Subpackages
+-----------
+``repro.core``
+    The paper's contribution: comparative-study orchestration,
+    architecture search, recipes, observations.
+``repro.models``
+    NumPy autograd + GPT-NeoX / LLaMA transformer implementations.
+``repro.tokenizers``
+    From-scratch BPE (HF) and unigram (SPM) tokenizers.
+``repro.data``
+    Synthetic materials-science corpus pipeline (Table I).
+``repro.frontier``
+    Frontier hardware model: roofline, memory, power.
+``repro.parallel``
+    Distributed-training simulator: DP / ZeRO-1 / TP / PP.
+``repro.training``
+    Adam/LAMB optimizers, schedules, precision, trainer, loss surrogate.
+``repro.profiling``
+    rocprof / OmniTrace / rocm-smi analogues.
+``repro.evalharness``
+    Zero/few-shot multiple-choice evaluation harness.
+``repro.matsci``
+    Band-gap prediction: crystals, GNNs, LLM-embedding fusion.
+"""
+
+__version__ = "1.0.0"
+
+from . import (core, data, evalharness, frontier, matsci, models, parallel,
+               profiling, tokenizers, training)
+
+__all__ = ["core", "data", "evalharness", "frontier", "matsci", "models",
+           "parallel", "profiling", "tokenizers", "training", "__version__"]

@@ -1,0 +1,189 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``observations``
+    Re-derive the paper's self-contained Observations (1-3) and print
+    the verdicts with their evidence.
+``heatmap``
+    Print the Fig 4 throughput heatmap and flash-boost table.
+``scaling``
+    Print the Fig 8 weak-scaling sweeps and kernel breakdowns.
+``recommend --model <preset> --gpus N``
+    Rank feasible 3D-parallel layouts for a model (Observation 2 as a
+    tool).
+``study``
+    Run the end-to-end comparative study at laptop scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def cmd_observations(args: argparse.Namespace) -> int:
+    from .core import check_all
+    failures = 0
+    for check in check_all():
+        verdict = "HOLDS" if check.holds else "VIOLATED"
+        print(f"Observation {check.number}: {verdict}")
+        print(f"  {check.statement}")
+        for key, value in check.evidence.items():
+            print(f"    {key}: {value:.3f}")
+        failures += not check.holds
+    return failures
+
+
+def cmd_heatmap(args: argparse.Namespace) -> int:
+    from .core import (flash_boost_table, format_heatmap, format_table,
+                       run_grid_search)
+    heatmap = run_grid_search(args.arch)
+    layers, hiddens, matrix = heatmap.as_matrix()
+    print(format_heatmap(layers, hiddens, matrix,
+                         title=f"TFLOPS/GCD heatmap ({args.arch}, no flash)"))
+    best = heatmap.best_cell
+    print(f"\nbest: {best.num_layers}L x {best.hidden_size}h "
+          f"(head_dim {best.head_dim}) at {heatmap.best_tflops:.1f}")
+    rows = flash_boost_table(args.arch)
+    print()
+    print(format_table(
+        ["arch", "layers", "hidden", "base", "v1", "v2"],
+        [[r["label"], r["layers"], r["hidden"], r["base"], r["flash_v1"],
+          r["flash_v2"]] for r in rows],
+        title="flash-attention boost (A-H)", float_fmt="{:.1f}"))
+    return 0
+
+
+def cmd_scaling(args: argparse.Namespace) -> int:
+    from .core import format_series
+    from .models import preset
+    from .parallel import TrainingSimulator
+    sim = TrainingSimulator()
+    gpus = [8, 16, 32, 64, 128, 256]
+    series = {}
+    for strategy, name, label in (("dp", "neox-1.7b-hf-52k", "1.7B DP"),
+                                  ("zero1", "neox-6.7b-hf-52k",
+                                   "6.7B ZeRO-1"),
+                                  ("tp2", "neox-6.7b-hf-52k", "6.7B TP=2")):
+        model = preset(name).with_flash(1)
+        pts = sim.scaling_sweep(model, strategy, gpus)
+        series[label] = np.array([p.per_gcd_tflops for p in pts])
+    print(format_series(np.array(gpus), series, x_label="GPUs",
+                        title="weak scaling (TFLOPS/GCD)"))
+    return 0
+
+
+def cmd_recommend(args: argparse.Namespace) -> int:
+    from .core import format_table, recommend_layouts
+    from .models import preset
+    model = preset(args.model).with_flash(args.flash)
+    recs = recommend_layouts(model, args.gpus, max_tp=4, max_pp=4,
+                             include_infeasible=True)
+    print(format_table(
+        ["layout", "TFLOPS/GCD", "HBM", "status"],
+        [[r.label, f"{r.per_gcd_tflops:.1f}" if r.fits else "—",
+          f"{r.hbm_utilization:.0%}", "ok" if r.fits else "OOM"]
+         for r in recs],
+        title=f"{model.label()} on {args.gpus} GPUs"))
+    best = recs[0]
+    print(f"\nrecommended: {best.label} — {best.rationale}")
+    return 0
+
+
+def cmd_reproduce(args: argparse.Namespace) -> int:
+    from .core import ExperimentContext, list_experiments, reproduce
+    if args.list:
+        for row in list_experiments():
+            heavy = " (heavy)" if row["heavy"] else ""
+            print(f"{row['id']:8} {row['kind']:6} {row['title']}{heavy}")
+        return 0
+    if not args.id:
+        print("error: pass --id <experiment> or --list", file=sys.stderr)
+        return 2
+    ctx = ExperimentContext()
+    result = reproduce(args.id, ctx)
+    print(f"{result.exp_id}: {result.title}")
+    import json
+    print(json.dumps(result.data, indent=2, default=str))
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from .core import write_report
+    path = write_report(args.output, include_heavy=args.heavy)
+    print(f"wrote {path}")
+    return 0
+
+
+def cmd_study(args: argparse.Namespace) -> int:
+    from .core import ComparativeStudy, StudyConfig, format_table
+    study = ComparativeStudy(StudyConfig(train_steps=args.steps))
+    results = study.run()
+    print(f"corpus: {results.corpus_size} documents")
+    for arch, hist in results.histories.items():
+        print(f"{arch}: val loss {hist.final_val_loss:.3f}")
+    for arch, rep in results.eval_reports.items():
+        print(f"{arch}: mean zero-shot accuracy {rep.mean_accuracy(0):.3f}")
+    print(format_table(["model", "test MAE"],
+                       [[r.model, r.test_mae] for r in results.table_v],
+                       title="Table V"))
+    obs = results.observation_4
+    print(f"Observation 4 holds: {obs.holds}")
+    return 0 if obs.holds else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Comparative Study of LLM "
+                    "Architectures on Frontier' (IPDPS 2024)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("observations", help="re-derive Observations 1-3")
+
+    p = sub.add_parser("heatmap", help="Fig 4 throughput heatmap")
+    p.add_argument("--arch", default="neox", choices=["neox", "llama"])
+
+    sub.add_parser("scaling", help="Fig 8 weak-scaling sweeps")
+
+    p = sub.add_parser("recommend", help="rank 3D-parallel layouts")
+    p.add_argument("--model", default="neox-6.7b-hf-52k")
+    p.add_argument("--gpus", type=int, default=256)
+    p.add_argument("--flash", type=int, default=1, choices=[0, 1, 2])
+
+    p = sub.add_parser("reproduce", help="regenerate one paper artifact")
+    p.add_argument("--id", default="")
+    p.add_argument("--list", action="store_true")
+
+    p = sub.add_parser("report", help="write the reproduction report")
+    p.add_argument("--output", "-o", default="REPORT.md")
+    p.add_argument("--heavy", action="store_true",
+                   help="include training-backed experiments")
+
+    p = sub.add_parser("study", help="end-to-end comparative study")
+    p.add_argument("--steps", type=int, default=100,
+                   help="pre-training steps per architecture")
+    return parser
+
+
+_COMMANDS = {
+    "observations": cmd_observations,
+    "reproduce": cmd_reproduce,
+    "report": cmd_report,
+    "heatmap": cmd_heatmap,
+    "scaling": cmd_scaling,
+    "recommend": cmd_recommend,
+    "study": cmd_study,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,155 @@
+"""Computationally-efficient architecture search (paper §III, Fig 4).
+
+The paper's method: before pre-training, grid-search layer count and
+hidden size around the target parameter budget, simulate/measure the
+training throughput of each candidate, and pick the fastest architecture
+subject to the feasibility constraints (Eqs 1–5).  This module implements
+that search over the calibrated roofline model.
+
+The grid below is representative: the paper publishes only the heatmap
+image, not its cell list, so we fix a 20-cell grid around ~1–1.5B
+parameters with heads = layers (the convention of both Table II models)
+in which exactly eight cells ("A"–"H") have head dimensions divisible
+by 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..frontier.roofline import RooflineModel
+from ..models.config import ModelConfig
+
+__all__ = ["GridCell", "FIG4_GRID", "HeatmapResult", "run_grid_search",
+           "flash_boost_table"]
+
+
+@dataclass(frozen=True)
+class GridCell:
+    """One (layers, hidden, heads) candidate."""
+
+    num_layers: int
+    hidden_size: int
+    num_heads: int
+
+    @property
+    def head_dim(self) -> int:
+        return self.hidden_size // self.num_heads
+
+    @property
+    def eligible(self) -> bool:
+        """Head dim divisible by 8 → matrix-core & flash eligible."""
+        return self.head_dim % 8 == 0
+
+    def to_config(self, arch: str = "neox", flash: int = 0) -> ModelConfig:
+        return ModelConfig(arch=arch, hidden_size=self.hidden_size,
+                           num_layers=self.num_layers,
+                           num_heads=self.num_heads,
+                           flash_attention=flash)
+
+
+#: The Fig 4 grid: 5 layer counts x 4 hidden sizes, ~0.9–1.65B params.
+FIG4_GRID: tuple[GridCell, ...] = tuple(
+    GridCell(L, h, L) for L, hs in [
+        (16, (2160, 2176, 2448, 2592)),
+        (20, (1940, 2080, 2240, 2400)),
+        (24, (1776, 1920, 2064, 2304)),
+        (28, (1652, 1764, 1932, 2072)),
+        (32, (1536, 1664, 1792, 1920)),
+    ] for h in hs
+)
+
+
+@dataclass
+class HeatmapResult:
+    """Outcome of the Fig 4 grid search."""
+
+    cells: list[GridCell]
+    tflops: np.ndarray            # same order as cells
+    arch: str
+
+    @property
+    def best_cell(self) -> GridCell:
+        return self.cells[int(np.argmax(self.tflops))]
+
+    @property
+    def best_tflops(self) -> float:
+        return float(self.tflops.max())
+
+    @property
+    def worst_tflops(self) -> float:
+        return float(self.tflops.min())
+
+    def eligible_cells(self) -> list[tuple[str, GridCell, float]]:
+        """The A–H labeled cells, ordered by (layers, hidden)."""
+        labeled = []
+        letters = iter("ABCDEFGHIJKLMNOP")
+        for cell, v in sorted(zip(self.cells, self.tflops),
+                              key=lambda cv: (cv[0].num_layers,
+                                              cv[0].hidden_size)):
+            if cell.eligible:
+                labeled.append((next(letters), cell, float(v)))
+        return labeled
+
+    def eligible_outperform_rate(self) -> float:
+        """Fraction of layer-rows whose top performer is eligible."""
+        rows: dict[int, list[tuple[GridCell, float]]] = {}
+        for cell, v in zip(self.cells, self.tflops):
+            rows.setdefault(cell.num_layers, []).append((cell, float(v)))
+        wins = sum(max(row, key=lambda cv: cv[1])[0].eligible
+                   for row in rows.values())
+        return wins / len(rows)
+
+    def as_matrix(self) -> tuple[list[int], list[list[int]], np.ndarray]:
+        """(layer axis, per-row hidden axes, value matrix) for rendering."""
+        layers = sorted({c.num_layers for c in self.cells})
+        hiddens = [[c.hidden_size for c in self.cells if c.num_layers == L]
+                   for L in layers]
+        matrix = np.full((len(layers), max(len(h) for h in hiddens)), np.nan)
+        for cell, v in zip(self.cells, self.tflops):
+            i = layers.index(cell.num_layers)
+            j = hiddens[i].index(cell.hidden_size)
+            matrix[i, j] = v
+        return layers, hiddens, matrix
+
+
+def run_grid_search(arch: str = "neox", flash: int = 0,
+                    roofline: RooflineModel | None = None,
+                    grid: tuple[GridCell, ...] = FIG4_GRID,
+                    seq_len: int = 2048, micro_batch: int = 8
+                    ) -> HeatmapResult:
+    """Simulate the Fig 4 heatmap for one architecture family."""
+    roofline = roofline or RooflineModel()
+    values = []
+    for cell in grid:
+        if flash and not cell.eligible:
+            raise ValueError(
+                f"cell {cell} is not flash-eligible (head_dim "
+                f"{cell.head_dim})")
+        cfg = cell.to_config(arch=arch)
+        values.append(roofline.achieved_tflops(cfg, seq_len=seq_len,
+                                               micro_batch=micro_batch,
+                                               flash=flash))
+    return HeatmapResult(cells=list(grid), tflops=np.array(values), arch=arch)
+
+
+def flash_boost_table(arch: str = "neox",
+                      roofline: RooflineModel | None = None,
+                      grid: tuple[GridCell, ...] = FIG4_GRID,
+                      ) -> list[dict]:
+    """Fig 4 right: per-eligible-cell throughput for no/v1/v2 flash."""
+    roofline = roofline or RooflineModel()
+    rows = []
+    letters = iter("ABCDEFGHIJKLMNOP")
+    for cell in sorted((c for c in grid if c.eligible),
+                       key=lambda c: (c.num_layers, c.hidden_size)):
+        base = roofline.achieved_tflops(cell.to_config(arch), flash=0)
+        v1 = roofline.achieved_tflops(cell.to_config(arch), flash=1)
+        v2 = roofline.achieved_tflops(cell.to_config(arch), flash=2)
+        rows.append({"label": next(letters), "layers": cell.num_layers,
+                     "hidden": cell.hidden_size, "head_dim": cell.head_dim,
+                     "base": base, "flash_v1": v1, "flash_v2": v2,
+                     "boost_v1": v1 / base - 1, "boost_v2": v2 / base - 1})
+    return rows

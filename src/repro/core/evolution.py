@@ -1,0 +1,97 @@
+"""LLM architecture evolution data (paper Fig 1).
+
+Fig 1 plots the number of major model releases per architecture branch
+(encoder-only, encoder-decoder, decoder-only) per year since the 2017
+Transformer.  The paper's narrative: encoder-only models dominated
+2018–2019 (BERT era); since GPT-3 the decoder-only branch dominates
+(from 2021 on); encoder-decoder release counts stayed roughly flat.
+
+The release table below is curated from the survey the paper cites
+(Yang et al. 2023, "Harnessing the power of LLMs in practice") and the
+models named in the paper itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ModelRelease", "MAJOR_RELEASES", "releases_per_year",
+           "dominant_branch"]
+
+BRANCHES = ("encoder-only", "encoder-decoder", "decoder-only")
+
+
+@dataclass(frozen=True)
+class ModelRelease:
+    name: str
+    year: int
+    branch: str
+
+    def __post_init__(self) -> None:
+        if self.branch not in BRANCHES:
+            raise ValueError(f"unknown branch {self.branch!r}")
+
+
+MAJOR_RELEASES: tuple[ModelRelease, ...] = (
+    # 2018
+    ModelRelease("GPT-1", 2018, "decoder-only"),
+    ModelRelease("BERT", 2018, "encoder-only"),
+    # 2019
+    ModelRelease("GPT-2", 2019, "decoder-only"),
+    ModelRelease("RoBERTa", 2019, "encoder-only"),
+    ModelRelease("ALBERT", 2019, "encoder-only"),
+    ModelRelease("DistilBERT", 2019, "encoder-only"),
+    ModelRelease("XLNet", 2019, "encoder-only"),
+    ModelRelease("T5", 2019, "encoder-decoder"),
+    ModelRelease("BART", 2019, "encoder-decoder"),
+    # 2020
+    ModelRelease("GPT-3", 2020, "decoder-only"),
+    ModelRelease("ELECTRA", 2020, "encoder-only"),
+    ModelRelease("DeBERTa", 2020, "encoder-only"),
+    ModelRelease("mT5", 2020, "encoder-decoder"),
+    # 2021
+    ModelRelease("GPT-J", 2021, "decoder-only"),
+    ModelRelease("Jurassic-1", 2021, "decoder-only"),
+    ModelRelease("Gopher", 2021, "decoder-only"),
+    ModelRelease("Megatron-Turing", 2021, "decoder-only"),
+    ModelRelease("GPT-NeoX", 2021, "decoder-only"),
+    ModelRelease("ERNIE 3.0", 2021, "encoder-only"),
+    ModelRelease("Switch-T", 2021, "encoder-decoder"),
+    # 2022
+    ModelRelease("PaLM", 2022, "decoder-only"),
+    ModelRelease("Chinchilla", 2022, "decoder-only"),
+    ModelRelease("OPT", 2022, "decoder-only"),
+    ModelRelease("BLOOM", 2022, "decoder-only"),
+    ModelRelease("GPT-NeoX-20B", 2022, "decoder-only"),
+    ModelRelease("ChatGPT", 2022, "decoder-only"),
+    ModelRelease("Galactica", 2022, "decoder-only"),
+    ModelRelease("UL2", 2022, "encoder-decoder"),
+    ModelRelease("Flan-T5", 2022, "encoder-decoder"),
+    # 2023
+    ModelRelease("GPT-4", 2023, "decoder-only"),
+    ModelRelease("LLaMA", 2023, "decoder-only"),
+    ModelRelease("LLaMA 2", 2023, "decoder-only"),
+    ModelRelease("Falcon", 2023, "decoder-only"),
+    ModelRelease("PaLM 2", 2023, "decoder-only"),
+    ModelRelease("Claude", 2023, "decoder-only"),
+    ModelRelease("MPT", 2023, "decoder-only"),
+    ModelRelease("Flan-UL2", 2023, "encoder-decoder"),
+)
+
+
+def releases_per_year() -> dict[int, dict[str, int]]:
+    """Fig 1: release counts per year per branch."""
+    out: dict[int, dict[str, int]] = {}
+    for r in MAJOR_RELEASES:
+        year = out.setdefault(r.year, {b: 0 for b in BRANCHES})
+        year[r.branch] += 1
+    return out
+
+
+def dominant_branch(year: int) -> str:
+    """Branch with the most releases in a year."""
+    table = releases_per_year()
+    if year not in table:
+        raise KeyError(f"no release data for {year}")
+    counts = table[year]
+    return max(counts, key=counts.get)

@@ -1,0 +1,380 @@
+"""Programmatic experiment registry: ``reproduce("fig4")``.
+
+Every paper artifact is regenerable through one API with structured
+results, mirroring the benchmark suite but consumable as a library:
+
+>>> from repro.core.experiments import reproduce
+>>> result = reproduce("table4")
+>>> result.data["rows"]
+
+Shared heavy artifacts (trained tiny models, tokenizers) are built
+lazily once per :class:`ExperimentContext` and reused across
+experiments, so ``reproduce_all()`` costs roughly one benchmark run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["ExperimentContext", "ExperimentResult", "ExperimentSpec",
+           "EXPERIMENTS", "list_experiments", "reproduce", "reproduce_all"]
+
+
+class ExperimentContext:
+    """Lazily-built shared artifacts for the experiment registry."""
+
+    def __init__(self, seed: int = 0, train_steps: int = 100):
+        self.seed = seed
+        self.train_steps = train_steps
+        self._cache: dict[str, object] = {}
+
+    def _get(self, key: str, build: Callable[[], object]):
+        if key not in self._cache:
+            self._cache[key] = build()
+        return self._cache[key]
+
+    # -- cheap singletons -------------------------------------------------
+    @property
+    def simulator(self):
+        from ..parallel.simulator import TrainingSimulator
+        return self._get("simulator", TrainingSimulator)
+
+    @property
+    def roofline(self):
+        from ..frontier.roofline import RooflineModel
+        return self._get("roofline", RooflineModel)
+
+    @property
+    def memory(self):
+        from ..frontier.memory import MemoryModel
+        return self._get("memory", MemoryModel)
+
+    @property
+    def power(self):
+        from ..frontier.power import PowerModel
+        return self._get("power", PowerModel)
+
+    # -- trained artifacts ------------------------------------------------
+    @property
+    def corpus(self) -> list[str]:
+        def build():
+            from ..data.corpus import AbstractGenerator
+            return [d.text for d in AbstractGenerator(self.seed).sample(
+                250, materials_fraction=1.0)]
+        return self._get("corpus", build)
+
+    @property
+    def tokenizer(self):
+        def build():
+            from ..tokenizers import BPETokenizer
+            return BPETokenizer().train(self.corpus, 512)
+        return self._get("tokenizer", build)
+
+    def trained_model(self, arch: str):
+        def build():
+            from ..data.dataset import PackedDataset
+            from ..models.config import preset
+            from ..models.transformer import GPTModel
+            from ..training.trainer import Trainer, TrainerConfig
+            data = PackedDataset.from_texts(self.corpus, self.tokenizer,
+                                            seq_len=48, seed=self.seed)
+            model = GPTModel(preset(f"tiny-{arch}"), seed=self.seed)
+            Trainer(model, data, TrainerConfig(
+                optimizer="adam", lr=5e-3, batch_size=8,
+                max_steps=self.train_steps,
+                eval_every=10 ** 9, seed=self.seed)).train()
+            return model
+        return self._get(f"model-{arch}", build)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One registered paper artifact."""
+
+    exp_id: str
+    title: str
+    kind: str                      # "table" | "figure"
+    regenerate: Callable[[ExperimentContext], dict]
+    heavy: bool = False            # needs real training
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    exp_id: str
+    title: str
+    data: dict
+
+
+# ---------------------------------------------------------------------------
+# Regeneration functions (compact calls into the module APIs).
+# ---------------------------------------------------------------------------
+def _table1(ctx: ExperimentContext) -> dict:
+    from ..data.sources import build_all_sources, corpus_token_table
+    rows = corpus_token_table(build_all_sources(seed=ctx.seed))
+    return {"rows": rows}
+
+
+def _table2(ctx: ExperimentContext) -> dict:
+    from ..models.config import TABLE_II
+    return {"rows": [{"name": c.name, "params": c.num_parameters(),
+                      "hidden": c.hidden_size, "layers": c.num_layers,
+                      "heads": c.num_heads, "head_dim": c.head_dim,
+                      "tokenizer": c.tokenizer, "vocab": c.vocab_size}
+                     for c in TABLE_II.values()]}
+
+
+def _table3(ctx: ExperimentContext) -> dict:
+    from .recipes import TABLE_III
+    return {"rows": [{"model": r.model_size, "optimizer": r.optimizer,
+                      "beta1": r.beta1, "beta2": r.beta2,
+                      "lr": r.learning_rate, "batch_tokens": r.batch_tokens}
+                     for r in TABLE_III]}
+
+
+def _table4(ctx: ExperimentContext) -> dict:
+    from ..models.config import preset
+    from ..parallel.strategy import ParallelConfig
+    rows = []
+    for name, pc in (("1.7B", ParallelConfig(dp=256)),
+                     ("6.7B", ParallelConfig(dp=256, zero_stage=1))):
+        model = preset(f"neox-{name.lower()}-hf-52k").with_flash(1)
+        prof = ctx.simulator.step(model, pc)
+        tflops = ctx.simulator.per_gcd_tflops(model, pc)
+        steps = 28e9 / (256 * 8 * 2048)
+        duration = steps * prof.total_s
+        summary = ctx.power.run_summary(prof.kernel_fractions(),
+                                        duration_s=duration, num_gcds=256)
+        rows.append({"model": name, "gpus": 256,
+                     "hours": duration / 3600,
+                     "energy_mwh": summary.energy_mwh,
+                     "tflops_per_watt": summary.tflops_per_watt(tflops)})
+    return {"rows": rows}
+
+
+def _table5(ctx: ExperimentContext) -> dict:
+    from ..matsci.embeddings import GPTFormulaEmbedder, MatSciBERTEmbedder
+    from ..matsci.fusion import run_table_v
+    from ..matsci.materials import generate_dataset
+    dataset = generate_dataset(500, seed=ctx.seed)
+    results = run_table_v(
+        dataset, GPTFormulaEmbedder(ctx.trained_model("llama"),
+                                    ctx.tokenizer),
+        MatSciBERTEmbedder(), epochs=250, seed=ctx.seed, n_seeds=3)
+    return {"rows": [{"model": r.model, "test_mae": r.test_mae}
+                     for r in results]}
+
+
+def _fig1(ctx: ExperimentContext) -> dict:
+    from .evolution import releases_per_year
+    return {"per_year": releases_per_year()}
+
+
+def _fig2(ctx: ExperimentContext) -> dict:
+    from ..models.config import preset
+    from ..models.flops import layer_accounting
+    out = {}
+    for arch in ("neox", "llama"):
+        acc = layer_accounting(preset(f"{arch}-1.7b-hf-52k"),
+                               seq_len=2048, batch_size=16)
+        out[arch] = {"params": acc.total_params,
+                     "forward_flops": acc.total_forward_flops,
+                     "components": acc.flops_by_component()}
+    return out
+
+
+def _fig4(ctx: ExperimentContext) -> dict:
+    from .architecture_search import flash_boost_table, run_grid_search
+    heatmap = run_grid_search("neox", roofline=ctx.roofline)
+    layers, hiddens, matrix = heatmap.as_matrix()
+    return {"layers": layers, "hiddens": hiddens,
+            "matrix": matrix.tolist(),
+            "best": {"layers": heatmap.best_cell.num_layers,
+                     "hidden": heatmap.best_cell.hidden_size,
+                     "tflops": heatmap.best_tflops},
+            "flash": flash_boost_table("neox", roofline=ctx.roofline)}
+
+
+def _fig5(ctx: ExperimentContext) -> dict:
+    from ..models.config import preset
+    cfg = preset("neox-1.7b-hf-52k")
+    rows = []
+    for s in (2048, 4096, 8192, 16384, 32768):
+        rows.append({"seq": s,
+                     "no_flash": ctx.memory.breakdown(
+                         cfg, seq_len=s, flash=0).utilization,
+                     "flash": ctx.memory.breakdown(
+                         cfg, seq_len=s, flash=1).utilization})
+    return {"rows": rows,
+            "max_seq_no_flash": ctx.memory.max_seq_len(cfg, flash=0),
+            "max_seq_flash": ctx.memory.max_seq_len(cfg, flash=1)}
+
+
+def _fig6(ctx: ExperimentContext) -> dict:
+    from .architecture_search import FIG4_GRID
+    rows = []
+    for cell in (c for c in FIG4_GRID if c.eligible):
+        rows.append({"arch": f"{cell.num_layers}x{cell.hidden_size}",
+                     "neox": ctx.roofline.achieved_tflops(
+                         cell.to_config("neox"), flash=1),
+                     "llama": ctx.roofline.achieved_tflops(
+                         cell.to_config("llama"), flash=1)})
+    return {"rows": rows}
+
+
+def _fig7(ctx: ExperimentContext) -> dict:
+    from ..models.config import preset
+    from ..parallel.strategy import ParallelConfig
+    rows = []
+    for size in ("1.7b", "6.7b"):
+        model = preset(f"neox-{size}-hf-52k").with_flash(1)
+        for pc in (ParallelConfig(dp=8), ParallelConfig(dp=8, zero_stage=1),
+                   ParallelConfig(dp=4, tp=2), ParallelConfig(dp=4, pp=2)):
+            prof = ctx.simulator.step(model, pc, check_memory=True)
+            rows.append({
+                "model": size, "strategy": pc.label,
+                "fits": prof.memory.fits,
+                "tflops": (ctx.simulator.per_gcd_tflops(model, pc)
+                           if prof.memory.fits else None)})
+    return {"rows": rows}
+
+
+def _fig8(ctx: ExperimentContext) -> dict:
+    from ..models.config import preset
+    gpus = [8, 16, 32, 64, 128, 256]
+    sweeps = {}
+    for strategy, size in (("dp", "1.7b"), ("zero1", "6.7b"),
+                           ("tp2", "6.7b")):
+        model = preset(f"neox-{size}-hf-52k").with_flash(1)
+        pts = ctx.simulator.scaling_sweep(model, strategy, gpus)
+        sweeps[f"{size}-{strategy}"] = [
+            {"gpus": p.n_gpus, "tflops": p.per_gcd_tflops,
+             "efficiency": p.efficiency} for p in pts]
+    return {"gpus": gpus, "sweeps": sweeps}
+
+
+def _fig10(ctx: ExperimentContext) -> dict:
+    from ..models.config import preset
+    from ..profiling.breakdown import layer_breakdown
+    out = {}
+    for label, name in (("medium", "neox-1.7b-hf-52k"),
+                        ("large", "neox-6.7b-hf-52k")):
+        bd = layer_breakdown(preset(name), flash=2, roofline=ctx.roofline)
+        out[label] = {"gemm_fraction": bd.gemm_fraction,
+                      "gemm_shares": bd.gemm_shares()}
+    return out
+
+
+def _fig11(ctx: ExperimentContext) -> dict:
+    from ..models.config import preset
+    from ..parallel.strategy import ParallelConfig
+    rows = []
+    for label, size, pc in (
+            ("dp", "1.7b", ParallelConfig(dp=256)),
+            ("zero1", "6.7b", ParallelConfig(dp=256, zero_stage=1)),
+            ("tp2", "6.7b", ParallelConfig(dp=128, tp=2))):
+        model = preset(f"neox-{size}-hf-52k").with_flash(1)
+        log = ctx.simulator.step(model, pc).schedule.log
+        rows.append({"run": label, "calls": log.num_calls,
+                     "bytes": log.total_bytes,
+                     "vs_model_size": log.volume_vs_model_size(model)})
+    return {"rows": rows}
+
+
+def _fig13(ctx: ExperimentContext) -> dict:
+    from ..training.loss_model import LossCurveModel
+    lm = LossCurveModel()
+    return {"finals": {r.label: lm.curve(r).final_train
+                       for r in lm.fig13_recipes()}}
+
+
+def _fig14(ctx: ExperimentContext) -> dict:
+    from ..evalharness.benchmarks import build_benchmark_suite
+    from ..evalharness.runner import EvalRunner
+    runner = EvalRunner(build_benchmark_suite(n_questions=20,
+                                              seed=ctx.seed))
+    out = {}
+    for arch in ("neox", "llama"):
+        report = runner.run(ctx.trained_model(arch), ctx.tokenizer, arch)
+        out[arch] = report.accuracies(0)
+    return out
+
+
+def _fig16(ctx: ExperimentContext) -> dict:
+    from ..data.formulas import FormulaGenerator
+    from ..matsci.analysis import diagnose_embeddings
+    from ..matsci.embeddings import GPTFormulaEmbedder, MatSciBERTEmbedder
+    formulas = [str(f) for f in
+                FormulaGenerator(seed=ctx.seed).sample_many(150)]
+    out = {}
+    for name, embedder in (
+            ("gpt", GPTFormulaEmbedder(ctx.trained_model("llama"),
+                                       ctx.tokenizer)),
+            ("bert", MatSciBERTEmbedder())):
+        diag = diagnose_embeddings(name, embedder.embed_many(formulas))
+        out[name] = {"mean_distance": diag.mean_distance,
+                     "mean_cosine": diag.mean_cosine,
+                     "cosine_std": diag.cosine_std,
+                     "anisotropic": diag.is_anisotropic}
+    return out
+
+
+EXPERIMENTS: dict[str, ExperimentSpec] = {
+    spec.exp_id: spec for spec in (
+        ExperimentSpec("table1", "Data sources", "table", _table1),
+        ExperimentSpec("table2", "Model architectures", "table", _table2),
+        ExperimentSpec("table3", "Training hyper-parameters", "table",
+                       _table3),
+        ExperimentSpec("table4", "Time and energy", "table", _table4),
+        ExperimentSpec("table5", "Band-gap MAE", "table", _table5,
+                       heavy=True),
+        ExperimentSpec("fig1", "LLM evolution", "figure", _fig1),
+        ExperimentSpec("fig2", "Layer accounting", "figure", _fig2),
+        ExperimentSpec("fig4", "Throughput heatmap + flash", "figure",
+                       _fig4),
+        ExperimentSpec("fig5", "Memory vs context", "figure", _fig5),
+        ExperimentSpec("fig6", "NeoX vs LLaMA throughput", "figure", _fig6),
+        ExperimentSpec("fig7", "Single-node parallelism", "figure", _fig7),
+        ExperimentSpec("fig8", "Scaling to 256 GPUs", "figure", _fig8),
+        ExperimentSpec("fig10", "Layer latency breakdown", "figure",
+                       _fig10),
+        ExperimentSpec("fig11", "RCCL message statistics", "figure",
+                       _fig11),
+        ExperimentSpec("fig13", "Loss curves", "figure", _fig13),
+        ExperimentSpec("fig14", "Zero-shot accuracy", "figure", _fig14,
+                       heavy=True),
+        ExperimentSpec("fig16", "Embedding geometry", "figure", _fig16,
+                       heavy=True),
+    )
+}
+
+
+def list_experiments() -> list[dict]:
+    """Registry contents as rows."""
+    return [{"id": s.exp_id, "title": s.title, "kind": s.kind,
+             "heavy": s.heavy} for s in EXPERIMENTS.values()]
+
+
+def reproduce(exp_id: str, context: ExperimentContext | None = None
+              ) -> ExperimentResult:
+    """Regenerate one paper artifact; returns structured data."""
+    try:
+        spec = EXPERIMENTS[exp_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {exp_id!r}; available: "
+            f"{sorted(EXPERIMENTS)}") from None
+    ctx = context or ExperimentContext()
+    return ExperimentResult(exp_id=spec.exp_id, title=spec.title,
+                            data=spec.regenerate(ctx))
+
+
+def reproduce_all(context: ExperimentContext | None = None,
+                  include_heavy: bool = False) -> dict[str, ExperimentResult]:
+    """Regenerate every (optionally including training-backed) artifact."""
+    ctx = context or ExperimentContext()
+    return {exp_id: reproduce(exp_id, ctx)
+            for exp_id, spec in EXPERIMENTS.items()
+            if include_heavy or not spec.heavy}

@@ -1,0 +1,110 @@
+"""Practical guidance for training LLMs on Frontier-class systems.
+
+The paper's conclusion promises "practical guidance for building LLMs on
+HPC platforms"; this module turns that guidance into an API: given a
+model and a GPU budget, enumerate every feasible 3D layout (Eqs 1–5),
+reject layouts that exceed HBM, simulate the rest, and rank by achieved
+throughput.  The ranking reproduces Observation 2 automatically: minimal
+model parallelism wins whenever memory allows, and topology-aware TP=2
+is the right sharding at scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..frontier.memory import MemoryModel
+from ..models.config import ModelConfig
+from ..parallel.simulator import TrainingSimulator
+from ..parallel.strategy import ParallelConfig, feasible_configs
+
+__all__ = ["LayoutRecommendation", "recommend_layouts", "best_layout"]
+
+
+@dataclass(frozen=True)
+class LayoutRecommendation:
+    """One ranked layout with its simulated performance and rationale."""
+
+    parallel: ParallelConfig
+    per_gcd_tflops: float
+    hbm_utilization: float
+    fits: bool
+    rationale: str
+
+    @property
+    def label(self) -> str:
+        return self.parallel.label
+
+
+def _rationale(pc: ParallelConfig, fits: bool, util: float) -> str:
+    if not fits:
+        return (f"rejected: ~{util:.0%} of HBM per GCD — needs more "
+                f"model-state sharding (ZeRO/TP/PP)")
+    notes = []
+    if pc.tp == 1 and pc.pp == 1 and pc.zero_stage == 0:
+        notes.append("pure data parallelism: no model-parallel traffic")
+    if pc.zero_stage >= 1:
+        notes.append(f"ZeRO-{pc.zero_stage} shards "
+                     + {1: "optimizer states",
+                        2: "optimizer states + gradients",
+                        3: "all model states"}[pc.zero_stage]
+                     + " across the DP group")
+    if pc.tp == 2:
+        notes.append("TP=2 maps onto the 200 GB/s in-package link")
+    elif pc.tp > 2:
+        notes.append(f"TP={pc.tp} spans the slower intra-node fabric")
+    if pc.pp > 1:
+        notes.append(f"PP={pc.pp} pays a pipeline bubble")
+    return "; ".join(notes) if notes else "mixed layout"
+
+
+def recommend_layouts(model: ModelConfig, n_gpus: int,
+                      seq_len: int = 2048, per_device_seqs: int = 8,
+                      flash: int | None = None,
+                      simulator: TrainingSimulator | None = None,
+                      memory: MemoryModel | None = None,
+                      max_tp: int = 8, max_pp: int = 8,
+                      include_infeasible: bool = False
+                      ) -> list[LayoutRecommendation]:
+    """Rank every feasible layout of ``n_gpus`` for a model.
+
+    Returns recommendations sorted by achieved TFLOPS/GCD (feasible ones
+    first).  Raises if no layout satisfies Eqs 1–5 at this GPU count.
+    """
+    sim = simulator or TrainingSimulator()
+    mem = memory or MemoryModel()
+    candidates = feasible_configs(model, n_gpus, max_tp=max_tp,
+                                  max_pp=max_pp,
+                                  gpus_per_node=sim.machine.node.num_gcds)
+    if not candidates:
+        raise ValueError(
+            f"no layout of {n_gpus} GPUs satisfies Eqs 1-5 for "
+            f"{model.label()}")
+    out: list[LayoutRecommendation] = []
+    for pc in candidates:
+        breakdown = mem.breakdown(
+            model, seq_len=seq_len, micro_batch=per_device_seqs,
+            flash=flash, tp=pc.tp, pp=pc.pp, dp=pc.dp,
+            zero_stage=pc.zero_stage)
+        fits = breakdown.fits
+        tflops = sim.per_gcd_tflops(model, pc, seq_len=seq_len,
+                                    per_device_seqs=per_device_seqs,
+                                    flash=flash) if fits else 0.0
+        rec = LayoutRecommendation(
+            parallel=pc, per_gcd_tflops=tflops,
+            hbm_utilization=breakdown.utilization, fits=fits,
+            rationale=_rationale(pc, fits, breakdown.utilization))
+        if fits or include_infeasible:
+            out.append(rec)
+    out.sort(key=lambda r: (not r.fits, -r.per_gcd_tflops))
+    if not any(r.fits for r in out):
+        raise ValueError(
+            f"no layout of {n_gpus} GPUs fits {model.label()} in HBM at "
+            f"seq {seq_len} x batch {per_device_seqs}")
+    return out
+
+
+def best_layout(model: ModelConfig, n_gpus: int, **kwargs
+                ) -> LayoutRecommendation:
+    """The single highest-throughput feasible layout."""
+    return recommend_layouts(model, n_gpus, **kwargs)[0]

@@ -1,0 +1,103 @@
+"""Training-run planning: tokens, time and energy to reach a target loss.
+
+Combines the repository's two calibrated models into the question every
+HPC allocation request actually asks: *what does it cost to train model X
+to loss L on N GPUs?*
+
+* the Fig-13 loss surrogate inverts loss → required tokens;
+* the layout advisor picks the best feasible 3D layout;
+* the step simulator prices the run in hours;
+* the power model converts to MWh.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..frontier.power import PowerModel
+from ..models.config import ModelConfig
+from ..models.flops import model_flops_per_token
+from ..training.loss_model import LossCurveModel, LossRecipe
+from .guidance import best_layout
+
+__all__ = ["TrainingPlan", "tokens_to_reach_loss", "plan_run"]
+
+
+@dataclass(frozen=True)
+class TrainingPlan:
+    """A costed pre-training plan."""
+
+    model_label: str
+    target_loss: float
+    tokens: float
+    n_gpus: int
+    layout: str
+    per_gcd_tflops: float
+    hours: float
+    energy_mwh: float
+
+    def summary(self) -> str:
+        return (f"{self.model_label}: loss {self.target_loss:.3f} needs "
+                f"{self.tokens / 1e9:.1f}B tokens; on {self.n_gpus} GPUs "
+                f"({self.layout}) ≈ {self.hours:.1f} h, "
+                f"{self.energy_mwh:.2f} MWh")
+
+
+def tokens_to_reach_loss(target_loss: float, recipe: LossRecipe,
+                         loss_model: LossCurveModel | None = None,
+                         max_tokens: float = 1e13) -> float:
+    """Invert the scaling-law surrogate: tokens needed for a target loss.
+
+    Raises if the target is below the model's irreducible asymptote (no
+    amount of data reaches it at this parameter count).
+    """
+    lm = loss_model or LossCurveModel()
+    scale = lm._recipe_scale(recipe)
+    asymptote = (lm.E + lm.A / recipe.params ** lm.ALPHA) * scale
+    if target_loss <= asymptote:
+        raise ValueError(
+            f"target loss {target_loss:.3f} is unreachable for "
+            f"{recipe.params / 1e9:.1f}B params (asymptote "
+            f"{asymptote:.3f}); use a bigger model")
+    # L = (E + A/N^a + B/D^b) * scale  =>  D = (B / (L/scale - E - A/N^a))^(1/b)
+    residual = target_loss / scale - lm.E - lm.A / recipe.params ** lm.ALPHA
+    tokens = (lm.B / residual) ** (1.0 / lm.BETA)
+    if tokens > max_tokens:
+        raise ValueError(
+            f"target loss {target_loss:.3f} needs {tokens:.2e} tokens "
+            f"(> {max_tokens:.0e}); use a bigger model")
+    return float(tokens)
+
+
+def plan_run(model: ModelConfig, target_loss: float, n_gpus: int,
+             seq_len: int = 2048, per_device_seqs: int = 8,
+             optimizer: str = "lamb", batch_tokens: float = 4e6,
+             loss_model: LossCurveModel | None = None,
+             power: PowerModel | None = None) -> TrainingPlan:
+    """Produce a costed plan for training ``model`` to ``target_loss``."""
+    recipe = LossRecipe(params=float(model.num_parameters()),
+                        arch=model.arch, tokenizer=model.tokenizer,
+                        vocab_size=model.vocab_size, optimizer=optimizer,
+                        batch_tokens=batch_tokens)
+    tokens = tokens_to_reach_loss(target_loss, recipe, loss_model)
+
+    rec = best_layout(model, n_gpus, seq_len=seq_len,
+                      per_device_seqs=per_device_seqs)
+    flops_total = model_flops_per_token(model, seq_len) * tokens
+    cluster_flops = rec.per_gcd_tflops * 1e12 * n_gpus
+    hours = flops_total / cluster_flops / 3600.0
+
+    power = power or PowerModel()
+    # Phase mix from the chosen layout's simulated profile.
+    from ..parallel.simulator import TrainingSimulator
+    sim = TrainingSimulator()
+    profile = sim.step(model, rec.parallel, seq_len=seq_len,
+                       per_device_seqs=per_device_seqs)
+    summary = power.run_summary(profile.kernel_fractions(),
+                                duration_s=hours * 3600, num_gcds=n_gpus)
+    return TrainingPlan(model_label=model.label(), target_loss=target_loss,
+                        tokens=tokens, n_gpus=n_gpus, layout=rec.label,
+                        per_gcd_tflops=rec.per_gcd_tflops, hours=hours,
+                        energy_mwh=summary.energy_mwh)

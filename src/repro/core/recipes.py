@@ -1,0 +1,68 @@
+"""Pre-training recipes (paper Table III and §IV-A).
+
+Table III:
+
+    Model   Optimizer   β1    β2     LR      BS
+    1.7B    Adam        0.9   0.95   0.0002  1M
+    1.7B    LAMB        0.9   0.999  0.01    4M
+    6.7B    LAMB        0.9   0.999  0.006   4M
+
+plus the shared schedule: cosine decay to 10% of peak, 1% warmup,
+weight decay 0.1, bfloat16.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..training.schedules import CosineWarmupSchedule
+
+__all__ = ["PretrainRecipe", "TABLE_III", "recipe_for"]
+
+
+@dataclass(frozen=True)
+class PretrainRecipe:
+    """One row of Table III plus the shared schedule constants."""
+
+    model_size: str            # "1.7B" | "6.7B"
+    optimizer: str             # "adam" | "lamb"
+    beta1: float
+    beta2: float
+    learning_rate: float
+    batch_tokens: float        # 1M or 4M
+    weight_decay: float = 0.1
+    warmup_fraction: float = 0.01
+    final_lr_fraction: float = 0.1
+    precision: str = "bf16"
+    total_tokens: float = 15e9
+
+    @property
+    def total_steps(self) -> int:
+        return int(round(self.total_tokens / self.batch_tokens))
+
+    def schedule(self) -> CosineWarmupSchedule:
+        return CosineWarmupSchedule(self.learning_rate, self.total_steps,
+                                    warmup_fraction=self.warmup_fraction,
+                                    final_fraction=self.final_lr_fraction)
+
+    @property
+    def label(self) -> str:
+        return (f"{self.model_size}-{self.optimizer}-"
+                f"{self.batch_tokens / 1e6:.0f}M")
+
+
+TABLE_III: tuple[PretrainRecipe, ...] = (
+    PretrainRecipe("1.7B", "adam", 0.9, 0.95, 2e-4, 1e6),
+    PretrainRecipe("1.7B", "lamb", 0.9, 0.999, 0.01, 4e6),
+    PretrainRecipe("6.7B", "lamb", 0.9, 0.999, 0.006, 4e6),
+)
+
+
+def recipe_for(model_size: str, optimizer: str) -> PretrainRecipe:
+    """Look up a Table III row."""
+    for r in TABLE_III:
+        if r.model_size == model_size and r.optimizer == optimizer:
+            return r
+    raise KeyError(
+        f"no Table III recipe for ({model_size}, {optimizer}); rows: "
+        f"{[(r.model_size, r.optimizer) for r in TABLE_III]}")

@@ -1,0 +1,73 @@
+"""Table/figure rendering helpers for benchmark output.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers keep that output consistent and readable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["format_table", "format_heatmap", "format_series", "format_bars"]
+
+
+def format_table(headers: list[str], rows: list[list], title: str = "",
+                 float_fmt: str = "{:.3f}") -> str:
+    """Render an aligned plain-text table."""
+    def fmt(v) -> str:
+        if isinstance(v, float) or isinstance(v, np.floating):
+            return float_fmt.format(v)
+        return str(v)
+
+    str_rows = [[fmt(v) for v in row] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in str_rows)) if str_rows
+              else len(h) for i, h in enumerate(headers)]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_heatmap(row_labels: list, col_labels_per_row: list[list],
+                   matrix: np.ndarray, title: str = "",
+                   cell_fmt: str = "{:5.1f}") -> str:
+    """Render a ragged heatmap (Fig 4 style: per-row hidden sizes)."""
+    lines = [title] if title else []
+    for i, row_label in enumerate(row_labels):
+        cells = []
+        for j, col in enumerate(col_labels_per_row[i]):
+            v = matrix[i, j]
+            cells.append(f"h={col}:" + (cell_fmt.format(v)
+                                        if np.isfinite(v) else "  n/a"))
+        lines.append(f"L={row_label:<3} " + "  ".join(cells))
+    return "\n".join(lines)
+
+
+def format_series(x: np.ndarray, series: dict[str, np.ndarray],
+                  x_label: str = "x", value_fmt: str = "{:8.2f}",
+                  title: str = "") -> str:
+    """Render aligned multi-series rows (Fig 8/13 style)."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, xv in enumerate(x):
+        rows.append([xv] + [s[i] for s in series.values()])
+    return format_table(headers, rows, title=title,
+                        float_fmt=value_fmt.strip())
+
+
+def format_bars(values: dict[str, float], title: str = "", width: int = 40,
+                value_fmt: str = "{:.3f}") -> str:
+    """Render a labeled ASCII bar chart (Fig 14/15 style)."""
+    if not values:
+        raise ValueError("no values to plot")
+    vmax = max(values.values())
+    label_w = max(len(k) for k in values)
+    lines = [title] if title else []
+    for k, v in values.items():
+        bar = "#" * max(1, int(round(width * v / vmax))) if vmax > 0 else ""
+        lines.append(f"{k.ljust(label_w)}  {value_fmt.format(v)}  {bar}")
+    return "\n".join(lines)

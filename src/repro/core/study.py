@@ -1,0 +1,165 @@
+"""End-to-end comparative study orchestrator (the paper's pipeline).
+
+`ComparativeStudy` reproduces the paper's workflow at laptop scale:
+
+1. **Data** — generate the four Table I sources, train the screening
+   classifier, filter to materials abstracts;
+2. **Tokenizers** — train HF-style BPE and SPM-style unigram vocabularies
+   on the screened corpus;
+3. **Pre-training** — train NeoX- and LLaMA-family models under a
+   controlled recipe (same data, schedule, steps);
+4. **Evaluation** — zero-/few-shot QA over the nine benchmark tasks;
+5. **Downstream science** — formula embeddings → GNN fusion → band-gap
+   MAE (Table V) and embedding diagnostics (Figs 16/17);
+6. **Observations** — re-derive the paper's conclusions from the results.
+
+Every stage is deterministic in the study seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.corpus import Abstract, AbstractGenerator
+from ..data.dataset import PackedDataset
+from ..data.screening import ScreeningClassifier, ScreeningReport, screen_sources
+from ..data.sources import DataSource, build_all_sources
+from ..evalharness.benchmarks import build_benchmark_suite
+from ..evalharness.runner import EvalReport, EvalRunner
+from ..matsci.embeddings import GPTFormulaEmbedder, MatSciBERTEmbedder
+from ..matsci.fusion import TableVResult, run_table_v
+from ..matsci.materials import MaterialsDataset, generate_dataset
+from ..models.config import ModelConfig, preset
+from ..models.transformer import GPTModel
+from ..tokenizers import BPETokenizer, UnigramTokenizer, build_tokenizer
+from ..training.trainer import Trainer, TrainerConfig, TrainingHistory
+from .observations import ObservationCheck, observation_4
+
+__all__ = ["StudyConfig", "StudyResults", "ComparativeStudy"]
+
+
+@dataclass(frozen=True)
+class StudyConfig:
+    """Scale knobs of the end-to-end run."""
+
+    seed: int = 0
+    corpus_scale: float = 2e-5       # fraction of Table I document counts
+    vocab_size: int = 512
+    model_preset: str = "tiny"       # "tiny" | "small"
+    seq_len: int = 48
+    train_steps: int = 100
+    batch_size: int = 8
+    eval_questions: int = 20
+    eval_shots: tuple[int, ...] = (0,)
+    n_materials: int = 300
+    gnn_epochs: int = 150
+
+
+@dataclass
+class StudyResults:
+    """Everything the study produced."""
+
+    screening_reports: list[ScreeningReport] = field(default_factory=list)
+    corpus_size: int = 0
+    tokenizers: dict = field(default_factory=dict)
+    models: dict[str, GPTModel] = field(default_factory=dict)
+    histories: dict[str, TrainingHistory] = field(default_factory=dict)
+    eval_reports: dict[str, EvalReport] = field(default_factory=dict)
+    table_v: list[TableVResult] = field(default_factory=list)
+    observation_4: ObservationCheck | None = None
+
+    def final_losses(self) -> dict[str, float]:
+        return {name: h.final_val_loss for name, h in self.histories.items()}
+
+
+class ComparativeStudy:
+    """Run the paper's end-to-end pipeline at reduced scale."""
+
+    def __init__(self, config: StudyConfig | None = None):
+        self.config = config or StudyConfig()
+
+    # -- stage 1 --------------------------------------------------------
+    def build_corpus(self) -> tuple[list[Abstract], list[ScreeningReport]]:
+        """Generate sources, train the screener, filter (paper §III)."""
+        cfg = self.config
+        sources = build_all_sources(scale=cfg.corpus_scale, seed=cfg.seed)
+        labeler = AbstractGenerator(seed=cfg.seed + 1000)
+        labeled = labeler.sample(250, materials_fraction=0.5)
+        clf = ScreeningClassifier().fit(
+            [d.text for d in labeled],
+            np.array([d.is_materials for d in labeled], dtype=float))
+        return screen_sources(sources, clf)
+
+    # -- stage 2 --------------------------------------------------------
+    def train_tokenizers(self, corpus: list[Abstract]) -> dict:
+        texts = [d.text for d in corpus]
+        cfg = self.config
+        return {
+            "hf": BPETokenizer().train(texts, cfg.vocab_size),
+            "spm": UnigramTokenizer().train(texts, cfg.vocab_size),
+        }
+
+    # -- stage 3 --------------------------------------------------------
+    def _model_config(self, arch: str) -> ModelConfig:
+        return preset(f"{self.config.model_preset}-{arch}")
+
+    def pretrain(self, corpus: list[Abstract], tokenizers: dict
+                 ) -> tuple[dict[str, GPTModel], dict[str, TrainingHistory]]:
+        """Controlled pre-training: both architectures on the HF corpus."""
+        cfg = self.config
+        texts = [d.text for d in corpus]
+        models: dict[str, GPTModel] = {}
+        histories: dict[str, TrainingHistory] = {}
+        dataset = PackedDataset.from_texts(texts, tokenizers["hf"],
+                                           seq_len=cfg.seq_len,
+                                           seed=cfg.seed)
+        for arch in ("neox", "llama"):
+            model = GPTModel(self._model_config(arch), seed=cfg.seed)
+            trainer = Trainer(model, dataset, TrainerConfig(
+                optimizer="adam", lr=5e-3, batch_size=cfg.batch_size,
+                max_steps=cfg.train_steps, eval_every=max(
+                    1, cfg.train_steps // 4), seed=cfg.seed))
+            histories[arch] = trainer.train()
+            models[arch] = model
+        return models, histories
+
+    # -- stage 4 --------------------------------------------------------
+    def evaluate(self, models: dict[str, GPTModel], tokenizers: dict
+                 ) -> dict[str, EvalReport]:
+        cfg = self.config
+        runner = EvalRunner(build_benchmark_suite(
+            n_questions=cfg.eval_questions, seed=cfg.seed))
+        return {name: runner.run(model, tokenizers["hf"], model_name=name,
+                                 shots=cfg.eval_shots)
+                for name, model in models.items()}
+
+    # -- stage 5 --------------------------------------------------------
+    def downstream(self, models: dict[str, GPTModel], tokenizers: dict
+                   ) -> list[TableVResult]:
+        cfg = self.config
+        dataset = generate_dataset(cfg.n_materials, seed=cfg.seed)
+        gpt_embedder = GPTFormulaEmbedder(models["llama"], tokenizers["hf"])
+        bert_embedder = MatSciBERTEmbedder(seed=cfg.seed)
+        return run_table_v(dataset, gpt_embedder, bert_embedder,
+                           epochs=cfg.gnn_epochs, seed=cfg.seed)
+
+    # -- all ------------------------------------------------------------
+    def run(self) -> StudyResults:
+        """Execute every stage and collect results."""
+        results = StudyResults()
+        corpus, reports = self.build_corpus()
+        results.screening_reports = reports
+        results.corpus_size = len(corpus)
+        results.tokenizers = self.train_tokenizers(corpus)
+        results.models, results.histories = self.pretrain(
+            corpus, results.tokenizers)
+        results.eval_reports = self.evaluate(results.models,
+                                             results.tokenizers)
+        results.table_v = self.downstream(results.models, results.tokenizers)
+        results.observation_4 = observation_4(
+            {name: rep.accuracies(0)
+             for name, rep in results.eval_reports.items()},
+            results.final_losses())
+        return results

@@ -1,0 +1,301 @@
+"""Dependency-free SVG chart rendering.
+
+matplotlib is not available in this environment, so the repository ships
+its own small SVG plotting layer: line charts (Figs 8/13), bar charts
+(Figs 14/15), heatmaps (Fig 4), scatter plots (Fig 17) and density
+curves (Fig 16).  ``examples/render_figures.py`` uses it to write every
+paper figure to ``figures/*.svg``.
+
+The output is plain SVG 1.1 — viewable in any browser — and valid XML
+(the tests parse it back).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from xml.sax.saxutils import escape
+
+import numpy as np
+
+__all__ = ["SVGCanvas", "line_chart", "bar_chart", "heatmap_chart",
+           "scatter_chart", "density_chart"]
+
+#: Default categorical palette (colorblind-safe Okabe-Ito).
+PALETTE = ("#0072B2", "#D55E00", "#009E73", "#CC79A7", "#56B4E9",
+           "#E69F00", "#000000", "#F0E442")
+
+
+@dataclass
+class SVGCanvas:
+    """Minimal SVG document builder."""
+
+    width: int = 640
+    height: int = 400
+    elements: list[str] = field(default_factory=list)
+
+    def rect(self, x, y, w, h, fill="#000", opacity=1.0, stroke="none"):
+        self.elements.append(
+            f'<rect x="{x:.1f}" y="{y:.1f}" width="{w:.1f}" '
+            f'height="{h:.1f}" fill="{fill}" fill-opacity="{opacity}" '
+            f'stroke="{stroke}"/>')
+
+    def line(self, x1, y1, x2, y2, stroke="#000", width=1.0, dash=""):
+        extra = f' stroke-dasharray="{dash}"' if dash else ""
+        self.elements.append(
+            f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" '
+            f'y2="{y2:.1f}" stroke="{stroke}" stroke-width="{width}"'
+            f'{extra}/>')
+
+    def circle(self, cx, cy, r, fill="#000", opacity=1.0):
+        self.elements.append(
+            f'<circle cx="{cx:.1f}" cy="{cy:.1f}" r="{r:.1f}" '
+            f'fill="{fill}" fill-opacity="{opacity}"/>')
+
+    def polyline(self, points, stroke="#000", width=2.0):
+        pts = " ".join(f"{x:.1f},{y:.1f}" for x, y in points)
+        self.elements.append(
+            f'<polyline points="{pts}" fill="none" stroke="{stroke}" '
+            f'stroke-width="{width}"/>')
+
+    def text(self, x, y, content, size=12, anchor="start", color="#222",
+             rotate: float | None = None):
+        transform = (f' transform="rotate({rotate} {x:.1f} {y:.1f})"'
+                     if rotate is not None else "")
+        self.elements.append(
+            f'<text x="{x:.1f}" y="{y:.1f}" font-size="{size}" '
+            f'text-anchor="{anchor}" fill="{color}" '
+            f'font-family="sans-serif"{transform}>'
+            f'{escape(str(content))}</text>')
+
+    def to_string(self) -> str:
+        body = "\n".join(self.elements)
+        return (f'<svg xmlns="http://www.w3.org/2000/svg" '
+                f'width="{self.width}" height="{self.height}" '
+                f'viewBox="0 0 {self.width} {self.height}">\n'
+                f'<rect width="{self.width}" height="{self.height}" '
+                f'fill="white"/>\n{body}\n</svg>\n')
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        if path.suffix != ".svg":
+            path = path.with_suffix(".svg")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_string())
+        return path
+
+
+@dataclass
+class _Frame:
+    """Plot area with data→pixel mapping and axis rendering."""
+
+    canvas: SVGCanvas
+    x_min: float
+    x_max: float
+    y_min: float
+    y_max: float
+    left: int = 64
+    right: int = 16
+    top: int = 36
+    bottom: int = 48
+    log_x: bool = False
+
+    def _tx(self, x: float) -> float:
+        if self.log_x:
+            lo, hi = np.log10(self.x_min), np.log10(self.x_max)
+            frac = (np.log10(max(x, 1e-300)) - lo) / max(hi - lo, 1e-12)
+        else:
+            frac = (x - self.x_min) / max(self.x_max - self.x_min, 1e-12)
+        return self.left + frac * (self.canvas.width - self.left - self.right)
+
+    def _ty(self, y: float) -> float:
+        frac = (y - self.y_min) / max(self.y_max - self.y_min, 1e-12)
+        return (self.canvas.height - self.bottom -
+                frac * (self.canvas.height - self.top - self.bottom))
+
+    def axes(self, title: str, xlabel: str, ylabel: str,
+             x_ticks=None, y_ticks=None) -> None:
+        c = self.canvas
+        x0, y0 = self.left, c.height - self.bottom
+        x1, y1 = c.width - self.right, self.top
+        c.line(x0, y0, x1, y0, stroke="#444")
+        c.line(x0, y0, x0, y1, stroke="#444")
+        c.text(c.width / 2, 20, title, size=14, anchor="middle")
+        c.text(c.width / 2, c.height - 8, xlabel, anchor="middle")
+        c.text(16, c.height / 2, ylabel, anchor="middle", rotate=-90)
+        if x_ticks is None:
+            x_ticks = np.linspace(self.x_min, self.x_max, 5)
+        if y_ticks is None:
+            y_ticks = np.linspace(self.y_min, self.y_max, 5)
+        for xv in x_ticks:
+            px = self._tx(xv)
+            c.line(px, y0, px, y0 + 4, stroke="#444")
+            label = f"{xv:g}" if abs(xv) < 1e5 else f"{xv:.0e}"
+            c.text(px, y0 + 18, label, size=10, anchor="middle")
+        for yv in y_ticks:
+            py = self._ty(yv)
+            c.line(x0 - 4, py, x0, py, stroke="#444")
+            c.line(x0, py, x1, py, stroke="#eee")
+            c.text(x0 - 8, py + 4, f"{yv:g}", size=10, anchor="end")
+
+    def legend(self, names: list[str]) -> None:
+        c = self.canvas
+        x = c.width - self.right - 150
+        y = self.top + 10
+        for i, name in enumerate(names):
+            color = PALETTE[i % len(PALETTE)]
+            c.rect(x, y + 18 * i - 8, 12, 8, fill=color)
+            c.text(x + 18, y + 18 * i, name, size=11)
+
+
+def _pad(lo: float, hi: float) -> tuple[float, float]:
+    span = (hi - lo) or abs(hi) or 1.0
+    return lo - 0.05 * span, hi + 0.05 * span
+
+
+def line_chart(x, series: dict[str, np.ndarray], title: str = "",
+               xlabel: str = "", ylabel: str = "", log_x: bool = False,
+               width: int = 640, height: int = 400) -> SVGCanvas:
+    """Multi-series line chart (Figs 8, 13 style)."""
+    if not series:
+        raise ValueError("no series to plot")
+    x = np.asarray(x, dtype=float)
+    values = np.concatenate([np.asarray(v, dtype=float)
+                             for v in series.values()])
+    y_lo, y_hi = _pad(float(values.min()), float(values.max()))
+    canvas = SVGCanvas(width=width, height=height)
+    frame = _Frame(canvas, float(x.min()), float(x.max()), y_lo, y_hi,
+                   log_x=log_x)
+    x_ticks = x if len(x) <= 8 and not log_x else None
+    frame.axes(title, xlabel, ylabel, x_ticks=x_ticks)
+    for i, (name, ys) in enumerate(series.items()):
+        ys = np.asarray(ys, dtype=float)
+        if ys.shape != x.shape:
+            raise ValueError(f"series {name!r} length mismatch")
+        pts = [(frame._tx(xv), frame._ty(yv)) for xv, yv in zip(x, ys)]
+        canvas.polyline(pts, stroke=PALETTE[i % len(PALETTE)])
+        for px, py in pts:
+            canvas.circle(px, py, 2.5, fill=PALETTE[i % len(PALETTE)])
+    frame.legend(list(series))
+    return canvas
+
+
+def bar_chart(groups: dict[str, dict[str, float]], title: str = "",
+              ylabel: str = "", width: int = 720, height: int = 400
+              ) -> SVGCanvas:
+    """Grouped bar chart (Figs 14/15 style): {category: {series: value}}."""
+    if not groups:
+        raise ValueError("no groups to plot")
+    series_names = list(next(iter(groups.values())))
+    vmax = max(v for g in groups.values() for v in g.values())
+    canvas = SVGCanvas(width=width, height=height)
+    frame = _Frame(canvas, 0, len(groups), 0, vmax * 1.1)
+    frame.axes(title, "", ylabel, x_ticks=[])
+    n_series = len(series_names)
+    slot = (canvas.width - frame.left - frame.right) / len(groups)
+    bar_w = slot * 0.8 / n_series
+    for gi, (gname, values) in enumerate(groups.items()):
+        base_x = frame.left + gi * slot + slot * 0.1
+        for si, sname in enumerate(series_names):
+            v = values[sname]
+            y = frame._ty(v)
+            canvas.rect(base_x + si * bar_w, y, bar_w * 0.92,
+                        canvas.height - frame.bottom - y,
+                        fill=PALETTE[si % len(PALETTE)])
+        canvas.text(base_x + slot * 0.4, canvas.height - frame.bottom + 16,
+                    gname, size=10, anchor="middle")
+    frame.legend(series_names)
+    return canvas
+
+
+def heatmap_chart(row_labels, col_labels_per_row, matrix: np.ndarray,
+                  title: str = "", width: int = 680, height: int = 360
+                  ) -> SVGCanvas:
+    """Ragged heatmap (Fig 4 style) with a blue→red value ramp."""
+    matrix = np.asarray(matrix, dtype=float)
+    finite = matrix[np.isfinite(matrix)]
+    if finite.size == 0:
+        raise ValueError("heatmap has no finite cells")
+    vmin, vmax = float(finite.min()), float(finite.max())
+    canvas = SVGCanvas(width=width, height=height)
+    left, top, right, bottom = 70, 40, 90, 30
+    n_rows = len(row_labels)
+    n_cols = matrix.shape[1]
+    cell_w = (width - left - right) / n_cols
+    cell_h = (height - top - bottom) / n_rows
+    canvas.text(width / 2, 20, title, size=14, anchor="middle")
+
+    def color(v: float) -> str:
+        t = (v - vmin) / max(vmax - vmin, 1e-12)
+        r = int(40 + 215 * t)
+        b = int(255 - 215 * t)
+        return f"rgb({r},80,{b})"
+
+    for i, rlab in enumerate(row_labels):
+        canvas.text(left - 8, top + (i + 0.6) * cell_h, f"L={rlab}",
+                    size=11, anchor="end")
+        for j in range(n_cols):
+            v = matrix[i, j]
+            x, y = left + j * cell_w, top + i * cell_h
+            if np.isfinite(v):
+                canvas.rect(x + 1, y + 1, cell_w - 2, cell_h - 2,
+                            fill=color(v))
+                canvas.text(x + cell_w / 2, y + cell_h / 2 + 4,
+                            f"{v:.0f}", size=10, anchor="middle",
+                            color="white")
+            if j < len(col_labels_per_row[i]):
+                canvas.text(x + cell_w / 2, top + n_rows * cell_h + 14,
+                            col_labels_per_row[i][j], size=8,
+                            anchor="middle")
+    # Color ramp legend.
+    for k in range(40):
+        t = k / 39
+        canvas.rect(width - right + 20, top + (39 - k) * cell_h * n_rows / 40,
+                    14, cell_h * n_rows / 40 + 1,
+                    fill=color(vmin + t * (vmax - vmin)))
+    canvas.text(width - right + 40, top + 10, f"{vmax:.0f}", size=10)
+    canvas.text(width - right + 40, top + n_rows * cell_h, f"{vmin:.0f}",
+                size=10)
+    return canvas
+
+
+def scatter_chart(points: np.ndarray, labels=None, title: str = "",
+                  width: int = 520, height: int = 480) -> SVGCanvas:
+    """2-D scatter (Fig 17 t-SNE style), colored by integer label."""
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise ValueError("points must be (n, 2)")
+    labels = np.zeros(len(points), dtype=int) if labels is None \
+        else np.asarray(labels)
+    canvas = SVGCanvas(width=width, height=height)
+    x_lo, x_hi = _pad(points[:, 0].min(), points[:, 0].max())
+    y_lo, y_hi = _pad(points[:, 1].min(), points[:, 1].max())
+    frame = _Frame(canvas, x_lo, x_hi, y_lo, y_hi)
+    frame.axes(title, "dim 1", "dim 2")
+    for (xv, yv), lab in zip(points, labels):
+        canvas.circle(frame._tx(xv), frame._ty(yv), 3.0,
+                      fill=PALETTE[int(lab) % len(PALETTE)], opacity=0.75)
+    uniq = sorted(set(int(l) for l in labels))
+    if len(uniq) > 1:
+        frame.legend([f"cluster {u}" for u in uniq])
+    return canvas
+
+
+def density_chart(samples: dict[str, np.ndarray], title: str = "",
+                  xlabel: str = "", bins: int = 40, width: int = 640,
+                  height: int = 400) -> SVGCanvas:
+    """Normalized histogram-density curves (Fig 16 style)."""
+    if not samples:
+        raise ValueError("no samples to plot")
+    lo = min(float(np.min(v)) for v in samples.values())
+    hi = max(float(np.max(v)) for v in samples.values())
+    lo, hi = _pad(lo, hi)
+    edges = np.linspace(lo, hi, bins + 1)
+    centers = (edges[:-1] + edges[1:]) / 2
+    curves = {}
+    for name, vals in samples.items():
+        hist, _ = np.histogram(np.asarray(vals, dtype=float), bins=edges,
+                               density=True)
+        curves[name] = hist
+    return line_chart(centers, curves, title=title, xlabel=xlabel,
+                      ylabel="density", width=width, height=height)

@@ -1,0 +1,28 @@
+"""Synthetic materials-science corpus pipeline (Table I substitution)."""
+
+from .corpus import Abstract, AbstractGenerator
+from .dataset import Batch, PackedDataset
+from .decontamination import (ContaminationReport,
+                              check_contamination, decontaminate_corpus)
+from .dedup import (DedupReport, MinHasher, deduplicate, find_duplicates,
+                    jaccard)
+from .persistence import iter_corpus, load_corpus, save_corpus
+from .formulas import (ELEMENT_PROPS, ELEMENTS, Formula, FormulaGenerator,
+                       parse_formula)
+from .screening import ScreeningClassifier, ScreeningReport, screen_sources
+from .stats import (CorpusStats, TokenizerStats, corpus_stats,
+                    tokenizer_stats, zipf_fit)
+from .sources import (DEFAULT_SCALE, TABLE_I_SPECS, DataSource, SourceSpec,
+                      build_all_sources, corpus_token_table)
+
+__all__ = [
+    "Abstract", "AbstractGenerator", "Batch", "PackedDataset",
+    "ELEMENT_PROPS", "ELEMENTS", "Formula", "FormulaGenerator",
+    "parse_formula", "ScreeningClassifier", "ScreeningReport",
+    "screen_sources", "DEFAULT_SCALE", "TABLE_I_SPECS", "DataSource",
+    "SourceSpec", "build_all_sources", "corpus_token_table",
+    "CorpusStats", "TokenizerStats", "corpus_stats", "tokenizer_stats",
+    "zipf_fit", "DedupReport", "MinHasher", "deduplicate", "find_duplicates",
+    "jaccard", "iter_corpus", "load_corpus", "save_corpus",
+    "ContaminationReport", "check_contamination", "decontaminate_corpus",
+]

@@ -1,0 +1,161 @@
+"""Synthetic scientific-abstract generator.
+
+The paper pre-trains on 26.5M materials-science abstracts (~15B tokens)
+aggregated from CORE, MAG, Aminer and SCOPUS.  That corpus is proprietary;
+we substitute a deterministic generator producing two document classes:
+
+* **materials** abstracts — templated sentences about synthesis,
+  characterization and properties of generated chemical formulas;
+* **other-domain** abstracts — biology / CS / astronomy templates, present
+  in the aggregated sources so the screening classifier has real work to do.
+
+The templates are deliberately varied (multiple clause banks, numeric
+values, formula mentions) so tokenizers, language models and the screening
+classifier all see non-trivial structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .formulas import Formula, FormulaGenerator
+
+__all__ = ["Abstract", "AbstractGenerator"]
+
+
+@dataclass(frozen=True)
+class Abstract:
+    """One synthetic publication abstract."""
+
+    text: str
+    domain: str            # "materials" or "other"
+    source: str = ""       # filled in by the DataSource that emitted it
+    formulas: tuple[str, ...] = ()
+
+    @property
+    def is_materials(self) -> bool:
+        return self.domain == "materials"
+
+
+_MAT_OPENERS = [
+    "We report the synthesis of {f} via {method}.",
+    "Single crystals of {f} were grown by {method}.",
+    "The electronic structure of {f} is investigated using {theory}.",
+    "We present a combined experimental and theoretical study of {f}.",
+    "Thin films of {f} were deposited by {method}.",
+    "First principles calculations reveal the stability of {f}.",
+]
+_MAT_MIDDLES = [
+    "X ray diffraction confirms the {structure} structure with lattice parameter {a:.2f} angstrom.",
+    "The measured band gap of {bg:.2f} eV agrees with {theory} predictions.",
+    "Raman spectroscopy reveals phonon modes characteristic of the {structure} phase.",
+    "The material exhibits {prop} with a figure of merit of {fom:.1f}.",
+    "Density functional theory calculations predict a band gap of {bg:.2f} eV.",
+    "Electrical transport measurements indicate {carrier} type conduction.",
+    "The formation energy of {fe:.2f} eV per atom suggests thermodynamic stability.",
+]
+_MAT_CLOSERS = [
+    "These results make {f} a promising candidate for {application}.",
+    "Our findings provide guidance for designing new {family} materials.",
+    "This work demonstrates the potential of {f} in {application}.",
+    "The insights gained here advance the understanding of {family} compounds.",
+]
+_METHODS = ["solid state reaction", "chemical vapor deposition",
+            "hydrothermal synthesis", "molecular beam epitaxy",
+            "sol gel processing", "pulsed laser deposition"]
+_THEORIES = ["density functional theory", "GW approximation",
+             "hybrid functional calculations", "tight binding models"]
+_STRUCTURES = ["perovskite", "rocksalt", "zincblende", "wurtzite", "spinel",
+               "rutile", "layered"]
+_PROPS = ["high thermoelectric performance", "strong photoluminescence",
+          "large magnetoresistance", "superior ionic conductivity",
+          "robust ferroelectricity"]
+_APPLICATIONS = ["photovoltaics", "solid state batteries", "photocatalysis",
+                 "thermoelectric generators", "optoelectronic devices",
+                 "gas sensing"]
+_FAMILIES = ["chalcogenide", "oxide", "nitride", "halide", "intermetallic"]
+_CARRIERS = ["n", "p"]
+
+_OTHER_TEMPLATES = [
+    "We study the expression of gene {g} in {organism} under stress conditions. "
+    "Sequencing reveals {n} differentially expressed transcripts. "
+    "These results illuminate regulatory pathways in cell biology.",
+    "We propose a new algorithm for {cstask} with improved complexity bounds. "
+    "Experiments on {n} benchmark instances show a {pct:.0f} percent speedup. "
+    "The method scales to large distributed systems.",
+    "Observations of {object} with the survey telescope reveal variability "
+    "on timescales of {n} days. We model the light curve and infer the "
+    "underlying accretion physics.",
+    "A randomized clinical trial with {n} patients evaluates the efficacy "
+    "of the proposed treatment protocol. The primary endpoint improved by "
+    "{pct:.0f} percent relative to the control arm.",
+]
+_ORGANISMS = ["yeast", "zebrafish", "drosophila", "arabidopsis"]
+_CSTASKS = ["graph partitioning", "matrix completion",
+            "approximate nearest neighbor search", "consensus"]
+_OBJECTS = ["a quasar", "an X ray binary", "a protoplanetary disk",
+            "a supernova remnant"]
+_GENES = ["HSP70", "TP53", "GAL4", "FOXP2"]
+
+
+class AbstractGenerator:
+    """Deterministic generator of materials and other-domain abstracts."""
+
+    def __init__(self, seed: int = 0):
+        self._rng = np.random.default_rng(seed)
+        self._formulas = FormulaGenerator(seed=seed + 1)
+
+    def materials_abstract(self) -> Abstract:
+        rng = self._rng
+        f1 = self._formulas.sample()
+        f2 = self._formulas.sample()
+        fields = dict(
+            f=str(f1),
+            method=rng.choice(_METHODS),
+            theory=rng.choice(_THEORIES),
+            structure=rng.choice(_STRUCTURES),
+            prop=rng.choice(_PROPS),
+            application=rng.choice(_APPLICATIONS),
+            family=rng.choice(_FAMILIES),
+            carrier=rng.choice(_CARRIERS),
+            a=float(rng.uniform(3.5, 6.5)),
+            bg=float(rng.uniform(0.1, 5.0)),
+            fom=float(rng.uniform(0.5, 3.0)),
+            fe=float(rng.uniform(-3.0, -0.1)),
+        )
+        n_middle = int(rng.integers(2, 4))
+        sentences = [str(rng.choice(_MAT_OPENERS)).format(**fields)]
+        middles = rng.choice(_MAT_MIDDLES, size=n_middle, replace=False)
+        sentences += [str(m).format(**fields) for m in middles]
+        closer = str(rng.choice(_MAT_CLOSERS))
+        if rng.random() < 0.3:
+            closer = closer.replace("{f}", str(f2))
+            used = (str(f1), str(f2))
+        else:
+            used = (str(f1),)
+        sentences.append(closer.format(**fields))
+        return Abstract(text=" ".join(sentences), domain="materials",
+                        formulas=used)
+
+    def other_abstract(self) -> Abstract:
+        rng = self._rng
+        template = str(rng.choice(_OTHER_TEMPLATES))
+        text = template.format(
+            g=rng.choice(_GENES), organism=rng.choice(_ORGANISMS),
+            cstask=rng.choice(_CSTASKS), object=rng.choice(_OBJECTS),
+            n=int(rng.integers(10, 5000)), pct=float(rng.uniform(5, 60)))
+        return Abstract(text=text, domain="other")
+
+    def sample(self, n: int, materials_fraction: float = 1.0) -> list[Abstract]:
+        """Generate ``n`` abstracts with the given materials share."""
+        if not 0.0 <= materials_fraction <= 1.0:
+            raise ValueError("materials_fraction must be in [0, 1]")
+        out: list[Abstract] = []
+        for _ in range(n):
+            if self._rng.random() < materials_fraction:
+                out.append(self.materials_abstract())
+            else:
+                out.append(self.other_abstract())
+        return out

@@ -1,0 +1,109 @@
+"""Tokenized LM dataset: document packing, splits and batch iteration.
+
+Mirrors the Megatron/GPT-NeoX data pipeline: documents are tokenized with
+BOS/EOS, concatenated into one stream, packed into fixed-length sequences,
+and split deterministically into train/validation partitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from ..tokenizers.base import Tokenizer
+
+__all__ = ["PackedDataset", "Batch"]
+
+
+@dataclass(frozen=True)
+class Batch:
+    """One LM training batch: inputs and next-token targets."""
+
+    inputs: np.ndarray   # (batch, seq)
+    targets: np.ndarray  # (batch, seq)
+
+    @property
+    def num_tokens(self) -> int:
+        return self.inputs.size
+
+
+class PackedDataset:
+    """Fixed-length packed sequences over a tokenized document stream.
+
+    Parameters
+    ----------
+    seq_len:
+        Model context length; each packed sample holds ``seq_len + 1``
+        tokens so that inputs/targets are simple shifted views.
+    val_fraction:
+        Share of packed samples held out for validation (paper Fig 13
+        reports both train and validation losses).
+    """
+
+    def __init__(self, documents: list[np.ndarray], seq_len: int,
+                 val_fraction: float = 0.1, seed: int = 0):
+        if seq_len < 2:
+            raise ValueError(f"seq_len must be >= 2: {seq_len}")
+        if not 0.0 <= val_fraction < 1.0:
+            raise ValueError("val_fraction must be in [0, 1)")
+        stream = np.concatenate([np.asarray(d, dtype=np.int64)
+                                 for d in documents]) if documents else \
+            np.zeros(0, dtype=np.int64)
+        n_samples = len(stream) // (seq_len + 1)
+        if n_samples == 0:
+            raise ValueError(
+                f"corpus too small: {len(stream)} tokens cannot fill one "
+                f"sample of {seq_len + 1}")
+        usable = stream[:n_samples * (seq_len + 1)]
+        samples = usable.reshape(n_samples, seq_len + 1)
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(n_samples)
+        n_val = int(round(n_samples * val_fraction))
+        if val_fraction > 0 and n_val == 0:
+            n_val = 1
+        self.seq_len = seq_len
+        self._val = samples[order[:n_val]]
+        self._train = samples[order[n_val:]]
+        self.total_tokens = int(stream.size)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_texts(cls, texts: list[str], tokenizer: Tokenizer, seq_len: int,
+                   val_fraction: float = 0.1, seed: int = 0) -> "PackedDataset":
+        docs = tokenizer.encode_corpus(texts)
+        return cls(docs, seq_len=seq_len, val_fraction=val_fraction, seed=seed)
+
+    @property
+    def num_train(self) -> int:
+        return len(self._train)
+
+    @property
+    def num_val(self) -> int:
+        return len(self._val)
+
+    def batches(self, batch_size: int, split: str = "train",
+                shuffle: bool = True, seed: int = 0) -> Iterator[Batch]:
+        """Yield batches of (inputs, targets) over one epoch."""
+        data = {"train": self._train, "val": self._val}.get(split)
+        if data is None:
+            raise ValueError(f"split must be 'train' or 'val': {split!r}")
+        if len(data) == 0:
+            return
+        idx = np.arange(len(data))
+        if shuffle:
+            np.random.default_rng(seed).shuffle(idx)
+        for start in range(0, len(idx) - batch_size + 1, batch_size):
+            chunk = data[idx[start:start + batch_size]]
+            yield Batch(inputs=chunk[:, :-1], targets=chunk[:, 1:])
+
+    def sample_batch(self, batch_size: int, split: str = "train",
+                     seed: int = 0) -> Batch:
+        """One random batch (with replacement) — used for quick eval."""
+        data = self._train if split == "train" else self._val
+        if len(data) == 0:
+            raise ValueError(f"split {split!r} is empty")
+        rng = np.random.default_rng(seed)
+        rows = data[rng.integers(0, len(data), size=batch_size)]
+        return Batch(inputs=rows[:, :-1], targets=rows[:, 1:])

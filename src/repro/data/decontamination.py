@@ -1,0 +1,80 @@
+"""Evaluation decontamination (n-gram overlap detection).
+
+A benchmark score is meaningless if the eval items leaked into the
+pre-training corpus; production pipelines therefore scan for n-gram
+overlap between evaluation sets and training documents (as done for
+GPT-3 and its descendants).  This module reuses the dedup shingle
+machinery for that check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .dedup import _shingles
+
+__all__ = ["ContaminationReport", "check_contamination",
+           "decontaminate_corpus"]
+
+
+@dataclass(frozen=True)
+class ContaminationReport:
+    """Overlap between an evaluation set and a training corpus."""
+
+    n_eval_items: int
+    contaminated: tuple[int, ...]    # indices of leaked eval items
+
+    @property
+    def contamination_rate(self) -> float:
+        if self.n_eval_items == 0:
+            return 0.0
+        return len(self.contaminated) / self.n_eval_items
+
+    @property
+    def clean(self) -> bool:
+        return not self.contaminated
+
+
+def check_contamination(eval_texts: list[str], corpus_texts: list[str],
+                        ngram: int = 5, threshold: float = 0.5
+                        ) -> ContaminationReport:
+    """Flag eval items sharing >= ``threshold`` of their n-grams with any
+    corpus document's n-gram set (union over the corpus)."""
+    if not 0 < threshold <= 1:
+        raise ValueError("threshold must be in (0, 1]")
+    corpus_grams: set[int] = set()
+    for doc in corpus_texts:
+        corpus_grams |= _shingles(doc, ngram)
+    flagged = []
+    for idx, text in enumerate(eval_texts):
+        grams = _shingles(text, ngram)
+        if not grams:
+            continue
+        overlap = len(grams & corpus_grams) / len(grams)
+        if overlap >= threshold:
+            flagged.append(idx)
+    return ContaminationReport(n_eval_items=len(eval_texts),
+                               contaminated=tuple(flagged))
+
+
+def decontaminate_corpus(corpus_texts: list[str], eval_texts: list[str],
+                         ngram: int = 5, threshold: float = 0.5
+                         ) -> tuple[list[str], int]:
+    """Drop corpus documents that contain evaluation items.
+
+    The converse direction of :func:`check_contamination`: documents
+    whose n-grams cover >= ``threshold`` of any single eval item are
+    removed from the corpus.  Returns (clean corpus, #removed).
+    """
+    eval_grams = [_shingles(t, ngram) for t in eval_texts]
+    kept = []
+    removed = 0
+    for doc in corpus_texts:
+        grams = _shingles(doc, ngram)
+        leaked = any(g and len(g & grams) / len(g) >= threshold
+                     for g in eval_grams)
+        if leaked:
+            removed += 1
+        else:
+            kept.append(doc)
+    return kept, removed

@@ -1,0 +1,134 @@
+"""Near-duplicate detection for corpus cleaning (MinHash).
+
+Aggregating CORE/MAG/Aminer/SCOPUS (Table I) inevitably collects the
+same publication from several indexes; production LLM corpora remove
+near-duplicates before training (the Falcon work the paper cites is
+largely a data-cleaning result).  This module implements the standard
+pipeline: word-shingle sets → MinHash signatures → LSH banding to
+propose candidate pairs → exact Jaccard verification.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["MinHasher", "DedupReport", "jaccard", "find_duplicates",
+           "deduplicate"]
+
+
+def _shingles(text: str, width: int) -> set[int]:
+    words = text.lower().split()
+    if len(words) < width:
+        return {zlib.crc32(" ".join(words).encode())} if words else set()
+    return {zlib.crc32(" ".join(words[i:i + width]).encode())
+            for i in range(len(words) - width + 1)}
+
+
+def jaccard(a: str, b: str, shingle_width: int = 3) -> float:
+    """Exact Jaccard similarity of two documents' shingle sets."""
+    sa = _shingles(a, shingle_width)
+    sb = _shingles(b, shingle_width)
+    if not sa and not sb:
+        return 1.0
+    if not sa or not sb:
+        return 0.0
+    return len(sa & sb) / len(sa | sb)
+
+
+class MinHasher:
+    """MinHash signatures over word shingles."""
+
+    def __init__(self, num_hashes: int = 64, shingle_width: int = 3,
+                 seed: int = 0):
+        if num_hashes < 2:
+            raise ValueError("num_hashes must be >= 2")
+        self.num_hashes = num_hashes
+        self.shingle_width = shingle_width
+        rng = np.random.default_rng(seed)
+        # Universal hashing: h_i(x) = (a_i * x + b_i) mod p.
+        self._p = (1 << 61) - 1
+        self._a = rng.integers(1, self._p, size=num_hashes, dtype=np.int64)
+        self._b = rng.integers(0, self._p, size=num_hashes, dtype=np.int64)
+
+    def signature(self, text: str) -> np.ndarray:
+        sh = _shingles(text, self.shingle_width)
+        if not sh:
+            return np.full(self.num_hashes, self._p, dtype=np.int64)
+        x = np.fromiter(sh, dtype=np.int64)
+        # (H, S) hash matrix; min over shingles per hash function.
+        hashed = (self._a[:, None] * x[None, :] + self._b[:, None]) % self._p
+        return hashed.min(axis=1)
+
+    def estimate_similarity(self, sig_a: np.ndarray, sig_b: np.ndarray
+                            ) -> float:
+        """MinHash estimate of Jaccard similarity."""
+        return float((sig_a == sig_b).mean())
+
+
+@dataclass(frozen=True)
+class DedupReport:
+    """Outcome of one deduplication pass."""
+
+    total: int
+    kept: int
+    duplicate_pairs: tuple[tuple[int, int], ...]
+
+    @property
+    def removed(self) -> int:
+        return self.total - self.kept
+
+    @property
+    def duplicate_rate(self) -> float:
+        return self.removed / self.total if self.total else 0.0
+
+
+def find_duplicates(texts: list[str], threshold: float = 0.8,
+                    hasher: MinHasher | None = None, bands: int = 16
+                    ) -> list[tuple[int, int]]:
+    """Find index pairs of near-duplicates (Jaccard >= threshold).
+
+    Candidate pairs come from LSH banding over MinHash signatures and are
+    verified with exact Jaccard, so no false positives survive.
+    """
+    if not 0 < threshold <= 1:
+        raise ValueError("threshold must be in (0, 1]")
+    hasher = hasher or MinHasher()
+    if hasher.num_hashes % bands:
+        raise ValueError(
+            f"bands ({bands}) must divide num_hashes ({hasher.num_hashes})")
+    rows = hasher.num_hashes // bands
+    signatures = [hasher.signature(t) for t in texts]
+
+    buckets: dict[tuple[int, bytes], list[int]] = {}
+    for idx, sig in enumerate(signatures):
+        for band in range(bands):
+            key = (band, sig[band * rows:(band + 1) * rows].tobytes())
+            buckets.setdefault(key, []).append(idx)
+
+    candidates: set[tuple[int, int]] = set()
+    for members in buckets.values():
+        for i in range(len(members)):
+            for j in range(i + 1, len(members)):
+                candidates.add((members[i], members[j]))
+
+    confirmed = [(i, j) for i, j in sorted(candidates)
+                 if jaccard(texts[i], texts[j],
+                            hasher.shingle_width) >= threshold]
+    return confirmed
+
+
+def deduplicate(texts: list[str], threshold: float = 0.8,
+                hasher: MinHasher | None = None
+                ) -> tuple[list[str], DedupReport]:
+    """Remove near-duplicates, keeping each group's first document."""
+    pairs = find_duplicates(texts, threshold=threshold, hasher=hasher)
+    drop: set[int] = set()
+    for i, j in pairs:
+        if i not in drop:
+            drop.add(j)
+    kept = [t for idx, t in enumerate(texts) if idx not in drop]
+    return kept, DedupReport(total=len(texts), kept=len(kept),
+                             duplicate_pairs=tuple(pairs))

@@ -1,0 +1,59 @@
+"""Corpus persistence: JSONL with provenance.
+
+Production corpus pipelines are multi-stage (Table I: collect → screen →
+tokenize); each stage's output should be a durable artifact.  Documents
+persist as JSON Lines with their domain/source metadata so a reloaded
+corpus is indistinguishable from a freshly generated one.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .corpus import Abstract
+
+__all__ = ["save_corpus", "load_corpus", "iter_corpus"]
+
+
+def save_corpus(documents: list[Abstract], path: str | Path) -> Path:
+    """Write documents to a JSONL file; returns the path."""
+    path = Path(path)
+    if path.suffix != ".jsonl":
+        path = path.with_suffix(".jsonl")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as fh:
+        for doc in documents:
+            fh.write(json.dumps({
+                "text": doc.text,
+                "domain": doc.domain,
+                "source": doc.source,
+                "formulas": list(doc.formulas),
+            }) + "\n")
+    return path
+
+
+def iter_corpus(path: str | Path):
+    """Stream documents from a JSONL corpus file."""
+    with open(path) as fh:
+        for line_no, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{line_no}: invalid JSON ({exc})") from None
+            missing = {"text", "domain"} - set(record)
+            if missing:
+                raise ValueError(
+                    f"{path}:{line_no}: missing fields {sorted(missing)}")
+            yield Abstract(text=record["text"], domain=record["domain"],
+                           source=record.get("source", ""),
+                           formulas=tuple(record.get("formulas", ())))
+
+
+def load_corpus(path: str | Path) -> list[Abstract]:
+    """Load a JSONL corpus file written by :func:`save_corpus`."""
+    return list(iter_corpus(path))

@@ -1,0 +1,113 @@
+"""Corpus and tokenizer statistics.
+
+Quantifies the properties behind the paper's tokenizer findings:
+
+* **fertility** (tokens per whitespace word) — SPM's coarser segmentation
+  vs BPE's, and the compression gain of larger vocabularies: the concrete
+  reason losses across tokenizations are incomparable (Observation 3);
+* **vocabulary utilization** — how much of a trained vocabulary a corpus
+  actually exercises (the paper's "larger vocabulary ... distinguishes
+  domain terminologies" argument);
+* **frequency structure** — rank/frequency (Zipf) fit and type-token
+  ratio of the corpus itself.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..tokenizers.base import Tokenizer
+
+__all__ = ["TokenizerStats", "tokenizer_stats", "CorpusStats", "corpus_stats",
+           "zipf_fit"]
+
+
+@dataclass(frozen=True)
+class TokenizerStats:
+    """How one trained tokenizer segments one corpus."""
+
+    vocab_size: int
+    total_tokens: int
+    total_words: int
+    total_chars: int
+    distinct_tokens_used: int
+
+    @property
+    def fertility(self) -> float:
+        """Tokens per whitespace word (lower = coarser segmentation)."""
+        return self.total_tokens / max(self.total_words, 1)
+
+    @property
+    def chars_per_token(self) -> float:
+        return self.total_chars / max(self.total_tokens, 1)
+
+    @property
+    def vocab_utilization(self) -> float:
+        """Fraction of the vocabulary the corpus actually uses."""
+        return self.distinct_tokens_used / self.vocab_size
+
+
+def tokenizer_stats(tokenizer: Tokenizer, texts: list[str]) -> TokenizerStats:
+    """Measure a trained tokenizer's segmentation of a corpus."""
+    if not texts:
+        raise ValueError("no texts supplied")
+    total_tokens = 0
+    total_words = 0
+    total_chars = 0
+    used: set[int] = set()
+    for text in texts:
+        ids = tokenizer.encode(text)
+        total_tokens += ids.size
+        total_words += len(text.split())
+        total_chars += len(text)
+        used.update(int(i) for i in ids)
+    return TokenizerStats(vocab_size=tokenizer.vocab_size,
+                          total_tokens=total_tokens,
+                          total_words=total_words,
+                          total_chars=total_chars,
+                          distinct_tokens_used=len(used))
+
+
+@dataclass(frozen=True)
+class CorpusStats:
+    """Word-level statistics of a corpus."""
+
+    num_documents: int
+    num_words: int
+    num_types: int
+    zipf_exponent: float
+    top_words: tuple[tuple[str, int], ...]
+
+    @property
+    def type_token_ratio(self) -> float:
+        return self.num_types / max(self.num_words, 1)
+
+
+def zipf_fit(counts: np.ndarray) -> float:
+    """Least-squares slope of log(freq) vs log(rank) (≈ -1 for Zipf)."""
+    counts = np.sort(np.asarray(counts, dtype=float))[::-1]
+    counts = counts[counts > 0]
+    if counts.size < 5:
+        raise ValueError("need at least 5 distinct items for a Zipf fit")
+    ranks = np.arange(1, counts.size + 1)
+    slope, _ = np.polyfit(np.log(ranks), np.log(counts), 1)
+    return float(slope)
+
+
+def corpus_stats(texts: list[str], top_k: int = 10) -> CorpusStats:
+    """Word-frequency statistics of a document collection."""
+    if not texts:
+        raise ValueError("no texts supplied")
+    counter: Counter = Counter()
+    for text in texts:
+        counter.update(w.lower() for w in text.split())
+    counts = np.array(list(counter.values()))
+    return CorpusStats(
+        num_documents=len(texts),
+        num_words=int(counts.sum()),
+        num_types=len(counter),
+        zipf_exponent=zipf_fit(counts),
+        top_words=tuple(counter.most_common(top_k)))

@@ -1,0 +1,22 @@
+"""Zero/few-shot multiple-choice evaluation harness (lm-eval analogue)."""
+
+from .benchmarks import TASK_NAMES, build_benchmark_suite, build_task
+from .generation import (CompletionItem, GenerationResult,
+                         build_completion_task, evaluate_generation,
+                         token_f1)
+from .perplexity import bits_per_character, perplexity
+from .runner import EvalReport, EvalRunner
+from .scoring import (TaskResult, evaluate_task,
+                      evaluate_task_multi_seed, fewshot_prefix,
+                      score_question)
+from .tasks import MCQuestion, Task, TaskRegistry
+
+__all__ = [
+    "TASK_NAMES", "build_benchmark_suite", "build_task", "EvalReport",
+    "EvalRunner", "TaskResult", "evaluate_task",
+    "evaluate_task_multi_seed", "fewshot_prefix",
+    "score_question", "MCQuestion", "Task", "TaskRegistry",
+    "bits_per_character", "perplexity", "CompletionItem",
+    "GenerationResult", "build_completion_task", "evaluate_generation",
+    "token_f1",
+]

@@ -1,0 +1,145 @@
+"""The nine synthetic QA benchmarks of Figs 14/15.
+
+The paper evaluates on SciQ, PIQA, OpenBookQA, ARC-Easy, ARC-Challenge
+and four Hendrycks college tests (chemistry, physics, medicine, CS).
+Those datasets are external; we substitute synthetic analogues whose
+*difficulty structure* mirrors the originals for a model pre-trained on
+materials text:
+
+* easy science tasks (SciQ/ARC-E analogues) pit an in-domain answer
+  against out-of-domain distractors — a materials-LM should beat chance;
+* hard tasks (ARC-C, Hendrycks analogues) use all-in-domain distractors,
+  landing near the random baseline, as the paper's small models do;
+* PIQA/OBQA analogues sit in between.
+
+Every task is generated deterministically from a seed, with disjoint
+question/few-shot pools.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.corpus import (_APPLICATIONS, _FAMILIES, _METHODS, _STRUCTURES,
+                           _THEORIES)
+from ..data.formulas import FormulaGenerator
+from .tasks import MCQuestion, Task, TaskRegistry
+
+__all__ = ["TASK_NAMES", "build_task", "build_benchmark_suite"]
+
+#: Canonical task order used in the paper's figures.
+TASK_NAMES = ("sciq", "piqa", "obqa", "arc_e", "arc_c",
+              "ht_cc", "ht_cp", "ht_cm", "ht_ccs")
+
+_OOD_DISTRACTORS = [
+    "a randomized clinical trial", "graph partitioning",
+    "sequencing transcripts", "the light curve model",
+    "approximate nearest neighbor search", "a control arm",
+]
+_UNITS_GOOD = "eV"
+_UNITS_BAD = ["liters per minute", "patients", "benchmark instances"]
+
+
+def _in_domain_pairs(rng: np.random.Generator, formulas: FormulaGenerator
+                     ) -> list[tuple[str, str, list[str]]]:
+    """(query, correct, in-domain distractor pool) templates."""
+    f = str(formulas.sample())
+    return [
+        (f"Thin films of {f} were deposited by",
+         str(rng.choice(_METHODS)), list(_METHODS)),
+        (f"The electronic structure of {f} is investigated using",
+         str(rng.choice(_THEORIES)), list(_THEORIES)),
+        (f"X ray diffraction confirms that {f} adopts the",
+         str(rng.choice(_STRUCTURES)) + " structure",
+         [s + " structure" for s in _STRUCTURES]),
+        (f"These results make {f} a promising candidate for",
+         str(rng.choice(_APPLICATIONS)), list(_APPLICATIONS)),
+        (f"Our findings guide the design of new",
+         str(rng.choice(_FAMILIES)) + " materials",
+         [x + " materials" for x in _FAMILIES]),
+    ]
+
+
+def _make_question(rng: np.random.Generator, formulas: FormulaGenerator,
+                   in_domain_distractors: bool, n_choices: int = 4
+                   ) -> MCQuestion:
+    query, correct, pool = _in_domain_pairs(rng, formulas)[
+        rng.integers(5)]
+    if in_domain_distractors:
+        distractors = [d for d in pool if d != correct]
+    else:
+        distractors = list(_OOD_DISTRACTORS)
+    picks = rng.choice(len(distractors), size=n_choices - 1, replace=False)
+    choices = [correct] + [distractors[i] for i in picks]
+    order = rng.permutation(n_choices)
+    shuffled = tuple(choices[i] for i in order)
+    answer = int(np.where(order == 0)[0][0])
+    return MCQuestion(query=query, choices=shuffled, answer=answer)
+
+
+def _units_question(rng: np.random.Generator, formulas: FormulaGenerator
+                    ) -> MCQuestion:
+    f = str(formulas.sample())
+    value = rng.uniform(0.2, 4.0)
+    query = f"The measured band gap of {f} is about {value:.2f}"
+    choices = [_UNITS_GOOD] + list(rng.choice(_UNITS_BAD, 2, replace=False))
+    order = rng.permutation(3)
+    return MCQuestion(query=query,
+                      choices=tuple(choices[i] for i in order),
+                      answer=int(np.where(order == 0)[0][0]))
+
+
+#: Per-task recipe: (in-domain distractors?, mixes units questions?, choices)
+_TASK_RECIPES = {
+    "sciq": (False, True, 4),
+    "piqa": (False, False, 2),
+    "obqa": (True, False, 4),
+    "arc_e": (False, False, 4),
+    "arc_c": (True, False, 4),
+    "ht_cc": (True, True, 4),
+    "ht_cp": (True, False, 4),
+    "ht_cm": (True, False, 4),
+    "ht_ccs": (True, False, 4),
+}
+
+
+def build_task(name: str, n_questions: int = 40, n_fewshot: int = 8,
+               seed: int = 0) -> Task:
+    """Build one benchmark task deterministically."""
+    if name not in _TASK_RECIPES:
+        raise ValueError(f"unknown task {name!r}; known: {TASK_NAMES}")
+    in_domain, with_units, n_choices = _TASK_RECIPES[name]
+    rng = np.random.default_rng(seed ^ hashlib_stable(name))
+    formulas = FormulaGenerator(seed=seed + 17)
+
+    def gen(n: int) -> list[MCQuestion]:
+        out = []
+        for i in range(n):
+            if with_units and i % 3 == 0:
+                out.append(_units_question(rng, formulas))
+            else:
+                out.append(_make_question(rng, formulas, in_domain,
+                                          n_choices=n_choices))
+        return out
+
+    questions = gen(n_questions)
+    fewshot = gen(n_fewshot)
+    baseline = float(np.mean([1.0 / len(q.choices) for q in questions]))
+    return Task(name=name, questions=questions, fewshot_pool=fewshot,
+                random_baseline=baseline)
+
+
+def build_benchmark_suite(n_questions: int = 40, n_fewshot: int = 8,
+                          seed: int = 0) -> TaskRegistry:
+    """Build all nine paper tasks into a registry."""
+    registry = TaskRegistry()
+    for name in TASK_NAMES:
+        registry.register(build_task(name, n_questions=n_questions,
+                                     n_fewshot=n_fewshot, seed=seed))
+    return registry
+
+
+def hashlib_stable(text: str) -> int:
+    """Process-stable 32-bit hash of a string (unlike built-in hash)."""
+    import zlib
+    return zlib.crc32(text.encode())

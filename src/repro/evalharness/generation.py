@@ -1,0 +1,110 @@
+"""Generation-based (free-form completion) evaluation.
+
+The multiple-choice harness scores by log-likelihood ranking; this module
+adds the other lm-eval protocol: greedy-decode a continuation and match
+it against a reference.  Metrics are exact-prefix match and token-level
+F1 (SQuAD-style), both computed after whitespace/case normalization.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..models.transformer import GPTModel
+from ..tokenizers.base import Tokenizer
+
+__all__ = ["CompletionItem", "GenerationResult", "token_f1",
+           "evaluate_generation", "build_completion_task"]
+
+
+@dataclass(frozen=True)
+class CompletionItem:
+    """One free-form completion item."""
+
+    prompt: str
+    answer: str
+
+    def __post_init__(self) -> None:
+        if not self.prompt or not self.answer:
+            raise ValueError("prompt and answer must be non-empty")
+
+
+@dataclass(frozen=True)
+class GenerationResult:
+    """Aggregate generation metrics over a task."""
+
+    n: int
+    prefix_match: float
+    mean_f1: float
+
+
+def _normalize(text: str) -> list[str]:
+    return text.lower().split()
+
+
+def token_f1(prediction: str, reference: str) -> float:
+    """SQuAD-style token F1 between a prediction and a reference."""
+    pred = Counter(_normalize(prediction))
+    ref = Counter(_normalize(reference))
+    if not pred or not ref:
+        return float(pred == ref)
+    overlap = sum((pred & ref).values())
+    if overlap == 0:
+        return 0.0
+    precision = overlap / sum(pred.values())
+    recall = overlap / sum(ref.values())
+    return 2 * precision * recall / (precision + recall)
+
+
+def evaluate_generation(model: GPTModel, tokenizer: Tokenizer,
+                        items: list[CompletionItem],
+                        max_new_tokens: int = 12,
+                        use_cache: bool = True) -> GenerationResult:
+    """Greedy-decode each prompt and score against the reference."""
+    if not items:
+        raise ValueError("no items to evaluate")
+    matches = 0
+    f1s = []
+    for item in items:
+        prompt_ids = tokenizer.encode(item.prompt)
+        out = model.generate(prompt_ids, max_new_tokens=max_new_tokens,
+                             use_cache=use_cache)
+        continuation = tokenizer.decode(out[len(prompt_ids):])
+        ref_words = _normalize(item.answer)
+        gen_words = _normalize(continuation)
+        matches += gen_words[:len(ref_words)] == ref_words
+        f1s.append(token_f1(" ".join(gen_words[:len(ref_words) + 4]),
+                            item.answer))
+    return GenerationResult(n=len(items), prefix_match=matches / len(items),
+                            mean_f1=float(np.mean(f1s)))
+
+
+def build_completion_task(n_items: int = 20, seed: int = 0
+                          ) -> list[CompletionItem]:
+    """Domain-phrase completions learnable from the synthetic corpus.
+
+    Each prompt is the fixed prefix of a corpus template; the answer is
+    the template's invariant continuation, so a model pre-trained on the
+    corpus should complete them while a fresh model cannot.
+    """
+    from ..data.formulas import FormulaGenerator
+    templates = [
+        ("The electronic structure of {f} is investigated",
+         "using"),
+        ("X ray diffraction confirms", "the"),
+        ("Density functional theory calculations predict a band",
+         "gap of"),
+        ("These results make {f} a promising candidate", "for"),
+        ("Raman spectroscopy reveals phonon", "modes"),
+    ]
+    gen = FormulaGenerator(seed=seed)
+    rng = np.random.default_rng(seed)
+    items: list[CompletionItem] = []
+    while len(items) < n_items:
+        prompt, answer = templates[rng.integers(len(templates))]
+        prompt = prompt.format(f=str(gen.sample()))
+        items.append(CompletionItem(prompt=prompt, answer=answer))
+    return items

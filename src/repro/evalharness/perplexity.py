@@ -1,0 +1,69 @@
+"""Held-out perplexity evaluation.
+
+Complements the multiple-choice harness with the standard LM metric:
+token-level perplexity over a held-out text set, computed with the same
+tokenizer used for pre-training.  As the paper's Observation 3 notes,
+perplexities (like losses) are only comparable *within* one tokenization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..models.transformer import GPTModel
+from ..tokenizers.base import Tokenizer
+
+__all__ = ["perplexity", "bits_per_character"]
+
+
+def perplexity(model: GPTModel, tokenizer: Tokenizer, texts: list[str],
+               max_docs: int | None = None) -> float:
+    """Mean token-level perplexity of the model over documents.
+
+    Documents longer than the model context are truncated (simple but
+    deterministic; packing-based evaluation lives in the trainer).
+    """
+    if not texts:
+        raise ValueError("no texts to evaluate")
+    if max_docs is not None:
+        texts = texts[:max_docs]
+    total_ll = 0.0
+    total_tokens = 0
+    for text in texts:
+        ids = tokenizer.encode(text, add_special=True)
+        if ids.size < 2:
+            continue
+        ids = ids[:model.config.max_seq_len]
+        ll, _ = model.loglikelihood(ids[:1], ids[1:])
+        total_ll += ll
+        total_tokens += ids.size - 1
+    if total_tokens == 0:
+        raise ValueError("no scorable tokens in the supplied texts")
+    return float(np.exp(-total_ll / total_tokens))
+
+
+def bits_per_character(model: GPTModel, tokenizer: Tokenizer,
+                       texts: list[str], max_docs: int | None = None
+                       ) -> float:
+    """Tokenization-independent compression metric (bits per character).
+
+    Unlike perplexity, BPC *is* comparable across tokenizers — it is the
+    right cross-tokenizer yardstick for Observation 3 discussions.
+    """
+    if not texts:
+        raise ValueError("no texts to evaluate")
+    if max_docs is not None:
+        texts = texts[:max_docs]
+    total_ll = 0.0
+    total_chars = 0
+    for text in texts:
+        ids = tokenizer.encode(text, add_special=True)
+        if ids.size < 2 or not text:
+            continue
+        ids = ids[:model.config.max_seq_len]
+        ll, _ = model.loglikelihood(ids[:1], ids[1:])
+        total_ll += ll
+        total_chars += len(text)
+    if total_chars == 0:
+        raise ValueError("no scorable characters in the supplied texts")
+    return float(-total_ll / np.log(2) / total_chars)

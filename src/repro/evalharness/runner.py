@@ -1,0 +1,60 @@
+"""Evaluation runner: many models x many tasks x shot counts (Figs 14/15)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .benchmarks import build_benchmark_suite
+from .scoring import TaskResult, evaluate_task
+from .tasks import TaskRegistry
+
+__all__ = ["EvalReport", "EvalRunner"]
+
+
+@dataclass
+class EvalReport:
+    """Results of one model over a task suite."""
+
+    model_name: str
+    results: dict[tuple[str, int], TaskResult] = field(default_factory=dict)
+
+    def get(self, task: str, shots: int = 0) -> TaskResult:
+        try:
+            return self.results[(task, shots)]
+        except KeyError:
+            raise KeyError(f"no result for {task!r} at {shots}-shot") from None
+
+    def accuracies(self, shots: int = 0) -> dict[str, float]:
+        return {t: r.accuracy for (t, s), r in self.results.items()
+                if s == shots}
+
+    def mean_accuracy(self, shots: int = 0) -> float:
+        accs = list(self.accuracies(shots).values())
+        return sum(accs) / len(accs) if accs else 0.0
+
+    def rows(self) -> list[dict]:
+        """Flat rows for table rendering."""
+        return [{"model": self.model_name, "task": r.task, "shots": r.shots,
+                 "accuracy": r.accuracy, "stderr": r.stderr}
+                for r in self.results.values()]
+
+
+class EvalRunner:
+    """Run the benchmark suite for a (model, tokenizer) pair."""
+
+    def __init__(self, registry: TaskRegistry | None = None):
+        self.registry = registry or build_benchmark_suite()
+
+    def run(self, model, tokenizer, model_name: str = "model",
+            tasks: list[str] | None = None, shots: tuple[int, ...] = (0,),
+            fewshot_seed: int = 0) -> EvalReport:
+        """Evaluate on the named tasks at every shot count."""
+        names = tasks if tasks is not None else self.registry.names()
+        report = EvalReport(model_name=model_name)
+        for name in names:
+            task = self.registry.get(name)
+            for k in shots:
+                report.results[(name, k)] = evaluate_task(
+                    model, tokenizer, task, shots=k,
+                    fewshot_seed=fewshot_seed)
+        return report

@@ -1,0 +1,107 @@
+"""Log-likelihood scoring of multiple-choice items (lm-eval protocol).
+
+For each choice the scorer computes ``log P(choice tokens | prompt)``
+with the model's :meth:`loglikelihood` primitive, normalizes by choice
+token length (the harness' ``acc_norm`` convention), and predicts the
+argmax.  Accuracy is reported with its binomial standard error, matching
+the error bars of Figs 14/15.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .tasks import MCQuestion, Task
+
+__all__ = ["TaskResult", "score_question", "evaluate_task",
+           "evaluate_task_multi_seed", "fewshot_prefix"]
+
+
+@dataclass(frozen=True)
+class TaskResult:
+    """Accuracy of one model on one task."""
+
+    task: str
+    shots: int
+    accuracy: float
+    stderr: float
+    n: int
+    random_baseline: float
+
+    @property
+    def above_chance(self) -> bool:
+        return self.accuracy > self.random_baseline + self.stderr
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"{self.task} ({self.shots}-shot): "
+                f"{self.accuracy:.3f} ± {self.stderr:.3f}")
+
+
+def fewshot_prefix(examples: list[MCQuestion]) -> str:
+    """Concatenate exemplars into the few-shot context."""
+    return "\n".join(e.render_with_answer() for e in examples)
+
+
+def score_question(model, tokenizer, question: MCQuestion,
+                   prefix: str = "", length_normalize: bool = True) -> int:
+    """Return the index of the highest-scoring choice."""
+    prompt = f"{prefix}\n{question.prompt()}" if prefix else question.prompt()
+    context = tokenizer.encode(prompt)
+    scores = []
+    for choice in question.choices:
+        continuation = tokenizer.encode(" " + choice)
+        if continuation.size == 0:
+            scores.append(-np.inf)
+            continue
+        ll, _ = model.loglikelihood(context, continuation)
+        scores.append(ll / continuation.size if length_normalize else ll)
+    return int(np.argmax(scores))
+
+
+def evaluate_task(model, tokenizer, task: Task, shots: int = 0,
+                  fewshot_seed: int = 0, length_normalize: bool = True
+                  ) -> TaskResult:
+    """Evaluate one model on one task at a given shot count."""
+    prefix = fewshot_prefix(task.fewshot_examples(shots, seed=fewshot_seed)) \
+        if shots else ""
+    correct = 0
+    for q in task.questions:
+        pred = score_question(model, tokenizer, q, prefix=prefix,
+                              length_normalize=length_normalize)
+        correct += pred == q.answer
+    n = len(task)
+    acc = correct / n
+    stderr = float(np.sqrt(acc * (1 - acc) / n))
+    return TaskResult(task=task.name, shots=shots, accuracy=acc,
+                      stderr=stderr, n=n,
+                      random_baseline=task.random_baseline)
+
+
+def evaluate_task_multi_seed(model, tokenizer, task: Task, shots: int,
+                             fewshot_seeds: tuple[int, ...] = (0, 1, 2),
+                             length_normalize: bool = True) -> TaskResult:
+    """Few-shot evaluation averaged over exemplar draws.
+
+    Few-shot accuracy depends on which exemplars are sampled; the paper's
+    error bars account for that.  Runs the task once per seed and reports
+    the mean accuracy with the across-seed standard error combined with
+    the binomial one.
+    """
+    if shots < 1:
+        raise ValueError("multi-seed evaluation needs shots >= 1")
+    if not fewshot_seeds:
+        raise ValueError("need at least one few-shot seed")
+    results = [evaluate_task(model, tokenizer, task, shots=shots,
+                             fewshot_seed=seed,
+                             length_normalize=length_normalize)
+               for seed in fewshot_seeds]
+    accs = np.array([r.accuracy for r in results])
+    mean = float(accs.mean())
+    binom = float(np.sqrt(mean * (1 - mean) / len(task)))
+    across = float(accs.std(ddof=1) / np.sqrt(len(accs))) \
+        if len(accs) > 1 else 0.0
+    return TaskResult(task=task.name, shots=shots, accuracy=mean,
+                      stderr=float(np.hypot(binom, across)), n=len(task),
+                      random_baseline=task.random_baseline)

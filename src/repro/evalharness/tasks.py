@@ -1,0 +1,97 @@
+"""Multiple-choice task framework (lm-eval-harness analogue).
+
+The paper evaluates with the EleutherAI evaluation harness on nine
+multiple-choice QA benchmarks.  This module defines the task abstraction:
+a task yields :class:`MCQuestion` items and few-shot exemplars, and the
+scorer (:mod:`repro.evalharness.scoring`) ranks answer choices by
+length-normalized log-likelihood, exactly the harness protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["MCQuestion", "Task", "TaskRegistry"]
+
+
+@dataclass(frozen=True)
+class MCQuestion:
+    """One multiple-choice item."""
+
+    query: str
+    choices: tuple[str, ...]
+    answer: int          # index into choices
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.answer < len(self.choices):
+            raise ValueError(
+                f"answer index {self.answer} out of range for "
+                f"{len(self.choices)} choices")
+        if len(self.choices) < 2:
+            raise ValueError("a multiple-choice item needs >= 2 choices")
+
+    def prompt(self) -> str:
+        return self.query
+
+    def render_with_answer(self) -> str:
+        """The exemplar form used in few-shot prompts."""
+        return f"{self.query} {self.choices[self.answer]}"
+
+
+class Task:
+    """A named benchmark with eval questions and few-shot exemplars."""
+
+    def __init__(self, name: str, questions: list[MCQuestion],
+                 fewshot_pool: list[MCQuestion], random_baseline: float):
+        if not questions:
+            raise ValueError(f"task {name!r} has no questions")
+        self.name = name
+        self._questions = questions
+        self._fewshot_pool = fewshot_pool
+        self.random_baseline = random_baseline
+
+    def __len__(self) -> int:
+        return len(self._questions)
+
+    @property
+    def questions(self) -> list[MCQuestion]:
+        return list(self._questions)
+
+    def fewshot_examples(self, k: int, seed: int = 0) -> list[MCQuestion]:
+        """Sample ``k`` exemplars (without replacement) for few-shot runs."""
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        if k == 0:
+            return []
+        if k > len(self._fewshot_pool):
+            raise ValueError(
+                f"task {self.name!r} has only {len(self._fewshot_pool)} "
+                f"few-shot exemplars (requested {k})")
+        rng = np.random.default_rng(seed)
+        idx = rng.choice(len(self._fewshot_pool), size=k, replace=False)
+        return [self._fewshot_pool[i] for i in idx]
+
+
+@dataclass
+class TaskRegistry:
+    """Named collection of tasks (the harness' task list)."""
+
+    tasks: dict[str, Task] = field(default_factory=dict)
+
+    def register(self, task: Task) -> None:
+        if task.name in self.tasks:
+            raise ValueError(f"duplicate task name {task.name!r}")
+        self.tasks[task.name] = task
+
+    def get(self, name: str) -> Task:
+        try:
+            return self.tasks[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown task {name!r}; available: {sorted(self.tasks)}"
+            ) from None
+
+    def names(self) -> list[str]:
+        return list(self.tasks)

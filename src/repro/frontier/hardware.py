@@ -1,0 +1,97 @@
+"""Frontier hardware specifications (paper §IV-A).
+
+Each Frontier node holds four AMD Instinct MI250X GPUs, each with two
+Graphics Compute Dies (GCDs).  A GCD is treated as an effective GPU
+throughout, as the paper does.  All numbers below are from the paper or
+the public Frontier documentation it cites:
+
+* MI250X peak: 383 TFLOPS (bf16 matrix) for the package → 191.5 per GCD;
+* 64 GB HBM2e per GCD, ~1.6 TB/s per GCD;
+* 200 GB/s Infinity Fabric between the two GCDs of one MI250X;
+* 100 GB/s Infinity Fabric between GCDs of different MI250X in a node;
+* 100 GB/s Slingshot-11 NIC bandwidth per node;
+* 9408 nodes → 75,264 effective GPUs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GCDSpec", "MI250XSpec", "NodeSpec", "MachineSpec", "FRONTIER"]
+
+
+@dataclass(frozen=True)
+class GCDSpec:
+    """One Graphics Compute Die — the paper's "effective GPU"."""
+
+    peak_tflops: float = 191.5       # bf16 matrix peak (383 / 2 GCDs)
+    hbm_gb: float = 64.0
+    hbm_bw_gbs: float = 1600.0       # ~1.6 TB/s HBM2e per GCD
+
+    @property
+    def peak_flops(self) -> float:
+        return self.peak_tflops * 1e12
+
+    @property
+    def hbm_bytes(self) -> float:
+        return self.hbm_gb * 1e9
+
+
+@dataclass(frozen=True)
+class MI250XSpec:
+    """One MI250X package: two GCDs sharing a power sensor."""
+
+    gcd: GCDSpec = GCDSpec()
+    num_gcds: int = 2
+    intra_package_bw_gbs: float = 200.0  # between the 2 GCDs
+    tdp_watts: float = 560.0
+    idle_watts: float = 90.0
+
+    @property
+    def peak_tflops(self) -> float:
+        return self.gcd.peak_tflops * self.num_gcds
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One Frontier node: 4 MI250X (8 GCDs) + EPYC CPU + Slingshot NIC."""
+
+    package: MI250XSpec = MI250XSpec()
+    num_packages: int = 4
+    intra_node_bw_gbs: float = 100.0     # Infinity Fabric between packages
+    nic_bw_gbs: float = 100.0            # Slingshot-11, per node
+
+    @property
+    def num_gcds(self) -> int:
+        return self.num_packages * self.package.num_gcds
+
+    @property
+    def peak_tflops(self) -> float:
+        return self.num_packages * self.package.peak_tflops
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """The full machine."""
+
+    name: str = "Frontier"
+    node: NodeSpec = NodeSpec()
+    num_nodes: int = 9408
+
+    @property
+    def num_gcds(self) -> int:
+        return self.num_nodes * self.node.num_gcds
+
+    def validate_gpu_count(self, n_gpus: int) -> None:
+        """Paper Eq. 5: allocations come in whole nodes (multiples of 8)."""
+        if n_gpus <= 0 or n_gpus % self.node.num_gcds != 0:
+            raise ValueError(
+                f"GPU count must be a positive multiple of "
+                f"{self.node.num_gcds}: {n_gpus}")
+        if n_gpus > self.num_gcds:
+            raise ValueError(
+                f"{n_gpus} GPUs exceeds {self.name}'s {self.num_gcds}")
+
+
+#: The machine used throughout the study.
+FRONTIER = MachineSpec()

@@ -1,0 +1,152 @@
+"""Training memory-footprint model (paper Fig 5 and the 12x rule).
+
+The paper cites the rule of thumb that training a GPT-style model needs
+roughly 12 bytes per parameter (bf16 weights + bf16 gradients + fp32 Adam
+moments), and shows that without flash attention the 1.7B model OOMs on a
+64 GB GCD beyond sequence length 8192, while flash attention's linear
+memory makes 32768 trainable (a 4x longer context).
+
+Accounting (per GCD), following Megatron/DeepSpeed with full activation
+checkpointing:
+
+* model states: ``12 * params`` bytes, divided by TP; the optimizer
+  portion (8 of the 12) is additionally sharded across all DP ranks under
+  ZeRO stage 1;
+* checkpointed layer inputs: ``L/pp * seq * batch * h * 2`` bytes;
+* transient peak of the layer being (re)computed: elementwise activations
+  ``~34 * seq * batch * h`` bytes plus — without flash — the materialized
+  score tensors ``~10 * batch * heads * seq^2`` bytes;
+* output logits in fp32 (logits + softmax + gradient): ``3 * 4 * seq *
+  batch * vocab`` bytes on the final pipeline stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..models.config import ModelConfig
+from .hardware import GCDSpec
+
+__all__ = ["MemoryConstants", "MemoryBreakdown", "MemoryModel"]
+
+
+@dataclass(frozen=True)
+class MemoryConstants:
+    """Calibration constants of the memory model."""
+
+    model_state_bytes: float = 12.0    # the paper's 12x rule
+    optimizer_state_bytes: float = 8.0  # portion sharded by ZeRO-1
+    checkpoint_bytes: float = 2.0       # bf16 layer inputs
+    activation_bytes: float = 34.0      # transient per token per hidden
+    softmax_peak_bytes: float = 10.0    # per score element, unfused path
+    logits_copies: float = 3.0          # fp32 logits + softmax + grad
+    workspace_gb: float = 2.0           # allocator + RCCL + kernels
+
+
+@dataclass
+class MemoryBreakdown:
+    """Per-GCD memory footprint in bytes, by category."""
+
+    model_states: float
+    checkpoints: float
+    transient: float
+    logits: float
+    workspace: float
+    capacity: float
+
+    @property
+    def total(self) -> float:
+        return (self.model_states + self.checkpoints + self.transient +
+                self.logits + self.workspace)
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of GCD HBM used (Fig 5's y-axis)."""
+        return self.total / self.capacity
+
+    @property
+    def fits(self) -> bool:
+        return self.total <= self.capacity
+
+    def as_gb(self) -> dict[str, float]:
+        return {
+            "model_states": self.model_states / 1e9,
+            "checkpoints": self.checkpoints / 1e9,
+            "transient": self.transient / 1e9,
+            "logits": self.logits / 1e9,
+            "workspace": self.workspace / 1e9,
+            "total": self.total / 1e9,
+        }
+
+
+class MemoryModel:
+    """Per-GCD memory footprint under a parallelism configuration."""
+
+    def __init__(self, gcd: GCDSpec | None = None,
+                 constants: MemoryConstants | None = None):
+        self.gcd = gcd or GCDSpec()
+        self.c = constants or MemoryConstants()
+
+    def breakdown(self, config: ModelConfig, seq_len: int = 2048,
+                  micro_batch: int = 1, flash: int | None = None,
+                  tp: int = 1, pp: int = 1, dp: int = 1,
+                  zero_stage: int = 0) -> MemoryBreakdown:
+        """Compute the footprint of one training rank.
+
+        Parameters mirror the paper's parallelism knobs: ``tp``/``pp``
+        partition the model; ``zero_stage=1`` with data parallelism ``dp``
+        shards the optimizer states across all DP ranks.
+        """
+        if flash is None:
+            flash = config.flash_attention
+        if min(tp, pp, dp) < 1:
+            raise ValueError("parallelism degrees must be >= 1")
+        if zero_stage not in (0, 1, 2, 3):
+            raise ValueError("zero_stage must be 0, 1, 2 or 3")
+        c = self.c
+        params = config.num_parameters() / (tp * pp)
+        state_bytes = c.model_state_bytes * params
+        if zero_stage >= 1 and dp > 1:
+            # Stage 1 shards optimizer states; stage 2 adds gradients;
+            # stage 3 adds the parameters themselves.
+            opt = c.optimizer_state_bytes * params
+            state_bytes -= opt * (1 - 1.0 / dp)
+            if zero_stage >= 2:
+                grads = 2.0 * params
+                state_bytes -= grads * (1 - 1.0 / dp)
+            if zero_stage >= 3:
+                weights = 2.0 * params
+                state_bytes -= weights * (1 - 1.0 / dp)
+
+        layers_here = config.num_layers / pp
+        h_here = config.hidden_size / tp
+        tokens = seq_len * micro_batch
+        checkpoints = c.checkpoint_bytes * layers_here * tokens * config.hidden_size
+        transient = c.activation_bytes * tokens * h_here
+        if not flash:
+            transient += (c.softmax_peak_bytes * micro_batch *
+                          (config.num_heads / tp) * seq_len ** 2)
+        logits = (c.logits_copies * 4.0 * tokens * config.vocab_size / tp)
+        return MemoryBreakdown(
+            model_states=state_bytes,
+            checkpoints=checkpoints,
+            transient=transient,
+            logits=logits,
+            workspace=c.workspace_gb * 1e9,
+            capacity=self.gcd.hbm_bytes,
+        )
+
+    def max_seq_len(self, config: ModelConfig, micro_batch: int = 1,
+                    flash: int | None = None, limit: int = 1 << 20,
+                    **parallelism) -> int:
+        """Largest power-of-two sequence length that fits (Fig 5's 4x claim)."""
+        best = 0
+        s = 1024
+        while s <= limit:
+            if self.breakdown(config, seq_len=s, micro_batch=micro_batch,
+                              flash=flash, **parallelism).fits:
+                best = s
+            else:
+                break
+            s *= 2
+        return best

@@ -1,0 +1,26 @@
+"""Scientific downstream task: band-gap prediction with GNN + LLM fusion."""
+
+from .analysis import (EmbeddingDiagnostics, bootstrap_mae_ci,
+                       cosine_similarities,
+                       diagnose_embeddings, kmeans, pairwise_distances, pca,
+                       silhouette_score, tsne)
+from .embeddings import (FormulaEmbedder, GPTFormulaEmbedder,
+                         MatSciBERTEmbedder, embed_formulas)
+from .fusion import TableVResult, evaluate_model, run_table_v
+from .gnn import (GNNRegressor, GNNSpec, GraphConv, MODEL_ZOO, build_gnn,
+                  mean_absolute_error, predict, train_regressor)
+from .graphs import GraphBatch, GraphEncoder
+from .materials import (Material, MaterialsDataset, band_gap_class,
+                        generate_dataset)
+
+__all__ = [
+    "EmbeddingDiagnostics", "bootstrap_mae_ci", "cosine_similarities",
+    "diagnose_embeddings",
+    "kmeans", "pairwise_distances", "pca", "silhouette_score", "tsne",
+    "FormulaEmbedder", "GPTFormulaEmbedder", "MatSciBERTEmbedder",
+    "embed_formulas", "TableVResult", "evaluate_model", "run_table_v",
+    "GNNRegressor", "GNNSpec", "GraphConv", "MODEL_ZOO", "build_gnn",
+    "mean_absolute_error", "predict", "train_regressor", "GraphBatch",
+    "GraphEncoder", "Material", "MaterialsDataset", "band_gap_class",
+    "generate_dataset",
+]

@@ -1,0 +1,201 @@
+"""Synthetic Materials-Project-style dataset (Table V substitution).
+
+The paper fine-tunes on DFT band gaps from the Materials Project.  That
+dataset (and DFT itself) is outside scope, so we generate crystals whose
+band gap is a tiered function of physical descriptors (see
+:mod:`repro.matsci.descriptors`):
+
+* a coarse composition term every GNN can learn;
+* a bond-distance term visible to edge-aware models (MEGNet class+);
+* a bond-angle term visible to line-graph models (ALIGNN class+);
+* a smooth element-specific chemistry term only formula embeddings carry;
+* irreducible noise, playing DFT's own error role.
+
+Term amplitudes are standardized over the generated population, so the
+information available to each model tier — and therefore the Table V MAE
+ladder — is controlled by explicit weights rather than accidents of
+training.  Gaps are clipped at zero, producing the conductor /
+semiconductor / insulator class structure the paper's Fig 17 clustering
+analysis refers to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.formulas import Formula, FormulaGenerator
+from .descriptors import (angle_histogram_descriptor, chemistry_descriptor,
+                          composition_descriptor, edge_channel_descriptor)
+
+__all__ = ["Material", "MaterialsDataset", "generate_dataset",
+           "band_gap_class", "GapWeights"]
+
+
+@dataclass(frozen=True)
+class GapWeights:
+    """Amplitudes of the standardized band-gap terms (eV)."""
+
+    base: float = 1.25
+    composition: float = 0.50
+    edge: float = 0.40
+    angle: float = 0.36
+    chemistry: float = 0.42
+    noise: float = 0.14
+
+
+@dataclass(frozen=True)
+class Material:
+    """One crystal: formula, structure and DFT-style property labels.
+
+    ``band_gap`` is the paper's challenging target; ``formation_energy``
+    is the easier one it is contrasted against ("it is more challenging
+    to predict band gap than other properties such as formation energy").
+    """
+
+    formula: Formula
+    species: tuple[str, ...]          # per-atom element symbols
+    positions: np.ndarray             # (n_atoms, 3) Cartesian, Å
+    lattice: float                    # cubic cell edge, Å
+    band_gap: float                   # eV
+    formation_energy: float = 0.0     # eV/atom
+
+    @property
+    def n_atoms(self) -> int:
+        return len(self.species)
+
+    @property
+    def formula_str(self) -> str:
+        return str(self.formula)
+
+
+def band_gap_class(gap: float) -> str:
+    """Conductor / semiconductor / insulator, as in the paper's Fig 17."""
+    if gap <= 1e-6:
+        return "conductor"
+    if gap < 3.0:
+        return "semiconductor"
+    return "insulator"
+
+
+def _make_structure(formula: Formula, rng: np.random.Generator
+                    ) -> tuple[tuple[str, ...], np.ndarray, float]:
+    """Place 2 formula units on a jittered lattice inside a cubic cell."""
+    species: list[str] = []
+    for el, n in formula.composition:
+        species.extend([el] * (2 * n))
+    n_atoms = len(species)
+    lattice = 2.2 * formula.mean_radius * np.ceil(n_atoms ** (1 / 3)) + 1.0
+    grid = int(np.ceil(n_atoms ** (1 / 3)))
+    spacing = lattice / grid
+    sites = np.array([(i, j, k) for i in range(grid) for j in range(grid)
+                      for k in range(grid)], dtype=float)[:n_atoms]
+    positions = sites * spacing + rng.normal(0, 0.12 * spacing,
+                                             size=(n_atoms, 3))
+    order = rng.permutation(n_atoms)
+    return tuple(species[i] for i in order), positions, float(lattice)
+
+
+@dataclass
+class MaterialsDataset:
+    """A train/test-splittable collection of materials."""
+
+    materials: list[Material]
+
+    def __len__(self) -> int:
+        return len(self.materials)
+
+    def band_gaps(self) -> np.ndarray:
+        return np.array([m.band_gap for m in self.materials])
+
+    def formation_energies(self) -> np.ndarray:
+        return np.array([m.formation_energy for m in self.materials])
+
+    def targets(self, prop: str = "band_gap") -> np.ndarray:
+        if prop == "band_gap":
+            return self.band_gaps()
+        if prop == "formation_energy":
+            return self.formation_energies()
+        raise ValueError(f"unknown property {prop!r}")
+
+    def formulas(self) -> list[str]:
+        return [m.formula_str for m in self.materials]
+
+    def class_counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for m in self.materials:
+            c = band_gap_class(m.band_gap)
+            out[c] = out.get(c, 0) + 1
+        return out
+
+    def split(self, test_fraction: float = 0.2, seed: int = 0
+              ) -> tuple["MaterialsDataset", "MaterialsDataset"]:
+        if not 0 < test_fraction < 1:
+            raise ValueError("test_fraction must be in (0, 1)")
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(len(self.materials))
+        n_test = max(1, int(round(len(self.materials) * test_fraction)))
+        test = [self.materials[i] for i in order[:n_test]]
+        train = [self.materials[i] for i in order[n_test:]]
+        return MaterialsDataset(train), MaterialsDataset(test)
+
+
+def _standardize(x: np.ndarray) -> np.ndarray:
+    sd = x.std(axis=0, keepdims=True) + 1e-12
+    return (x - x.mean(axis=0, keepdims=True)) / sd
+
+
+def generate_dataset(n_materials: int = 300, seed: int = 0,
+                     weights: GapWeights | None = None) -> MaterialsDataset:
+    """Generate the synthetic band-gap dataset (two-pass, deterministic)."""
+    if n_materials < 1:
+        raise ValueError("n_materials must be >= 1")
+    w = weights or GapWeights()
+    rng = np.random.default_rng(seed)
+    gen = FormulaGenerator(seed=seed + 1)
+
+    # Pass 1: structures and raw descriptors.
+    structures = []
+    comp_raw, edge_raw, angle_raw, chem_raw = [], [], [], []
+    for _ in range(n_materials):
+        formula = gen.sample()
+        species, positions, lattice = _make_structure(formula, rng)
+        structures.append((formula, species, positions, lattice))
+        comp_raw.append(composition_descriptor(species))
+        edge_raw.append(edge_channel_descriptor(positions))
+        angle_raw.append(angle_histogram_descriptor(positions))
+        chem_raw.append(chemistry_descriptor(formula))
+
+    # Fixed smooth projections of the standardized descriptors.
+    proj_rng = np.random.default_rng(seed + 999)
+    comp = _standardize(np.asarray(comp_raw))
+    edge = _standardize(np.asarray(edge_raw))
+    angle = _standardize(np.asarray(angle_raw))
+    chem = _standardize(np.asarray(chem_raw)[:, None])[:, 0]
+
+    def project(z: np.ndarray) -> np.ndarray:
+        u = proj_rng.standard_normal(z.shape[1])
+        u /= np.linalg.norm(u)
+        raw = np.tanh(z @ u)
+        return (raw - raw.mean()) / (raw.std() + 1e-12)
+
+    t_comp = project(comp)
+    t_edge = project(edge)
+    t_angle = project(angle)
+
+    gaps = (w.base + w.composition * t_comp + w.edge * t_edge +
+            w.angle * t_angle + w.chemistry * chem +
+            rng.normal(0, w.noise, size=n_materials))
+    gaps = np.maximum(gaps, 0.0)
+
+    # Formation energy: dominated by the composition tier every model can
+    # see (plus a small structural term) — the "easy" property the paper
+    # contrasts band gap with.
+    formation = (-1.8 - 0.8 * t_comp - 0.25 * t_edge +
+                 rng.normal(0, 0.05, size=n_materials))
+
+    materials = [Material(formula=f, species=s, positions=p, lattice=l,
+                          band_gap=float(g), formation_energy=float(e))
+                 for (f, s, p, l), g, e in zip(structures, gaps, formation)]
+    return MaterialsDataset(materials)

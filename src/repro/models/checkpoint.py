@@ -1,0 +1,76 @@
+"""Model and tokenizer checkpointing.
+
+Pre-training runs need durable artifacts: `save_checkpoint` writes a
+model's configuration and weights to one ``.npz`` file and
+`load_checkpoint` reconstructs the identical model.  Tokenizers pickle
+their learned state alongside (both implementations are pure-Python
+dict/bytes structures).
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+from .config import ModelConfig
+from .transformer import GPTModel
+
+__all__ = ["save_checkpoint", "load_checkpoint", "save_tokenizer",
+           "load_tokenizer"]
+
+_CONFIG_KEY = "__config_json__"
+
+
+def save_checkpoint(model: GPTModel, path: str | Path) -> Path:
+    """Write config + weights to one ``.npz`` file; returns the path."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    arrays = {name: p.data for name, p in model.named_parameters()}
+    config_json = json.dumps(asdict(model.config))
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **arrays,
+             **{_CONFIG_KEY: np.frombuffer(config_json.encode(),
+                                           dtype=np.uint8)})
+    return path
+
+
+def load_checkpoint(path: str | Path) -> GPTModel:
+    """Reconstruct a model saved with :func:`save_checkpoint`."""
+    path = Path(path)
+    with np.load(path) as data:
+        if _CONFIG_KEY not in data:
+            raise ValueError(f"{path} is not a repro checkpoint "
+                             f"(missing {_CONFIG_KEY})")
+        config_json = bytes(data[_CONFIG_KEY]).decode()
+        config = ModelConfig(**json.loads(config_json))
+        model = GPTModel(config, seed=0)
+        state = {k: data[k] for k in data.files if k != _CONFIG_KEY}
+    model.load_state_dict(state)
+    return model
+
+
+def save_tokenizer(tokenizer, path: str | Path) -> Path:
+    """Pickle a trained tokenizer (BPE or unigram)."""
+    if not getattr(tokenizer, "_trained", False):
+        raise ValueError("refusing to save an untrained tokenizer")
+    path = Path(path)
+    if path.suffix != ".pkl":
+        path = path.with_suffix(".pkl")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "wb") as fh:
+        pickle.dump(tokenizer, fh)
+    return path
+
+
+def load_tokenizer(path: str | Path):
+    """Load a tokenizer saved with :func:`save_tokenizer`."""
+    with open(path, "rb") as fh:
+        tokenizer = pickle.load(fh)
+    if not getattr(tokenizer, "_trained", False):
+        raise ValueError(f"{path} did not contain a trained tokenizer")
+    return tokenizer

@@ -1,0 +1,175 @@
+"""Model configuration and the architecture presets of Table II.
+
+A :class:`ModelConfig` fully determines a MatGPT variant: architecture
+family (``neox`` or ``llama``), depth/width/heads, vocabulary, context
+length, and attention implementation.  The Table II presets (1.7B and
+6.7B for both families) are provided, alongside ``tiny`` presets used for
+real training in tests and examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = ["ModelConfig", "TABLE_II", "preset", "PRESETS"]
+
+_VALID_ARCHS = ("neox", "llama")
+_VALID_TOKENIZERS = ("hf", "spm")
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Hyper-parameters of one MatGPT variant.
+
+    Attributes mirror Table II of the paper: ``hidden_size`` (N_h),
+    ``num_layers`` (N_l), ``num_heads`` (N_a), with ``head_dim`` derived as
+    N_h / N_a (the paper implements head dimension as this ratio, which is
+    the source of constraint Eq. 1).
+    """
+
+    arch: str = "neox"
+    hidden_size: int = 2304
+    num_layers: int = 24
+    num_heads: int = 24
+    vocab_size: int = 52000
+    max_seq_len: int = 2048
+    tokenizer: str = "hf"
+    flash_attention: int = 0  # 0 = off, 1 = v1, 2 = v2
+    dropout: float = 0.0
+    rotary_pct: float = 1.0
+    #: Grouped-query attention (LLaMA-2's inference tweak, which the paper
+    #: mentions): number of key/value heads. None = multi-head (= num_heads).
+    num_kv_heads: int | None = None
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.arch not in _VALID_ARCHS:
+            raise ValueError(f"arch must be one of {_VALID_ARCHS}: {self.arch!r}")
+        if self.tokenizer not in _VALID_TOKENIZERS:
+            raise ValueError(
+                f"tokenizer must be one of {_VALID_TOKENIZERS}: {self.tokenizer!r}")
+        if self.hidden_size % self.num_heads != 0:
+            raise ValueError(
+                f"hidden_size ({self.hidden_size}) must be divisible by "
+                f"num_heads ({self.num_heads})  [paper Eq. 1]")
+        if self.flash_attention not in (0, 1, 2):
+            raise ValueError("flash_attention must be 0, 1 or 2")
+        if self.flash_attention and self.head_dim % 8 != 0:
+            raise ValueError(
+                f"flash attention requires head_dim % 8 == 0 (got {self.head_dim})")
+        if self.flash_attention == 2 and self.head_dim > 256:
+            raise ValueError("flash attention v2 supports head_dim <= 256")
+        if self.num_kv_heads is not None:
+            if self.num_kv_heads < 1 or self.num_heads % self.num_kv_heads:
+                raise ValueError(
+                    f"num_kv_heads ({self.num_kv_heads}) must divide "
+                    f"num_heads ({self.num_heads})")
+
+    @property
+    def head_dim(self) -> int:
+        return self.hidden_size // self.num_heads
+
+    @property
+    def kv_heads(self) -> int:
+        """Effective number of key/value heads (GQA; == num_heads for MHA)."""
+        return self.num_kv_heads if self.num_kv_heads is not None \
+            else self.num_heads
+
+    @property
+    def qkv_out_dim(self) -> int:
+        """Output width of the fused QKV projection."""
+        return self.hidden_size + 2 * self.kv_heads * self.head_dim
+
+    @property
+    def ffn_hidden_size(self) -> int:
+        """MLP inner width.
+
+        NeoX uses the GPT-3 convention 4*h with a 2-matrix GELU MLP.  LLaMA
+        uses a 3-matrix SwiGLU MLP sized to ~8/3*h so that per-layer
+        parameters and FLOPs match the NeoX layer (Fig 2: "approximately the
+        same number of parameters and FLOPs").
+        """
+        if self.arch == "llama":
+            return int(8 * self.hidden_size / 3)
+        return 4 * self.hidden_size
+
+    @property
+    def mlp_matrices(self) -> int:
+        return 3 if self.arch == "llama" else 2
+
+    def num_parameters(self, include_embeddings: bool = True) -> int:
+        """Analytic parameter count (matches the live model exactly)."""
+        h, L, v = self.hidden_size, self.num_layers, self.vocab_size
+        f = self.ffn_hidden_size
+        bias = self.arch == "neox"
+        qkv = h * self.qkv_out_dim + (self.qkv_out_dim if bias else 0)
+        attn = qkv + h * h + (h if bias else 0)  # QKV + output projection
+        if self.arch == "llama":
+            mlp = 3 * h * f
+            norms = 2 * h  # two RMSNorms (weight only)
+        else:
+            mlp = 2 * h * f + f + h  # two matrices + biases
+            norms = 2 * 2 * h  # two LayerNorms (weight + bias)
+        per_layer = attn + mlp + norms
+        total = L * per_layer
+        final_norm = h if self.arch == "llama" else 2 * h
+        total += final_norm
+        if include_embeddings:
+            total += v * h  # input embedding; output head is tied
+        return total
+
+    def with_flash(self, version: int) -> "ModelConfig":
+        return replace(self, flash_attention=version)
+
+    def with_arch(self, arch: str) -> "ModelConfig":
+        return replace(self, arch=arch, name="")
+
+    def label(self) -> str:
+        if self.name:
+            return self.name
+        return (f"{self.arch}-{self.num_layers}L-{self.hidden_size}h-"
+                f"{self.num_heads}a")
+
+
+def _t2(arch: str, params: str, h: int, L: int, a: int, tokenizer: str,
+        vocab: int) -> ModelConfig:
+    return ModelConfig(arch=arch, hidden_size=h, num_layers=L, num_heads=a,
+                       tokenizer=tokenizer, vocab_size=vocab,
+                       name=f"MatGPT-{arch.upper()}-{params}")
+
+
+#: The Table II architecture grid (paper vocabularies of 32K / 52K).
+TABLE_II: dict[str, ModelConfig] = {
+    "llama-1.7b-spm-32k": _t2("llama", "1.7B", 2304, 24, 24, "spm", 32000),
+    "llama-1.7b-hf-32k": _t2("llama", "1.7B", 2304, 24, 24, "hf", 32000),
+    "llama-1.7b-hf-52k": _t2("llama", "1.7B", 2304, 24, 24, "hf", 52000),
+    "llama-6.7b-hf-52k": _t2("llama", "6.7B", 4096, 32, 32, "hf", 52000),
+    "neox-1.7b-hf-52k": _t2("neox", "1.7B", 2304, 24, 24, "hf", 52000),
+    "neox-6.7b-hf-52k": _t2("neox", "6.7B", 4096, 32, 32, "hf", 52000),
+}
+
+#: Small presets that actually train in seconds (used in tests/examples).
+PRESETS: dict[str, ModelConfig] = {
+    **TABLE_II,
+    "tiny-neox": ModelConfig(arch="neox", hidden_size=64, num_layers=2,
+                             num_heads=4, vocab_size=512, max_seq_len=64,
+                             name="tiny-neox"),
+    "tiny-llama": ModelConfig(arch="llama", hidden_size=64, num_layers=2,
+                              num_heads=4, vocab_size=512, max_seq_len=64,
+                              name="tiny-llama"),
+    "small-neox": ModelConfig(arch="neox", hidden_size=128, num_layers=4,
+                              num_heads=8, vocab_size=832, max_seq_len=128,
+                              name="small-neox"),
+    "small-llama": ModelConfig(arch="llama", hidden_size=128, num_layers=4,
+                               num_heads=8, vocab_size=832, max_seq_len=128,
+                               name="small-llama"),
+}
+
+
+def preset(name: str) -> ModelConfig:
+    """Look up a named configuration (Table II entries or tiny presets)."""
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown preset {name!r}; available: {sorted(PRESETS)}") from None

@@ -1,0 +1,150 @@
+"""Parameter and FLOP accounting for transformer layers (paper Fig 2).
+
+These analytic counts drive three parts of the reproduction:
+
+* Fig 2 — per-layer parameters and FLOPs for the 1.7B architectures at
+  sequence length 2048 and batch size 16, showing NeoX and LLaMA layers
+  are matched;
+* Fig 10 — the proportion of layer latency attributable to each GEMM;
+* the roofline performance model in :mod:`repro.frontier.roofline`, which
+  converts these GEMM shapes into simulated kernel times.
+
+Conventions: a GEMM of shape (m, k) x (k, n) costs ``2·m·k·n`` FLOPs;
+backward costs twice forward (one GEMM each for input and weight grads),
+so training steps cost 3x the forward pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .config import ModelConfig
+
+__all__ = ["GEMMShape", "LayerAccounting", "layer_accounting",
+           "model_training_flops", "model_flops_per_token"]
+
+
+@dataclass(frozen=True)
+class GEMMShape:
+    """One matrix multiplication inside a transformer layer."""
+
+    name: str
+    m: int
+    k: int
+    n: int
+    count: int = 1  # e.g. per-head score GEMMs
+
+    @property
+    def flops(self) -> int:
+        return 2 * self.m * self.k * self.n * self.count
+
+    def bytes_moved(self, dtype_bytes: int = 2) -> int:
+        """Approximate HBM traffic assuming operands are read/written once."""
+        return dtype_bytes * self.count * (
+            self.m * self.k + self.k * self.n + self.m * self.n)
+
+
+@dataclass
+class LayerAccounting:
+    """Parameters and forward FLOPs of one transformer layer, by component."""
+
+    config: ModelConfig
+    seq_len: int
+    batch_size: int
+    params: dict[str, int] = field(default_factory=dict)
+    gemms: list[GEMMShape] = field(default_factory=list)
+
+    @property
+    def total_params(self) -> int:
+        return sum(self.params.values())
+
+    @property
+    def total_forward_flops(self) -> int:
+        return sum(g.flops for g in self.gemms)
+
+    @property
+    def total_training_flops(self) -> int:
+        return 3 * self.total_forward_flops
+
+    def flops_by_component(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for g in self.gemms:
+            out[g.name] = out.get(g.name, 0) + g.flops
+        return out
+
+    def attention_flops(self) -> int:
+        comps = self.flops_by_component()
+        return sum(v for k, v in comps.items()
+                   if k in ("qkv", "score", "aov", "linproj"))
+
+    def mlp_flops(self) -> int:
+        return self.flops_by_component().get("mlp", 0)
+
+
+def layer_accounting(config: ModelConfig, seq_len: int = 2048,
+                     batch_size: int = 16) -> LayerAccounting:
+    """Compute the Fig 2 layer breakdown for an architecture.
+
+    Returns parameter counts (attention / MLP / norms) and every GEMM shape
+    executed in one forward pass of one layer over a
+    (batch_size, seq_len) activation.
+    """
+    h = config.hidden_size
+    a = config.num_heads
+    d = config.head_dim
+    f = config.ffn_hidden_size
+    b, s = batch_size, seq_len
+    bias = config.arch == "neox"
+
+    qkv_out = config.qkv_out_dim
+    params = {
+        "attention": h * qkv_out + h * h + ((qkv_out + h) if bias else 0),
+    }
+    if config.arch == "llama":
+        params["mlp"] = 3 * h * f
+        params["norms"] = 2 * h
+    else:
+        params["mlp"] = 2 * h * f + f + h
+        params["norms"] = 4 * h
+
+    rows = b * s
+    gemms = [
+        GEMMShape("qkv", rows, h, config.qkv_out_dim),
+        # Per-head score and attention-over-value batched GEMMs.
+        GEMMShape("score", s, d, s, count=b * a),
+        GEMMShape("aov", s, s, d, count=b * a),
+        GEMMShape("linproj", rows, h, h),
+    ]
+    if config.arch == "llama":
+        gemms += [
+            GEMMShape("mlp", rows, h, f),       # gate
+            GEMMShape("mlp", rows, h, f),       # up
+            GEMMShape("mlp", rows, f, h),       # down
+        ]
+    else:
+        gemms += [
+            GEMMShape("mlp", rows, h, f),
+            GEMMShape("mlp", rows, f, h),
+        ]
+    return LayerAccounting(config=config, seq_len=s, batch_size=b,
+                           params=params, gemms=gemms)
+
+
+def model_flops_per_token(config: ModelConfig, seq_len: int | None = None
+                          ) -> float:
+    """Training FLOPs per token for the full model.
+
+    Uses the standard ``6·N`` dense estimate plus the quadratic attention
+    term ``6·L·s·h`` (paper follows Kaplan et al. / Megatron accounting).
+    """
+    s = seq_len or config.max_seq_len
+    n_dense = config.num_parameters(include_embeddings=True)
+    dense = 6.0 * n_dense
+    attn = 12.0 * config.num_layers * s * config.hidden_size / 2.0
+    return dense + attn
+
+
+def model_training_flops(config: ModelConfig, tokens: float,
+                         seq_len: int | None = None) -> float:
+    """Total training FLOPs for pre-training on ``tokens`` tokens."""
+    return model_flops_per_token(config, seq_len) * tokens

@@ -1,0 +1,24 @@
+"""Distributed-training simulation: strategies, collectives, step model."""
+
+from .collectives import CollectiveModel, CommEvent, GroupTopology
+from .comm_model import (CommSchedule, MessageLog, TP_ALLREDUCES_PER_LAYER,
+                         build_schedule)
+from .functional import (DataParallelTrainer, PipelineExecutor,
+                         SimulatedComm, Zero1DataParallel,
+                         split_attention_tensor_parallel,
+                         split_mlp_tensor_parallel, tp_attention_forward,
+                         tp_mlp_forward)
+from .pipeline import PipelineSchedule, bubble_fraction
+from .simulator import (ScalingPoint, SimConstants, StepProfile,
+                        TrainingSimulator)
+from .strategy import ParallelConfig, feasible_configs
+
+__all__ = [
+    "CollectiveModel", "CommEvent", "GroupTopology", "CommSchedule",
+    "MessageLog", "TP_ALLREDUCES_PER_LAYER", "build_schedule",
+    "DataParallelTrainer", "PipelineExecutor", "SimulatedComm",
+    "Zero1DataParallel", "split_attention_tensor_parallel",
+    "split_mlp_tensor_parallel", "tp_attention_forward", "tp_mlp_forward",
+    "PipelineSchedule", "bubble_fraction", "ScalingPoint", "SimConstants",
+    "StepProfile", "TrainingSimulator", "ParallelConfig", "feasible_configs",
+]

@@ -1,0 +1,133 @@
+"""Topology-aware collective-communication cost model (RCCL analogue).
+
+Implements α–β (latency–bandwidth) models of the ring algorithms RCCL
+uses, over Frontier's bandwidth hierarchy:
+
+* 200 GB/s between the two GCDs of one MI250X (the paper exploits this
+  for TP=2, Observation 2);
+* 100 GB/s Infinity Fabric between packages inside a node;
+* the 100 GB/s Slingshot NIC is *shared by the node's 8 GCDs*, so a ring
+  spanning nodes sees ~12.5 GB/s per participating GCD.
+
+Every modeled call also produces a :class:`CommEvent` record, which is
+what the RCCL message-log simulation (Fig 11) aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..frontier.hardware import NodeSpec
+
+__all__ = ["CommEvent", "GroupTopology", "CollectiveModel"]
+
+
+@dataclass(frozen=True)
+class CommEvent:
+    """One simulated RCCL call."""
+
+    op: str          # "allreduce" | "allgather" | "reducescatter" | "p2p" | "broadcast"
+    bytes: int       # message size per rank
+    group_size: int
+    seconds: float
+
+
+@dataclass(frozen=True)
+class GroupTopology:
+    """Placement of a communicator group on the machine."""
+
+    size: int
+    span: str  # "package" | "node" | "system"
+
+    @classmethod
+    def place(cls, size: int, gpus_per_node: int = 8,
+              gpus_per_package: int = 2) -> "GroupTopology":
+        """Topology-aware placement: smallest span that fits the group.
+
+        This mirrors the paper's recommendation to map model-parallel
+        groups onto the fastest links (TP=2 inside one MI250X).
+        """
+        if size <= gpus_per_package:
+            return cls(size, "package")
+        if size <= gpus_per_node:
+            return cls(size, "node")
+        return cls(size, "system")
+
+
+class CollectiveModel:
+    """α–β ring cost model over the Frontier bandwidth hierarchy."""
+
+    def __init__(self, node: NodeSpec | None = None,
+                 latency_s: float = 6e-6,
+                 scale_degradation: float = 0.6,
+                 degradation_onset: int = 64):
+        self.node = node or NodeSpec()
+        self.latency_s = latency_s
+        #: Rings larger than ``degradation_onset`` lose effective bandwidth
+        #: (slow-link straggling, protocol overhead); this reproduces the
+        #: paper's observation that ZeRO's all-device collectives "start to
+        #: drop at larger scale" beyond 64 GPUs (Fig 8).
+        self.scale_degradation = scale_degradation
+        self.degradation_onset = degradation_onset
+
+    # ------------------------------------------------------------------
+    def effective_bandwidth(self, topo: GroupTopology) -> float:
+        """Per-GCD ring bandwidth in bytes/s for a group placement."""
+        if topo.span == "package":
+            return self.node.package.intra_package_bw_gbs * 1e9
+        if topo.span == "node":
+            return self.node.intra_node_bw_gbs * 1e9
+        # Cross-node ring: the NIC is shared by all GCDs of the node that
+        # participate in inter-node traffic, and very large rings degrade.
+        base = self.node.nic_bw_gbs * 1e9 / self.node.num_gcds
+        if topo.size > self.degradation_onset:
+            base /= 1.0 + self.scale_degradation * np.log2(
+                topo.size / self.degradation_onset)
+        return base
+
+    def _ring_steps(self, p: int) -> int:
+        return max(p - 1, 0)
+
+    # ------------------------------------------------------------------
+    def allreduce(self, nbytes: int, group: GroupTopology) -> CommEvent:
+        """Ring allreduce: reduce-scatter + allgather, 2(p-1)/p volume."""
+        p = group.size
+        if p <= 1:
+            return CommEvent("allreduce", nbytes, p, 0.0)
+        bw = self.effective_bandwidth(group)
+        t = (2 * self._ring_steps(p) * self.latency_s +
+             2.0 * nbytes * (p - 1) / p / bw)
+        return CommEvent("allreduce", nbytes, p, t)
+
+    def allgather(self, nbytes: int, group: GroupTopology) -> CommEvent:
+        """Ring allgather; ``nbytes`` is the full (gathered) buffer size."""
+        p = group.size
+        if p <= 1:
+            return CommEvent("allgather", nbytes, p, 0.0)
+        bw = self.effective_bandwidth(group)
+        t = self._ring_steps(p) * self.latency_s + nbytes * (p - 1) / p / bw
+        return CommEvent("allgather", nbytes, p, t)
+
+    def reduce_scatter(self, nbytes: int, group: GroupTopology) -> CommEvent:
+        """Ring reduce-scatter; ``nbytes`` is the full input buffer size."""
+        p = group.size
+        if p <= 1:
+            return CommEvent("reducescatter", nbytes, p, 0.0)
+        bw = self.effective_bandwidth(group)
+        t = self._ring_steps(p) * self.latency_s + nbytes * (p - 1) / p / bw
+        return CommEvent("reducescatter", nbytes, p, t)
+
+    def broadcast(self, nbytes: int, group: GroupTopology) -> CommEvent:
+        p = group.size
+        if p <= 1:
+            return CommEvent("broadcast", nbytes, p, 0.0)
+        bw = self.effective_bandwidth(group)
+        t = self._ring_steps(p) * self.latency_s + nbytes / bw
+        return CommEvent("broadcast", nbytes, p, t)
+
+    def p2p(self, nbytes: int, span: str = "node") -> CommEvent:
+        """Point-to-point send (pipeline-parallel activations)."""
+        bw = self.effective_bandwidth(GroupTopology(2, span))
+        return CommEvent("p2p", nbytes, 2, self.latency_s + nbytes / bw)

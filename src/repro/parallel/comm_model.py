@@ -1,0 +1,182 @@
+"""Per-strategy communication schedules and RCCL message-log simulation.
+
+For each parallelism strategy this module derives the collective calls
+issued during one training step — operation, message size, communicator —
+exactly the information the paper extracts from RCCL logs with
+``NCCL_DEBUG_SUBSYS=COLL`` (Fig 11):
+
+* **DP**: bucketed allreduce of fp32 main gradients (Megatron DDP), ≈ 2x
+  the bf16 model size in logged bytes;
+* **ZeRO-1**: per-layer-group reduce-scatter of gradients plus allgather
+  of updated parameters — an order of magnitude more calls, same ~2x
+  volume;
+* **TP**: activation allreduces every layer (forward, backward and input
+  gradient paths) within the TP group, plus the DP gradient allreduce of
+  the sharded parameters, ≈ 3x the model size;
+* **PP**: point-to-point boundary activations per micro-batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..models.config import ModelConfig
+from .collectives import CollectiveModel, CommEvent, GroupTopology
+from .strategy import ParallelConfig
+
+__all__ = ["CommSchedule", "MessageLog", "build_schedule"]
+
+#: Megatron-style gradient bucketing.
+GRAD_BUCKET_BYTES = 200 * 1024 * 1024
+#: Allreduces per transformer layer under tensor parallelism (forward,
+#: backward and input-gradient paths; calibrated to the paper's ~3x volume).
+TP_ALLREDUCES_PER_LAYER = 6
+
+
+@dataclass
+class MessageLog:
+    """Aggregated view of one step's RCCL traffic (Fig 11)."""
+
+    events: list[CommEvent] = field(default_factory=list)
+
+    @property
+    def num_calls(self) -> int:
+        return len(self.events)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(e.bytes for e in self.events)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(e.seconds for e in self.events)
+
+    def histogram(self, bins: np.ndarray | None = None
+                  ) -> tuple[np.ndarray, np.ndarray]:
+        """Histogram of per-call message sizes (log-spaced by default)."""
+        sizes = np.array([e.bytes for e in self.events], dtype=float)
+        if bins is None:
+            bins = np.logspace(3, 11, 33)
+        counts, edges = np.histogram(sizes, bins=bins)
+        return counts, edges
+
+    def by_op(self) -> dict[str, dict[str, float]]:
+        out: dict[str, dict[str, float]] = {}
+        for e in self.events:
+            d = out.setdefault(e.op, {"calls": 0, "bytes": 0, "seconds": 0.0})
+            d["calls"] += 1
+            d["bytes"] += e.bytes
+            d["seconds"] += e.seconds
+        return out
+
+    def volume_vs_model_size(self, model: ModelConfig) -> float:
+        """Logged bytes as a multiple of the bf16 model size (Fig 11)."""
+        return self.total_bytes / (2.0 * model.num_parameters())
+
+
+@dataclass
+class CommSchedule:
+    """One step's communication, split into overlappable and exposed parts."""
+
+    log: MessageLog
+    #: Fraction of each op's time hidden under computation.
+    overlap: dict[str, float]
+
+    @property
+    def exposed_seconds(self) -> float:
+        return sum(e.seconds * (1.0 - self.overlap.get(e.op, 0.0))
+                   for e in self.log.events)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.log.total_seconds
+
+
+def _bucketize(total_bytes: float, bucket: float = GRAD_BUCKET_BYTES
+               ) -> list[int]:
+    n_full, rem = divmod(int(total_bytes), int(bucket))
+    sizes = [int(bucket)] * n_full
+    if rem:
+        sizes.append(rem)
+    return sizes
+
+
+def build_schedule(model: ModelConfig, parallel: ParallelConfig,
+                   collectives: CollectiveModel, seq_len: int,
+                   per_rank_tokens: int, gpus_per_node: int = 8
+                   ) -> CommSchedule:
+    """Derive one training step's communication for a strategy.
+
+    ``per_rank_tokens`` is the number of tokens processed by one GCD per
+    step (the paper keeps this fixed when scaling out).
+    """
+    params = model.num_parameters()
+    events: list[CommEvent] = []
+    overlap: dict[str, float] = {"allreduce": 0.0, "allgather": 0.0,
+                                 "reducescatter": 0.0, "p2p": 0.0}
+
+    # TP groups are placed innermost (fastest links); DP ranks are strided
+    # by tp*pp, so whenever the job spans nodes the DP ring crosses nodes.
+    tp_group = GroupTopology.place(parallel.tp, gpus_per_node=gpus_per_node)
+    if parallel.world_size <= gpus_per_node:
+        dp_group = GroupTopology.place(parallel.dp, gpus_per_node=gpus_per_node)
+    else:
+        dp_group = GroupTopology(parallel.dp, "system")
+
+    shard = parallel.tp * parallel.pp
+    if parallel.dp > 1:
+        if parallel.zero_stage >= 1:
+            # ZeRO: per-layer-group reduce-scatter of bf16 gradients and
+            # allgather of updated bf16 parameters across the DP group.
+            # Stages 1 and 2 share this wire pattern (stage 2 only changes
+            # *residency*, not traffic); stage 3 must additionally gather
+            # the sharded parameters in both forward and backward.
+            groups_per_layer = 4
+            n_groups = model.num_layers * groups_per_layer
+            grad_bytes = 2.0 * params / shard
+            per_group = grad_bytes / n_groups
+            for _ in range(n_groups):
+                events.append(collectives.reduce_scatter(int(per_group), dp_group))
+            for _ in range(n_groups):
+                events.append(collectives.allgather(int(per_group), dp_group))
+            if parallel.zero_stage == 3:
+                for _ in range(2 * n_groups):  # fwd + bwd re-gather
+                    events.append(collectives.allgather(int(per_group),
+                                                        dp_group))
+            # Reduce-scatter overlaps with backward; allgather cannot (it
+            # needs the optimizer step to finish first).  Stage-3 forward
+            # gathers prefetch reasonably well.
+            overlap["reducescatter"] = 0.5
+            overlap["allgather"] = 0.3 if parallel.zero_stage == 3 else 0.0
+        else:
+            # Plain DP: bucketed allreduce of fp32 main gradients,
+            # overlapped with the backward pass.
+            for nbytes in _bucketize(4.0 * params / shard):
+                events.append(collectives.allreduce(nbytes, dp_group))
+            # Megatron DDP starts bucketed allreduces as soon as each
+            # bucket's gradients are ready, hiding most of the time under
+            # the backward pass; TP shrinks the overlap window because its
+            # own allreduces already occupy the backward critical path.
+            overlap["allreduce"] = 0.85 if parallel.tp == 1 else 0.7
+
+    if parallel.tp > 1:
+        act_bytes = int(per_rank_tokens * model.hidden_size * 2)
+        for _ in range(model.num_layers * TP_ALLREDUCES_PER_LAYER
+                       // parallel.pp):
+            events.append(collectives.allreduce(act_bytes, tp_group))
+        # TP allreduces sit on the critical path of every layer; only a
+        # small fraction hides under adjacent kernels.
+        overlap.setdefault("allreduce", 0.0)
+        if parallel.dp == 1 or parallel.zero_stage == 1:
+            overlap["allreduce"] = 0.1
+
+    if parallel.pp > 1:
+        boundary_bytes = int(per_rank_tokens // parallel.micro_batches *
+                             model.hidden_size * 2)
+        for _ in range(2 * parallel.micro_batches * (parallel.pp - 1)):
+            events.append(collectives.p2p(boundary_bytes, span="node"))
+        overlap["p2p"] = 0.3
+
+    return CommSchedule(log=MessageLog(events=events), overlap=overlap)

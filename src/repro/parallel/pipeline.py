@@ -1,0 +1,57 @@
+"""Pipeline-parallel execution model (GPipe-style schedule).
+
+The paper finds PP=2 "performs much worse compared to the other two
+parallelism dimensions even for a single node" (Fig 7).  The dominant
+cost is the pipeline bubble: with ``m`` micro-batches and ``p`` stages, a
+1F1B/GPipe schedule idles each device for ``(p-1)/(m+p-1)`` of the step,
+plus per-micro-batch synchronization overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PipelineSchedule", "bubble_fraction"]
+
+
+def bubble_fraction(pp: int, micro_batches: int) -> float:
+    """Idle fraction of a GPipe/1F1B pipeline."""
+    if pp < 1 or micro_batches < 1:
+        raise ValueError("pp and micro_batches must be >= 1")
+    if pp == 1:
+        return 0.0
+    return (pp - 1) / (micro_batches + pp - 1)
+
+
+@dataclass(frozen=True)
+class PipelineSchedule:
+    """Timing of one pipeline-parallel step."""
+
+    pp: int
+    micro_batches: int
+    per_microbatch_compute_s: float   # per stage
+    per_boundary_p2p_s: float
+    sync_overhead_s: float = 150e-6   # per micro-batch host sync
+
+    @property
+    def bubble(self) -> float:
+        return bubble_fraction(self.pp, self.micro_batches)
+
+    @property
+    def compute_seconds(self) -> float:
+        return self.per_microbatch_compute_s * self.micro_batches
+
+    @property
+    def total_seconds(self) -> float:
+        """Wall-clock of the slowest stage, including bubble and p2p."""
+        busy = self.compute_seconds + \
+            self.micro_batches * self.sync_overhead_s
+        stretched = busy / (1.0 - self.bubble) if self.pp > 1 else busy
+        p2p = 2 * self.micro_batches * self.per_boundary_p2p_s \
+            if self.pp > 1 else 0.0
+        return stretched + p2p
+
+    @property
+    def bubble_seconds(self) -> float:
+        busy = self.compute_seconds + self.micro_batches * self.sync_overhead_s
+        return busy / (1.0 - self.bubble) - busy if self.pp > 1 else 0.0

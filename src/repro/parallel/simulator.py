@@ -1,0 +1,190 @@
+"""End-to-end distributed-training step simulator (Figs 7, 8; Table IV).
+
+Combines the single-GCD roofline (:mod:`repro.frontier.roofline`), the
+collective cost model, the per-strategy communication schedule and the
+pipeline model into one step-time estimate, and exposes scaling sweeps
+over GPU counts.
+
+The per-device batch size is held fixed when scaling out, exactly as the
+paper does ("in the above experiments, the per-device batch size is
+fixed"), so scaling efficiency is weak-scaling efficiency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..frontier.hardware import FRONTIER, MachineSpec
+from ..frontier.memory import MemoryBreakdown, MemoryModel
+from ..frontier.roofline import RooflineModel
+from ..models.config import ModelConfig
+from ..models.flops import model_flops_per_token
+from .collectives import CollectiveModel
+from .comm_model import CommSchedule, build_schedule
+from .pipeline import PipelineSchedule
+from .strategy import ParallelConfig
+
+__all__ = ["SimConstants", "StepProfile", "TrainingSimulator", "ScalingPoint"]
+
+
+@dataclass(frozen=True)
+class SimConstants:
+    """Calibration constants of the distributed simulator."""
+
+    #: GEMM-efficiency penalty per halving of the model under TP (narrower
+    #: per-rank GEMMs).
+    tp_compute_penalty: float = 0.96
+    #: Host-to-device bandwidth for batch loading (GB/s).
+    h2d_bw_gbs: float = 50.0
+    #: IO (H2D/D2H/D2D data movement) as a fraction of compute time; ZeRO
+    #: shuffles the most data (paper: ~5% of run time at 256 GPUs).
+    io_fraction_base: float = 0.02
+    io_fraction_zero: float = 0.055
+
+
+@dataclass
+class StepProfile:
+    """Simulated breakdown of one training step on one rank."""
+
+    compute_s: float
+    comm_exposed_s: float
+    comm_total_s: float
+    io_s: float
+    bubble_s: float
+    schedule: CommSchedule | None = None
+    memory: MemoryBreakdown | None = None
+
+    @property
+    def total_s(self) -> float:
+        return self.compute_s + self.comm_exposed_s + self.io_s + self.bubble_s
+
+    def kernel_fractions(self) -> dict[str, float]:
+        """rocprof-style aggregation: compute / communication / IO (Fig 8)."""
+        busy = self.compute_s + self.bubble_s
+        total = busy + self.comm_exposed_s + self.io_s
+        return {"compute": busy / total,
+                "comm": self.comm_exposed_s / total,
+                "io": self.io_s / total}
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One point of a scaling sweep (Fig 8 top)."""
+
+    n_gpus: int
+    per_gcd_tflops: float
+    aggregate_pflops: float
+    efficiency: float   # relative to the smallest point in the sweep
+
+
+class TrainingSimulator:
+    """Distributed LLM-training performance simulator for Frontier."""
+
+    def __init__(self, machine: MachineSpec = FRONTIER,
+                 roofline: RooflineModel | None = None,
+                 collectives: CollectiveModel | None = None,
+                 memory: MemoryModel | None = None,
+                 constants: SimConstants | None = None):
+        self.machine = machine
+        self.roofline = roofline or RooflineModel()
+        self.collectives = collectives or CollectiveModel(machine.node)
+        self.memory = memory or MemoryModel()
+        self.c = constants or SimConstants()
+
+    # ------------------------------------------------------------------
+    def step(self, model: ModelConfig, parallel: ParallelConfig,
+             seq_len: int = 2048, per_device_seqs: int = 8,
+             flash: int | None = None, check_memory: bool = False
+             ) -> StepProfile:
+        """Simulate one training step for one rank of the layout."""
+        parallel.validate(model, self.machine.node.num_gcds)
+        self.machine.validate_gpu_count(parallel.world_size)
+        if flash is None:
+            flash = model.flash_attention
+
+        per_rank_tokens = per_device_seqs * seq_len
+        # Compute: the full-model single-GCD step, divided over the model
+        # shards, with a mild penalty for narrower TP GEMMs.
+        full = self.roofline.step_time(model, seq_len, per_device_seqs, flash)
+        shard = parallel.tp * parallel.pp
+        penalty = self.c.tp_compute_penalty ** max(parallel.tp - 1, 0)
+        compute = full / shard / penalty
+
+        schedule = build_schedule(model, parallel, self.collectives, seq_len,
+                                  per_rank_tokens,
+                                  gpus_per_node=self.machine.node.num_gcds)
+        comm_exposed = schedule.exposed_seconds
+        comm_total = schedule.total_seconds
+
+        bubble = 0.0
+        if parallel.pp > 1:
+            boundary = int(per_rank_tokens // parallel.micro_batches *
+                           model.hidden_size * 2)
+            p2p = self.collectives.p2p(boundary, span="node").seconds
+            sched = PipelineSchedule(
+                pp=parallel.pp, micro_batches=parallel.micro_batches,
+                per_microbatch_compute_s=compute / parallel.micro_batches,
+                per_boundary_p2p_s=p2p)
+            bubble = sched.bubble_seconds + \
+                sched.micro_batches * sched.sync_overhead_s
+
+        io_frac = self.c.io_fraction_zero if parallel.zero_stage == 1 \
+            else self.c.io_fraction_base
+        io = io_frac * compute + \
+            per_rank_tokens * 4.0 / (self.c.h2d_bw_gbs * 1e9)
+
+        mem = None
+        if check_memory:
+            mem = self.memory.breakdown(
+                model, seq_len=seq_len, micro_batch=per_device_seqs,
+                flash=flash, tp=parallel.tp, pp=parallel.pp, dp=parallel.dp,
+                zero_stage=parallel.zero_stage)
+        return StepProfile(compute_s=compute, comm_exposed_s=comm_exposed,
+                           comm_total_s=comm_total, io_s=io, bubble_s=bubble,
+                           schedule=schedule, memory=mem)
+
+    # ------------------------------------------------------------------
+    def per_gcd_tflops(self, model: ModelConfig, parallel: ParallelConfig,
+                       seq_len: int = 2048, per_device_seqs: int = 8,
+                       flash: int | None = None) -> float:
+        """Achieved model TFLOPS per GCD under a layout (Figs 7/8)."""
+        profile = self.step(model, parallel, seq_len, per_device_seqs, flash)
+        tokens_per_rank = per_device_seqs * seq_len
+        # Model FLOPs are attributed to the whole model-parallel shard group.
+        flops = (model_flops_per_token(model, seq_len) * tokens_per_rank /
+                 (parallel.tp * parallel.pp))
+        return flops / profile.total_s / 1e12
+
+    def scaling_sweep(self, model: ModelConfig, strategy: str,
+                      gpu_counts: list[int], seq_len: int = 2048,
+                      per_device_seqs: int = 8, flash: int | None = None
+                      ) -> list[ScalingPoint]:
+        """Weak-scaling sweep of one strategy family (Fig 8 top).
+
+        ``strategy`` is one of ``"dp"``, ``"zero1"``, ``"tp2"``, ``"pp2"``.
+        """
+        points: list[ScalingPoint] = []
+        base: float | None = None
+        for n in gpu_counts:
+            parallel = self._strategy_config(strategy, n)
+            t = self.per_gcd_tflops(model, parallel, seq_len,
+                                    per_device_seqs, flash)
+            if base is None:
+                base = t
+            points.append(ScalingPoint(
+                n_gpus=n, per_gcd_tflops=t,
+                aggregate_pflops=t * n / 1e3,
+                efficiency=t / base))
+        return points
+
+    @staticmethod
+    def _strategy_config(strategy: str, n_gpus: int) -> ParallelConfig:
+        if strategy == "dp":
+            return ParallelConfig(dp=n_gpus)
+        if strategy == "zero1":
+            return ParallelConfig(dp=n_gpus, zero_stage=1)
+        if strategy == "tp2":
+            return ParallelConfig(dp=n_gpus // 2, tp=2)
+        if strategy == "pp2":
+            return ParallelConfig(dp=n_gpus // 2, pp=2)
+        raise ValueError(f"unknown strategy {strategy!r}")

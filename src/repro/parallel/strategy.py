@@ -1,0 +1,111 @@
+"""Parallelism strategies and the paper's feasibility constraints (Eqs 1–5).
+
+A :class:`ParallelConfig` describes one 3D-parallel layout: data
+parallelism (DP), tensor parallelism (TP), pipeline parallelism (PP) and
+optionally ZeRO stage 1 on top of DP.  ``validate`` enforces the paper's
+constraint system:
+
+.. math::
+
+    N_h \\bmod N_a = 0            \\qquad (1)\\\\
+    N_h \\bmod TP = 0             \\qquad (2)\\\\
+    N_l \\bmod PP = 0             \\qquad (3)\\\\
+    N_a \\bmod TP = 0             \\qquad (4)\\\\
+    (TP \\cdot PP \\cdot DP) \\bmod 8 = 0 \\qquad (5)
+
+(Eq. 1 is enforced at :class:`~repro.models.config.ModelConfig`
+construction; the rest here.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..models.config import ModelConfig
+
+__all__ = ["ParallelConfig", "feasible_configs"]
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """One 3D-parallelism layout."""
+
+    dp: int = 1
+    tp: int = 1
+    pp: int = 1
+    zero_stage: int = 0
+    micro_batches: int = 2   # pipeline micro-batches per step
+
+    def __post_init__(self) -> None:
+        if min(self.dp, self.tp, self.pp) < 1:
+            raise ValueError("parallelism degrees must be >= 1")
+        if self.zero_stage not in (0, 1, 2, 3):
+            raise ValueError("zero_stage must be 0, 1, 2 or 3")
+        if self.zero_stage >= 1 and self.dp == 1:
+            raise ValueError("ZeRO requires data parallelism (dp > 1)")
+        if self.micro_batches < 1:
+            raise ValueError("micro_batches must be >= 1")
+
+    @property
+    def world_size(self) -> int:
+        return self.dp * self.tp * self.pp
+
+    @property
+    def label(self) -> str:
+        parts = []
+        if self.zero_stage:
+            parts.append(f"ZeRO={self.zero_stage}")
+        if self.tp > 1:
+            parts.append(f"TP={self.tp}")
+        if self.pp > 1:
+            parts.append(f"PP={self.pp}")
+        if not parts:
+            parts.append("DP")
+        return "+".join(parts)
+
+    def validate(self, model: ModelConfig, gpus_per_node: int = 8) -> None:
+        """Check the paper's Eqs 2–5 for this layout and model."""
+        if model.hidden_size % self.tp:
+            raise ValueError(
+                f"Eq.2 violated: hidden {model.hidden_size} % TP {self.tp}")
+        if model.num_layers % self.pp:
+            raise ValueError(
+                f"Eq.3 violated: layers {model.num_layers} % PP {self.pp}")
+        if model.num_heads % self.tp:
+            raise ValueError(
+                f"Eq.4 violated: heads {model.num_heads} % TP {self.tp}")
+        if self.world_size % gpus_per_node:
+            raise ValueError(
+                f"Eq.5 violated: world size {self.world_size} % "
+                f"{gpus_per_node}")
+
+    def is_valid(self, model: ModelConfig, gpus_per_node: int = 8) -> bool:
+        try:
+            self.validate(model, gpus_per_node)
+        except ValueError:
+            return False
+        return True
+
+
+def feasible_configs(model: ModelConfig, n_gpus: int,
+                     max_tp: int = 8, max_pp: int = 8,
+                     gpus_per_node: int = 8) -> list[ParallelConfig]:
+    """Enumerate all valid 3D layouts of ``n_gpus`` for a model.
+
+    This is the search space of the paper's parallelism study (Fig 7/8);
+    every returned config satisfies Eqs 2–5 with ``dp·tp·pp == n_gpus``.
+    """
+    out: list[ParallelConfig] = []
+    tp = 1
+    while tp <= min(max_tp, n_gpus):
+        pp = 1
+        while pp <= min(max_pp, n_gpus // tp):
+            if n_gpus % (tp * pp) == 0:
+                dp = n_gpus // (tp * pp)
+                for zero in ((0, 1) if dp > 1 else (0,)):
+                    cfg = ParallelConfig(dp=dp, tp=tp, pp=pp, zero_stage=zero)
+                    if cfg.is_valid(model, gpus_per_node):
+                        out.append(cfg)
+            pp *= 2
+        tp *= 2
+    return out

@@ -1,0 +1,66 @@
+"""Per-component latency breakdown of one transformer layer (Fig 10).
+
+Fig 10 (left) shows the latency share of each transformer component for a
+medium (h=2304) and a large (h=4096+) layer — GEMMs take 65.9% and 91.2%
+respectively; Fig 10 (right) splits the GEMM time into QKV, flash
+attention, attention score, attention-over-value, the output linear
+projection and the MLP, with QKV and MLP dominating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..frontier.roofline import RooflineModel
+from ..models.config import ModelConfig
+
+__all__ = ["LayerBreakdown", "layer_breakdown", "GEMM_COMPONENTS"]
+
+GEMM_COMPONENTS = ("qkv", "flash", "score", "aov", "linproj", "mlp")
+
+
+@dataclass
+class LayerBreakdown:
+    """Latency proportions of one transformer layer."""
+
+    config: ModelConfig
+    gemm_seconds: dict[str, float]
+    other_seconds: float   # dropout, layer norm, rotary, residual ops
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.gemm_seconds.values()) + self.other_seconds
+
+    @property
+    def gemm_fraction(self) -> float:
+        return sum(self.gemm_seconds.values()) / self.total_seconds
+
+    def component_shares(self) -> dict[str, float]:
+        """Fig 10 left: every component plus DR/LN as 'other'."""
+        shares = {k: v / self.total_seconds for k, v in self.gemm_seconds.items()}
+        shares["DR+LN"] = self.other_seconds / self.total_seconds
+        return shares
+
+    def gemm_shares(self) -> dict[str, float]:
+        """Fig 10 right: proportions within the GEMM time only."""
+        total = sum(self.gemm_seconds.values())
+        return {k: v / total for k, v in self.gemm_seconds.items()}
+
+
+def layer_breakdown(config: ModelConfig, seq_len: int = 2048,
+                    micro_batch: int = 8, flash: int | None = None,
+                    roofline: RooflineModel | None = None) -> LayerBreakdown:
+    """Compute the Fig 10 breakdown for an architecture."""
+    roofline = roofline or RooflineModel()
+    if flash is None:
+        flash = config.flash_attention
+    timing = roofline.layer_forward_timing(config, seq_len, micro_batch,
+                                           flash=flash)
+    gemms = dict(timing.gemm_seconds)
+    if flash:
+        # The score/AOV GEMMs execute inside the fused flash kernel.
+        fused = gemms.pop("score", 0.0) + gemms.pop("aov", 0.0)
+        gemms["flash"] = fused
+    return LayerBreakdown(
+        config=config, gemm_seconds=gemms,
+        other_seconds=timing.memop_seconds + timing.overhead_seconds)

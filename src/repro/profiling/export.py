@@ -1,0 +1,75 @@
+"""Profiler-output interop: Chrome trace events and CSV.
+
+``StepTrace`` timelines export to the Chrome trace-event JSON format, so
+simulated steps open directly in ``chrome://tracing`` / Perfetto next to
+real rocprof traces; rocm-smi style samples export to CSV for spreadsheet
+or pandas analysis.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from .smi import SmiTrace
+from .tracer import StepTrace
+
+__all__ = ["to_chrome_trace", "save_chrome_trace", "smi_to_csv"]
+
+_CATEGORY_TID = {"forward": 1, "backward": 1, "comm": 2, "io": 3,
+                 "optimizer": 1}
+
+
+def to_chrome_trace(trace: StepTrace, process_name: str = "GCD 0") -> dict:
+    """Convert a step timeline to a Chrome trace-event document.
+
+    Events use the "complete" phase (``ph: "X"``) with microsecond
+    timestamps; compute, communication and IO land on separate threads so
+    Perfetto renders them as lanes.
+    """
+    events = [{
+        "name": "process_name", "ph": "M", "pid": 0,
+        "args": {"name": process_name},
+    }]
+    for tid, lane in ((1, "compute"), (2, "rccl"), (3, "io")):
+        events.append({"name": "thread_name", "ph": "M", "pid": 0,
+                       "tid": tid, "args": {"name": lane}})
+    for event in sorted(trace.events, key=lambda e: e.start_s):
+        events.append({
+            "name": event.name,
+            "cat": event.category,
+            "ph": "X",
+            "pid": 0,
+            "tid": _CATEGORY_TID.get(event.category, 1),
+            "ts": event.start_s * 1e6,
+            "dur": event.duration_s * 1e6,
+            "args": {"phase": event.phase},
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def save_chrome_trace(trace: StepTrace, path: str | Path,
+                      process_name: str = "GCD 0") -> Path:
+    """Write the Chrome trace JSON; returns the path."""
+    path = Path(path)
+    if path.suffix != ".json":
+        path = path.with_suffix(".json")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(to_chrome_trace(trace, process_name)))
+    return path
+
+
+def smi_to_csv(trace: SmiTrace, path: str | Path) -> Path:
+    """Write rocm-smi style samples as CSV (time, power, memory, util)."""
+    path = Path(path)
+    if path.suffix != ".csv":
+        path = path.with_suffix(".csv")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["time_s", "power_w", "memory_gb", "utilization"])
+        for s in trace.samples:
+            writer.writerow([f"{s.time_s:.4f}", f"{s.power_w:.1f}",
+                             f"{s.memory_gb:.3f}", f"{s.utilization:.4f}"])
+    return path

@@ -1,0 +1,83 @@
+"""rocprof-style kernel aggregation (paper Fig 8 bottom).
+
+The paper collects run-time statistics with rocprof during training and
+aggregates kernels into three classes: computation, communication (RCCL
+calls) and IO (device↔host and device↔device data movement).  This module
+performs the same aggregation over the simulator's step profile and over
+raw kernel-event lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..parallel.simulator import StepProfile
+
+__all__ = ["KernelRecord", "KernelAggregation", "aggregate_step",
+           "classify_kernel"]
+
+#: Kernel-name → class mapping, mirroring how rocprof output is triaged.
+_KERNEL_CLASSES = {
+    "compute": ("gemm", "mfma", "flash", "softmax", "layernorm", "rmsnorm",
+                "gelu", "silu", "rotary", "elementwise", "adam", "lamb",
+                "cijk", "attention"),
+    "comm": ("rccl", "allreduce", "allgather", "reducescatter", "broadcast",
+             "sendrecv", "ncclkernel"),
+    "io": ("copydevicetohost", "copyhosttodevice", "copydevicetodevice",
+           "memcpy", "hsa_signal", "fillbuffer"),
+}
+
+
+def classify_kernel(name: str) -> str:
+    """Map a kernel name to compute / comm / io (unknown → compute)."""
+    lowered = name.lower().replace("_", "")
+    for cls, needles in _KERNEL_CLASSES.items():
+        if any(n in lowered for n in needles):
+            return cls
+    return "compute"
+
+
+@dataclass(frozen=True)
+class KernelRecord:
+    """One rocprof row: kernel name and accumulated duration."""
+
+    name: str
+    seconds: float
+    calls: int = 1
+
+
+@dataclass
+class KernelAggregation:
+    """Aggregated kernel time by class."""
+
+    seconds: dict[str, float] = field(default_factory=lambda: {
+        "compute": 0.0, "comm": 0.0, "io": 0.0})
+
+    def add(self, record: KernelRecord) -> None:
+        self.seconds[classify_kernel(record.name)] += record.seconds
+
+    @property
+    def total(self) -> float:
+        return sum(self.seconds.values())
+
+    def fractions(self) -> dict[str, float]:
+        total = self.total
+        if total == 0:
+            return {k: 0.0 for k in self.seconds}
+        return {k: v / total for k, v in self.seconds.items()}
+
+    @classmethod
+    def from_records(cls, records: list[KernelRecord]) -> "KernelAggregation":
+        agg = cls()
+        for r in records:
+            agg.add(r)
+        return agg
+
+
+def aggregate_step(profile: StepProfile) -> KernelAggregation:
+    """Aggregate a simulated step into the Fig 8 three-class view."""
+    agg = KernelAggregation()
+    agg.seconds["compute"] = profile.compute_s + profile.bubble_s
+    agg.seconds["comm"] = profile.comm_exposed_s
+    agg.seconds["io"] = profile.io_s
+    return agg

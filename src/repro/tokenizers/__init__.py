@@ -1,0 +1,19 @@
+"""From-scratch subword tokenizers: byte-level BPE (HF) and unigram (SPM)."""
+
+from .base import SPECIAL_TOKENS, Tokenizer, TokenizerStats
+from .bpe import BPETokenizer
+from .io import export_bpe, export_unigram, import_bpe, import_unigram
+from .unigram import UnigramTokenizer
+
+__all__ = ["SPECIAL_TOKENS", "Tokenizer", "TokenizerStats", "BPETokenizer",
+           "UnigramTokenizer", "export_bpe", "export_unigram",
+           "import_bpe", "import_unigram"]
+
+
+def build_tokenizer(family: str, **kwargs) -> Tokenizer:
+    """Construct an untrained tokenizer of the requested family."""
+    if family == "hf":
+        return BPETokenizer(**kwargs)
+    if family == "spm":
+        return UnigramTokenizer(**kwargs)
+    raise ValueError(f"unknown tokenizer family {family!r} (use 'hf' or 'spm')")

@@ -1,0 +1,78 @@
+"""Tokenizer interface shared by the BPE (HF) and unigram (SPM) variants.
+
+The paper compares a HuggingFace BPE tokenizer and a SentencePiece unigram
+tokenizer at vocabulary sizes 32K and 52K (Table II, Figs 13/14).  Both of
+our implementations are trained from a corpus, encode/decode losslessly,
+and expose the same interface so the study code is tokenizer-agnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Tokenizer", "TokenizerStats", "SPECIAL_TOKENS"]
+
+#: ids 0..3 are reserved in both tokenizers.
+SPECIAL_TOKENS = {"<pad>": 0, "<unk>": 1, "<bos>": 2, "<eos>": 3}
+
+
+@dataclass(frozen=True)
+class TokenizerStats:
+    """Summary statistics of a tokenizer applied to a corpus."""
+
+    vocab_size: int
+    total_tokens: int
+    total_chars: int
+
+    @property
+    def chars_per_token(self) -> float:
+        """Compression ratio; larger vocabularies compress better."""
+        if self.total_tokens == 0:
+            return 0.0
+        return self.total_chars / self.total_tokens
+
+
+class Tokenizer:
+    """Abstract trained subword tokenizer."""
+
+    #: "hf" or "spm"; used by configs and the study orchestrator.
+    family: str = ""
+
+    def __init__(self) -> None:
+        self._trained = False
+
+    @property
+    def vocab_size(self) -> int:
+        raise NotImplementedError
+
+    def train(self, texts: list[str], vocab_size: int) -> "Tokenizer":
+        raise NotImplementedError
+
+    def encode(self, text: str, add_special: bool = False) -> np.ndarray:
+        raise NotImplementedError
+
+    def decode(self, ids: np.ndarray) -> str:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def _require_trained(self) -> None:
+        if not self._trained:
+            raise RuntimeError(
+                f"{type(self).__name__} must be trained before use")
+
+    def encode_corpus(self, texts: list[str]) -> list[np.ndarray]:
+        """Encode many documents (with BOS/EOS) for LM pre-training."""
+        return [self.encode(t, add_special=True) for t in texts]
+
+    def stats(self, texts: list[str]) -> TokenizerStats:
+        """Compute compression statistics over a corpus sample."""
+        total_tokens = 0
+        total_chars = 0
+        for t in texts:
+            total_tokens += len(self.encode(t))
+            total_chars += len(t)
+        return TokenizerStats(vocab_size=self.vocab_size,
+                              total_tokens=total_tokens,
+                              total_chars=total_chars)

@@ -1,0 +1,134 @@
+"""Text-format tokenizer serialization (HF-ecosystem interop shapes).
+
+Beyond pickle checkpoints, the tokenizers export to the established text
+formats so their learned state is inspectable and diffable:
+
+* BPE → ``vocab.json`` (token string → id) + ``merges.txt`` (one merge
+  pair per line, rank order) — the GPT-2/HuggingFace convention;
+* unigram → ``pieces.tsv`` (piece, log-probability) — the SentencePiece
+  model-proto's text analogue.
+
+Loading reconstructs a tokenizer whose encodings are identical.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .base import SPECIAL_TOKENS
+from .bpe import BPETokenizer
+from .unigram import UnigramTokenizer
+
+__all__ = ["export_bpe", "import_bpe", "export_unigram", "import_unigram",
+           "byte_to_unicode"]
+
+
+def byte_to_unicode() -> dict[int, str]:
+    """GPT-2's bijective byte → printable-unicode map.
+
+    Printable Latin-1 bytes map to themselves; the rest shift into the
+    256+ range, so every byte sequence has a unique, lossless string
+    form — exactly why vocab.json can be a string-keyed dict.
+    """
+    printable = (list(range(ord("!"), ord("~") + 1)) +
+                 list(range(0xA1, 0xAD)) + list(range(0xAE, 0x100)))
+    mapping = {}
+    shift = 0
+    for b in range(256):
+        if b in printable:
+            mapping[b] = chr(b)
+        else:
+            mapping[b] = chr(256 + shift)
+            shift += 1
+    return mapping
+
+
+def export_bpe(tokenizer: BPETokenizer, directory: str | Path) -> Path:
+    """Write ``vocab.json`` + ``merges.txt``; returns the directory."""
+    tokenizer._require_trained()
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    b2u = byte_to_unicode()
+    vocab = {name: tid for name, tid in SPECIAL_TOKENS.items()}
+    for tid, raw in tokenizer._id_to_bytes.items():
+        vocab["".join(b2u[b] for b in raw)] = tid
+    (directory / "vocab.json").write_text(
+        json.dumps(vocab, ensure_ascii=False, indent=0))
+    ranked = sorted(tokenizer.merge_ranks.items(), key=lambda kv: kv[1])
+    lines = [f"{a} {b}" for (a, b), _ in ranked]
+    (directory / "merges.txt").write_text("\n".join(lines) + "\n")
+    return directory
+
+
+def import_bpe(directory: str | Path) -> BPETokenizer:
+    """Reconstruct a BPE tokenizer from ``vocab.json`` + ``merges.txt``."""
+    directory = Path(directory)
+    merges_path = directory / "merges.txt"
+    vocab_path = directory / "vocab.json"
+    if not merges_path.exists() or not vocab_path.exists():
+        raise FileNotFoundError(
+            f"{directory} must contain vocab.json and merges.txt")
+    tok = BPETokenizer()
+    tok._id_to_bytes = {tok.byte_offset + b: bytes([b]) for b in range(256)}
+    next_id = tok._num_special + 256
+    for line_no, line in enumerate(merges_path.read_text().splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            raise ValueError(f"merges.txt:{line_no}: expected two ids")
+        a, b = int(parts[0]), int(parts[1])
+        tok.merges[(a, b)] = next_id
+        tok.merge_ranks[(a, b)] = len(tok.merge_ranks)
+        tok._id_to_bytes[next_id] = tok._id_to_bytes[a] + tok._id_to_bytes[b]
+        next_id += 1
+    tok._trained = True
+    # Sanity: the vocab file must agree on size.
+    vocab = json.loads(vocab_path.read_text())
+    if len(vocab) != tok.vocab_size:
+        raise ValueError(
+            f"vocab.json has {len(vocab)} entries, merges imply "
+            f"{tok.vocab_size}")
+    return tok
+
+
+def export_unigram(tokenizer: UnigramTokenizer, directory: str | Path
+                   ) -> Path:
+    """Write ``pieces.tsv`` (piece <TAB> log-prob); returns the directory."""
+    tokenizer._require_trained()
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    lines = []
+    for piece, tid in sorted(tokenizer.pieces.items(), key=lambda kv: kv[1]):
+        lines.append(f"{piece}\t{tokenizer.log_probs[piece]!r}")
+    (directory / "pieces.tsv").write_text("\n".join(lines) + "\n")
+    return directory
+
+
+def import_unigram(directory: str | Path, max_piece_len: int = 8
+                   ) -> UnigramTokenizer:
+    """Reconstruct a unigram tokenizer from ``pieces.tsv``."""
+    path = Path(directory) / "pieces.tsv"
+    if not path.exists():
+        raise FileNotFoundError(f"{path} not found")
+    tok = UnigramTokenizer(max_piece_len=max_piece_len)
+    next_id = len(SPECIAL_TOKENS)
+    for line_no, line in enumerate(path.read_text().splitlines(), 1):
+        if not line:
+            continue
+        try:
+            piece, lp = line.split("\t")
+        except ValueError:
+            raise ValueError(f"pieces.tsv:{line_no}: expected 2 columns"
+                             ) from None
+        tok.pieces[piece] = next_id
+        tok.log_probs[piece] = float(lp)
+        tok.max_piece_len = max(tok.max_piece_len, len(piece))
+        next_id += 1
+    tok._id_to_piece = {i: p for p, i in tok.pieces.items()}
+    tok._trained = True
+    return tok

@@ -1,0 +1,19 @@
+"""Training engine: optimizers, schedules, precision, trainer, loss model."""
+
+from .batch_scaling import (BatchScalingCurve, BatchScalingPoint,
+                            batch_scaling_study, scaled_lr)
+from .loss_model import LossCurve, LossCurveModel, LossRecipe
+from .optimizers import LAMB, Adam, Optimizer, SGD, clip_grad_norm
+from .precision import (DTYPE_RANGES, PrecisionPolicy, cast, round_bf16,
+                        round_fp16)
+from .schedules import ConstantSchedule, CosineWarmupSchedule
+from .trainer import Trainer, TrainerConfig, TrainingHistory
+
+__all__ = [
+    "LossCurve", "LossCurveModel", "LossRecipe", "LAMB", "Adam", "Optimizer",
+    "SGD", "clip_grad_norm", "DTYPE_RANGES", "PrecisionPolicy", "cast",
+    "round_bf16", "round_fp16", "ConstantSchedule", "CosineWarmupSchedule",
+    "Trainer", "TrainerConfig", "TrainingHistory",
+    "BatchScalingCurve", "BatchScalingPoint", "batch_scaling_study",
+    "scaled_lr",
+]

@@ -1,0 +1,68 @@
+"""Learning-rate schedules (paper §IV-A).
+
+The paper uses a cosine schedule with 1% linear warmup, decaying to 10%
+of the initial learning rate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["CosineWarmupSchedule", "ConstantSchedule"]
+
+
+class ConstantSchedule:
+    """Fixed learning rate (baseline)."""
+
+    def __init__(self, lr: float):
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        self.lr = lr
+
+    def __call__(self, step: int) -> float:
+        return self.lr
+
+
+class CosineWarmupSchedule:
+    """Linear warmup followed by cosine decay to a floor.
+
+    Parameters
+    ----------
+    peak_lr:
+        The initial (post-warmup) learning rate.
+    total_steps:
+        Total batch steps of the run.
+    warmup_fraction:
+        Share of steps spent warming up (paper: 1%).
+    final_fraction:
+        Floor LR as a fraction of the peak (paper: 10%).
+    """
+
+    def __init__(self, peak_lr: float, total_steps: int,
+                 warmup_fraction: float = 0.01, final_fraction: float = 0.1):
+        if peak_lr <= 0 or total_steps < 1:
+            raise ValueError("peak_lr must be > 0 and total_steps >= 1")
+        if not 0 <= warmup_fraction < 1:
+            raise ValueError("warmup_fraction must be in [0, 1)")
+        if not 0 <= final_fraction <= 1:
+            raise ValueError("final_fraction must be in [0, 1]")
+        self.peak_lr = peak_lr
+        self.total_steps = total_steps
+        self.warmup_steps = max(1, int(round(total_steps * warmup_fraction)))
+        self.final_lr = peak_lr * final_fraction
+
+    def __call__(self, step: int) -> float:
+        """Learning rate at a (0-indexed) step."""
+        if step < 0:
+            raise ValueError("step must be non-negative")
+        if step < self.warmup_steps:
+            return self.peak_lr * (step + 1) / self.warmup_steps
+        progress = (step - self.warmup_steps) / max(
+            1, self.total_steps - self.warmup_steps)
+        progress = min(progress, 1.0)
+        cos = 0.5 * (1.0 + np.cos(np.pi * progress))
+        return self.final_lr + (self.peak_lr - self.final_lr) * cos
+
+    def as_array(self) -> np.ndarray:
+        """The whole schedule, for plotting/inspection."""
+        return np.array([self(s) for s in range(self.total_steps)])

@@ -1,0 +1,231 @@
+"""Real LM pre-training loop for the small model presets.
+
+This trainer actually optimizes the NumPy transformers — it is how the
+repository produces genuine (not surrogate) loss curves for the
+architecture/tokenizer/optimizer comparisons at reduced scale, mirroring
+the paper's controlled recipe: same data, same schedule, only the studied
+factor varies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.dataset import PackedDataset
+from ..models.transformer import GPTModel, cross_entropy
+from .optimizers import Adam, LAMB, Optimizer, SGD, clip_grad_norm
+from .precision import PrecisionPolicy
+from .schedules import ConstantSchedule, CosineWarmupSchedule
+
+__all__ = ["TrainerConfig", "TrainingHistory", "Trainer"]
+
+
+@dataclass(frozen=True)
+class TrainerConfig:
+    """Hyper-parameters of one training run (Table III analogue).
+
+    ``grad_accum_steps > 1`` splits each optimizer step over several
+    micro-batches of ``batch_size`` sequences — how the paper's 4M-token
+    global batches are actually formed from per-device micro-batches.
+    """
+
+    optimizer: str = "adam"         # "sgd" | "adam" | "lamb"
+    lr: float = 1e-3
+    batch_size: int = 8
+    grad_accum_steps: int = 1
+    max_steps: int = 100
+    weight_decay: float = 0.1
+    grad_clip: float = 1.0
+    warmup_fraction: float = 0.01
+    final_lr_fraction: float = 0.1
+    precision: str = "fp32"         # "fp32" | "bf16" | "fp16"
+    eval_every: int = 10
+    eval_batches: int = 2
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.grad_accum_steps < 1:
+            raise ValueError("grad_accum_steps must be >= 1")
+
+
+@dataclass
+class TrainingHistory:
+    """Loss curves of one run (Fig 13 analogue)."""
+
+    steps: list[int] = field(default_factory=list)
+    train_loss: list[float] = field(default_factory=list)
+    val_steps: list[int] = field(default_factory=list)
+    val_loss: list[float] = field(default_factory=list)
+    lrs: list[float] = field(default_factory=list)
+
+    @property
+    def final_train_loss(self) -> float:
+        return self.train_loss[-1]
+
+    @property
+    def final_val_loss(self) -> float:
+        return self.val_loss[-1]
+
+    def smoothed_train(self, window: int = 5) -> np.ndarray:
+        x = np.asarray(self.train_loss)
+        if len(x) < window:
+            return x
+        kernel = np.ones(window) / window
+        return np.convolve(x, kernel, mode="valid")
+
+
+class Trainer:
+    """Train a :class:`GPTModel` on a :class:`PackedDataset`."""
+
+    def __init__(self, model: GPTModel, dataset: PackedDataset,
+                 config: TrainerConfig | None = None):
+        self.model = model
+        self.dataset = dataset
+        self.config = config or TrainerConfig()
+        self.precision = PrecisionPolicy(self.config.precision)
+        params = model.parameters()
+        self.optimizer = self._build_optimizer(params)
+        if self.config.warmup_fraction > 0:
+            self.schedule = CosineWarmupSchedule(
+                self.config.lr, self.config.max_steps,
+                warmup_fraction=self.config.warmup_fraction,
+                final_fraction=self.config.final_lr_fraction)
+        else:
+            self.schedule = ConstantSchedule(self.config.lr)
+
+    def _build_optimizer(self, params) -> Optimizer:
+        c = self.config
+        if c.optimizer == "sgd":
+            return SGD(params, lr=c.lr)
+        if c.optimizer == "adam":
+            return Adam(params, lr=c.lr, betas=(0.9, 0.95),
+                        weight_decay=c.weight_decay)
+        if c.optimizer == "lamb":
+            return LAMB(params, lr=c.lr, betas=(0.9, 0.999),
+                        weight_decay=c.weight_decay)
+        raise ValueError(f"unknown optimizer {c.optimizer!r}")
+
+    # ------------------------------------------------------------------
+    def evaluate(self, seed: int = 0) -> float:
+        """Mean validation loss over a few random batches.
+
+        Falls back to the training split when the dataset was built
+        without a validation partition.
+        """
+        split = "val" if self.dataset.num_val > 0 else "train"
+        self.model.eval()
+        losses = []
+        for i in range(self.config.eval_batches):
+            batch = self.dataset.sample_batch(self.config.batch_size,
+                                              split=split, seed=seed + i)
+            loss = cross_entropy(self.model(batch.inputs), batch.targets)
+            losses.append(loss.item())
+        self.model.train()
+        return float(np.mean(losses))
+
+    def _micro_step(self, batch, params, scale: float) -> float:
+        """One micro-batch forward/backward with loss scaling ``1/k``."""
+        masters = self.precision.quantize_params(params)
+        loss = cross_entropy(self.model(batch.inputs), batch.targets)
+        if scale != 1.0:
+            (loss * scale).backward()
+        else:
+            loss.backward()
+        self.precision.quantize_grads(params)
+        self.precision.restore_params(params, masters)
+        return loss.item()
+
+    def train(self, verbose: bool = False, start_step: int = 0,
+              stop_step: int | None = None) -> TrainingHistory:
+        """Run the configured number of steps; returns the loss history.
+
+        ``start_step`` continues a resumed run — the LR schedule, epoch
+        position and within-epoch batch cursor all pick up exactly where
+        the checkpoint left off; ``stop_step`` ends the run early (e.g.
+        to checkpoint mid-run).
+        """
+        history = TrainingHistory()
+        cfg = self.config
+        self.model.train()
+        step = start_step
+        end = cfg.max_steps if stop_step is None \
+            else min(stop_step, cfg.max_steps)
+        micro_per_epoch = max(1, self.dataset.num_train // cfg.batch_size)
+        consumed = start_step * cfg.grad_accum_steps
+        epoch = consumed // micro_per_epoch
+        to_skip = consumed % micro_per_epoch
+        params = self.model.parameters()
+        accum = cfg.grad_accum_steps
+        scale = 1.0 / accum
+        micro_losses: list[float] = []
+        pending = False
+        while step < end:
+            for batch in self.dataset.batches(cfg.batch_size,
+                                              seed=cfg.seed + epoch):
+                if to_skip:
+                    to_skip -= 1
+                    continue
+                if step >= end:
+                    break
+                if not pending:
+                    self.optimizer.zero_grad()
+                micro_losses.append(self._micro_step(batch, params, scale))
+                pending = True
+                if len(micro_losses) < accum:
+                    continue
+
+                lr = self.schedule(step)
+                self.optimizer.lr = lr
+                clip_grad_norm(params, cfg.grad_clip)
+                self.optimizer.step()
+                pending = False
+
+                history.steps.append(step)
+                history.train_loss.append(float(np.mean(micro_losses)))
+                history.lrs.append(lr)
+                micro_losses = []
+                if step % cfg.eval_every == 0 or step == end - 1:
+                    history.val_steps.append(step)
+                    history.val_loss.append(self.evaluate(seed=step))
+                    if verbose:  # pragma: no cover
+                        print(f"step {step:5d}  lr {lr:.2e}  "
+                              f"train {history.train_loss[-1]:.4f}  "
+                              f"val {history.val_loss[-1]:.4f}")
+                step += 1
+            epoch += 1
+        return history
+
+    # ------------------------------------------------------------------
+    # Checkpoint / resume
+    # ------------------------------------------------------------------
+    def save(self, path, step: int):
+        """Write model weights + optimizer state + progress to disk."""
+        import pickle
+        from pathlib import Path
+        path = Path(path)
+        if path.suffix != ".ckpt":
+            path = path.with_suffix(".ckpt")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "model_state": self.model.state_dict(),
+            "optimizer_state": self.optimizer.state_dict(),
+            "step": int(step),
+            "config": self.config,
+        }
+        with open(path, "wb") as fh:
+            pickle.dump(payload, fh)
+        return path
+
+    def resume(self, path) -> int:
+        """Restore a checkpoint; returns the step to continue from."""
+        import pickle
+        with open(path, "rb") as fh:
+            payload = pickle.load(fh)
+        if payload["config"] != self.config:
+            raise ValueError(
+                "checkpoint was written with a different TrainerConfig")
+        self.model.load_state_dict(payload["model_state"])
+        self.optimizer.load_state_dict(payload["optimizer_state"])
+        return int(payload["step"])

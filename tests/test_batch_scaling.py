@@ -1,0 +1,82 @@
+"""Tests for the batch-size scaling study utilities."""
+
+import numpy as np
+import pytest
+
+from repro.data import AbstractGenerator, PackedDataset
+from repro.models import preset
+from repro.tokenizers import BPETokenizer
+from repro.training import batch_scaling_study, scaled_lr
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    texts = [d.text for d in AbstractGenerator(seed=0).sample(120)]
+    tok = BPETokenizer().train(texts, 450)
+    return PackedDataset.from_texts(texts, tok, seq_len=32)
+
+
+class TestScaledLR:
+    def test_adam_sqrt_rule(self):
+        assert scaled_lr("adam", 1e-3, 4.0) == pytest.approx(2e-3)
+
+    def test_lamb_linear_rule(self):
+        assert scaled_lr("lamb", 1e-3, 4.0) == pytest.approx(4e-3)
+
+    def test_ratio_one_is_identity(self):
+        for opt in ("adam", "lamb", "sgd"):
+            assert scaled_lr(opt, 7e-4, 1.0) == pytest.approx(7e-4)
+
+    def test_unknown_optimizer(self):
+        with pytest.raises(ValueError):
+            scaled_lr("adafactor", 1e-3, 2.0)
+
+
+class TestBatchScalingStudy:
+    def test_token_budget_matched(self, dataset):
+        curves = batch_scaling_study(dataset, preset("tiny-llama"),
+                                     batch_sizes=(2, 4),
+                                     optimizers=("adam",),
+                                     base_lr=5e-3,
+                                     token_budget=2 * 32 * 40)
+        points = curves["adam"].points
+        assert points[0].tokens == points[1].tokens
+        assert points[0].steps == 2 * points[1].steps
+
+    def test_lr_scaled_per_point(self, dataset):
+        curves = batch_scaling_study(dataset, preset("tiny-llama"),
+                                     batch_sizes=(2, 8),
+                                     optimizers=("adam", "lamb"),
+                                     base_lr=4e-3,
+                                     token_budget=2 * 32 * 20)
+        adam = curves["adam"].points
+        lamb = curves["lamb"].points
+        assert adam[1].lr == pytest.approx(4e-3 * 2.0)   # sqrt(4)
+        assert lamb[1].lr == pytest.approx(4e-3 * 4.0)   # linear
+
+    def test_degradation_metric(self, dataset):
+        curves = batch_scaling_study(dataset, preset("tiny-llama"),
+                                     batch_sizes=(2, 4),
+                                     optimizers=("adam",),
+                                     base_lr=5e-3,
+                                     token_budget=2 * 32 * 30)
+        curve = curves["adam"]
+        expected = (curve.points[-1].final_val_loss /
+                    curve.points[0].final_val_loss - 1.0)
+        assert curve.degradation() == pytest.approx(expected)
+        assert len(curve.losses()) == 2
+
+    def test_batch_sizes_validated(self, dataset):
+        with pytest.raises(ValueError):
+            batch_scaling_study(dataset, preset("tiny-llama"),
+                                batch_sizes=(8,))
+        with pytest.raises(ValueError):
+            batch_scaling_study(dataset, preset("tiny-llama"),
+                                batch_sizes=(8, 4))
+
+    def test_deterministic(self, dataset):
+        kwargs = dict(batch_sizes=(2, 4), optimizers=("adam",),
+                      base_lr=5e-3, token_budget=2 * 32 * 10, seed=3)
+        a = batch_scaling_study(dataset, preset("tiny-llama"), **kwargs)
+        b = batch_scaling_study(dataset, preset("tiny-llama"), **kwargs)
+        np.testing.assert_allclose(a["adam"].losses(), b["adam"].losses())

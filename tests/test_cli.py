@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for cmd in ("observations", "heatmap", "scaling", "recommend",
+                    "study"):
+            args = parser.parse_args([cmd] if cmd != "recommend"
+                                     else [cmd, "--gpus", "8"])
+            assert args.command == cmd
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_recommend_defaults(self):
+        args = build_parser().parse_args(["recommend"])
+        assert args.model == "neox-6.7b-hf-52k"
+        assert args.gpus == 256
+        assert args.flash == 1
+
+    def test_heatmap_arch_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["heatmap", "--arch", "bert"])
+
+
+class TestCommands:
+    def test_observations_exit_zero(self, capsys):
+        assert main(["observations"]) == 0
+        out = capsys.readouterr().out
+        assert "Observation 1: HOLDS" in out
+        assert "Observation 3: HOLDS" in out
+
+    def test_heatmap_output(self, capsys):
+        assert main(["heatmap"]) == 0
+        out = capsys.readouterr().out
+        assert "24L x 2304h" in out
+        assert "flash-attention boost" in out
+
+    def test_scaling_output(self, capsys):
+        assert main(["scaling"]) == 0
+        out = capsys.readouterr().out
+        assert "6.7B ZeRO-1" in out and "256" in out
+
+    def test_recommend_output(self, capsys):
+        assert main(["recommend", "--model", "neox-6.7b-hf-52k",
+                     "--gpus", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "recommended: TP=2" in out
+        assert "OOM" in out  # plain DP is listed as infeasible
+
+    def test_recommend_17b_prefers_dp(self, capsys):
+        assert main(["recommend", "--model", "neox-1.7b-hf-52k",
+                     "--gpus", "256"]) == 0
+        assert "recommended: DP" in capsys.readouterr().out

@@ -1,0 +1,232 @@
+"""Tests for the corpus pipeline: formulas, abstracts, sources, screening,
+packing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (ELEMENTS, AbstractGenerator, DataSource, Formula,
+                        FormulaGenerator, PackedDataset, ScreeningClassifier,
+                        TABLE_I_SPECS, build_all_sources, corpus_token_table,
+                        parse_formula, screen_sources)
+from repro.tokenizers import BPETokenizer
+
+
+class TestFormulas:
+    def test_parse_simple(self):
+        f = parse_formula("GaAs")
+        assert f.composition == (("Ga", 1), ("As", 1))
+        assert str(f) == "GaAs"
+
+    def test_parse_with_counts(self):
+        f = parse_formula("Al2O3")
+        assert f.composition == (("Al", 2), ("O", 3))
+        assert f.num_atoms == 5
+
+    def test_parse_rejects_garbage(self):
+        for bad in ["", "xy", "Ga-As", "123", "Qq2"]:
+            with pytest.raises(ValueError):
+                parse_formula(bad)
+
+    def test_roundtrip_str(self):
+        gen = FormulaGenerator(seed=3)
+        for f in gen.sample_many(50):
+            assert parse_formula(str(f)).composition == f.composition
+
+    def test_fraction_sums_to_one(self):
+        f = parse_formula("LiFePO4")
+        total = sum(f.fraction(el) for el in f.elements)
+        assert total == pytest.approx(1.0)
+
+    def test_electronegativity_properties(self):
+        f = parse_formula("NaCl")
+        assert 0.9 < f.mean_electronegativity < 3.2
+        assert f.electronegativity_spread == pytest.approx(3.16 - 0.93)
+
+    def test_generator_deterministic(self):
+        a = FormulaGenerator(seed=5).sample_many(10)
+        b = FormulaGenerator(seed=5).sample_many(10)
+        assert [str(x) for x in a] == [str(x) for x in b]
+
+    def test_generator_produces_valid_elements(self):
+        for f in FormulaGenerator(seed=9).sample_many(100):
+            assert all(el in ELEMENTS for el in f.elements)
+
+    def test_generator_no_duplicate_elements(self):
+        for f in FormulaGenerator(seed=11).sample_many(100):
+            assert len(set(f.elements)) == len(f.elements)
+
+
+class TestAbstracts:
+    def test_materials_abstract_mentions_formula(self):
+        gen = AbstractGenerator(seed=0)
+        a = gen.materials_abstract()
+        assert a.is_materials
+        assert a.formulas and a.formulas[0] in a.text
+
+    def test_other_abstract_is_not_materials(self):
+        a = AbstractGenerator(seed=0).other_abstract()
+        assert not a.is_materials
+        assert a.formulas == ()
+
+    def test_sample_fraction(self):
+        docs = AbstractGenerator(seed=1).sample(400, materials_fraction=0.7)
+        frac = sum(d.is_materials for d in docs) / len(docs)
+        assert abs(frac - 0.7) < 0.08
+
+    def test_sample_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            AbstractGenerator().sample(10, materials_fraction=1.5)
+
+    def test_deterministic(self):
+        a = AbstractGenerator(seed=2).sample(5)
+        b = AbstractGenerator(seed=2).sample(5)
+        assert [d.text for d in a] == [d.text for d in b]
+
+    def test_abstracts_are_varied(self):
+        docs = AbstractGenerator(seed=3).sample(50, materials_fraction=1.0)
+        assert len({d.text for d in docs}) > 45
+
+
+class TestSources:
+    def test_table_i_scaled_counts(self):
+        sources = build_all_sources(seed=0)
+        by_name = {s.name: s for s in sources}
+        assert len(by_name["MAG"]) == 1500
+        assert len(by_name["SCOPUS"]) == 600
+        assert len(by_name["Aminer"]) == 300
+        # CORE: 250 abstracts + 30 full-texts.
+        assert len(by_name["CORE"]) == 280
+
+    def test_scopus_prefiltered_all_materials(self):
+        scopus = [s for s in build_all_sources(seed=0) if s.name == "SCOPUS"][0]
+        assert all(d.is_materials for d in scopus.documents)
+
+    def test_aggregated_sources_are_mixed(self):
+        mag = [s for s in build_all_sources(seed=0) if s.name == "MAG"][0]
+        frac = sum(d.is_materials for d in mag.documents) / len(mag)
+        assert 0.1 < frac < 0.5
+
+    def test_documents_carry_source_name(self):
+        for src in build_all_sources(seed=0):
+            assert all(d.source == src.name for d in src.documents)
+
+    def test_core_token_share_dominates(self):
+        """Table I shape: CORE contributes the majority of tokens."""
+        sources = build_all_sources(seed=0)
+        rows = {r["source"]: r["tokens"] for r in corpus_token_table(sources)}
+        assert rows["CORE"] > 0.4 * rows["All"]
+        assert rows["CORE"] > rows["MAG"]
+
+    def test_token_table_totals(self):
+        sources = build_all_sources(seed=0)
+        rows = corpus_token_table(sources)
+        total = [r for r in rows if r["source"] == "All"][0]
+        assert total["abstracts"] == sum(
+            r["abstracts"] for r in rows if r["source"] != "All")
+        assert total["abstracts"] == 2650  # 26.5M x 1e-4
+
+    def test_specs_match_paper(self):
+        by_name = {s.name: s for s in TABLE_I_SPECS}
+        assert by_name["CORE"].paper_tokens == 8.8e9
+        assert by_name["MAG"].paper_abstracts == 15e6
+        assert sum(s.paper_tokens for s in TABLE_I_SPECS) == 15e9
+
+
+class TestScreening:
+    @pytest.fixture(scope="class")
+    def classifier(self):
+        gen = AbstractGenerator(seed=100)
+        docs = gen.sample(300, materials_fraction=0.5)
+        labels = np.array([d.is_materials for d in docs], dtype=float)
+        return ScreeningClassifier().fit([d.text for d in docs], labels)
+
+    def test_high_holdout_accuracy(self, classifier):
+        docs = AbstractGenerator(seed=200).sample(200, materials_fraction=0.5)
+        acc = classifier.accuracy([d.text for d in docs],
+                                  np.array([d.is_materials for d in docs]))
+        assert acc > 0.95
+
+    def test_screen_sources_keeps_scopus_whole(self, classifier):
+        sources = build_all_sources(seed=0)
+        kept, reports = screen_sources(sources, classifier)
+        scopus = [r for r in reports if r.source == "SCOPUS"][0]
+        assert scopus.kept == scopus.total
+
+    def test_screen_sources_high_precision(self, classifier):
+        sources = build_all_sources(seed=0)
+        _, reports = screen_sources(sources, classifier)
+        for r in reports:
+            assert r.precision > 0.9, r.source
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            ScreeningClassifier().predict(["x"])
+
+    def test_bad_labels_rejected(self):
+        with pytest.raises(ValueError):
+            ScreeningClassifier().fit(["a", "b"], np.array([0.0, 2.0]))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ScreeningClassifier().fit(["a"], np.array([0.0, 1.0]))
+
+
+class TestPackedDataset:
+    @pytest.fixture(scope="class")
+    def tokenizer(self):
+        texts = [d.text for d in AbstractGenerator(seed=0).sample(60)]
+        return BPETokenizer().train(texts, 400)
+
+    def test_packing_shapes(self, tokenizer):
+        texts = [d.text for d in AbstractGenerator(seed=1).sample(40)]
+        ds = PackedDataset.from_texts(texts, tokenizer, seq_len=32)
+        batch = next(ds.batches(batch_size=2))
+        assert batch.inputs.shape == (2, 32)
+        assert batch.targets.shape == (2, 32)
+
+    def test_targets_are_shifted_inputs(self, tokenizer):
+        texts = [d.text for d in AbstractGenerator(seed=2).sample(40)]
+        ds = PackedDataset.from_texts(texts, tokenizer, seq_len=16,
+                                      val_fraction=0.0)
+        batch = next(ds.batches(batch_size=1, shuffle=False))
+        np.testing.assert_array_equal(batch.inputs[0, 1:], batch.targets[0, :-1])
+
+    def test_val_split(self, tokenizer):
+        texts = [d.text for d in AbstractGenerator(seed=3).sample(60)]
+        ds = PackedDataset.from_texts(texts, tokenizer, seq_len=16,
+                                      val_fraction=0.2)
+        assert ds.num_val > 0
+        assert ds.num_val / (ds.num_val + ds.num_train) == pytest.approx(0.2, abs=0.05)
+
+    def test_too_small_corpus_rejected(self):
+        with pytest.raises(ValueError):
+            PackedDataset([np.arange(5)], seq_len=32)
+
+    def test_bad_split_name(self, tokenizer):
+        texts = [d.text for d in AbstractGenerator(seed=4).sample(40)]
+        ds = PackedDataset.from_texts(texts, tokenizer, seq_len=16)
+        with pytest.raises(ValueError):
+            list(ds.batches(1, split="test"))
+
+    def test_epoch_covers_all_train_samples(self, tokenizer):
+        texts = [d.text for d in AbstractGenerator(seed=5).sample(40)]
+        ds = PackedDataset.from_texts(texts, tokenizer, seq_len=16,
+                                      val_fraction=0.0)
+        seen = sum(b.inputs.shape[0] for b in ds.batches(2))
+        assert seen == (ds.num_train // 2) * 2
+
+    def test_sample_batch_deterministic(self, tokenizer):
+        texts = [d.text for d in AbstractGenerator(seed=6).sample(40)]
+        ds = PackedDataset.from_texts(texts, tokenizer, seq_len=16)
+        a = ds.sample_batch(2, seed=7)
+        b = ds.sample_batch(2, seed=7)
+        np.testing.assert_array_equal(a.inputs, b.inputs)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(2, 40))
+    def test_property_any_seq_len_packs(self, seq_len):
+        docs = [np.arange(100, dtype=np.int64)] * 3
+        ds = PackedDataset(docs, seq_len=seq_len, val_fraction=0.0)
+        assert ds.num_train == 300 // (seq_len + 1)

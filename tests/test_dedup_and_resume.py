@@ -1,0 +1,153 @@
+"""Tests for corpus deduplication and optimizer checkpoint/resume."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (AbstractGenerator, DedupReport, MinHasher,
+                        deduplicate, find_duplicates, jaccard)
+from repro.models import Parameter
+from repro.training import Adam, LAMB, SGD
+
+
+@pytest.fixture(scope="module")
+def docs():
+    return [d.text for d in AbstractGenerator(seed=0).sample(60)]
+
+
+class TestJaccard:
+    def test_identical(self):
+        assert jaccard("the band gap of GaAs", "the band gap of GaAs") == 1.0
+
+    def test_disjoint(self):
+        assert jaccard("alpha beta gamma delta", "one two three four") == 0.0
+
+    def test_symmetric(self, docs):
+        assert jaccard(docs[0], docs[1]) == jaccard(docs[1], docs[0])
+
+    def test_empty_strings(self):
+        assert jaccard("", "") == 1.0
+        assert jaccard("", "something here") == 0.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.text(alphabet="abcd ", min_size=0, max_size=60))
+    def test_property_self_similarity(self, text):
+        assert jaccard(text, text) == 1.0
+
+
+class TestMinHash:
+    def test_signature_shape_and_determinism(self, docs):
+        mh = MinHasher(num_hashes=64)
+        s1 = mh.signature(docs[0])
+        s2 = mh.signature(docs[0])
+        assert s1.shape == (64,)
+        np.testing.assert_array_equal(s1, s2)
+
+    def test_estimate_tracks_exact_jaccard(self, docs):
+        mh = MinHasher(num_hashes=256)
+        a = docs[0]
+        b = docs[0] + " one extra trailing sentence for the test."
+        est = mh.estimate_similarity(mh.signature(a), mh.signature(b))
+        exact = jaccard(a, b)
+        assert abs(est - exact) < 0.15
+
+    def test_unrelated_docs_low_similarity(self, docs):
+        mh = MinHasher(num_hashes=128)
+        est = mh.estimate_similarity(mh.signature(docs[0]),
+                                     mh.signature(docs[1]))
+        assert est < 0.3
+
+    def test_invalid_num_hashes(self):
+        with pytest.raises(ValueError):
+            MinHasher(num_hashes=1)
+
+
+class TestDeduplicate:
+    def test_finds_injected_duplicates(self, docs):
+        corrupted = docs + [docs[3], docs[7] + " Extra tail.", docs[10]]
+        kept, report = deduplicate(corrupted, threshold=0.6)
+        assert report.total == 63
+        assert report.kept == 60
+        assert kept == docs
+        dup_sources = {i for i, _ in report.duplicate_pairs}
+        assert dup_sources == {3, 7, 10}
+
+    def test_clean_corpus_untouched(self, docs):
+        kept, report = deduplicate(docs, threshold=0.6)
+        assert kept == docs
+        assert report.removed == 0
+        assert report.duplicate_rate == 0.0
+
+    def test_exact_duplicates_always_found(self, docs):
+        kept, report = deduplicate([docs[0]] * 4, threshold=0.99)
+        assert report.kept == 1
+
+    def test_threshold_validated(self, docs):
+        with pytest.raises(ValueError):
+            find_duplicates(docs, threshold=0.0)
+
+    def test_bands_must_divide(self, docs):
+        with pytest.raises(ValueError):
+            find_duplicates(docs, hasher=MinHasher(num_hashes=64), bands=7)
+
+    def test_no_false_positives_at_high_threshold(self, docs):
+        """Exact verification removes LSH false positives."""
+        pairs = find_duplicates(docs, threshold=0.95)
+        assert pairs == []
+
+
+class TestOptimizerResume:
+    @pytest.mark.parametrize("opt_cls,kwargs", [
+        (SGD, {"momentum": 0.9}),
+        (Adam, {"weight_decay": 0.1}),
+        (LAMB, {"weight_decay": 0.1}),
+    ])
+    def test_resume_continues_exact_trajectory(self, opt_cls, kwargs):
+        def grads(seed):
+            return np.random.default_rng(seed).normal(size=(12, 6))
+
+        # Uninterrupted run.
+        p = Parameter(np.ones(6))
+        opt = opt_cls([p], lr=1e-2, **kwargs)
+        for g in grads(0):
+            p.grad = g
+            opt.step()
+        reference = p.data.copy()
+
+        # Interrupted at step 6, checkpointed, resumed.
+        p2 = Parameter(np.ones(6))
+        opt2 = opt_cls([p2], lr=1e-2, **kwargs)
+        all_grads = grads(0)
+        for g in all_grads[:6]:
+            p2.grad = g
+            opt2.step()
+        weights, state = p2.data.copy(), opt2.state_dict()
+
+        p3 = Parameter(weights.copy())
+        opt3 = opt_cls([p3], lr=1e-2, **kwargs)
+        opt3.load_state_dict(state)
+        for g in all_grads[6:]:
+            p3.grad = g
+            opt3.step()
+        np.testing.assert_allclose(p3.data, reference, atol=1e-14)
+
+    def test_state_dict_is_a_copy(self):
+        p = Parameter(np.ones(3))
+        opt = Adam([p], lr=1e-2)
+        p.grad = np.ones(3)
+        opt.step()
+        state = opt.state_dict()
+        state["m"][0][:] = 999.0
+        assert opt._m[0].max() < 999.0
+
+    def test_mismatched_state_rejected(self):
+        a = Adam([Parameter(np.ones(3))], lr=1e-2)
+        b = Adam([Parameter(np.ones(3)), Parameter(np.ones(2))], lr=1e-2)
+        with pytest.raises(ValueError):
+            b.load_state_dict(a.state_dict())
+
+    def test_sgd_momentum_state_required(self):
+        opt = SGD([Parameter(np.ones(2))], lr=1e-2, momentum=0.9)
+        with pytest.raises(KeyError):
+            opt.load_state_dict({"step_count": 1, "lr": 1e-2})

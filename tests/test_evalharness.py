@@ -1,0 +1,195 @@
+"""Tests for the evaluation harness: tasks, scoring, runner."""
+
+import numpy as np
+import pytest
+
+from repro.data import AbstractGenerator, PackedDataset
+from repro.evalharness import (EvalRunner, MCQuestion, TASK_NAMES, Task,
+                               TaskRegistry, build_benchmark_suite,
+                               build_task, evaluate_task, fewshot_prefix,
+                               score_question)
+from repro.models import GPTModel, preset
+from repro.tokenizers import BPETokenizer
+from repro.training import Trainer, TrainerConfig
+
+
+class StubModel:
+    """Scores continuations by a fixed per-token preference table."""
+
+    def __init__(self, preferred: str):
+        self.preferred = preferred
+
+    def loglikelihood(self, context, continuation):
+        # Higher likelihood when the continuation matches the preferred ids.
+        target = np.asarray(continuation)
+        score = -float(np.abs(target - 7).mean())
+        return score, False
+
+
+class StubTokenizer:
+    def encode(self, text, add_special=False):
+        if "good" in text:
+            return np.array([7, 7])
+        return np.array([50, 60, 70])
+
+
+@pytest.fixture(scope="module")
+def trained_setup():
+    texts = [d.text for d in AbstractGenerator(seed=0).sample(250)]
+    tok = BPETokenizer().train(texts, 512)
+    ds = PackedDataset.from_texts(texts, tok, seq_len=48)
+    model = GPTModel(preset("tiny-llama"), seed=0)
+    Trainer(model, ds, TrainerConfig(optimizer="adam", lr=3e-3, batch_size=8,
+                                     max_steps=60, eval_every=1000)).train()
+    return model, tok
+
+
+class TestMCQuestion:
+    def test_valid(self):
+        q = MCQuestion("q", ("a", "b"), 1)
+        assert q.render_with_answer() == "q b"
+
+    def test_bad_answer_index(self):
+        with pytest.raises(ValueError):
+            MCQuestion("q", ("a", "b"), 2)
+
+    def test_needs_two_choices(self):
+        with pytest.raises(ValueError):
+            MCQuestion("q", ("a",), 0)
+
+
+class TestTask:
+    def test_fewshot_sampling(self):
+        t = build_task("sciq", n_questions=10, n_fewshot=6)
+        ex = t.fewshot_examples(3, seed=1)
+        assert len(ex) == 3
+        assert t.fewshot_examples(3, seed=1)[0].query == ex[0].query
+
+    def test_fewshot_too_many(self):
+        t = build_task("sciq", n_questions=10, n_fewshot=4)
+        with pytest.raises(ValueError):
+            t.fewshot_examples(5)
+
+    def test_zero_shots(self):
+        t = build_task("sciq", n_questions=5)
+        assert t.fewshot_examples(0) == []
+
+    def test_empty_task_rejected(self):
+        with pytest.raises(ValueError):
+            Task("empty", [], [], 0.25)
+
+    def test_registry(self):
+        reg = TaskRegistry()
+        t = build_task("piqa", n_questions=5)
+        reg.register(t)
+        assert reg.get("piqa") is t
+        with pytest.raises(ValueError):
+            reg.register(t)
+        with pytest.raises(KeyError):
+            reg.get("mmlu")
+
+
+class TestBenchmarks:
+    def test_all_nine_tasks(self):
+        suite = build_benchmark_suite(n_questions=6)
+        assert set(suite.names()) == set(TASK_NAMES)
+        assert len(TASK_NAMES) == 9
+
+    def test_deterministic_generation(self):
+        a = build_task("arc_e", n_questions=8, seed=3)
+        b = build_task("arc_e", n_questions=8, seed=3)
+        assert [q.query for q in a.questions] == [q.query for q in b.questions]
+
+    def test_different_tasks_differ(self):
+        a = build_task("arc_e", n_questions=8)
+        b = build_task("arc_c", n_questions=8)
+        assert [q.query for q in a.questions] != [q.query for q in b.questions]
+
+    def test_piqa_binary(self):
+        t = build_task("piqa", n_questions=10)
+        assert all(len(q.choices) == 2 for q in t.questions)
+        assert t.random_baseline == pytest.approx(0.5)
+
+    def test_answers_not_always_first(self):
+        t = build_task("sciq", n_questions=30)
+        answers = {q.answer for q in t.questions}
+        assert len(answers) > 1  # shuffled positions
+
+    def test_unknown_task(self):
+        with pytest.raises(ValueError):
+            build_task("mmlu")
+
+    def test_correct_choice_in_choices(self):
+        for name in TASK_NAMES:
+            for q in build_task(name, n_questions=5).questions:
+                assert q.choices[q.answer]  # non-empty correct answer
+
+
+class TestScoring:
+    def test_score_question_prefers_likely_choice(self):
+        q = MCQuestion("pick", ("good", "bad long answer"), 0)
+        pred = score_question(StubModel("good"), StubTokenizer(), q)
+        assert pred == 0
+
+    def test_fewshot_prefix_contains_answers(self):
+        t = build_task("sciq", n_questions=5, n_fewshot=4)
+        ex = t.fewshot_examples(2, seed=0)
+        prefix = fewshot_prefix(ex)
+        for e in ex:
+            assert e.choices[e.answer] in prefix
+
+    def test_evaluate_task_stderr(self):
+        q = MCQuestion("pick", ("good", "badbad"), 0)
+        task = Task("stub", [q] * 16, [q], 0.5)
+        res = evaluate_task(StubModel("good"), StubTokenizer(), task)
+        assert res.accuracy == 1.0
+        assert res.stderr == 0.0
+        assert res.n == 16
+
+    def test_stderr_formula(self):
+        q_good = MCQuestion("pick", ("good", "badbad"), 0)
+        q_bad = MCQuestion("pick", ("badbad", "good"), 0)
+        task = Task("stub", [q_good, q_bad] * 8, [q_good], 0.5)
+        res = evaluate_task(StubModel("good"), StubTokenizer(), task)
+        assert res.accuracy == 0.5
+        assert res.stderr == pytest.approx(np.sqrt(0.25 / 16))
+
+
+class TestWithTrainedModel:
+    def test_easy_tasks_beat_chance(self, trained_setup):
+        """A materials-LM beats chance on OOD-distractor tasks (Fig 14)."""
+        model, tok = trained_setup
+        runner = EvalRunner(build_benchmark_suite(n_questions=20))
+        rep = runner.run(model, tok, tasks=["sciq", "arc_e"])
+        for name in ("sciq", "arc_e"):
+            r = rep.get(name)
+            assert r.above_chance, f"{name}: {r}"
+
+    def test_hard_tasks_near_chance(self, trained_setup):
+        """In-domain distractors land near the random baseline."""
+        model, tok = trained_setup
+        runner = EvalRunner(build_benchmark_suite(n_questions=20))
+        rep = runner.run(model, tok, tasks=["ht_cm", "ht_ccs"])
+        for name in ("ht_cm", "ht_ccs"):
+            r = rep.get(name)
+            assert abs(r.accuracy - r.random_baseline) < 0.3
+
+    def test_report_interface(self, trained_setup):
+        model, tok = trained_setup
+        runner = EvalRunner(build_benchmark_suite(n_questions=8))
+        rep = runner.run(model, tok, model_name="m", tasks=["sciq"],
+                         shots=(0, 3))
+        assert set(rep.results) == {("sciq", 0), ("sciq", 3)}
+        assert 0 <= rep.mean_accuracy(0) <= 1
+        assert len(rep.rows()) == 2
+        with pytest.raises(KeyError):
+            rep.get("sciq", 5)
+
+    def test_untrained_model_near_chance_everywhere(self):
+        texts = [d.text for d in AbstractGenerator(seed=5).sample(60)]
+        tok = BPETokenizer().train(texts, 400)
+        model = GPTModel(preset("tiny-neox"), seed=3)
+        runner = EvalRunner(build_benchmark_suite(n_questions=16))
+        rep = runner.run(model, tok, tasks=["arc_e"])
+        r = rep.get("arc_e")
+        assert abs(r.accuracy - r.random_baseline) < 0.35

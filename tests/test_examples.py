@@ -1,0 +1,55 @@
+"""Smoke tests for the example scripts.
+
+Examples are documentation that must not rot: each module must import
+cleanly (no syntax errors, no broken imports) and expose a ``main``.
+Full runs happen manually / in the benchmark docs, not here — several
+examples train models for minutes.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def load(name: str):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name[:-3]}", EXAMPLES_DIR / name)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_all_examples_present(self):
+        assert {"quickstart.py", "architecture_search.py",
+                "scaling_study.py", "bandgap_prediction.py",
+                "full_study.py", "layout_advisor.py",
+                "render_figures.py", "training_features.py"} <= \
+            set(EXAMPLES)
+
+    @pytest.mark.parametrize("name", EXAMPLES)
+    def test_imports_and_exposes_main(self, name):
+        module = load(name)
+        assert callable(getattr(module, "main", None)), name
+
+    @pytest.mark.parametrize("name", EXAMPLES)
+    def test_has_module_docstring(self, name):
+        module = load(name)
+        assert module.__doc__ and len(module.__doc__) > 40, name
+
+    def test_layout_advisor_runs(self, capsys):
+        """The cheapest example actually executes end to end."""
+        load("layout_advisor.py").main()
+        out = capsys.readouterr().out
+        assert "recommended: TP=2" in out
+        assert "GQA (2 kv heads)" in out
+
+    def test_architecture_search_runs(self, capsys):
+        load("architecture_search.py").main()
+        out = capsys.readouterr().out
+        assert "best: 24 layers x 2304 hidden" in out

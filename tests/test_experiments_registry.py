@@ -1,0 +1,98 @@
+"""Tests for the programmatic experiment registry."""
+
+import numpy as np
+import pytest
+
+from repro.core import (EXPERIMENTS, ExperimentContext, list_experiments,
+                        reproduce, reproduce_all)
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext(train_steps=40)
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        ids = set(EXPERIMENTS)
+        assert {"table1", "table2", "table3", "table4", "table5"} <= ids
+        assert {"fig4", "fig5", "fig8", "fig11", "fig13"} <= ids
+        assert len(ids) >= 17
+
+    def test_list_experiments_rows(self):
+        rows = list_experiments()
+        assert len(rows) == len(EXPERIMENTS)
+        assert all({"id", "title", "kind", "heavy"} <= set(r) for r in rows)
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            reproduce("fig99")
+
+    def test_light_set_excludes_heavy(self, ctx):
+        results = reproduce_all(ctx)
+        assert "table5" not in results
+        assert "fig4" in results
+        assert len(results) == sum(not s.heavy for s in EXPERIMENTS.values())
+
+
+class TestLightExperiments:
+    def test_table1_totals(self, ctx):
+        rows = reproduce("table1", ctx).data["rows"]
+        total = [r for r in rows if r["source"] == "All"][0]
+        assert total["abstracts"] == 2650
+
+    def test_table4_shape(self, ctx):
+        rows = reproduce("table4", ctx).data["rows"]
+        by = {r["model"]: r for r in rows}
+        assert by["6.7B"]["hours"] > 3 * by["1.7B"]["hours"]
+        assert by["1.7B"]["tflops_per_watt"] > by["6.7B"]["tflops_per_watt"]
+
+    def test_fig4_best_cell(self, ctx):
+        best = reproduce("fig4", ctx).data["best"]
+        assert (best["layers"], best["hidden"]) == (24, 2304)
+
+    def test_fig5_anchors(self, ctx):
+        data = reproduce("fig5", ctx).data
+        assert data["max_seq_no_flash"] == 8192
+        assert data["max_seq_flash"] == 32768
+
+    def test_fig8_sweeps_complete(self, ctx):
+        data = reproduce("fig8", ctx).data
+        assert set(data["sweeps"]) == {"1.7b-dp", "6.7b-zero1", "6.7b-tp2"}
+        for sweep in data["sweeps"].values():
+            assert [p["gpus"] for p in sweep] == data["gpus"]
+
+    def test_fig11_volumes(self, ctx):
+        rows = {r["run"]: r for r in reproduce("fig11", ctx).data["rows"]}
+        assert rows["dp"]["vs_model_size"] == pytest.approx(2.0, abs=0.05)
+        assert rows["tp2"]["vs_model_size"] == pytest.approx(3.0, abs=0.3)
+
+    def test_fig13_orderings(self, ctx):
+        finals = reproduce("fig13", ctx).data["finals"]
+        lamb = finals["1.7B-llama-HF-52K-Lamb-4M"]
+        adam = finals["1.7B-llama-HF-52K-Adam-1M"]
+        assert lamb < adam
+
+    def test_results_json_serializable(self, ctx):
+        import json
+        for exp_id in ("table2", "fig2", "fig6", "fig10"):
+            json.dumps(reproduce(exp_id, ctx).data, default=str)
+
+
+class TestHeavyExperiments:
+    def test_fig14_uses_shared_trained_models(self, ctx):
+        """Context caches one trained model per arch across experiments."""
+        data = reproduce("fig14", ctx).data
+        assert set(data) == {"neox", "llama"}
+        for accs in data.values():
+            assert all(0 <= a <= 1 for a in accs.values())
+        # Cached: a second call reuses the trained model (fast).
+        model_a = ctx.trained_model("llama")
+        model_b = ctx.trained_model("llama")
+        assert model_a is model_b
+
+    def test_fig16_anisotropy(self, ctx):
+        data = reproduce("fig16", ctx).data
+        assert data["gpt"]["mean_cosine"] > data["bert"]["mean_cosine"]
+        assert data["gpt"]["anisotropic"]
+        assert not data["bert"]["anisotropic"]

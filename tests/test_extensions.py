@@ -1,0 +1,171 @@
+"""Tests for the extension features: grouped-query attention (LLaMA-2),
+ZeRO stages 2/3, and the layout-guidance API."""
+
+import numpy as np
+import pytest
+
+from repro.core import best_layout, recommend_layouts
+from repro.frontier import MemoryModel
+from repro.models import (CausalSelfAttention, GPTModel, ModelConfig, Tensor,
+                          cross_entropy, layer_accounting, preset)
+from repro.parallel import ParallelConfig, TrainingSimulator, build_schedule
+from repro.parallel.collectives import CollectiveModel
+
+M67 = preset("neox-6.7b-hf-52k").with_flash(1)
+M17 = preset("neox-1.7b-hf-52k").with_flash(1)
+
+
+def gqa_config(kv_heads):
+    return ModelConfig(arch="llama", hidden_size=64, num_layers=2,
+                       num_heads=8, num_kv_heads=kv_heads, vocab_size=256,
+                       max_seq_len=32)
+
+
+class TestGroupedQueryAttention:
+    def test_kv_heads_must_divide(self):
+        with pytest.raises(ValueError):
+            ModelConfig(hidden_size=64, num_heads=8, num_kv_heads=3)
+        with pytest.raises(ValueError):
+            CausalSelfAttention(64, 8, 32, num_kv_heads=5)
+
+    def test_param_count_matches_live_model(self):
+        for kv in (1, 2, 4, 8):
+            cfg = gqa_config(kv)
+            model = GPTModel(cfg, seed=0)
+            assert model.num_parameters() == cfg.num_parameters(), kv
+
+    def test_gqa_reduces_parameters(self):
+        full = gqa_config(8).num_parameters()
+        grouped = gqa_config(2).num_parameters()
+        mqa = gqa_config(1).num_parameters()
+        assert mqa < grouped < full
+
+    def test_kv_heads_property(self):
+        assert gqa_config(2).kv_heads == 2
+        assert preset("tiny-llama").kv_heads == 4  # defaults to num_heads
+
+    def test_forward_and_backward(self):
+        model = GPTModel(gqa_config(2), seed=0)
+        ids = np.random.default_rng(0).integers(0, 256, size=(2, 12))
+        loss = cross_entropy(model(ids[:, :-1]), ids[:, 1:])
+        loss.backward()
+        assert np.isfinite(loss.item())
+        assert all(p.grad is not None for p in model.parameters())
+
+    def test_gqa_preserves_causality(self):
+        attn = CausalSelfAttention(32, 4, max_seq_len=16, num_kv_heads=2)
+        attn.eval()
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(1, 8, 32))
+        base = attn(Tensor(x)).data
+        x2 = x.copy()
+        x2[0, 7] += 5.0
+        np.testing.assert_allclose(attn(Tensor(x2)).data[0, :7],
+                                   base[0, :7], atol=1e-10)
+
+    def test_gqa_equals_mha_when_kv_equals_heads(self):
+        """num_kv_heads == num_heads must be numerically identical to MHA."""
+        a = CausalSelfAttention(32, 4, 16, rng=np.random.default_rng(3))
+        b = CausalSelfAttention(32, 4, 16, num_kv_heads=4,
+                                rng=np.random.default_rng(3))
+        x = Tensor(np.random.default_rng(4).normal(size=(1, 6, 32)))
+        np.testing.assert_allclose(a(x).data, b(x).data, atol=1e-12)
+
+    def test_flops_accounting_reflects_gqa(self):
+        full = layer_accounting(gqa_config(8), seq_len=32, batch_size=2)
+        mqa = layer_accounting(gqa_config(1), seq_len=32, batch_size=2)
+        assert mqa.flops_by_component()["qkv"] < \
+            full.flops_by_component()["qkv"]
+        assert mqa.params["attention"] < full.params["attention"]
+
+    def test_gqa_trains(self):
+        from repro.data import PackedDataset
+        docs = [np.random.default_rng(7).integers(0, 256, size=400)]
+        ds = PackedDataset(docs, seq_len=16, val_fraction=0.0)
+        from repro.training import Trainer, TrainerConfig
+        model = GPTModel(gqa_config(2), seed=0)
+        h = Trainer(model, ds, TrainerConfig(optimizer="adam", lr=3e-3,
+                                             batch_size=4, max_steps=15,
+                                             eval_every=1000)).train()
+        assert h.train_loss[-1] < h.train_loss[0]
+
+
+class TestZeroStages:
+    @pytest.fixture(scope="class")
+    def mm(self):
+        return MemoryModel()
+
+    def test_memory_monotone_in_stage(self, mm):
+        states = [mm.breakdown(M67, dp=64, zero_stage=z).model_states
+                  for z in (0, 1, 2, 3)]
+        assert states[0] > states[1] > states[2] > states[3]
+
+    def test_stage3_approaches_full_shard(self, mm):
+        b = mm.breakdown(M67, dp=64, zero_stage=3)
+        params = M67.num_parameters()
+        assert b.model_states == pytest.approx(12.0 * params / 64, rel=0.05)
+
+    def test_stage2_same_traffic_as_stage1(self):
+        cm = CollectiveModel()
+        s1 = build_schedule(M67, ParallelConfig(dp=64, zero_stage=1), cm,
+                            2048, 16384)
+        s2 = build_schedule(M67, ParallelConfig(dp=64, zero_stage=2), cm,
+                            2048, 16384)
+        assert s1.log.total_bytes == s2.log.total_bytes
+
+    def test_stage3_doubles_gather_traffic(self):
+        cm = CollectiveModel()
+        s1 = build_schedule(M67, ParallelConfig(dp=64, zero_stage=1), cm,
+                            2048, 16384)
+        s3 = build_schedule(M67, ParallelConfig(dp=64, zero_stage=3), cm,
+                            2048, 16384)
+        assert s3.log.total_bytes == pytest.approx(2 * s1.log.total_bytes,
+                                                   rel=0.01)
+
+    def test_stage3_slower_stage2_comparable(self):
+        sim = TrainingSimulator()
+        t1 = sim.per_gcd_tflops(M67, ParallelConfig(dp=256, zero_stage=1))
+        t2 = sim.per_gcd_tflops(M67, ParallelConfig(dp=256, zero_stage=2))
+        t3 = sim.per_gcd_tflops(M67, ParallelConfig(dp=256, zero_stage=3))
+        assert t3 < t1        # extra parameter gathers cost throughput
+        assert abs(t2 - t1) / t1 < 0.05
+
+    def test_invalid_stage(self):
+        with pytest.raises(ValueError):
+            ParallelConfig(dp=8, zero_stage=4)
+
+
+class TestGuidance:
+    def test_observation2_derived_automatically(self):
+        """Best layouts match the paper's guidance at each scale."""
+        assert best_layout(M17, 256).label == "DP"
+        assert best_layout(M67, 8).label == "ZeRO=1"
+        assert best_layout(M67, 256).label == "TP=2"
+
+    def test_infeasible_layouts_rejected(self):
+        recs = recommend_layouts(M67, 8, include_infeasible=True)
+        plain_dp = [r for r in recs if r.label == "DP"]
+        assert plain_dp and not plain_dp[0].fits
+        assert "rejected" in plain_dp[0].rationale
+
+    def test_feasible_only_by_default(self):
+        recs = recommend_layouts(M67, 8)
+        assert all(r.fits for r in recs)
+        assert all(r.per_gcd_tflops > 0 for r in recs)
+
+    def test_sorted_by_throughput(self):
+        recs = recommend_layouts(M67, 64, max_tp=4, max_pp=4)
+        tflops = [r.per_gcd_tflops for r in recs if r.fits]
+        assert tflops == sorted(tflops, reverse=True)
+
+    def test_rationales_informative(self):
+        recs = recommend_layouts(M67, 256, max_tp=2, max_pp=2)
+        by_label = {r.label: r for r in recs}
+        assert "200 GB/s" in by_label["TP=2"].rationale
+        assert "bubble" in by_label["PP=2"].rationale
+        assert "optimizer states" in by_label["ZeRO=1"].rationale
+
+    def test_no_valid_layout_raises(self):
+        # 12 GPUs violates Eq. 5 (whole-node allocations of 8).
+        with pytest.raises(ValueError):
+            recommend_layouts(M17, 12)

@@ -1,0 +1,238 @@
+"""Tests for the Frontier hardware model: specs, roofline, memory, power."""
+
+import numpy as np
+import pytest
+
+from repro.frontier import (FRONTIER, GCDSpec, MemoryModel, PowerModel,
+                            RooflineModel)
+from repro.models import GEMMShape, ModelConfig, preset
+
+
+class TestHardwareSpecs:
+    def test_paper_numbers(self):
+        assert FRONTIER.node.num_gcds == 8
+        assert FRONTIER.num_nodes == 9408
+        assert FRONTIER.num_gcds == 75264
+        assert FRONTIER.node.package.peak_tflops == pytest.approx(383.0)
+        assert GCDSpec().hbm_gb == 64.0
+
+    def test_bandwidth_hierarchy(self):
+        node = FRONTIER.node
+        assert node.package.intra_package_bw_gbs > node.intra_node_bw_gbs
+        assert node.intra_node_bw_gbs == node.nic_bw_gbs == 100.0
+
+    def test_gpu_count_validation(self):
+        FRONTIER.validate_gpu_count(256)
+        with pytest.raises(ValueError):
+            FRONTIER.validate_gpu_count(12)  # not a multiple of 8 (Eq. 5)
+        with pytest.raises(ValueError):
+            FRONTIER.validate_gpu_count(0)
+        with pytest.raises(ValueError):
+            FRONTIER.validate_gpu_count(80000)
+
+
+class TestRoofline:
+    @pytest.fixture(scope="class")
+    def rl(self):
+        return RooflineModel()
+
+    def test_fig4_best_architecture_anchor(self, rl):
+        """Best heatmap cell: 24 layers x 2304 hidden at ~76 TFLOPS/GCD."""
+        cfg = ModelConfig(arch="neox", hidden_size=2304, num_layers=24,
+                          num_heads=24)
+        v = rl.achieved_tflops(cfg)
+        assert 72 < v < 80
+
+    def test_fig4_flash_anchors(self, rl):
+        """Flash v1/v2 best-case ~82/84 TFLOPS (paper); v2 > v1 > none."""
+        cfg = ModelConfig(arch="neox", hidden_size=2304, num_layers=24,
+                          num_heads=24)
+        v0 = rl.achieved_tflops(cfg)
+        v1 = rl.achieved_tflops(cfg, flash=1)
+        v2 = rl.achieved_tflops(cfg, flash=2)
+        assert v0 < v1 < v2
+        assert 78 < v1 < 88
+        assert 80 < v2 < 92
+
+    def test_observation1_head_dim_multiple_of_8(self, rl):
+        """Aligned head dims beat misaligned ones at equal layer/hidden."""
+        good = ModelConfig(arch="neox", hidden_size=1920, num_layers=20,
+                           num_heads=20)   # head_dim 96
+        bad = ModelConfig(arch="neox", hidden_size=1940, num_layers=20,
+                          num_heads=20)    # head_dim 97
+        assert rl.achieved_tflops(good) > rl.achieved_tflops(bad)
+
+    def test_over_43pct_of_peak_with_flash(self, rl):
+        """Observation 1: >43% of the 191.5 TFLOPS GCD peak with flash."""
+        cfg = ModelConfig(arch="neox", hidden_size=2304, num_layers=24,
+                          num_heads=24)
+        assert rl.achieved_tflops(cfg, flash=2) / 191.5 > 0.43
+
+    def test_gemm_efficiency_bounds(self, rl):
+        for g in [GEMMShape("qkv", 16384, 2304, 6912),
+                  GEMMShape("score", 2048, 96, 2048, count=192),
+                  GEMMShape("mlp", 64, 64, 64)]:
+            eff = rl.gemm_efficiency(g)
+            assert 0.0 < eff < 0.95 or eff == 0.95
+
+    def test_larger_gemms_more_efficient(self, rl):
+        small = GEMMShape("mlp", 256, 256, 256)
+        large = GEMMShape("mlp", 8192, 8192, 8192)
+        assert rl.gemm_efficiency(large) > rl.gemm_efficiency(small)
+
+    def test_gemm_fraction_grows_with_model_scale(self, rl):
+        """Fig 10: GEMM share of layer time rises with model size."""
+        medium = ModelConfig(arch="neox", hidden_size=2304, num_layers=24,
+                             num_heads=24)
+        large = ModelConfig(arch="neox", hidden_size=4096, num_layers=32,
+                            num_heads=32)
+        f_med = rl.layer_forward_timing(medium, 2048, 8).gemm_fraction()
+        f_big = rl.layer_forward_timing(large, 2048, 8).gemm_fraction()
+        assert f_big > f_med > 0.5
+
+    def test_step_time_positive_and_monotone_in_batch(self, rl):
+        cfg = preset("neox-1.7b-hf-52k")
+        t1 = rl.step_time(cfg, 2048, 4)
+        t2 = rl.step_time(cfg, 2048, 8)
+        assert 0 < t1 < t2
+
+    def test_component_fractions_sum_to_one(self, rl):
+        cfg = preset("neox-1.7b-hf-52k")
+        fr = rl.layer_forward_timing(cfg, 2048, 8).component_fractions()
+        assert sum(fr.values()) == pytest.approx(1.0)
+        assert set(fr) >= {"qkv", "mlp", "other"}
+
+    def test_neox_edge_over_llama(self, rl):
+        """Fig 6: NeoX wins the throughput comparison in most cases."""
+        elig = [(16, 2176, 16), (20, 2080, 20), (20, 2240, 20),
+                (20, 2400, 20), (24, 1920, 24), (24, 2304, 24),
+                (32, 1536, 32), (32, 1792, 32)]
+        wins = 0
+        for L, h, a in elig:
+            n = rl.achieved_tflops(ModelConfig(
+                arch="neox", hidden_size=h, num_layers=L, num_heads=a), flash=1)
+            l = rl.achieved_tflops(ModelConfig(
+                arch="llama", hidden_size=h, num_layers=L, num_heads=a), flash=1)
+            wins += n > l
+        assert wins >= 6  # paper: 7 of 8
+
+    def test_jitter_is_deterministic(self, rl):
+        cfg = preset("neox-1.7b-hf-52k")
+        assert rl.achieved_tflops(cfg) == rl.achieved_tflops(cfg)
+
+
+class TestMemoryModel:
+    @pytest.fixture(scope="class")
+    def mm(self):
+        return MemoryModel()
+
+    @pytest.fixture(scope="class")
+    def cfg(self):
+        return preset("neox-1.7b-hf-52k")
+
+    def test_fig5_oom_without_flash_beyond_8192(self, mm, cfg):
+        assert mm.breakdown(cfg, seq_len=8192, flash=0).fits
+        assert not mm.breakdown(cfg, seq_len=16384, flash=0).fits
+
+    def test_fig5_flash_reaches_32768(self, mm, cfg):
+        assert mm.max_seq_len(cfg, flash=0) == 8192
+        assert mm.max_seq_len(cfg, flash=1) == 32768  # 4x, as in the paper
+
+    def test_flash_memory_linear_in_seq(self, mm, cfg):
+        """With flash, doubling seq roughly doubles the seq-dependent part."""
+        def seq_part(s):
+            b = mm.breakdown(cfg, seq_len=s, flash=1)
+            return b.total - b.model_states - b.workspace
+        g1 = seq_part(16384) / seq_part(8192)
+        assert 1.8 < g1 < 2.2
+
+    def test_noflash_memory_quadratic_tail(self, mm, cfg):
+        b1 = mm.breakdown(cfg, seq_len=8192, flash=0).transient
+        b2 = mm.breakdown(cfg, seq_len=16384, flash=0).transient
+        assert b2 / b1 > 3.0  # dominated by the s^2 score term
+
+    def test_12x_rule(self, mm, cfg):
+        b = mm.breakdown(cfg, seq_len=2048, flash=1)
+        assert b.model_states == pytest.approx(12.0 * cfg.num_parameters())
+
+    def test_zero1_shards_optimizer(self, mm, cfg):
+        full = mm.breakdown(cfg, dp=8, zero_stage=0).model_states
+        sharded = mm.breakdown(cfg, dp=8, zero_stage=1).model_states
+        params = cfg.num_parameters()
+        assert sharded == pytest.approx(full - 8.0 * params * 7 / 8)
+
+    def test_tp_divides_states(self, mm, cfg):
+        full = mm.breakdown(cfg).model_states
+        assert mm.breakdown(cfg, tp=2).model_states == pytest.approx(full / 2)
+
+    def test_6_7b_needs_model_parallelism(self, mm):
+        """The paper's motivation for Fig 7: 6.7B exceeds one GCD."""
+        cfg = preset("neox-6.7b-hf-52k")
+        assert not mm.breakdown(cfg, seq_len=2048, micro_batch=8, flash=1).fits
+        assert mm.breakdown(cfg, seq_len=2048, micro_batch=8, flash=1,
+                            dp=8, zero_stage=1).fits
+
+    def test_invalid_args(self, mm, cfg):
+        with pytest.raises(ValueError):
+            mm.breakdown(cfg, tp=0)
+        with pytest.raises(ValueError):
+            mm.breakdown(cfg, zero_stage=4)
+
+    def test_breakdown_as_gb_consistent(self, mm, cfg):
+        b = mm.breakdown(cfg)
+        gb = b.as_gb()
+        assert gb["total"] == pytest.approx(sum(
+            v for k, v in gb.items() if k != "total"))
+
+
+class TestPowerModel:
+    @pytest.fixture(scope="class")
+    def pm(self):
+        return PowerModel()
+
+    def test_phase_ordering(self, pm):
+        assert pm.phase_watts("compute") > pm.phase_watts("memory") > \
+            pm.phase_watts("comm") > pm.phase_watts("idle")
+
+    def test_unknown_phase(self, pm):
+        with pytest.raises(ValueError):
+            pm.phase_watts("sleeping")
+
+    def test_mean_power_mix(self, pm):
+        w = pm.mean_power({"compute": 0.6, "comm": 0.4})
+        assert pm.phase_watts("comm") < w < pm.phase_watts("compute")
+
+    def test_mean_power_requires_normalized(self, pm):
+        with pytest.raises(ValueError):
+            pm.mean_power({"compute": 0.5})
+
+    def test_fig12_power_anticorrelates_with_comm(self, pm):
+        """6.7B (more comm) draws less mean power than 1.7B: 434 vs 476 W."""
+        p17 = pm.mean_power({"compute": 0.80, "memory": 0.05, "comm": 0.13,
+                             "io": 0.02})
+        p67 = pm.mean_power({"compute": 0.60, "memory": 0.05, "comm": 0.30,
+                             "io": 0.05})
+        assert p67 < p17
+        assert 410 < p67 < 460   # paper: 434 W
+        assert 450 < p17 < 500   # paper: 476 W
+
+    def test_trace_oscillates_between_levels(self, pm):
+        times, watts = pm.trace([("compute", 0.5), ("comm", 0.5)] * 3)
+        assert len(times) == len(watts)
+        assert watts.max() > 480
+        assert watts.min() < 420
+
+    def test_energy_summary_table_iv_shape(self, pm):
+        """Energy for 6.7B >> 1.7B; TFLOPS/W lower for 6.7B."""
+        s17 = pm.run_summary({"compute": 0.80, "memory": 0.05, "comm": 0.13,
+                              "io": 0.02}, duration_s=4.1 * 3600, num_gcds=256)
+        s67 = pm.run_summary({"compute": 0.60, "memory": 0.05, "comm": 0.30,
+                              "io": 0.05}, duration_s=16.5 * 3600, num_gcds=256)
+        assert s67.energy_mwh > 3 * s17.energy_mwh
+        assert 0.15 < s17.energy_mwh < 0.35   # paper: 0.23 MWh
+        assert 0.7 < s67.energy_mwh < 1.2     # paper: 0.91 MWh
+        assert s17.tflops_per_watt(80.5) > s67.tflops_per_watt(59.0)
+
+    def test_run_summary_rejects_odd_gcds(self, pm):
+        with pytest.raises(ValueError):
+            pm.run_summary({"compute": 1.0}, 10.0, num_gcds=3)

@@ -1,0 +1,280 @@
+"""Tests for the functional (numerically executed) parallelism layer:
+serial equivalence of DP, ZeRO-1, Megatron-TP and GPipe-PP."""
+
+import numpy as np
+import pytest
+
+from repro.models import GPTModel, ModelConfig, Tensor, cross_entropy, preset
+from repro.models.mlp import GeluMLP, SwiGLUMLP
+from repro.parallel.functional import (DataParallelTrainer, PipelineExecutor,
+                                       SimulatedComm, Zero1DataParallel,
+                                       split_mlp_tensor_parallel,
+                                       tp_mlp_forward)
+from repro.training import Adam
+
+CFG = ModelConfig(arch="llama", hidden_size=32, num_layers=4, num_heads=4,
+                  vocab_size=128, max_seq_len=32)
+
+
+def factory():
+    return GPTModel(CFG, seed=11)
+
+
+def make_batch(batch=8, seq=12, seed=0):
+    rng = np.random.default_rng(seed)
+    ids = rng.integers(0, 128, size=(batch, seq + 1))
+    return ids[:, :-1], ids[:, 1:]
+
+
+def serial_steps(n_steps=2, lr=1e-3):
+    model = factory()
+    opt = Adam(model.parameters(), lr=lr, weight_decay=0.0)
+    for step in range(n_steps):
+        x, y = make_batch(seed=step)
+        loss = cross_entropy(model(x), y)
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+    return model
+
+
+class TestSimulatedComm:
+    def test_allreduce_mean_and_sum(self):
+        comm = SimulatedComm(2)
+        a = [np.array([1.0, 2.0]), np.array([3.0, 4.0])]
+        mean = comm.allreduce(a)
+        np.testing.assert_allclose(mean[0], [2.0, 3.0])
+        np.testing.assert_allclose(mean[1], mean[0])
+        total = comm.allreduce(a, op="sum")
+        np.testing.assert_allclose(total[0], [4.0, 6.0])
+
+    def test_allgather(self):
+        comm = SimulatedComm(2)
+        out = comm.allgather([np.ones((1, 2)), np.zeros((1, 2))])
+        assert out[0].shape == (2, 2)
+        np.testing.assert_allclose(out[0], out[1])
+
+    def test_reduce_scatter_roundtrip_with_allgather(self):
+        comm = SimulatedComm(4)
+        data = [np.arange(8.0) + r for r in range(4)]
+        pieces = comm.reduce_scatter(data, op="sum")
+        gathered = comm.allgather(pieces)[0]
+        np.testing.assert_allclose(gathered, np.sum(data, axis=0))
+
+    def test_world_size_checked(self):
+        comm = SimulatedComm(3)
+        with pytest.raises(ValueError):
+            comm.allreduce([np.ones(2)] * 2)
+        with pytest.raises(ValueError):
+            SimulatedComm(0)
+
+    def test_stats_counted(self):
+        comm = SimulatedComm(2)
+        comm.allreduce([np.ones(1)] * 2)
+        comm.allgather([np.ones(1)] * 2)
+        assert comm.stats["allreduce"] == 1
+        assert comm.stats["allgather"] == 1
+
+
+class TestDataParallel:
+    def test_dp_matches_serial_training(self):
+        """2-rank DP produces bit-identical weights to serial training."""
+        dp = DataParallelTrainer(factory, world_size=2, lr=1e-3)
+        for step in range(2):
+            x, y = make_batch(seed=step)
+            dp.step(x, y)
+        serial = serial_steps(2)
+        serial_state = serial.state_dict()
+        dp_state = dp.replicas[0].state_dict()
+        for key in serial_state:
+            np.testing.assert_allclose(dp_state[key], serial_state[key],
+                                       atol=1e-10, err_msg=key)
+
+    def test_replicas_never_diverge(self):
+        dp = DataParallelTrainer(factory, world_size=4, lr=1e-3)
+        for step in range(2):
+            x, y = make_batch(seed=step)
+            dp.step(x, y)
+        assert dp.max_replica_divergence() < 1e-12
+
+    def test_loss_is_global_mean(self):
+        dp = DataParallelTrainer(factory, world_size=2, lr=1e-3)
+        x, y = make_batch(seed=0)
+        loss = dp.step(x, y)
+        fresh = factory()
+        expected = cross_entropy(fresh(x), y).item()
+        assert loss == pytest.approx(expected, abs=1e-8)
+
+    def test_indivisible_batch_rejected(self):
+        dp = DataParallelTrainer(factory, world_size=3, lr=1e-3)
+        x, y = make_batch(batch=8)
+        with pytest.raises(ValueError):
+            dp.step(x, y)
+
+
+class TestZero1:
+    def test_zero1_matches_plain_dp(self):
+        """ZeRO-1's sharded update is bit-identical to replicated Adam."""
+        dp = DataParallelTrainer(factory, world_size=2, lr=1e-3)
+        zero = Zero1DataParallel(factory, world_size=2, lr=1e-3)
+        for step in range(2):
+            x, y = make_batch(seed=step)
+            l1 = dp.step(x, y)
+            l2 = zero.step(x, y)
+            assert l1 == pytest.approx(l2, abs=1e-10)
+        a = dp.replicas[0].state_dict()
+        b = zero.replicas[0].state_dict()
+        for key in a:
+            np.testing.assert_allclose(b[key], a[key], atol=1e-10,
+                                       err_msg=key)
+
+    def test_zero1_replicas_consistent(self):
+        zero = Zero1DataParallel(factory, world_size=4, lr=1e-3)
+        x, y = make_batch(seed=1)
+        zero.step(x, y)
+        assert zero.max_replica_divergence() < 1e-12
+
+    def test_optimizer_shards_partition_the_states(self):
+        zero = Zero1DataParallel(factory, world_size=4, lr=1e-3)
+        sizes = zero.optimizer_state_bytes_per_rank()
+        total = sum(sizes)
+        full = 8 * zero.replicas[0].num_parameters()
+        assert total == full               # shards partition exactly
+        assert max(sizes) < full           # and each rank holds < all
+
+
+class TestTensorParallelMLP:
+    @pytest.mark.parametrize("mlp_cls,kwargs", [
+        (GeluMLP, dict(hidden_size=16, ffn_hidden_size=32)),
+        (SwiGLUMLP, dict(hidden_size=16, ffn_hidden_size=24)),
+    ])
+    @pytest.mark.parametrize("tp", [1, 2, 4])
+    def test_tp_matches_serial(self, mlp_cls, kwargs, tp):
+        mlp = mlp_cls(rng=np.random.default_rng(5), **kwargs)
+        x = np.random.default_rng(6).normal(size=(3, 16))
+        serial = mlp(Tensor(x)).data
+        shards = split_mlp_tensor_parallel(mlp, tp)
+        parallel = tp_mlp_forward(shards, x)
+        np.testing.assert_allclose(parallel, serial, atol=1e-10)
+
+    def test_one_allreduce_per_forward(self):
+        mlp = GeluMLP(16, 32, rng=np.random.default_rng(0))
+        comm = SimulatedComm(2)
+        tp_mlp_forward(split_mlp_tensor_parallel(mlp, 2),
+                       np.ones((2, 16)), comm=comm)
+        assert comm.stats["allreduce"] == 1
+
+    def test_unsupported_module(self):
+        from repro.models import Linear
+        with pytest.raises(TypeError):
+            split_mlp_tensor_parallel(Linear(4, 4), 2)
+
+    def test_invalid_tp(self):
+        mlp = GeluMLP(8, 16)
+        with pytest.raises(ValueError):
+            split_mlp_tensor_parallel(mlp, 0)
+
+
+class TestPipelineExecutor:
+    def test_pipelined_forward_matches_serial(self):
+        model = factory()
+        model.eval()
+        pipe = PipelineExecutor(model, num_stages=2)
+        ids = np.random.default_rng(2).integers(0, 128, size=(4, 10))
+        run = pipe.forward(ids, micro_batches=2)
+        serial = model(ids).data
+        np.testing.assert_allclose(run.output.data, serial, atol=1e-10)
+
+    def test_stage_partition_validated(self):
+        model = factory()  # 4 layers
+        with pytest.raises(ValueError):
+            PipelineExecutor(model, num_stages=3)
+
+    def test_batch_partition_validated(self):
+        pipe = PipelineExecutor(factory(), num_stages=2)
+        with pytest.raises(ValueError):
+            pipe.forward(np.zeros((5, 8), dtype=int), micro_batches=2)
+
+    def test_schedule_records_all_work(self):
+        pipe = PipelineExecutor(factory(), num_stages=2)
+        ids = np.zeros((4, 8), dtype=int)
+        run = pipe.forward(ids, micro_batches=4)
+        # Each of 4 micro-batches visits both stages exactly once.
+        assert len(run.schedule) == 8
+        visits = {(s.stage, s.micro_batch) for s in run.schedule}
+        assert len(visits) == 8
+
+    def test_bubble_matches_analytic_formula(self):
+        pipe = PipelineExecutor(factory(), num_stages=2)
+        for m in (2, 4):
+            ids = np.zeros((m, 8), dtype=int)
+            run = pipe.forward(ids, micro_batches=m)
+            ticks = max(s.tick for s in run.schedule) + 1
+            measured = run.idle_slots(2) / (ticks * 2)
+            assert measured == pytest.approx(pipe.analytic_bubble(m),
+                                             abs=1e-9)
+
+    def test_in_order_execution(self):
+        """Within a stage, micro-batches execute in order (GPipe)."""
+        pipe = PipelineExecutor(factory(), num_stages=2)
+        run = pipe.forward(np.zeros((4, 8), dtype=int), micro_batches=4)
+        for stage in (0, 1):
+            order = [s.micro_batch for s in sorted(run.schedule,
+                                                   key=lambda s: s.tick)
+                     if s.stage == stage]
+            assert order == sorted(order)
+
+
+class TestTensorParallelAttention:
+    @pytest.mark.parametrize("tp", [1, 2, 4, 8])
+    def test_tp_attention_matches_serial(self, tp):
+        from repro.models import CausalSelfAttention
+        from repro.parallel import (split_attention_tensor_parallel,
+                                    tp_attention_forward)
+        attn = CausalSelfAttention(32, 8, max_seq_len=16,
+                                   rng=np.random.default_rng(5))
+        attn.eval()
+        x = np.random.default_rng(6).normal(size=(2, 10, 32))
+        serial = attn(Tensor(x)).data
+        shards = split_attention_tensor_parallel(attn, tp)
+        parallel = tp_attention_forward(shards, x)
+        np.testing.assert_allclose(parallel, serial, atol=1e-10)
+
+    def test_one_allreduce_per_layer(self):
+        from repro.models import CausalSelfAttention
+        from repro.parallel import (SimulatedComm,
+                                    split_attention_tensor_parallel,
+                                    tp_attention_forward)
+        attn = CausalSelfAttention(16, 4, max_seq_len=8)
+        attn.eval()
+        comm = SimulatedComm(2)
+        tp_attention_forward(split_attention_tensor_parallel(attn, 2),
+                             np.ones((1, 4, 16)), comm=comm)
+        assert comm.stats["allreduce"] == 1
+
+    def test_eq4_enforced(self):
+        from repro.models import CausalSelfAttention
+        from repro.parallel import split_attention_tensor_parallel
+        attn = CausalSelfAttention(24, 6, max_seq_len=8)
+        with pytest.raises(ValueError):
+            split_attention_tensor_parallel(attn, 4)  # 6 % 4 != 0
+
+    def test_gqa_rejected(self):
+        from repro.models import CausalSelfAttention
+        from repro.parallel import split_attention_tensor_parallel
+        attn = CausalSelfAttention(32, 8, max_seq_len=8, num_kv_heads=2)
+        with pytest.raises(ValueError):
+            split_attention_tensor_parallel(attn, 2)
+
+    def test_no_bias_variant(self):
+        from repro.models import CausalSelfAttention
+        from repro.parallel import (split_attention_tensor_parallel,
+                                    tp_attention_forward)
+        attn = CausalSelfAttention(16, 4, max_seq_len=8, bias=False,
+                                   rng=np.random.default_rng(1))
+        attn.eval()
+        x = np.random.default_rng(2).normal(size=(1, 6, 16))
+        serial = attn(Tensor(x)).data
+        parallel = tp_attention_forward(
+            split_attention_tensor_parallel(attn, 2), x)
+        np.testing.assert_allclose(parallel, serial, atol=1e-10)

@@ -1,0 +1,108 @@
+"""Tests for gradient accumulation and trainer checkpoint/resume."""
+
+import numpy as np
+import pytest
+
+from repro.data import AbstractGenerator, PackedDataset
+from repro.models import GPTModel, preset
+from repro.tokenizers import BPETokenizer
+from repro.training import Trainer, TrainerConfig
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    texts = [d.text for d in AbstractGenerator(seed=0).sample(100)]
+    tok = BPETokenizer().train(texts, 450)
+    return PackedDataset.from_texts(texts, tok, seq_len=32)
+
+
+def run(dataset, batch, accum, steps=6, seed=0):
+    model = GPTModel(preset("tiny-llama"), seed=seed)
+    trainer = Trainer(model, dataset, TrainerConfig(
+        optimizer="adam", lr=5e-3, batch_size=batch,
+        grad_accum_steps=accum, max_steps=steps, eval_every=10 ** 9,
+        seed=seed))
+    history = trainer.train()
+    return model, history
+
+
+class TestGradientAccumulation:
+    def test_equivalent_to_large_batch(self, dataset):
+        """k micro-batches with 1/k loss scaling == one kx batch.
+
+        Both runs shuffle with the same seed, so two consecutive
+        4-sequence micro-batches contain exactly the samples of one
+        8-sequence batch.
+        """
+        big_model, big_hist = run(dataset, batch=8, accum=1)
+        acc_model, acc_hist = run(dataset, batch=4, accum=2)
+        for key in big_model.state_dict():
+            np.testing.assert_allclose(
+                acc_model.state_dict()[key], big_model.state_dict()[key],
+                atol=1e-9, err_msg=key)
+        np.testing.assert_allclose(acc_hist.train_loss,
+                                   big_hist.train_loss, atol=1e-9)
+
+    def test_reported_loss_is_microbatch_mean(self, dataset):
+        _, hist = run(dataset, batch=4, accum=2, steps=3)
+        assert len(hist.train_loss) == 3
+        assert all(np.isfinite(hist.train_loss))
+
+    def test_optimizer_steps_counted_per_global_step(self, dataset):
+        model = GPTModel(preset("tiny-llama"), seed=0)
+        trainer = Trainer(model, dataset, TrainerConfig(
+            optimizer="adam", lr=5e-3, batch_size=4, grad_accum_steps=4,
+            max_steps=5, eval_every=10 ** 9))
+        trainer.train()
+        assert trainer.optimizer.step_count == 5
+
+    def test_invalid_accum(self):
+        with pytest.raises(ValueError):
+            TrainerConfig(grad_accum_steps=0)
+
+
+class TestTrainerCheckpoint:
+    def test_save_resume_continues_trajectory(self, dataset, tmp_path):
+        cfg = TrainerConfig(optimizer="adam", lr=5e-3, batch_size=8,
+                            max_steps=10, eval_every=10 ** 9, seed=0)
+
+        # Uninterrupted baseline.
+        ref_model = GPTModel(preset("tiny-llama"), seed=0)
+        Trainer(ref_model, dataset, cfg).train()
+
+        # Train 5 steps of the SAME full-run config, checkpoint, restore
+        # into a fresh trainer, finish.
+        m1 = GPTModel(preset("tiny-llama"), seed=0)
+        t1 = Trainer(m1, dataset, cfg)
+        t1.train(stop_step=5)
+        path = t1.save(tmp_path / "run", step=5)
+
+        m2 = GPTModel(preset("tiny-llama"), seed=99)  # different init
+        t2 = Trainer(m2, dataset, cfg)
+        step = t2.resume(path)
+        assert step == 5
+        t2.train(start_step=step)
+
+        for key in ref_model.state_dict():
+            np.testing.assert_allclose(
+                m2.state_dict()[key], ref_model.state_dict()[key],
+                atol=1e-9, err_msg=key)
+
+    def test_resume_rejects_mismatched_config(self, dataset, tmp_path):
+        cfg_a = TrainerConfig(optimizer="adam", lr=5e-3, batch_size=8,
+                              max_steps=4, eval_every=10 ** 9)
+        model = GPTModel(preset("tiny-llama"), seed=0)
+        trainer = Trainer(model, dataset, cfg_a)
+        path = trainer.save(tmp_path / "run", step=2)
+        cfg_b = TrainerConfig(optimizer="adam", lr=1e-3, batch_size=8,
+                              max_steps=4, eval_every=10 ** 9)
+        other = Trainer(GPTModel(preset("tiny-llama"), seed=0), dataset,
+                        cfg_b)
+        with pytest.raises(ValueError):
+            other.resume(path)
+
+    def test_ckpt_suffix_added(self, dataset, tmp_path):
+        model = GPTModel(preset("tiny-llama"), seed=0)
+        trainer = Trainer(model, dataset, TrainerConfig(max_steps=1))
+        path = trainer.save(tmp_path / "noext", step=0)
+        assert path.suffix == ".ckpt"

@@ -1,0 +1,217 @@
+"""Tests for inference features: KV-cache decoding, checkpointing,
+perplexity/BPC evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.data import AbstractGenerator, PackedDataset
+from repro.evalharness import bits_per_character, perplexity
+from repro.models import (GPTModel, KVCache, ModelConfig, load_checkpoint,
+                          load_tokenizer, preset, save_checkpoint,
+                          save_tokenizer)
+from repro.tokenizers import BPETokenizer, UnigramTokenizer
+from repro.training import Trainer, TrainerConfig
+
+
+@pytest.fixture(scope="module")
+def tok_and_texts():
+    texts = [d.text for d in AbstractGenerator(seed=0).sample(120)]
+    return BPETokenizer().train(texts, 480), texts
+
+
+@pytest.fixture(scope="module")
+def trained(tok_and_texts):
+    tok, texts = tok_and_texts
+    ds = PackedDataset.from_texts(texts, tok, seq_len=48)
+    model = GPTModel(preset("tiny-llama"), seed=0)
+    Trainer(model, ds, TrainerConfig(optimizer="adam", lr=5e-3, batch_size=8,
+                                     max_steps=40, eval_every=1000)).train()
+    return model
+
+
+class TestKVCache:
+    @pytest.mark.parametrize("name", ["tiny-llama", "tiny-neox"])
+    def test_cached_generation_identical(self, name):
+        model = GPTModel(preset(name), seed=0)
+        prompt = np.array([3, 14, 15, 9])
+        a = model.generate(prompt, 16)
+        b = model.generate(prompt, 16, use_cache=True)
+        np.testing.assert_array_equal(a, b)
+
+    def test_cached_generation_gqa(self):
+        cfg = ModelConfig(arch="llama", hidden_size=64, num_layers=2,
+                          num_heads=8, num_kv_heads=2, vocab_size=256,
+                          max_seq_len=64)
+        model = GPTModel(cfg, seed=1)
+        prompt = np.array([7, 8])
+        np.testing.assert_array_equal(
+            model.generate(prompt, 12),
+            model.generate(prompt, 12, use_cache=True))
+
+    def test_cached_sampling_identical(self):
+        model = GPTModel(preset("tiny-llama"), seed=0)
+        prompt = np.array([1, 2])
+        a = model.generate(prompt, 8, temperature=1.2,
+                           rng=np.random.default_rng(5))
+        b = model.generate(prompt, 8, temperature=1.2,
+                           rng=np.random.default_rng(5), use_cache=True)
+        np.testing.assert_array_equal(a, b)
+
+    def test_cache_grows_per_token(self):
+        model = GPTModel(preset("tiny-llama"), seed=0)
+        caches = [KVCache() for _ in model.layers]
+        model._forward_cached(np.array([[1, 2, 3]]), caches)
+        assert all(c.length == 3 for c in caches)
+        model._forward_cached(np.array([[4]]), caches)
+        assert all(c.length == 4 for c in caches)
+
+    def test_gqa_cache_smaller(self):
+        base = ModelConfig(arch="llama", hidden_size=64, num_layers=1,
+                           num_heads=8, vocab_size=256, max_seq_len=64)
+        gqa = ModelConfig(arch="llama", hidden_size=64, num_layers=1,
+                          num_heads=8, num_kv_heads=2, vocab_size=256,
+                          max_seq_len=64)
+        sizes = {}
+        for label, cfg in (("mha", base), ("gqa", gqa)):
+            model = GPTModel(cfg, seed=0)
+            caches = [KVCache() for _ in model.layers]
+            model._forward_cached(np.arange(16)[None], caches)
+            sizes[label] = sum(c.memory_bytes() for c in caches)
+        assert sizes["gqa"] == sizes["mha"] // 4  # 8 -> 2 kv heads
+
+    def test_cache_fallback_beyond_context(self):
+        """Prompts near max_seq_len fall back to windowed decoding."""
+        model = GPTModel(preset("tiny-llama"), seed=0)  # max_seq_len 64
+        prompt = np.arange(60) % 512
+        out = model.generate(prompt, 10, use_cache=True)
+        assert len(out) == 70
+
+    def test_empty_prompt_rejected(self):
+        model = GPTModel(preset("tiny-llama"), seed=0)
+        with pytest.raises(ValueError):
+            model.generate(np.array([], dtype=np.int64), 4, use_cache=True)
+
+    def test_empty_cache_reports_zero(self):
+        c = KVCache()
+        assert c.length == 0
+        assert c.memory_bytes() == 0
+
+
+class TestCheckpointing:
+    def test_model_roundtrip(self, tmp_path):
+        model = GPTModel(preset("tiny-neox"), seed=7)
+        path = save_checkpoint(model, tmp_path / "model")
+        assert path.suffix == ".npz"
+        loaded = load_checkpoint(path)
+        ids = np.arange(10)[None]
+        np.testing.assert_allclose(loaded(ids).data, model(ids).data,
+                                   atol=1e-12)
+        assert loaded.config == model.config
+
+    def test_roundtrip_preserves_gqa_config(self, tmp_path):
+        cfg = ModelConfig(arch="llama", hidden_size=64, num_layers=2,
+                          num_heads=8, num_kv_heads=4, vocab_size=256,
+                          max_seq_len=32)
+        path = save_checkpoint(GPTModel(cfg, seed=0), tmp_path / "gqa")
+        assert load_checkpoint(path).config.num_kv_heads == 4
+
+    def test_not_a_checkpoint_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, a=np.ones(3))
+        with pytest.raises(ValueError):
+            load_checkpoint(path)
+
+    def test_tokenizer_roundtrip(self, tmp_path, tok_and_texts):
+        tok, _ = tok_and_texts
+        path = save_tokenizer(tok, tmp_path / "tok")
+        loaded = load_tokenizer(path)
+        text = "the band gap of GaAs"
+        np.testing.assert_array_equal(loaded.encode(text), tok.encode(text))
+
+    def test_unigram_tokenizer_roundtrip(self, tmp_path):
+        tok = UnigramTokenizer().train(["band gap energy"] * 10, 280)
+        loaded = load_tokenizer(save_tokenizer(tok, tmp_path / "spm"))
+        assert loaded.decode(loaded.encode("band gap")) == "band gap"
+
+    def test_untrained_tokenizer_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_tokenizer(BPETokenizer(), tmp_path / "raw")
+
+
+class TestPerplexity:
+    def test_training_reduces_perplexity(self, tok_and_texts, trained):
+        tok, _ = tok_and_texts
+        held = [d.text for d in AbstractGenerator(seed=99).sample(8)]
+        fresh = GPTModel(preset("tiny-llama"), seed=0)
+        assert perplexity(trained, tok, held) < \
+            0.5 * perplexity(fresh, tok, held)
+
+    def test_untrained_near_uniform(self, tok_and_texts):
+        tok, _ = tok_and_texts
+        model = GPTModel(preset("tiny-llama"), seed=0)
+        held = [d.text for d in AbstractGenerator(seed=99).sample(4)]
+        ppl = perplexity(model, tok, held)
+        assert 0.5 * 512 < ppl < 2.0 * 512  # ~vocab size
+
+    def test_bpc_comparable_across_tokenizers(self, tok_and_texts, trained):
+        """BPC is the cross-tokenizer metric (ppl is not)."""
+        tok, texts = tok_and_texts
+        held = [d.text for d in AbstractGenerator(seed=99).sample(6)]
+        bpc = bits_per_character(trained, tok, held)
+        assert 0.3 < bpc < 10.0
+
+    def test_empty_inputs_rejected(self, tok_and_texts, trained):
+        tok, _ = tok_and_texts
+        with pytest.raises(ValueError):
+            perplexity(trained, tok, [])
+        with pytest.raises(ValueError):
+            bits_per_character(trained, tok, [])
+
+    def test_max_docs_limits_work(self, tok_and_texts, trained):
+        tok, _ = tok_and_texts
+        held = [d.text for d in AbstractGenerator(seed=99).sample(10)]
+        a = perplexity(trained, tok, held, max_docs=3)
+        b = perplexity(trained, tok, held[:3])
+        assert a == b
+
+
+class TestSamplingStrategies:
+    def test_top_k_restricts_support(self):
+        model = GPTModel(preset("tiny-llama"), seed=0)
+        prompt = np.array([1, 2, 3])
+        with np.errstate(all="ignore"):
+            from repro.models.tensor import no_grad
+            with no_grad():
+                logits = model(prompt[None]).data[0, -1]
+        top2 = set(np.argsort(logits)[-2:].tolist())
+        seen = set()
+        for seed in range(12):
+            out = model.generate(prompt, 1, temperature=1.0, top_k=2,
+                                 rng=np.random.default_rng(seed))
+            seen.add(int(out[-1]))
+        assert seen <= top2
+
+    def test_top_p_limits_to_nucleus(self):
+        model = GPTModel(preset("tiny-llama"), seed=0)
+        prompt = np.array([4, 5])
+        # A very small nucleus behaves like (near-)greedy sampling.
+        greedy = model.generate(prompt, 4)
+        nucleus = model.generate(prompt, 4, temperature=0.7, top_p=1e-9,
+                                 rng=np.random.default_rng(0))
+        np.testing.assert_array_equal(nucleus, greedy)
+
+    def test_sampling_args_validated(self):
+        model = GPTModel(preset("tiny-llama"), seed=0)
+        with pytest.raises(ValueError):
+            model.generate(np.array([1]), 2, top_k=-1)
+        with pytest.raises(ValueError):
+            model.generate(np.array([1]), 2, top_p=0.0)
+
+    def test_cached_sampling_with_filters_identical(self):
+        model = GPTModel(preset("tiny-llama"), seed=0)
+        prompt = np.array([7, 8, 9])
+        kw = dict(temperature=1.2, top_k=8, top_p=0.9)
+        a = model.generate(prompt, 8, rng=np.random.default_rng(3), **kw)
+        b = model.generate(prompt, 8, rng=np.random.default_rng(3),
+                           use_cache=True, **kw)
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,129 @@
+"""Cross-layer integration tests.
+
+The repository has two views of each parallel algorithm — an analytical
+cost model and a functional executor — plus analytic accounting next to
+live NumPy models.  These tests pin the views to each other, so a change
+to one layer that breaks its counterpart is caught.
+"""
+
+import numpy as np
+import pytest
+
+from repro.frontier import MemoryModel, RooflineModel
+from repro.models import (GPTModel, ModelConfig, layer_accounting,
+                          model_flops_per_token, preset)
+from repro.parallel import (CollectiveModel, ParallelConfig,
+                            Zero1DataParallel, build_schedule)
+from repro.parallel.functional import DataParallelTrainer
+
+TINY = ModelConfig(arch="llama", hidden_size=32, num_layers=4, num_heads=4,
+                   vocab_size=128, max_seq_len=32)
+
+
+class TestAnalyticVsLive:
+    @pytest.mark.parametrize("name", ["tiny-neox", "tiny-llama",
+                                      "small-neox", "small-llama"])
+    def test_param_accounting_matches_model(self, name):
+        cfg = preset(name)
+        assert GPTModel(cfg, seed=0).num_parameters() == \
+            cfg.num_parameters()
+
+    def test_layer_accounting_sums_to_model_params(self):
+        """Per-layer accounting x layers + embeddings = model total."""
+        cfg = preset("tiny-llama")
+        acc = layer_accounting(cfg, seq_len=8, batch_size=1)
+        final_norm = cfg.hidden_size  # RMSNorm weight
+        expected = (acc.total_params * cfg.num_layers + final_norm +
+                    cfg.vocab_size * cfg.hidden_size)
+        assert expected == cfg.num_parameters()
+
+    def test_flops_per_token_vs_gemm_accounting(self):
+        """6N-based and GEMM-shape-based FLOP counts agree within 25%."""
+        cfg = preset("neox-1.7b-hf-52k")
+        acc = layer_accounting(cfg, seq_len=2048, batch_size=1)
+        # GEMM accounting: layers x per-layer training FLOPs + head, per token.
+        head = 2 * 2048 * cfg.hidden_size * cfg.vocab_size
+        gemm_total = (acc.total_training_flops * cfg.num_layers +
+                      3 * head) / 2048
+        six_n = model_flops_per_token(cfg, 2048)
+        assert abs(gemm_total - six_n) / six_n < 0.25
+
+
+class TestAnalyticCommVsFunctional:
+    def test_dp_logged_volume_matches_executed_traffic(self):
+        """The RCCL-log model's DP volume equals what functional DP moves.
+
+        Analytical: bucketed allreduce of fp32 main grads = 4 B/param.
+        Functional: one allreduce per parameter tensor = all params once.
+        """
+        cfg = preset("neox-1.7b-hf-52k")
+        sched = build_schedule(cfg, ParallelConfig(dp=64),
+                               CollectiveModel(), 2048, 16384)
+        assert sched.log.total_bytes == pytest.approx(
+            4.0 * cfg.num_parameters(), rel=1e-6)
+
+        dp = DataParallelTrainer(lambda: GPTModel(TINY, seed=0),
+                                 world_size=2, lr=1e-3)
+        rng = np.random.default_rng(0)
+        ids = rng.integers(0, 128, size=(4, 9))
+        dp.step(ids[:, :-1], ids[:, 1:])
+        # One allreduce per parameter tensor.
+        assert dp.comm.stats["allreduce"] == \
+            len(dp.replicas[0].parameters())
+
+    def test_zero1_shard_sizes_match_memory_model(self):
+        """Functional ZeRO-1 shard totals agree with the stage-1 memory
+        model's optimizer accounting."""
+        world = 2
+        zero = Zero1DataParallel(lambda: GPTModel(TINY, seed=0),
+                                 world_size=world, lr=1e-3)
+        shard_sizes = zero.optimizer_state_bytes_per_rank()
+        params = TINY.num_parameters()
+        assert sum(shard_sizes) == 8 * params
+
+        mm = MemoryModel()
+        full = mm.breakdown(TINY, dp=world, zero_stage=0).model_states
+        sharded = mm.breakdown(TINY, dp=world, zero_stage=1).model_states
+        # The memory model removes exactly the non-local optimizer share.
+        assert full - sharded == pytest.approx(
+            8 * params * (1 - 1 / world))
+        # Round-robin sharding is roughly even.
+        assert max(shard_sizes) < 0.8 * sum(shard_sizes)
+
+
+class TestRooflineVsAccounting:
+    def test_step_time_bounded_by_ideal(self):
+        """Simulated step time can never beat the zero-overhead bound."""
+        rl = RooflineModel()
+        cfg = preset("neox-1.7b-hf-52k")
+        acc = layer_accounting(cfg, seq_len=2048, batch_size=8)
+        ideal = (acc.total_training_flops * cfg.num_layers /
+                 rl.gcd.peak_flops)
+        assert rl.step_time(cfg, 2048, 8) > ideal
+
+    def test_achieved_tflops_consistent_with_step_time(self):
+        rl = RooflineModel()
+        cfg = preset("neox-1.7b-hf-52k")
+        t = rl.step_time(cfg, 2048, 8)
+        flops = model_flops_per_token(cfg, 2048) * 8 * 2048
+        assert rl.achieved_tflops(cfg, 2048, 8) == pytest.approx(
+            flops / t / 1e12, rel=1e-9)
+
+
+class TestMemoryVsConfig:
+    def test_12x_rule_tracks_param_count(self):
+        mm = MemoryModel()
+        for name in ("neox-1.7b-hf-52k", "llama-6.7b-hf-52k"):
+            cfg = preset(name)
+            b = mm.breakdown(cfg)
+            assert b.model_states == pytest.approx(
+                12.0 * cfg.num_parameters())
+
+    def test_gqa_reduces_modelled_states_too(self):
+        mm = MemoryModel()
+        mha = ModelConfig(arch="llama", hidden_size=4096, num_layers=32,
+                          num_heads=32, vocab_size=52000)
+        gqa = ModelConfig(arch="llama", hidden_size=4096, num_layers=32,
+                          num_heads=32, num_kv_heads=8, vocab_size=52000)
+        assert mm.breakdown(gqa).model_states < \
+            mm.breakdown(mha).model_states

@@ -1,0 +1,168 @@
+"""Tests for tokenizer text-format interop, eval decontamination and
+multi-seed few-shot evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.data import (AbstractGenerator, check_contamination,
+                        decontaminate_corpus)
+from repro.evalharness import build_task, evaluate_task_multi_seed
+from repro.tokenizers import (BPETokenizer, UnigramTokenizer, export_bpe,
+                              export_unigram, import_bpe, import_unigram)
+from repro.tokenizers.io import byte_to_unicode
+
+CORPUS = ["the band gap of GaAs is wide and useful",
+          "perovskite solar cells improve rapidly today"] * 10
+
+
+@pytest.fixture(scope="module")
+def bpe():
+    return BPETokenizer().train(CORPUS, 330)
+
+
+@pytest.fixture(scope="module")
+def unigram():
+    return UnigramTokenizer().train(CORPUS, 300)
+
+
+class TestByteUnicode:
+    def test_bijective(self):
+        mapping = byte_to_unicode()
+        assert len(mapping) == 256
+        assert len(set(mapping.values())) == 256
+
+    def test_printable_identity(self):
+        mapping = byte_to_unicode()
+        assert mapping[ord("a")] == "a"
+        assert mapping[ord(" ")] != " "  # space is remapped (GPT-2 style)
+
+
+class TestBPETextFormat:
+    def test_roundtrip_encodings(self, bpe, tmp_path):
+        export_bpe(bpe, tmp_path / "tok")
+        loaded = import_bpe(tmp_path / "tok")
+        for text in ("the band gap", "solar cells", "GaAs αβ"):
+            np.testing.assert_array_equal(loaded.encode(text),
+                                          bpe.encode(text))
+            assert loaded.decode(loaded.encode(text)) == text
+
+    def test_files_written(self, bpe, tmp_path):
+        d = export_bpe(bpe, tmp_path / "tok")
+        assert (d / "vocab.json").exists()
+        assert (d / "merges.txt").exists()
+        merges = (d / "merges.txt").read_text().strip().splitlines()
+        assert len(merges) == len(bpe.merges)
+
+    def test_vocab_unique_strings(self, bpe, tmp_path):
+        import json
+        d = export_bpe(bpe, tmp_path / "tok")
+        vocab = json.loads((d / "vocab.json").read_text())
+        assert len(vocab) == bpe.vocab_size
+
+    def test_missing_files_rejected(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            import_bpe(tmp_path)
+
+    def test_corrupt_merges_rejected(self, bpe, tmp_path):
+        d = export_bpe(bpe, tmp_path / "tok")
+        (d / "merges.txt").write_text("1 2 3\n")
+        with pytest.raises(ValueError):
+            import_bpe(d)
+
+    def test_untrained_export_rejected(self, tmp_path):
+        with pytest.raises(RuntimeError):
+            export_bpe(BPETokenizer(), tmp_path / "x")
+
+
+class TestUnigramTextFormat:
+    def test_roundtrip_encodings(self, unigram, tmp_path):
+        export_unigram(unigram, tmp_path / "spm")
+        loaded = import_unigram(tmp_path / "spm")
+        for text in ("the band gap", "solar cells improve"):
+            np.testing.assert_array_equal(loaded.encode(text),
+                                          unigram.encode(text))
+
+    def test_pieces_file_sorted_by_id(self, unigram, tmp_path):
+        d = export_unigram(unigram, tmp_path / "spm")
+        lines = (d / "pieces.tsv").read_text().strip().splitlines()
+        assert len(lines) == len(unigram.pieces)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            import_unigram(tmp_path)
+
+
+class TestDecontamination:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return [d.text for d in AbstractGenerator(seed=0).sample(40)]
+
+    def test_clean_eval_set_passes(self, corpus):
+        evals = ["what is the chemical symbol for gold in metallurgy",
+                 "explain the general theory of relativity please"]
+        report = check_contamination(evals, corpus)
+        assert report.clean
+        assert report.contamination_rate == 0.0
+
+    def test_leaked_item_flagged(self, corpus):
+        evals = ["an unrelated question about biology experiments",
+                 corpus[5]]  # verbatim leak
+        report = check_contamination(evals, corpus)
+        assert 1 in report.contaminated
+        assert 0 not in report.contaminated
+
+    def test_partial_leak_threshold(self, corpus):
+        half = " ".join(corpus[3].split()[:len(corpus[3].split()) // 2])
+        report_strict = check_contamination([half], corpus, threshold=0.9)
+        report_loose = check_contamination([half], corpus, threshold=0.3)
+        assert not report_strict.contaminated or report_loose.contaminated
+
+    def test_decontaminate_corpus_removes_source_doc(self, corpus):
+        evals = [corpus[7]]
+        clean, removed = decontaminate_corpus(corpus, evals)
+        assert removed >= 1
+        assert corpus[7] not in clean
+
+    def test_threshold_validated(self, corpus):
+        with pytest.raises(ValueError):
+            check_contamination(["x"], corpus, threshold=0.0)
+
+
+class TestMultiSeedFewshot:
+    class ConstantModel:
+        """Always prefers the shortest continuation (deterministic)."""
+
+        def loglikelihood(self, context, continuation):
+            return -float(len(continuation)), False
+
+    class WordTokenizer:
+        def encode(self, text, add_special=False):
+            return np.arange(len(text.split()) + 1)
+
+    def test_aggregates_over_seeds(self):
+        task = build_task("sciq", n_questions=12, n_fewshot=8)
+        result = evaluate_task_multi_seed(
+            self.ConstantModel(), self.WordTokenizer(), task, shots=3,
+            fewshot_seeds=(0, 1, 2))
+        assert result.shots == 3
+        assert 0.0 <= result.accuracy <= 1.0
+        assert result.stderr >= 0.0
+
+    def test_validations(self):
+        task = build_task("sciq", n_questions=5, n_fewshot=4)
+        with pytest.raises(ValueError):
+            evaluate_task_multi_seed(self.ConstantModel(),
+                                     self.WordTokenizer(), task, shots=0)
+        with pytest.raises(ValueError):
+            evaluate_task_multi_seed(self.ConstantModel(),
+                                     self.WordTokenizer(), task, shots=2,
+                                     fewshot_seeds=())
+
+    def test_single_seed_matches_plain_eval(self):
+        from repro.evalharness import evaluate_task
+        task = build_task("piqa", n_questions=10, n_fewshot=6)
+        model, tok = self.ConstantModel(), self.WordTokenizer()
+        multi = evaluate_task_multi_seed(model, tok, task, shots=2,
+                                         fewshot_seeds=(7,))
+        single = evaluate_task(model, tok, task, shots=2, fewshot_seed=7)
+        assert multi.accuracy == single.accuracy

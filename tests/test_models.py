@@ -1,0 +1,213 @@
+"""Tests for configs, full models, and FLOP/parameter accounting."""
+
+import numpy as np
+import pytest
+
+from repro.models import (GPTModel, ModelConfig, TABLE_II, Tensor,
+                          cross_entropy, layer_accounting,
+                          model_flops_per_token, model_training_flops, preset)
+
+
+class TestModelConfig:
+    def test_head_dim(self):
+        cfg = preset("llama-1.7b-hf-52k")
+        assert cfg.head_dim == 96
+        assert preset("llama-6.7b-hf-52k").head_dim == 128
+
+    def test_eq1_violation_rejected(self):
+        with pytest.raises(ValueError):
+            ModelConfig(hidden_size=100, num_heads=24)
+
+    def test_bad_arch_rejected(self):
+        with pytest.raises(ValueError):
+            ModelConfig(arch="gpt5")
+
+    def test_flash_requires_head_dim_multiple_of_8(self):
+        with pytest.raises(ValueError):
+            ModelConfig(hidden_size=24, num_heads=4, flash_attention=1)  # hd=6
+
+    def test_flash_v2_head_dim_cap(self):
+        with pytest.raises(ValueError):
+            ModelConfig(hidden_size=2048, num_heads=4, flash_attention=2)
+
+    def test_ffn_sizes_match_param_budget(self):
+        """LLaMA 3-matrix MLP ~ NeoX 2-matrix MLP in parameters (Fig 2)."""
+        neox = preset("neox-1.7b-hf-52k")
+        llama = preset("llama-1.7b-hf-52k")
+        n_mlp = 2 * neox.hidden_size * neox.ffn_hidden_size
+        l_mlp = 3 * llama.hidden_size * llama.ffn_hidden_size
+        assert abs(n_mlp - l_mlp) / n_mlp < 0.01
+
+    def test_table_ii_nominal_sizes(self):
+        for key, target in [("llama-1.7b-hf-52k", 1.7e9),
+                            ("neox-1.7b-hf-52k", 1.7e9),
+                            ("llama-6.7b-hf-52k", 6.7e9),
+                            ("neox-6.7b-hf-52k", 6.7e9)]:
+            n = TABLE_II[key].num_parameters()
+            assert abs(n - target) / target < 0.05, key
+
+    def test_neox_llama_param_match(self):
+        """Same-spec NeoX and LLaMA layers match within 1% (Fig 2)."""
+        n = preset("neox-1.7b-hf-52k").num_parameters(include_embeddings=False)
+        l = preset("llama-1.7b-hf-52k").num_parameters(include_embeddings=False)
+        assert abs(n - l) / n < 0.01
+
+    def test_with_flash_and_arch(self):
+        cfg = preset("tiny-llama")
+        assert cfg.with_flash(2).flash_attention == 2
+        assert cfg.with_arch("neox").arch == "neox"
+
+    def test_unknown_preset(self):
+        with pytest.raises(KeyError):
+            preset("gpt4")
+
+
+class TestGPTModel:
+    @pytest.mark.parametrize("name", ["tiny-neox", "tiny-llama"])
+    def test_forward_shape(self, name):
+        model = GPTModel(preset(name), seed=0)
+        ids = np.zeros((2, 8), dtype=int)
+        assert model(ids).shape == (2, 8, 512)
+
+    @pytest.mark.parametrize("name", ["tiny-neox", "tiny-llama"])
+    def test_analytic_params_match_live(self, name):
+        model = GPTModel(preset(name), seed=0)
+        assert model.num_parameters() == model.config.num_parameters()
+
+    def test_analytic_params_match_live_small(self):
+        for name in ("small-neox", "small-llama"):
+            model = GPTModel(preset(name), seed=1)
+            assert model.num_parameters() == model.config.num_parameters()
+
+    def test_causal_lm_end_to_end_grad(self):
+        model = GPTModel(preset("tiny-llama"), seed=0)
+        rng = np.random.default_rng(0)
+        ids = rng.integers(0, 512, size=(2, 12))
+        loss = cross_entropy(model(ids[:, :-1]), ids[:, 1:])
+        loss.backward()
+        grads = [p.grad for p in model.parameters()]
+        assert all(g is not None for g in grads)
+        assert all(np.isfinite(g).all() for g in grads)
+
+    def test_initial_loss_near_log_vocab(self):
+        """Untrained model should be near uniform: loss ≈ ln(V)."""
+        model = GPTModel(preset("tiny-neox"), seed=0)
+        ids = np.random.default_rng(1).integers(0, 512, size=(4, 16))
+        loss = cross_entropy(model(ids[:, :-1]), ids[:, 1:]).item()
+        assert abs(loss - np.log(512)) < 0.5
+
+    def test_seq_too_long_rejected(self):
+        model = GPTModel(preset("tiny-llama"), seed=0)
+        with pytest.raises(ValueError):
+            model(np.zeros((1, 65), dtype=int))
+
+    def test_loglikelihood(self):
+        model = GPTModel(preset("tiny-llama"), seed=0)
+        ll, greedy = model.loglikelihood(np.array([1, 2, 3]), np.array([4, 5]))
+        assert ll < 0.0
+        assert isinstance(greedy, bool)
+
+    def test_loglikelihood_empty_continuation(self):
+        model = GPTModel(preset("tiny-llama"), seed=0)
+        with pytest.raises(ValueError):
+            model.loglikelihood(np.array([1]), np.array([]))
+
+    def test_loglikelihood_additivity(self):
+        """log P(ab|ctx) = log P(a|ctx) + log P(b|ctx+a)."""
+        model = GPTModel(preset("tiny-neox"), seed=0)
+        ctx = np.array([5, 6, 7])
+        joint, _ = model.loglikelihood(ctx, np.array([8, 9]))
+        first, _ = model.loglikelihood(ctx, np.array([8]))
+        second, _ = model.loglikelihood(np.array([5, 6, 7, 8]), np.array([9]))
+        assert joint == pytest.approx(first + second, abs=1e-8)
+
+    def test_embed_sequence(self):
+        model = GPTModel(preset("tiny-llama"), seed=0)
+        e = model.embed_sequence(np.array([1, 2, 3]))
+        assert e.shape == (64,)
+        e_last = model.embed_sequence(np.array([1, 2, 3]), pooling="last")
+        assert e_last.shape == (64,)
+        with pytest.raises(ValueError):
+            model.embed_sequence(np.array([1]), pooling="cls")
+
+    def test_generate_greedy_deterministic(self):
+        model = GPTModel(preset("tiny-llama"), seed=0)
+        a = model.generate(np.array([1, 2]), max_new_tokens=5)
+        b = model.generate(np.array([1, 2]), max_new_tokens=5)
+        np.testing.assert_array_equal(a, b)
+        assert len(a) == 7
+
+    def test_generate_sampled_uses_rng(self):
+        model = GPTModel(preset("tiny-llama"), seed=0)
+        a = model.generate(np.array([1]), 8, temperature=1.5,
+                           rng=np.random.default_rng(0))
+        b = model.generate(np.array([1]), 8, temperature=1.5,
+                           rng=np.random.default_rng(0))
+        np.testing.assert_array_equal(a, b)
+
+    def test_deterministic_init(self):
+        m1 = GPTModel(preset("tiny-neox"), seed=42)
+        m2 = GPTModel(preset("tiny-neox"), seed=42)
+        np.testing.assert_allclose(m1.embed.weight.data, m2.embed.weight.data)
+
+    def test_neox_parallel_residual_structure(self):
+        """NeoX layer output = x + attn(n1 x) + mlp(n2 x) exactly."""
+        model = GPTModel(preset("tiny-neox"), seed=0)
+        layer = model.layers[0]
+        layer.eval()
+        x = Tensor(np.random.default_rng(2).normal(size=(1, 4, 64)))
+        expected = (x + layer.attn(layer.norm1(x)) +
+                    layer.mlp(layer.norm2(x))).data
+        np.testing.assert_allclose(layer(x).data, expected, atol=1e-12)
+
+
+class TestFlopAccounting:
+    def test_fig2_layer_parity(self):
+        """Per-layer params and FLOPs match across families within 1%."""
+        kwargs = dict(seq_len=2048, batch_size=16)
+        neox = layer_accounting(preset("neox-1.7b-hf-52k"), **kwargs)
+        llama = layer_accounting(preset("llama-1.7b-hf-52k"), **kwargs)
+        assert abs(neox.total_params - llama.total_params) / neox.total_params < 0.01
+        assert abs(neox.total_forward_flops - llama.total_forward_flops) \
+            / neox.total_forward_flops < 0.01
+
+    def test_attention_gemms_identical_across_arch(self):
+        neox = layer_accounting(preset("neox-1.7b-hf-52k"))
+        llama = layer_accounting(preset("llama-1.7b-hf-52k"))
+        assert neox.attention_flops() == llama.attention_flops()
+
+    def test_training_flops_is_3x_forward(self):
+        acc = layer_accounting(preset("tiny-neox"), seq_len=64, batch_size=2)
+        assert acc.total_training_flops == 3 * acc.total_forward_flops
+
+    def test_components_present(self):
+        comps = layer_accounting(preset("llama-1.7b-hf-52k")).flops_by_component()
+        assert set(comps) == {"qkv", "score", "aov", "linproj", "mlp"}
+
+    def test_qkv_flops_formula(self):
+        cfg = preset("neox-1.7b-hf-52k")
+        acc = layer_accounting(cfg, seq_len=2048, batch_size=16)
+        expected = 2 * 16 * 2048 * cfg.hidden_size * 3 * cfg.hidden_size
+        assert acc.flops_by_component()["qkv"] == expected
+
+    def test_score_flops_quadratic_in_seq(self):
+        cfg = preset("neox-1.7b-hf-52k")
+        a = layer_accounting(cfg, seq_len=1024).flops_by_component()["score"]
+        b = layer_accounting(cfg, seq_len=2048).flops_by_component()["score"]
+        assert b == 4 * a
+
+    def test_model_flops_per_token_dominated_by_6n(self):
+        cfg = preset("llama-6.7b-hf-52k")
+        fpt = model_flops_per_token(cfg)
+        assert fpt > 6 * cfg.num_parameters()
+        assert fpt < 7 * cfg.num_parameters()
+
+    def test_total_training_flops_scale(self):
+        cfg = preset("llama-1.7b-hf-52k")
+        total = model_training_flops(cfg, tokens=15e9)
+        # ~6 * 1.7e9 * 15e9 ≈ 1.5e20 FLOPs
+        assert 1e20 < total < 3e20
+
+    def test_gemm_bytes_positive(self):
+        for g in layer_accounting(preset("tiny-neox")).gemms:
+            assert g.bytes_moved() > 0

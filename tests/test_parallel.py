@@ -1,0 +1,265 @@
+"""Tests for parallelism strategies, collectives and the step simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models import ModelConfig, preset
+from repro.parallel import (CollectiveModel, GroupTopology, MessageLog,
+                            ParallelConfig, PipelineSchedule,
+                            TrainingSimulator, bubble_fraction,
+                            build_schedule, feasible_configs)
+
+M17 = preset("neox-1.7b-hf-52k").with_flash(1)
+M67 = preset("neox-6.7b-hf-52k").with_flash(1)
+
+
+class TestParallelConfig:
+    def test_world_size_and_label(self):
+        pc = ParallelConfig(dp=64, tp=2, pp=2)
+        assert pc.world_size == 256
+        assert pc.label == "TP=2+PP=2"
+        assert ParallelConfig(dp=8).label == "DP"
+        assert ParallelConfig(dp=8, zero_stage=1).label == "ZeRO=1"
+
+    def test_eq2_hidden_divisible_by_tp(self):
+        model = ModelConfig(hidden_size=2304, num_layers=24, num_heads=24)
+        with pytest.raises(ValueError, match="Eq.2"):
+            ParallelConfig(dp=2, tp=5).validate(model, gpus_per_node=10)
+
+    def test_eq3_layers_divisible_by_pp(self):
+        model = ModelConfig(hidden_size=2304, num_layers=24, num_heads=24)
+        with pytest.raises(ValueError, match="Eq.3"):
+            ParallelConfig(dp=8, pp=5).validate(model, gpus_per_node=8)
+
+    def test_eq4_heads_divisible_by_tp(self):
+        model = ModelConfig(hidden_size=2304, num_layers=24, num_heads=24)
+        with pytest.raises(ValueError, match="Eq.4"):
+            ParallelConfig(dp=1, tp=16).validate(model, gpus_per_node=8)
+
+    def test_eq5_world_multiple_of_8(self):
+        model = ModelConfig(hidden_size=2304, num_layers=24, num_heads=24)
+        with pytest.raises(ValueError, match="Eq.5"):
+            ParallelConfig(dp=3).validate(model, gpus_per_node=8)
+
+    def test_zero_requires_dp(self):
+        with pytest.raises(ValueError):
+            ParallelConfig(dp=1, zero_stage=1)
+
+    def test_feasible_configs_all_valid(self):
+        configs = feasible_configs(M67, 64)
+        assert configs
+        for pc in configs:
+            assert pc.world_size == 64
+            assert pc.is_valid(M67)
+
+    def test_feasible_configs_include_paper_layouts(self):
+        labels = {pc.label for pc in feasible_configs(M67, 256)}
+        assert {"DP", "ZeRO=1", "TP=2", "PP=2"} <= labels
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.sampled_from([8, 16, 64, 256]), st.sampled_from([1, 2, 4]),
+           st.sampled_from([1, 2, 4]))
+    def test_property_feasible_product(self, n, tp, pp):
+        for pc in feasible_configs(M67, n, max_tp=tp, max_pp=pp):
+            assert pc.dp * pc.tp * pc.pp == n
+
+
+class TestCollectives:
+    @pytest.fixture(scope="class")
+    def cm(self):
+        return CollectiveModel()
+
+    def test_bandwidth_hierarchy(self, cm):
+        bw_pkg = cm.effective_bandwidth(GroupTopology(2, "package"))
+        bw_node = cm.effective_bandwidth(GroupTopology(8, "node"))
+        bw_sys = cm.effective_bandwidth(GroupTopology(64, "system"))
+        assert bw_pkg > bw_node > bw_sys
+
+    def test_scale_degradation_beyond_64(self, cm):
+        bw64 = cm.effective_bandwidth(GroupTopology(64, "system"))
+        bw256 = cm.effective_bandwidth(GroupTopology(256, "system"))
+        assert bw256 < bw64
+
+    def test_allreduce_equals_rs_plus_ag_volume(self, cm):
+        """Ring allreduce time ≈ reduce-scatter + allgather times."""
+        g = GroupTopology(8, "node")
+        ar = cm.allreduce(1 << 30, g).seconds
+        rs = cm.reduce_scatter(1 << 30, g).seconds
+        ag = cm.allgather(1 << 30, g).seconds
+        assert ar == pytest.approx(rs + ag, rel=1e-6)
+
+    def test_single_rank_groups_free(self, cm):
+        g = GroupTopology(1, "package")
+        assert cm.allreduce(1 << 20, g).seconds == 0.0
+        assert cm.allgather(1 << 20, g).seconds == 0.0
+
+    def test_latency_dominates_small_messages(self, cm):
+        g = GroupTopology(256, "system")
+        t_small = cm.allreduce(1024, g).seconds
+        assert t_small > 2 * 255 * cm.latency_s * 0.99
+
+    def test_placement(self):
+        assert GroupTopology.place(2).span == "package"
+        assert GroupTopology.place(8).span == "node"
+        assert GroupTopology.place(16).span == "system"
+
+    def test_p2p_time(self, cm):
+        e = cm.p2p(100 * 1000**3 // 1, span="node")
+        assert e.seconds == pytest.approx(1.0, rel=0.01)
+
+
+class TestCommSchedules:
+    @pytest.fixture(scope="class")
+    def cm(self):
+        return CollectiveModel()
+
+    def test_fig11_dp_volume_2x(self, cm):
+        sched = build_schedule(M17, ParallelConfig(dp=256), cm, 2048, 16384)
+        assert sched.log.volume_vs_model_size(M17) == pytest.approx(2.0, abs=0.05)
+
+    def test_fig11_zero_volume_2x(self, cm):
+        sched = build_schedule(M67, ParallelConfig(dp=256, zero_stage=1), cm,
+                               2048, 16384)
+        assert sched.log.volume_vs_model_size(M67) == pytest.approx(2.0, abs=0.05)
+
+    def test_fig11_tp_volume_3x(self, cm):
+        sched = build_schedule(M67, ParallelConfig(dp=128, tp=2), cm,
+                               2048, 16384)
+        assert sched.log.volume_vs_model_size(M67) == pytest.approx(3.0, abs=0.25)
+
+    def test_fig11_call_count_order_of_magnitude(self, cm):
+        dp = build_schedule(M17, ParallelConfig(dp=256), cm, 2048, 16384)
+        zero = build_schedule(M67, ParallelConfig(dp=256, zero_stage=1), cm,
+                              2048, 16384)
+        tp = build_schedule(M67, ParallelConfig(dp=128, tp=2), cm, 2048, 16384)
+        assert zero.log.num_calls >= 5 * dp.log.num_calls
+        assert tp.log.num_calls >= 5 * dp.log.num_calls
+
+    def test_message_log_histogram(self, cm):
+        sched = build_schedule(M67, ParallelConfig(dp=256, zero_stage=1), cm,
+                               2048, 16384)
+        counts, edges = sched.log.histogram()
+        assert counts.sum() == sched.log.num_calls
+        assert len(edges) == len(counts) + 1
+
+    def test_exposed_never_exceeds_total(self, cm):
+        for pc in [ParallelConfig(dp=256), ParallelConfig(dp=256, zero_stage=1),
+                   ParallelConfig(dp=128, tp=2), ParallelConfig(dp=128, pp=2)]:
+            sched = build_schedule(M67, pc, cm, 2048, 16384)
+            assert 0 <= sched.exposed_seconds <= sched.total_seconds + 1e-12
+
+    def test_by_op_totals(self, cm):
+        sched = build_schedule(M67, ParallelConfig(dp=256, zero_stage=1), cm,
+                               2048, 16384)
+        by = sched.log.by_op()
+        assert set(by) == {"reducescatter", "allgather"}
+        assert sum(d["calls"] for d in by.values()) == sched.log.num_calls
+
+    def test_empty_log(self):
+        log = MessageLog()
+        assert log.num_calls == 0 and log.total_bytes == 0
+
+
+class TestPipeline:
+    def test_bubble_fraction_formula(self):
+        assert bubble_fraction(1, 4) == 0.0
+        assert bubble_fraction(2, 2) == pytest.approx(1 / 3)
+        assert bubble_fraction(4, 12) == pytest.approx(3 / 15)
+
+    def test_bubble_shrinks_with_microbatches(self):
+        assert bubble_fraction(2, 16) < bubble_fraction(2, 2)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            bubble_fraction(0, 4)
+
+    def test_schedule_total_exceeds_compute(self):
+        s = PipelineSchedule(pp=2, micro_batches=2,
+                             per_microbatch_compute_s=0.1,
+                             per_boundary_p2p_s=0.001)
+        assert s.total_seconds > s.compute_seconds
+        assert s.bubble_seconds > 0
+
+    def test_pp1_no_bubble(self):
+        s = PipelineSchedule(pp=1, micro_batches=4,
+                             per_microbatch_compute_s=0.1,
+                             per_boundary_p2p_s=0.001)
+        assert s.bubble_seconds == 0.0
+
+
+class TestSimulator:
+    @pytest.fixture(scope="class")
+    def sim(self):
+        return TrainingSimulator()
+
+    def test_fig7_zero1_best_single_node_67b(self, sim):
+        """6.7B on one node: ZeRO-1 > TP=2 > PP=2 (paper Fig 7)."""
+        zero = sim.per_gcd_tflops(M67, ParallelConfig(dp=8, zero_stage=1))
+        tp = sim.per_gcd_tflops(M67, ParallelConfig(dp=4, tp=2))
+        pp = sim.per_gcd_tflops(M67, ParallelConfig(dp=4, pp=2))
+        assert zero > tp > pp
+        assert 75 < zero < 92  # paper: 81 TFLOPS/GCD
+
+    def test_fig7_pp_much_worse(self, sim):
+        zero = sim.per_gcd_tflops(M67, ParallelConfig(dp=8, zero_stage=1))
+        pp = sim.per_gcd_tflops(M67, ParallelConfig(dp=4, pp=2))
+        assert pp < 0.8 * zero
+
+    def test_fig8_dp_17b_scaling(self, sim):
+        """1.7B DP: >18 PFLOPS aggregate at 256 GPUs, ~88% efficiency."""
+        pts = sim.scaling_sweep(M17, "dp", [8, 64, 256])
+        final = pts[-1]
+        assert final.aggregate_pflops > 17.0
+        assert 0.80 < final.efficiency <= 1.0
+
+    def test_fig8_zero_drops_beyond_64(self, sim):
+        pts = {p.n_gpus: p.per_gcd_tflops
+               for p in sim.scaling_sweep(M67, "zero1", [8, 64, 128, 256])}
+        # roughly flat to 64, then a clear drop
+        assert pts[64] > 0.80 * pts[8]
+        assert pts[256] < 0.92 * pts[64]
+
+    def test_fig8_tp2_overtakes_zero_at_scale(self, sim):
+        zero = sim.per_gcd_tflops(M67, ParallelConfig(dp=256, zero_stage=1))
+        tp = sim.per_gcd_tflops(M67, ParallelConfig(dp=128, tp=2))
+        assert tp > zero
+
+    def test_fig8_kernel_fractions(self, sim):
+        """rocprof aggregation at 256 GPUs: ZeRO comm large, IO ~5%."""
+        zero = sim.step(M67, ParallelConfig(dp=256, zero_stage=1))
+        fr = zero.kernel_fractions()
+        assert 0.25 < fr["comm"] < 0.50   # paper: ~40%
+        assert 0.02 < fr["io"] < 0.08     # paper: ~5%
+        dp = sim.step(M17, ParallelConfig(dp=256)).kernel_fractions()
+        assert dp["comm"] < fr["comm"]
+        assert sum(fr.values()) == pytest.approx(1.0)
+
+    def test_memory_check_oom_for_67b_plain_dp(self, sim):
+        prof = sim.step(M67, ParallelConfig(dp=8), check_memory=True)
+        assert not prof.memory.fits
+        prof2 = sim.step(M67, ParallelConfig(dp=8, zero_stage=1),
+                         check_memory=True)
+        assert prof2.memory.fits
+
+    def test_observation2_minimal_model_parallelism(self, sim):
+        """DP-only beats adding TP/PP for a model that fits (1.7B)."""
+        dp = sim.per_gcd_tflops(M17, ParallelConfig(dp=256))
+        tp = sim.per_gcd_tflops(M17, ParallelConfig(dp=128, tp=2))
+        pp = sim.per_gcd_tflops(M17, ParallelConfig(dp=128, pp=2))
+        assert dp > tp and dp > pp
+
+    def test_invalid_world_size_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.step(M17, ParallelConfig(dp=3))
+
+    def test_unknown_strategy(self, sim):
+        with pytest.raises(ValueError):
+            sim.scaling_sweep(M17, "fsdp", [8])
+
+    def test_step_profile_totals(self, sim):
+        p = sim.step(M67, ParallelConfig(dp=64, zero_stage=1))
+        assert p.total_s == pytest.approx(
+            p.compute_s + p.comm_exposed_s + p.io_s + p.bubble_s)
+        assert p.comm_exposed_s <= p.comm_total_s

@@ -1,0 +1,84 @@
+"""Tests for training-run planning (loss → tokens → hours → energy)."""
+
+import numpy as np
+import pytest
+
+from repro.core import plan_run, tokens_to_reach_loss
+from repro.models import preset
+from repro.training import LossCurveModel, LossRecipe
+
+M17 = preset("neox-1.7b-hf-52k").with_flash(1)
+M67 = preset("neox-6.7b-hf-52k").with_flash(1)
+
+
+class TestTokensToReachLoss:
+    def test_inverts_the_surrogate(self):
+        lm = LossCurveModel(noise=0.0)
+        recipe = LossRecipe(params=1.7e9)
+        tokens = tokens_to_reach_loss(2.55, recipe, lm)
+        # Plugging the answer back into the forward model recovers the loss.
+        achieved = lm.expected_final_loss(
+            LossRecipe(params=1.7e9, total_tokens=tokens))
+        assert achieved == pytest.approx(2.55, abs=1e-6)
+
+    def test_lower_target_needs_more_tokens(self):
+        recipe = LossRecipe(params=1.7e9)
+        assert tokens_to_reach_loss(2.52, recipe) > \
+            tokens_to_reach_loss(2.60, recipe)
+
+    def test_bigger_model_needs_fewer_tokens(self):
+        small = LossRecipe(params=1.7e9)
+        big = LossRecipe(params=6.7e9)
+        assert tokens_to_reach_loss(2.55, big) < \
+            tokens_to_reach_loss(2.55, small)
+
+    def test_unreachable_target_raises(self):
+        with pytest.raises(ValueError, match="unreachable"):
+            tokens_to_reach_loss(1.0, LossRecipe(params=1.7e9))
+
+    def test_absurd_token_budget_raises(self):
+        recipe = LossRecipe(params=1.7e9)
+        lm = LossCurveModel()
+        asymptote_ish = lm.expected_final_loss(
+            LossRecipe(params=1.7e9, total_tokens=1e15))
+        with pytest.raises(ValueError, match="bigger model"):
+            tokens_to_reach_loss(asymptote_ish + 1e-4, recipe,
+                                 max_tokens=1e12)
+
+
+class TestPlanRun:
+    def test_plan_fields_consistent(self):
+        plan = plan_run(M17, 2.55, 256)
+        assert plan.layout == "DP"
+        assert plan.tokens > 1e9
+        assert plan.hours > 0
+        assert plan.energy_mwh > 0
+        assert "tokens" in plan.summary()
+
+    def test_67b_plan_uses_guidance(self):
+        plan = plan_run(M67, 2.45, 256)
+        assert plan.layout == "TP=2"   # the advisor's pick at scale
+
+    def test_more_gpus_less_time(self):
+        fast = plan_run(M17, 2.55, 256)
+        slow = plan_run(M17, 2.55, 64)
+        assert fast.hours < slow.hours
+        # Energy is roughly scale-invariant (same work), within comm losses.
+        assert fast.energy_mwh < 2 * slow.energy_mwh
+
+    def test_harder_target_costs_more(self):
+        cheap = plan_run(M17, 2.60, 256)
+        costly = plan_run(M17, 2.53, 256)
+        assert costly.hours > cheap.hours
+        assert costly.energy_mwh > cheap.energy_mwh
+
+    def test_table_iv_scale_consistency(self):
+        """A 15B-token-equivalent loss target prices out near Table IV."""
+        lm = LossCurveModel(noise=0.0)
+        loss_15b = lm.expected_final_loss(
+            LossRecipe(params=float(M17.num_parameters()), arch="neox",
+                       total_tokens=15e9))
+        plan = plan_run(M17, loss_15b, 256)
+        assert plan.tokens == pytest.approx(15e9, rel=0.01)
+        assert 1.0 < plan.hours < 6.0       # paper: 4.1 h at ~28B tokens
+        assert 0.05 < plan.energy_mwh < 0.4

@@ -1,0 +1,183 @@
+"""Tests for the profiling analogues (rocprof, OmniTrace, rocm-smi, Fig 10)."""
+
+import numpy as np
+import pytest
+
+from repro.frontier import MemoryModel, PowerModel
+from repro.models import preset
+from repro.parallel import ParallelConfig, TrainingSimulator
+from repro.profiling import (KernelAggregation, KernelRecord, StepTrace,
+                             aggregate_step, build_step_trace,
+                             classify_kernel, layer_breakdown, sample_run)
+
+SIM = TrainingSimulator()
+M17 = preset("neox-1.7b-hf-52k").with_flash(2)
+M67 = preset("neox-6.7b-hf-52k").with_flash(2)
+
+
+@pytest.fixture(scope="module")
+def zero_profile():
+    return SIM.step(M67, ParallelConfig(dp=256, zero_stage=1))
+
+
+@pytest.fixture(scope="module")
+def dp_profile():
+    return SIM.step(M17, ParallelConfig(dp=256))
+
+
+class TestRocprof:
+    def test_classify_kernel(self):
+        assert classify_kernel("Cijk_Alik_Bljk_gemm") == "compute"
+        assert classify_kernel("RCCL_AllReduce_Ring") == "comm"
+        assert classify_kernel("CopyDeviceToHost") == "io"
+        assert classify_kernel("totally_unknown_kernel") == "compute"
+
+    def test_aggregation_from_records(self):
+        agg = KernelAggregation.from_records([
+            KernelRecord("gemm_nn", 1.0),
+            KernelRecord("ncclKernel_AllGather", 0.5),
+            KernelRecord("memcpyD2D", 0.1),
+        ])
+        fr = agg.fractions()
+        assert fr["compute"] == pytest.approx(1.0 / 1.6)
+        assert sum(fr.values()) == pytest.approx(1.0)
+
+    def test_empty_aggregation(self):
+        assert KernelAggregation().fractions() == {"compute": 0.0, "comm": 0.0,
+                                                   "io": 0.0}
+
+    def test_fig8_zero_comm_share(self, zero_profile):
+        fr = aggregate_step(zero_profile).fractions()
+        assert 0.25 < fr["comm"] < 0.50   # paper: ~40% for ZeRO at 256
+        assert 0.02 < fr["io"] < 0.08     # paper: ~5%
+
+    def test_fig8_dp_compute_dominates(self, dp_profile):
+        fr = aggregate_step(dp_profile).fractions()
+        assert fr["compute"] > 0.75
+
+
+class TestTracer:
+    @pytest.fixture(scope="class")
+    def trace(self, ):
+        profile = SIM.step(M67, ParallelConfig(dp=256, zero_stage=1))
+        return build_step_trace(M67, profile, flash=2)
+
+    def test_events_nonoverlapping_and_ordered(self, trace):
+        events = sorted(trace.events, key=lambda e: e.start_s)
+        for a, b in zip(events, events[1:]):
+            assert b.start_s >= a.end_s - 1e-12
+
+    def test_forward_has_32_layers(self, trace):
+        names = {e.name.split("/")[0] for e in trace.events_in("forward")}
+        assert len({n for n in names if n.startswith("layer")}) == 32
+
+    def test_flash_kernel_present_per_layer(self, trace):
+        layer0 = [e.name for e in trace.events_in("forward")
+                  if e.name.startswith("layer0/")]
+        assert "layer0/flash_attention" in layer0
+
+    def test_gemms_dominate_layer(self, trace):
+        """Fig 10 accounting: the largest span is a GEMM (QKV or MLP)."""
+        dominant = trace.dominant_forward_kernel()
+        assert dominant.split("/")[-1].startswith(("mlp", "qkv"))
+
+    def test_backward_roughly_2x_forward(self, trace):
+        fwd = sum(e.duration_s for e in trace.events_in("forward"))
+        bwd = sum(e.duration_s for e in trace.events_in("backward"))
+        assert bwd == pytest.approx(2 * sum(
+            e.duration_s for e in trace.events_in("forward")
+            if e.phase == "compute"), rel=0.2)
+        assert bwd > fwd * 1.5
+
+    def test_allreduce_tail_present(self, trace):
+        comm = trace.events_in("comm")
+        assert comm and comm[0].name == "rccl_allreduce"
+        # The allreduce tail is a significant feature (paper Fig 9).
+        assert comm[0].duration_s > 0.05 * trace.duration_s
+
+    def test_power_trace_spans_step(self, trace):
+        times, watts = trace.power_trace(dt=5e-3)
+        assert times[-1] == pytest.approx(trace.duration_s, rel=0.01)
+        assert watts.min() > 200 and watts.max() < 600
+
+    def test_no_forward_events_raises(self):
+        with pytest.raises(ValueError):
+            StepTrace().dominant_forward_kernel()
+
+    def test_mlp_split_matches_arch(self):
+        profile = SIM.step(preset("llama-6.7b-hf-52k").with_flash(2),
+                           ParallelConfig(dp=256, zero_stage=1))
+        tr = build_step_trace(preset("llama-6.7b-hf-52k"), profile, flash=2)
+        layer0 = {e.name for e in tr.events if e.name.startswith("layer0/mlp")}
+        assert len(layer0) == 3  # LLaMA: gate/up/down
+
+
+class TestSmi:
+    @pytest.fixture(scope="class")
+    def traces(self):
+        mm = MemoryModel()
+        zero = SIM.step(M67, ParallelConfig(dp=256, zero_stage=1))
+        dp = SIM.step(M17, ParallelConfig(dp=256))
+        mem67 = mm.breakdown(M67, micro_batch=8, dp=256, zero_stage=1).total / 1e9
+        mem17 = mm.breakdown(M17, micro_batch=8, dp=256).total / 1e9
+        return (sample_run(zero, memory_gb=mem67, num_steps=3),
+                sample_run(dp, memory_gb=mem17, num_steps=3))
+
+    def test_fig12_power_means(self, traces):
+        t67, t17 = traces
+        assert 410 < t67.mean_power < 470   # paper: 434 W
+        assert 450 < t17.mean_power < 510   # paper: 476 W
+        assert t67.mean_power < t17.mean_power
+
+    def test_fig12_67b_oscillates_more(self, traces):
+        t67, t17 = traces
+        assert t67.power_oscillation > t17.power_oscillation
+
+    def test_fig12_utilization_near_100(self, traces):
+        for tr in traces:
+            assert tr.mean_utilization > 0.95
+
+    def test_memory_flat(self, traces):
+        t67, _ = traces
+        _, _, mem, _ = t67.arrays()
+        assert mem.std() / mem.mean() < 0.01
+
+    def test_oversized_working_set_rejected(self, traces):
+        zero = SIM.step(M67, ParallelConfig(dp=256, zero_stage=1))
+        with pytest.raises(ValueError):
+            sample_run(zero, memory_gb=100.0)
+
+    def test_table_iv_efficiency_ordering(self, traces):
+        """TFLOPS/W: 1.7B ~0.33 > 6.7B ~0.27 (Table IV)."""
+        t67, t17 = traces
+        eff17 = 2 * SIM.per_gcd_tflops(M17, ParallelConfig(dp=256)) / t17.mean_power
+        eff67 = 2 * SIM.per_gcd_tflops(
+            M67, ParallelConfig(dp=256, zero_stage=1)) / t67.mean_power
+        assert eff17 > eff67
+        assert 0.27 < eff17 < 0.40
+        assert 0.20 < eff67 < 0.33
+
+
+class TestBreakdown:
+    def test_fig10_gemm_share_grows_with_scale(self):
+        med = layer_breakdown(preset("neox-1.7b-hf-52k"), flash=0)
+        big = layer_breakdown(preset("neox-6.7b-hf-52k"), flash=0)
+        assert big.gemm_fraction > med.gemm_fraction > 0.6
+
+    def test_fig10_qkv_and_mlp_dominate_gemms(self):
+        shares = layer_breakdown(preset("neox-6.7b-hf-52k"),
+                                 flash=2).gemm_shares()
+        ranked = sorted(shares, key=shares.get, reverse=True)
+        assert set(ranked[:2]) == {"qkv", "mlp"}
+
+    def test_fig10_flash_merges_score_aov(self):
+        flash = layer_breakdown(preset("neox-1.7b-hf-52k"), flash=2)
+        noflash = layer_breakdown(preset("neox-1.7b-hf-52k"), flash=0)
+        assert "flash" in flash.gemm_seconds
+        assert "score" not in flash.gemm_seconds
+        assert {"score", "aov"} <= set(noflash.gemm_seconds)
+
+    def test_shares_sum_to_one(self):
+        bd = layer_breakdown(preset("neox-1.7b-hf-52k"), flash=2)
+        assert sum(bd.component_shares().values()) == pytest.approx(1.0)
+        assert sum(bd.gemm_shares().values()) == pytest.approx(1.0)

@@ -1,0 +1,197 @@
+"""Cross-module property-based tests (hypothesis).
+
+These pin down invariants that must hold for *any* input, not just the
+paper's configurations: conservation laws in the collectives, bounds and
+monotonicity in the performance/memory models, and numerical safety of
+the optimizers.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frontier import MemoryModel, RooflineModel
+from repro.models import ModelConfig, Parameter
+from repro.parallel import (CollectiveModel, GroupTopology, ParallelConfig,
+                            TrainingSimulator, build_schedule)
+from repro.training import Adam, CosineWarmupSchedule, LAMB
+from repro.training.precision import cast
+
+ROOFLINE = RooflineModel()
+MEMORY = MemoryModel()
+COLLECTIVES = CollectiveModel()
+SIM = TrainingSimulator()
+
+
+def valid_config(hidden_mult, layers, heads_pow):
+    heads = 2 ** heads_pow
+    hidden = heads * 8 * hidden_mult
+    return ModelConfig(arch="neox", hidden_size=hidden, num_layers=layers,
+                       num_heads=heads, vocab_size=8192, max_seq_len=4096)
+
+
+class TestRooflineProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(2, 24), st.integers(2, 32), st.integers(1, 4))
+    def test_throughput_never_exceeds_peak(self, hm, layers, hp):
+        cfg = valid_config(hm, layers, hp)
+        v = ROOFLINE.achieved_tflops(cfg, seq_len=1024, micro_batch=2)
+        assert 0 < v < ROOFLINE.gcd.peak_tflops
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(2, 16), st.integers(1, 4))
+    def test_step_time_monotone_in_depth(self, hm, hp):
+        shallow = valid_config(hm, 4, hp)
+        deep = valid_config(hm, 8, hp)
+        assert ROOFLINE.step_time(deep, 1024, 2) > \
+            ROOFLINE.step_time(shallow, 1024, 2) * 1.5
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(2, 16), st.integers(2, 16), st.integers(1, 4))
+    def test_flash_never_slower(self, hm, layers, hp):
+        cfg = valid_config(hm, layers, hp)
+        assert ROOFLINE.achieved_tflops(cfg, flash=2) >= \
+            ROOFLINE.achieved_tflops(cfg, flash=0) * 0.98
+
+
+class TestMemoryProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(st.sampled_from([1024, 2048, 4096, 8192]),
+           st.integers(1, 8), st.sampled_from([0, 1]))
+    def test_memory_monotone_in_seq_and_batch(self, seq, batch, flash):
+        cfg = valid_config(8, 8, 3)
+        small = MEMORY.breakdown(cfg, seq_len=seq, micro_batch=batch,
+                                 flash=flash).total
+        bigger_seq = MEMORY.breakdown(cfg, seq_len=2 * seq,
+                                      micro_batch=batch, flash=flash).total
+        bigger_batch = MEMORY.breakdown(cfg, seq_len=seq,
+                                        micro_batch=batch + 1,
+                                        flash=flash).total
+        assert bigger_seq > small
+        assert bigger_batch > small
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.sampled_from([2, 4, 8, 16]), st.sampled_from([1, 2, 3]))
+    def test_sharding_never_increases_states(self, dp, stage):
+        cfg = valid_config(8, 8, 3)
+        base = MEMORY.breakdown(cfg, dp=dp, zero_stage=0).model_states
+        sharded = MEMORY.breakdown(cfg, dp=dp, zero_stage=stage).model_states
+        deeper = MEMORY.breakdown(cfg, dp=2 * dp,
+                                  zero_stage=stage).model_states
+        assert sharded <= base
+        assert deeper <= sharded
+
+
+class TestCollectiveProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(10, 30), st.sampled_from([2, 8, 64, 256]))
+    def test_allreduce_monotone_in_bytes(self, log_bytes, p):
+        group = GroupTopology.place(p)
+        small = COLLECTIVES.allreduce(2 ** log_bytes, group).seconds
+        large = COLLECTIVES.allreduce(2 ** (log_bytes + 1), group).seconds
+        assert large > small
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(16, 28))
+    def test_allreduce_decomposes(self, log_bytes):
+        """allreduce == reduce-scatter + allgather at any size."""
+        group = GroupTopology(8, "node")
+        nbytes = 2 ** log_bytes
+        ar = COLLECTIVES.allreduce(nbytes, group).seconds
+        rs = COLLECTIVES.reduce_scatter(nbytes, group).seconds
+        ag = COLLECTIVES.allgather(nbytes, group).seconds
+        assert ar == pytest.approx(rs + ag, rel=1e-9)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.sampled_from([8, 16, 64, 128, 256]))
+    def test_exposed_comm_never_exceeds_total(self, dp):
+        cfg = valid_config(16, 8, 3)
+        for pc in (ParallelConfig(dp=dp),
+                   ParallelConfig(dp=dp, zero_stage=1)):
+            sched = build_schedule(cfg, pc, COLLECTIVES, 1024, 2048)
+            assert 0 <= sched.exposed_seconds <= sched.total_seconds + 1e-12
+
+
+class TestSimulatorProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(st.sampled_from([8, 16, 64, 256]))
+    def test_profile_components_nonnegative(self, gpus):
+        cfg = valid_config(16, 8, 3)
+        for pc in (ParallelConfig(dp=gpus),
+                   ParallelConfig(dp=gpus // 2, tp=2),
+                   ParallelConfig(dp=gpus // 2, pp=2)):
+            prof = SIM.step(cfg, pc, seq_len=1024, per_device_seqs=2)
+            assert prof.compute_s > 0
+            assert prof.comm_exposed_s >= 0
+            assert prof.io_s >= 0
+            assert prof.bubble_s >= 0
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.sampled_from([16, 64, 256]))
+    def test_more_gpus_never_faster_per_gcd(self, gpus):
+        """Weak scaling: per-GCD throughput at n GPUs <= at 8 GPUs."""
+        cfg = valid_config(16, 8, 3)
+        base = SIM.per_gcd_tflops(cfg, ParallelConfig(dp=8))
+        scaled = SIM.per_gcd_tflops(cfg, ParallelConfig(dp=gpus))
+        assert scaled <= base + 1e-9
+
+
+class TestOptimizerProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.floats(1e-6, 1e3), st.integers(1, 20))
+    def test_adam_finite_under_scaled_grads(self, scale, steps):
+        p = Parameter(np.ones(8))
+        opt = Adam([p], lr=1e-2, weight_decay=0.0)
+        rng = np.random.default_rng(0)
+        for _ in range(steps):
+            p.grad = scale * rng.normal(size=8)
+            opt.step()
+        assert np.isfinite(p.data).all()
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.floats(1e-6, 1e3))
+    def test_lamb_step_bounded_by_trust_clip(self, scale):
+        p = Parameter(np.full(8, 2.0))
+        opt = LAMB([p], lr=1e-2, weight_decay=0.0, trust_clip=(0.0, 10.0))
+        p.grad = scale * np.ones(8)
+        before = p.data.copy()
+        opt.step()
+        step_norm = np.linalg.norm(p.data - before)
+        # ||Δw|| = lr * trust * ||r|| and trust = ||w||/||r|| (clipped),
+        # so the step can never exceed lr * clip_hi * ||w_before||-scale.
+        assert step_norm <= 1e-2 * 10.0 * np.linalg.norm(before) + 1e-9
+
+
+class TestScheduleProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(1e-5, 1.0), st.integers(2, 5000), st.integers(0, 4999))
+    def test_lr_always_within_bounds(self, peak, total, step):
+        sched = CosineWarmupSchedule(peak, total)
+        lr = sched(min(step, total * 2))
+        assert 0 < lr <= peak + 1e-12
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(1e-4, 1.0), st.integers(10, 1000))
+    def test_lr_ends_at_floor(self, peak, total):
+        sched = CosineWarmupSchedule(peak, total)
+        assert sched(10 * total) == pytest.approx(sched.final_lr, rel=1e-6)
+
+
+class TestPrecisionProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.floats(1e-3, 1e4), st.sampled_from([-1.0, 1.0]),
+           st.sampled_from(["fp32", "bf16", "fp16"]))
+    def test_cast_relative_error_bounded(self, mag, sign, dtype):
+        """Within each format's *normal* range the relative rounding
+        error is bounded by half an ulp (subnormals flush, hence the
+        magnitude floor)."""
+        v = sign * mag
+        rounded = cast(np.array([v]), dtype)[0]
+        rel = abs(rounded - v) / abs(v)
+        bound = {"fp32": 1e-6, "bf16": 2 ** -8, "fp16": 2 ** -10}[dtype]
+        assert rel <= bound
+
+    def test_cast_zero_exact(self):
+        for dtype in ("fp32", "bf16", "fp16"):
+            assert cast(np.array([0.0]), dtype)[0] == 0.0

@@ -1,0 +1,109 @@
+"""Tests for the report generator, corpus persistence and bootstrap CI."""
+
+import numpy as np
+import pytest
+
+from repro.core import ExperimentContext, build_report, write_report
+from repro.data import AbstractGenerator, load_corpus, save_corpus
+from repro.data.persistence import iter_corpus
+from repro.matsci import bootstrap_mae_ci
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    return build_report(ExperimentContext())
+
+
+class TestReport:
+    def test_contains_all_sections(self, report_text):
+        for section in ("## Observations", "## Table IV", "## Fig 4",
+                        "## Fig 5", "## Fig 8", "## Fig 11", "## Fig 13"):
+            assert section in report_text
+
+    def test_observations_hold_in_report(self, report_text):
+        assert report_text.count("HOLDS") >= 3
+        assert "VIOLATED" not in report_text
+
+    def test_anchor_values_present(self, report_text):
+        assert "24 layers x 2304 hidden" in report_text
+        assert "32768 with" in report_text  # Fig 5's 4x context
+
+    def test_valid_markdown_tables(self, report_text):
+        for line in report_text.splitlines():
+            if line.startswith("|"):
+                assert line.endswith("|")
+
+    def test_write_report(self, tmp_path):
+        path = write_report(tmp_path / "R.md")
+        assert path.exists()
+        assert path.read_text().startswith("# Reproduction report")
+
+
+class TestCorpusPersistence:
+    def test_roundtrip(self, tmp_path):
+        docs = AbstractGenerator(seed=0).sample(15, materials_fraction=0.6)
+        path = save_corpus(docs, tmp_path / "corpus")
+        assert path.suffix == ".jsonl"
+        assert load_corpus(path) == docs
+
+    def test_streaming_iter(self, tmp_path):
+        docs = AbstractGenerator(seed=1).sample(5)
+        path = save_corpus(docs, tmp_path / "c")
+        streamed = list(iter_corpus(path))
+        assert streamed == docs
+
+    def test_blank_lines_skipped(self, tmp_path):
+        docs = AbstractGenerator(seed=2).sample(3)
+        path = save_corpus(docs, tmp_path / "c")
+        path.write_text(path.read_text() + "\n\n")
+        assert len(load_corpus(path)) == 3
+
+    def test_invalid_json_reported_with_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"text": "ok", "domain": "other"}\nnot json\n')
+        with pytest.raises(ValueError, match="2"):
+            load_corpus(path)
+
+    def test_missing_fields_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"text": "no domain"}\n')
+        with pytest.raises(ValueError, match="domain"):
+            load_corpus(path)
+
+
+class TestBootstrapCI:
+    def test_interval_brackets_mae(self):
+        rng = np.random.default_rng(0)
+        t = rng.normal(size=200)
+        pred = t + rng.normal(0, 0.5, 200)
+        mae, lo, hi = bootstrap_mae_ci(pred, t)
+        assert lo < mae < hi
+        assert mae == pytest.approx(np.abs(pred - t).mean())
+
+    def test_interval_narrows_with_n(self):
+        rng = np.random.default_rng(1)
+        def width(n):
+            t = rng.normal(size=n)
+            pred = t + rng.normal(0, 0.5, n)
+            _, lo, hi = bootstrap_mae_ci(pred, t, seed=2)
+            return hi - lo
+        assert width(800) < width(50)
+
+    def test_perfect_predictions(self):
+        t = np.arange(10.0)
+        mae, lo, hi = bootstrap_mae_ci(t, t)
+        assert mae == lo == hi == 0.0
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(3)
+        t = rng.normal(size=50)
+        pred = t + 0.1
+        a = bootstrap_mae_ci(pred, t, seed=4)
+        b = bootstrap_mae_ci(pred, t, seed=4)
+        assert a == b
+
+    def test_validations(self):
+        with pytest.raises(ValueError):
+            bootstrap_mae_ci(np.ones(3), np.ones(4))
+        with pytest.raises(ValueError):
+            bootstrap_mae_ci(np.ones(3), np.ones(3), confidence=1.5)

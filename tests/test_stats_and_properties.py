@@ -1,0 +1,123 @@
+"""Tests for corpus/tokenizer statistics and the two-property materials
+dataset (band gap vs formation energy)."""
+
+import numpy as np
+import pytest
+
+from repro.data import (AbstractGenerator, corpus_stats, tokenizer_stats,
+                        zipf_fit)
+from repro.matsci import GraphEncoder, evaluate_model, generate_dataset
+from repro.tokenizers import BPETokenizer, UnigramTokenizer
+
+
+@pytest.fixture(scope="module")
+def texts():
+    return [d.text for d in AbstractGenerator(seed=0).sample(150)]
+
+
+class TestTokenizerStats:
+    def test_fertility_decreases_with_vocab(self, texts):
+        small = BPETokenizer().train(texts, 280)
+        large = BPETokenizer().train(texts, 600)
+        fs = tokenizer_stats(small, texts[:40])
+        fl = tokenizer_stats(large, texts[:40])
+        assert fl.fertility < fs.fertility
+        assert fl.chars_per_token > fs.chars_per_token
+
+    def test_spm_and_bpe_segment_differently(self, texts):
+        bpe = BPETokenizer().train(texts, 400)
+        spm = UnigramTokenizer().train(texts, 400)
+        sb = tokenizer_stats(bpe, texts[:30])
+        ss = tokenizer_stats(spm, texts[:30])
+        # Different fertilities => different per-token entropy scales =>
+        # incomparable losses (Observation 3's mechanism).
+        assert abs(sb.fertility - ss.fertility) / sb.fertility > 0.05
+
+    def test_utilization_in_unit_interval(self, texts):
+        tok = BPETokenizer().train(texts, 400)
+        s = tokenizer_stats(tok, texts[:30])
+        assert 0 < s.vocab_utilization <= 1.0
+        assert s.distinct_tokens_used <= s.vocab_size
+
+    def test_counts_consistent(self, texts):
+        tok = BPETokenizer().train(texts, 400)
+        s = tokenizer_stats(tok, texts[:10])
+        assert s.total_tokens == sum(len(tok.encode(t)) for t in texts[:10])
+        assert s.total_words == sum(len(t.split()) for t in texts[:10])
+
+    def test_empty_rejected(self, texts):
+        tok = BPETokenizer().train(texts, 300)
+        with pytest.raises(ValueError):
+            tokenizer_stats(tok, [])
+
+
+class TestCorpusStats:
+    def test_basic_counts(self, texts):
+        s = corpus_stats(texts)
+        assert s.num_documents == len(texts)
+        assert s.num_words > s.num_types > 100
+        assert 0 < s.type_token_ratio < 1
+
+    def test_zipf_like_frequency_structure(self, texts):
+        s = corpus_stats(texts)
+        # Natural-language-like corpora show a steep negative slope.
+        assert -2.5 < s.zipf_exponent < -0.5
+
+    def test_top_words_sorted(self, texts):
+        s = corpus_stats(texts, top_k=5)
+        counts = [c for _, c in s.top_words]
+        assert counts == sorted(counts, reverse=True)
+        assert len(s.top_words) == 5
+
+    def test_zipf_fit_validations(self):
+        with pytest.raises(ValueError):
+            zipf_fit(np.array([3, 2]))
+        with pytest.raises(ValueError):
+            corpus_stats([])
+
+    def test_zipf_fit_exact_power_law(self):
+        ranks = np.arange(1, 200)
+        counts = 1000.0 / ranks  # exponent exactly -1
+        assert zipf_fit(counts) == pytest.approx(-1.0, abs=1e-6)
+
+
+class TestTwoPropertyDataset:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return generate_dataset(300, seed=0)
+
+    def test_both_targets_available(self, dataset):
+        assert dataset.targets("band_gap").shape == (300,)
+        assert dataset.targets("formation_energy").shape == (300,)
+        with pytest.raises(ValueError):
+            dataset.targets("bulk_modulus")
+
+    def test_formation_energies_negative(self, dataset):
+        """Stable synthetic compounds: E_f < 0 (as in Materials Project)."""
+        assert (dataset.formation_energies() < 0).mean() > 0.95
+
+    def test_properties_not_duplicates(self, dataset):
+        corr = np.corrcoef(dataset.band_gaps(),
+                           dataset.formation_energies())[0, 1]
+        assert abs(corr) < 0.95
+
+    def test_encoder_target_selection(self, dataset):
+        enc = GraphEncoder()
+        bg = enc.encode(dataset.materials[:5], target="band_gap")
+        fe = enc.encode(dataset.materials[:5], target="formation_energy")
+        np.testing.assert_allclose(bg.targets, dataset.band_gaps()[:5])
+        np.testing.assert_allclose(fe.targets,
+                                   dataset.formation_energies()[:5])
+        with pytest.raises(ValueError):
+            enc.encode(dataset.materials[:5], target="color")
+
+    def test_band_gap_harder_than_formation_energy(self, dataset):
+        """The paper's difficulty claim, in normalized MAE."""
+        train, test = dataset.split(test_fraction=0.2, seed=0)
+        enc = GraphEncoder()
+        scores = {}
+        for prop in ("band_gap", "formation_energy"):
+            r = evaluate_model("mfcgnn", train, test, encoder=enc,
+                               epochs=120, seed=0, target=prop)
+            scores[prop] = r.test_mae / dataset.targets(prop).std()
+        assert scores["band_gap"] > 1.5 * scores["formation_energy"]

@@ -1,0 +1,130 @@
+"""Tests for the dependency-free SVG plotting layer."""
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.core.svgplot import (SVGCanvas, bar_chart, density_chart,
+                                heatmap_chart, line_chart, scatter_chart)
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(canvas: SVGCanvas) -> ET.Element:
+    return ET.fromstring(canvas.to_string())
+
+
+def count(root: ET.Element, tag: str) -> int:
+    return len(root.findall(f".//{SVG_NS}{tag}"))
+
+
+class TestCanvas:
+    def test_valid_xml(self):
+        c = SVGCanvas()
+        c.rect(1, 2, 3, 4)
+        c.line(0, 0, 10, 10)
+        c.circle(5, 5, 2)
+        c.text(1, 1, "hello <world> & more")
+        root = parse(c)
+        assert root.tag == f"{SVG_NS}svg"
+        assert count(root, "rect") == 2  # background + one rect
+        assert count(root, "text") == 1
+
+    def test_text_escaped(self):
+        c = SVGCanvas()
+        c.text(0, 0, "<&>")
+        assert "<&>" not in c.to_string()
+        assert "&lt;&amp;&gt;" in c.to_string()
+
+    def test_save_adds_suffix(self, tmp_path):
+        c = SVGCanvas()
+        path = c.save(tmp_path / "plot")
+        assert path.suffix == ".svg"
+        assert path.exists()
+
+
+class TestLineChart:
+    def test_series_rendered(self):
+        x = np.array([1, 2, 3, 4])
+        c = line_chart(x, {"a": x * 1.0, "b": x * 2.0}, title="T")
+        root = parse(c)
+        assert count(root, "polyline") == 2
+        assert count(root, "circle") == 8  # 4 markers per series
+        assert "T" in c.to_string()
+
+    def test_log_x_supported(self):
+        x = np.array([1e6, 1e7, 1e8])
+        c = line_chart(x, {"s": np.array([3.0, 2.0, 1.0])}, log_x=True)
+        parse(c)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart(np.arange(3), {"s": np.arange(4)})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart(np.arange(3), {})
+
+    def test_value_mapping_monotone(self):
+        """Higher y values must land at smaller pixel y (SVG is flipped)."""
+        x = np.array([0.0, 1.0])
+        c = line_chart(x, {"s": np.array([0.0, 10.0])})
+        poly = parse(c).find(f".//{SVG_NS}polyline").get("points")
+        (x1, y1), (x2, y2) = [tuple(map(float, p.split(",")))
+                              for p in poly.split()]
+        assert y2 < y1  # larger value is higher on screen
+
+
+class TestBarChart:
+    def test_grouped_bars(self):
+        c = bar_chart({"sciq": {"neox": 0.9, "llama": 0.8},
+                       "piqa": {"neox": 0.7, "llama": 0.75}},
+                      title="bars")
+        root = parse(c)
+        # background + legend swatches (2) + 4 bars
+        assert count(root, "rect") >= 7
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+
+
+class TestHeatmap:
+    def test_cells_rendered_and_nan_skipped(self):
+        m = np.array([[1.0, 2.0], [3.0, np.nan]])
+        c = heatmap_chart([16, 24], [["a", "b"], ["c", "d"]], m)
+        root = parse(c)
+        # 3 finite cells + background + 40 ramp segments
+        assert count(root, "rect") == 1 + 3 + 40
+
+    def test_all_nan_rejected(self):
+        with pytest.raises(ValueError):
+            heatmap_chart([1], [["x"]], np.array([[np.nan]]))
+
+
+class TestScatter:
+    def test_points_and_legend(self):
+        pts = np.random.default_rng(0).normal(size=(30, 2))
+        labels = np.array([0] * 15 + [1] * 15)
+        c = scatter_chart(pts, labels)
+        root = parse(c)
+        assert count(root, "circle") == 30
+        assert "cluster 0" in c.to_string()
+
+    def test_shape_validated(self):
+        with pytest.raises(ValueError):
+            scatter_chart(np.zeros((4, 3)))
+
+
+class TestDensity:
+    def test_density_curves(self):
+        rng = np.random.default_rng(0)
+        c = density_chart({"a": rng.normal(0, 1, 300),
+                           "b": rng.normal(3, 1, 300)}, bins=20)
+        root = parse(c)
+        assert count(root, "polyline") == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            density_chart({})

@@ -1,0 +1,329 @@
+"""Tests for optimizers, schedules, precision emulation and the trainer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models import GPTModel, Linear, Parameter, Tensor, preset
+from repro.training import (Adam, ConstantSchedule, CosineWarmupSchedule,
+                            LAMB, LossCurveModel, LossRecipe, PrecisionPolicy,
+                            SGD, Trainer, TrainerConfig, cast, clip_grad_norm,
+                            round_bf16, round_fp16)
+
+
+def quadratic_params(seed=0):
+    """A toy problem: minimize ||w - target||^2."""
+    rng = np.random.default_rng(seed)
+    w = Parameter(rng.normal(size=(4, 4)))
+    target = rng.normal(size=(4, 4))
+    return w, target
+
+
+def quad_loss_and_grad(w, target):
+    w.zero_grad()
+    loss = ((w - Tensor(target)) ** 2).sum()
+    loss.backward()
+    return loss.item()
+
+
+class TestOptimizers:
+    @pytest.mark.parametrize("opt_cls,kwargs", [
+        (SGD, {"lr": 0.1}),
+        (Adam, {"lr": 0.1, "weight_decay": 0.0}),
+        (LAMB, {"lr": 0.1, "weight_decay": 0.0}),
+    ])
+    def test_converges_on_quadratic(self, opt_cls, kwargs):
+        w, target = quadratic_params()
+        opt = opt_cls([w], **kwargs)
+        first = quad_loss_and_grad(w, target)
+        for _ in range(200):
+            quad_loss_and_grad(w, target)
+            opt.step()
+        final = quad_loss_and_grad(w, target)
+        assert final < 0.01 * first
+
+    def test_sgd_momentum(self):
+        w, target = quadratic_params()
+        opt = SGD([w], lr=0.02, momentum=0.9)
+        for _ in range(100):
+            quad_loss_and_grad(w, target)
+            opt.step()
+        assert quad_loss_and_grad(w, target) < 1e-3
+
+    def test_adam_bias_correction_first_step(self):
+        """After one step from zero moments, update ≈ lr * sign(grad)."""
+        w = Parameter(np.zeros(3))
+        opt = Adam([w], lr=0.1, weight_decay=0.0)
+        w.grad = np.array([1.0, -2.0, 0.5])
+        opt.step()
+        np.testing.assert_allclose(w.data, [-0.1, 0.1, -0.1], atol=1e-6)
+
+    def test_lamb_trust_ratio_recorded(self):
+        w, target = quadratic_params()
+        opt = LAMB([w], lr=0.01)
+        quad_loss_and_grad(w, target)
+        opt.step()
+        assert len(opt.last_trust_ratios) == 1
+        assert opt.last_trust_ratios[0] > 0
+
+    def test_lamb_step_invariant_to_gradient_scale(self):
+        """The trust ratio makes LAMB steps invariant to grad rescaling."""
+        w1 = Parameter(np.array([1.0, 2.0]))
+        w2 = Parameter(np.array([1.0, 2.0]))
+        o1 = LAMB([w1], lr=0.1, weight_decay=0.0)
+        o2 = LAMB([w2], lr=0.1, weight_decay=0.0)
+        w1.grad = np.array([0.1, 0.2])
+        w2.grad = np.array([100.0, 200.0])
+        o1.step()
+        o2.step()
+        np.testing.assert_allclose(w1.data, w2.data, atol=1e-8)
+
+    def test_weight_decay_decoupled(self):
+        w = Parameter(np.array([10.0]))
+        opt = Adam([w], lr=0.1, weight_decay=0.1)
+        w.grad = np.array([0.0])
+        opt.step()
+        assert w.data[0] < 10.0  # decays even with zero gradient
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.ones(1))], lr=-1)
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.ones(1))], betas=(1.5, 0.9))
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_state_bytes(self):
+        p = [Parameter(np.ones(1))]
+        assert Adam(p).state_bytes_per_param() == 8
+        assert SGD(p).state_bytes_per_param() == 0
+
+    def test_clip_grad_norm(self):
+        p = Parameter(np.ones(4))
+        p.grad = np.full(4, 10.0)  # norm 20
+        norm = clip_grad_norm([p], max_norm=1.0)
+        assert norm == pytest.approx(20.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0, rel=1e-6)
+
+    def test_clip_noop_under_limit(self):
+        p = Parameter(np.ones(4))
+        p.grad = np.full(4, 0.1)
+        clip_grad_norm([p], max_norm=10.0)
+        np.testing.assert_allclose(p.grad, 0.1)
+
+
+class TestSchedules:
+    def test_warmup_then_decay(self):
+        sched = CosineWarmupSchedule(1.0, 1000, warmup_fraction=0.01,
+                                     final_fraction=0.1)
+        assert sched(0) < sched(9)
+        assert sched(9) == pytest.approx(1.0)
+        assert sched(999) == pytest.approx(0.1, abs=0.01)
+
+    def test_monotone_decay_after_warmup(self):
+        sched = CosineWarmupSchedule(1.0, 100)
+        lrs = sched.as_array()
+        post = lrs[sched.warmup_steps:]
+        assert (np.diff(post) <= 1e-12).all()
+
+    def test_floor_is_10pct(self):
+        sched = CosineWarmupSchedule(0.01, 500)
+        assert sched.final_lr == pytest.approx(0.001)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            CosineWarmupSchedule(-1, 100)
+        with pytest.raises(ValueError):
+            CosineWarmupSchedule(1.0, 100, warmup_fraction=1.5)
+        with pytest.raises(ValueError):
+            CosineWarmupSchedule(1.0, 100)(-1)
+
+    def test_constant(self):
+        s = ConstantSchedule(0.5)
+        assert s(0) == s(1000) == 0.5
+
+
+class TestPrecision:
+    def test_bf16_is_top16_bits(self):
+        x = np.array([1.0 + 2 ** -8])  # representable in bf16? mantissa 7 bits
+        y = round_bf16(x)
+        # bf16 has 7 mantissa bits so 1 + 2^-8 rounds to 1 or 1+2^-7.
+        assert y[0] in (1.0, 1.0 + 2 ** -7)
+
+    def test_bf16_exact_on_representable(self):
+        for v in [0.0, 1.0, -2.5, 1024.0, 2.0 ** -100]:
+            assert round_bf16(np.array([v]))[0] == v
+
+    def test_bf16_preserves_range_fp16_does_not(self):
+        """bf16's numerical-stability advantage: no overflow at 1e5."""
+        big = np.array([1e5])
+        assert np.isfinite(round_bf16(big)).all()
+        assert np.isinf(round_fp16(big)).all()
+
+    def test_fp16_more_precise_than_bf16_near_one(self):
+        x = np.array([1.0009765625])  # 1 + 2^-10, exact in fp16
+        assert round_fp16(x)[0] == x[0]
+        assert round_bf16(x)[0] != x[0]
+
+    def test_cast_dispatch(self):
+        x = np.array([1.2345678])
+        assert cast(x, "fp32")[0] == pytest.approx(x[0], abs=1e-7)
+        with pytest.raises(ValueError):
+            cast(x, "int8")
+
+    def test_policy_roundtrip(self):
+        lin = Linear(4, 4)
+        policy = PrecisionPolicy("bf16")
+        params = [lin.weight, lin.bias]
+        orig = lin.weight.data.copy()
+        masters = policy.quantize_params(params)
+        assert not np.array_equal(lin.weight.data, orig)  # rounded
+        policy.restore_params(params, masters)
+        np.testing.assert_array_equal(lin.weight.data, orig)
+
+    def test_overflow_risk_fp16(self):
+        p = Parameter(np.ones(2))
+        p.grad = np.array([1e6, 0.0])
+        assert PrecisionPolicy("fp16").overflow_risk([p])
+        assert not PrecisionPolicy("bf16").overflow_risk([p])
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(-1e30, 1e30, allow_nan=False))
+    def test_property_bf16_idempotent(self, v):
+        once = round_bf16(np.array([v]))
+        twice = round_bf16(once)
+        np.testing.assert_array_equal(once, twice)
+
+
+class TestLossModel:
+    @pytest.fixture(scope="class")
+    def lm(self):
+        return LossCurveModel()
+
+    def test_fig13_lamb_beats_adam(self, lm):
+        adam = lm.curve(LossRecipe(1.7e9, optimizer="adam", batch_tokens=1e6))
+        lamb = lm.curve(LossRecipe(1.7e9, optimizer="lamb", batch_tokens=4e6))
+        gain = 1 - lamb.final_train / adam.final_train
+        assert 0.01 < gain < 0.05  # paper: ~2% smaller loss
+
+    def test_fig13_spm_loss_bigger(self, lm):
+        hf = lm.curve(LossRecipe(1.7e9, tokenizer="hf"))
+        spm = lm.curve(LossRecipe(1.7e9, tokenizer="spm"))
+        assert spm.final_train > 1.05 * hf.final_train
+
+    def test_fig13_32k_loss_smaller(self, lm):
+        v52 = lm.curve(LossRecipe(1.7e9, vocab_size=52000))
+        v32 = lm.curve(LossRecipe(1.7e9, vocab_size=32000))
+        assert v32.final_train < v52.final_train
+
+    def test_fig13_bigger_model_lower_loss(self, lm):
+        small = lm.curve(LossRecipe(1.7e9))
+        big = lm.curve(LossRecipe(6.7e9))
+        assert big.final_train < small.final_train
+
+    def test_fig13_llama_below_neox_under_lamb(self, lm):
+        llama = lm.curve(LossRecipe(1.7e9, arch="llama", optimizer="lamb"))
+        neox = lm.curve(LossRecipe(1.7e9, arch="neox", optimizer="lamb"))
+        assert llama.final_train < neox.final_train
+
+    def test_fig13_tie_under_adam(self, lm):
+        llama = lm.curve(LossRecipe(1.7e9, arch="llama", optimizer="adam",
+                                    batch_tokens=1e6))
+        neox = lm.curve(LossRecipe(1.7e9, arch="neox", optimizer="adam",
+                                   batch_tokens=1e6))
+        assert abs(llama.final_train - neox.final_train) \
+            / llama.final_train < 0.01
+
+    def test_precision_curves_almost_identical(self, lm):
+        bf = lm.curve(LossRecipe(1.7e9, precision="bf16"))
+        fp = lm.curve(LossRecipe(1.7e9, precision="fp16"))
+        rel = np.abs(bf.train - fp.train) / bf.train
+        assert rel.max() < 0.02
+
+    def test_val_above_train(self, lm):
+        c = lm.curve(LossRecipe(1.7e9))
+        assert (c.val >= c.train * 0.999).all()
+
+    def test_curves_decrease(self, lm):
+        c = lm.curve(LossRecipe(1.7e9))
+        assert c.train[0] > c.train[-1]
+        # Overall decreasing trend (noise allows tiny local bumps).
+        smooth = np.convolve(c.train, np.ones(10) / 10, mode="valid")
+        assert (np.diff(smooth) < 1e-3).all()
+
+    def test_train_starts_near_log_vocab(self, lm):
+        c = lm.curve(LossRecipe(1.7e9, vocab_size=52000))
+        assert abs(c.train[0] - np.log(52000)) < 1.0
+
+    def test_eight_recipes(self, lm):
+        recipes = lm.fig13_recipes()
+        assert len(recipes) == 8
+        assert len({r.label for r in recipes}) == 8
+
+    def test_unmodeled_recipe_rejected(self, lm):
+        with pytest.raises(ValueError):
+            lm.curve(LossRecipe(1.7e9, optimizer="adafactor"))
+
+
+@pytest.fixture(scope="module")
+def small_dataset():
+    from repro.data import AbstractGenerator, PackedDataset
+    from repro.tokenizers import BPETokenizer
+    texts = [d.text for d in AbstractGenerator(seed=0).sample(120)]
+    tok = BPETokenizer().train(texts, 450)
+    return PackedDataset.from_texts(texts, tok, seq_len=32)
+
+
+class TestTrainer:
+    def test_loss_decreases(self, small_dataset):
+        model = GPTModel(preset("tiny-llama"), seed=0)
+        trainer = Trainer(model, small_dataset,
+                          TrainerConfig(optimizer="adam", lr=3e-3,
+                                        batch_size=8, max_steps=25,
+                                        eval_every=24))
+        h = trainer.train()
+        assert h.final_train_loss < h.train_loss[0] - 0.5
+        assert len(h.train_loss) == 25
+        assert h.val_loss  # evaluated at least once
+
+    def test_neox_also_trains(self, small_dataset):
+        model = GPTModel(preset("tiny-neox"), seed=0)
+        h = Trainer(model, small_dataset,
+                    TrainerConfig(optimizer="lamb", lr=0.02, batch_size=8,
+                                  max_steps=20, eval_every=19)).train()
+        assert h.final_train_loss < h.train_loss[0]
+
+    def test_bf16_training_close_to_fp32(self, small_dataset):
+        """The paper's precision ablation, at real (tiny) scale."""
+        runs = {}
+        for prec in ("fp32", "bf16"):
+            model = GPTModel(preset("tiny-llama"), seed=0)
+            h = Trainer(model, small_dataset,
+                        TrainerConfig(optimizer="adam", lr=3e-3, batch_size=8,
+                                      max_steps=15, eval_every=14,
+                                      precision=prec)).train()
+            runs[prec] = np.array(h.train_loss)
+        diff = np.abs(runs["fp32"] - runs["bf16"]) / runs["fp32"]
+        assert diff.max() < 0.05  # almost identical curves
+
+    def test_lr_follows_schedule(self, small_dataset):
+        model = GPTModel(preset("tiny-llama"), seed=0)
+        trainer = Trainer(model, small_dataset,
+                          TrainerConfig(optimizer="adam", lr=1e-3,
+                                        batch_size=8, max_steps=12))
+        h = trainer.train()
+        assert max(h.lrs) <= 1e-3 + 1e-12   # never exceeds the peak
+        assert h.lrs[-1] < h.lrs[0]         # cosine decay engaged
+
+    def test_unknown_optimizer(self, small_dataset):
+        model = GPTModel(preset("tiny-llama"), seed=0)
+        with pytest.raises(ValueError):
+            Trainer(model, small_dataset, TrainerConfig(optimizer="adamw2"))
+
+    def test_smoothed_history(self, small_dataset):
+        model = GPTModel(preset("tiny-llama"), seed=0)
+        h = Trainer(model, small_dataset,
+                    TrainerConfig(optimizer="adam", lr=3e-3, batch_size=8,
+                                  max_steps=10, eval_every=9)).train()
+        assert len(h.smoothed_train(3)) == 8
