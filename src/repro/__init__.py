@@ -24,12 +24,15 @@ Subpackages
     Zero/few-shot multiple-choice evaluation harness.
 ``repro.matsci``
     Band-gap prediction: crystals, GNNs, LLM-embedding fusion.
+``repro.serving``
+    Continuous-batching inference engine with a paged KV-cache pool.
 """
 
 __version__ = "1.0.0"
 
 from . import (core, data, evalharness, frontier, matsci, models, parallel,
-               profiling, tokenizers, training)
+               profiling, serving, tokenizers, training)
 
 __all__ = ["core", "data", "evalharness", "frontier", "matsci", "models",
-           "parallel", "profiling", "tokenizers", "training", "__version__"]
+           "parallel", "profiling", "serving", "tokenizers", "training",
+           "__version__"]

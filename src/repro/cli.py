@@ -14,6 +14,10 @@ Commands
     tool).
 ``study``
     Run the end-to-end comparative study at laptop scale.
+``serve-bench`` (alias ``serve``)
+    Run a seeded Poisson workload through the continuous-batching
+    serving engine and print metrics plus the Frontier-node
+    extrapolation.
 """
 
 from __future__ import annotations
@@ -135,6 +139,56 @@ def cmd_study(args: argparse.Namespace) -> int:
     return 0 if obs.holds else 1
 
 
+def cmd_serve_bench(args: argparse.Namespace) -> int:
+    from .models import GPTModel, preset
+    from .serving import (DecodeCostModel, KVPoolConfig, PagedKVPool,
+                          SchedulerConfig, ServingEngine, ServingPerfModel,
+                          WorkloadConfig, format_estimate, format_metrics,
+                          run_sequential, synthesize_workload)
+    try:
+        config = preset(args.model)
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        model = GPTModel(config, seed=args.seed)
+        workload = WorkloadConfig(num_requests=args.requests,
+                                  arrival_rate=args.rate, seed=args.seed)
+        requests = synthesize_workload(workload, config)
+        pool = PagedKVPool(config, KVPoolConfig(
+            block_size=args.block_size,
+            num_blocks=args.pool_blocks if args.pool_blocks > 0 else None))
+        engine = ServingEngine(
+            model, pool=pool,
+            scheduler_config=SchedulerConfig(policy=args.policy,
+                                             max_batch_size=args.batch_size))
+        result = engine.run(requests)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"workload: {len(requests)} requests, Poisson rate "
+          f"{args.rate:.0f}/s, seed {args.seed}, policy {args.policy}")
+    print(f"pool: {pool.num_blocks} blocks x {pool.block_size} tokens "
+          f"({pool.bytes_per_token} B/token)")
+    print()
+    print(format_metrics(result.metrics,
+                         title=f"serving metrics — {config.label()}"))
+    if args.compare_sequential:
+        base = run_sequential(model, requests,
+                              DecodeCostModel(config, gcd=engine.cost.gcd))
+        speedup = result.metrics.tokens_per_s / base.metrics.tokens_per_s
+        print(f"\nsequential baseline: "
+              f"{base.metrics.tokens_per_s:.1f} tok/s — continuous "
+              f"batching speedup {speedup:.2f}x")
+    print()
+    est = ServingPerfModel().estimate(
+        config, result.metrics,
+        mean_context_tokens=result.metrics.mean_context_tokens)
+    print(format_estimate(est))
+    completed = result.metrics.num_requests
+    return 0 if completed == len(requests) else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -166,6 +220,29 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("study", help="end-to-end comparative study")
     p.add_argument("--steps", type=int, default=100,
                    help="pre-training steps per architecture")
+
+    p = sub.add_parser(
+        "serve-bench", aliases=["serve"],
+        help="continuous-batching serving benchmark + Frontier "
+             "extrapolation")
+    p.add_argument("--model", default="tiny-llama",
+                   help="model preset to serve (default: tiny-llama)")
+    p.add_argument("--requests", type=int, default=64,
+                   help="number of Poisson-arrival requests (default: 64)")
+    p.add_argument("--rate", type=float, default=1000.0,
+                   help="mean arrival rate, requests per virtual second")
+    p.add_argument("--seed", type=int, default=0,
+                   help="workload + model seed (fixes the whole trace)")
+    p.add_argument("--policy", default="fcfs", choices=["fcfs", "spf"],
+                   help="admission policy (default: fcfs)")
+    p.add_argument("--batch-size", type=int, default=8,
+                   help="max concurrent requests in the decode batch")
+    p.add_argument("--block-size", type=int, default=16,
+                   help="KV-pool tokens per block (default: 16)")
+    p.add_argument("--pool-blocks", type=int, default=64,
+                   help="KV-pool size in blocks; 0 = size from GCD HBM")
+    p.add_argument("--compare-sequential", action="store_true",
+                   help="also run the one-request-at-a-time baseline")
     return parser
 
 
@@ -177,6 +254,8 @@ _COMMANDS = {
     "scaling": cmd_scaling,
     "recommend": cmd_recommend,
     "study": cmd_study,
+    "serve-bench": cmd_serve_bench,
+    "serve": cmd_serve_bench,  # alias, kept so README shorthand works
 }
 
 

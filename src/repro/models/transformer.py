@@ -162,14 +162,19 @@ class GPTModel(Module):
                  temperature: float = 0.0,
                  rng: np.random.Generator | None = None,
                  use_cache: bool = False, top_k: int = 0,
-                 top_p: float = 1.0) -> np.ndarray:
+                 top_p: float = 1.0,
+                 eos_id: int | None = None) -> np.ndarray:
         """Autoregressive decoding.
 
         ``temperature == 0`` decodes greedily; otherwise samples, with
         optional ``top_k`` truncation and ``top_p`` (nucleus) filtering.
         With ``use_cache=True`` decoding runs incrementally over per-layer
         KV caches — O(n) work per new token instead of re-encoding the
-        whole prefix — and produces exactly the same tokens.
+        whole prefix — and produces exactly the same tokens.  If
+        ``eos_id`` is given, decoding stops early once that token is
+        produced (it is included in the output), so outputs may be
+        shorter than ``max_new_tokens`` — the per-request stop condition
+        the serving engine relies on.
         """
         if top_k < 0:
             raise ValueError("top_k must be >= 0")
@@ -188,14 +193,18 @@ class GPTModel(Module):
                 nxt = self._pick(logits.data[0, -1], temperature, rng,
                                  top_k, top_p)
                 tokens.append(nxt)
+                if eos_id is not None and nxt == eos_id:
+                    break
                 next_input = np.array([nxt], dtype=np.int64)
             return np.array(tokens, dtype=np.int64)
         for _ in range(max_new_tokens):
             window = np.array(tokens[-budget:])
             with no_grad():
                 logits = self.forward(window[None]).data[0, -1]
-            tokens.append(self._pick(logits, temperature, rng, top_k,
-                                     top_p))
+            nxt = self._pick(logits, temperature, rng, top_k, top_p)
+            tokens.append(nxt)
+            if eos_id is not None and nxt == eos_id:
+                break
         return np.array(tokens, dtype=np.int64)
 
     @staticmethod

@@ -1,0 +1,28 @@
+"""Continuous-batching inference engine with a paged KV-cache pool.
+
+The serving vertical of the repo: a request-level stack (pool →
+scheduler → engine → metrics) that decodes with the real NumPy models
+on a deterministic virtual clock, plus the analytic extrapolation that
+maps a measured trace onto Frontier MI250X GCDs.  Entry point:
+``python -m repro serve-bench``.
+"""
+
+from .engine import (DecodeCostModel, ServeResult, ServingEngine,
+                     run_sequential)
+from .kv_pool import KVPoolConfig, PagedKVPool, kv_bytes_per_token
+from .metrics import (RequestRecord, ServingMetrics, TimelineSample,
+                      format_metrics)
+from .perf_model import (DeploymentEstimate, FrontierServingEstimate,
+                         ServingPerfModel, format_estimate)
+from .scheduler import ContinuousBatchScheduler, Request, SchedulerConfig
+from .workload import WorkloadConfig, synthesize_workload
+
+__all__ = [
+    "DecodeCostModel", "ServeResult", "ServingEngine", "run_sequential",
+    "KVPoolConfig", "PagedKVPool", "kv_bytes_per_token",
+    "RequestRecord", "ServingMetrics", "TimelineSample", "format_metrics",
+    "DeploymentEstimate", "FrontierServingEstimate", "ServingPerfModel",
+    "format_estimate",
+    "ContinuousBatchScheduler", "Request", "SchedulerConfig",
+    "WorkloadConfig", "synthesize_workload",
+]

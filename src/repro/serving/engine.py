@@ -1,0 +1,276 @@
+"""The decode engine: prefill + continuous batched decode steps.
+
+The engine runs the *real* model — every token is produced by the NumPy
+forward pass over per-request KV caches, so engine outputs are
+bit-identical to ``GPTModel.generate(use_cache=True)`` greedy decoding —
+while time is charged on a *virtual clock* by :class:`DecodeCostModel`.
+The split mirrors the repo's two-track design (docs/ARCHITECTURE.md):
+token semantics are exact, timing is a calibrated analytic model, and
+the combination keeps every trace deterministic under a fixed seed.
+
+The cost model encodes the physics that makes continuous batching win:
+an incremental decode step is memory-bound — it must stream the full
+weight matrix from HBM *once per step regardless of batch size* — so
+batching B requests amortizes the weight read B ways:
+
+    t_step = overhead + (weights + sum_r kv(r)) / HBM_bw
+
+Prefill is compute-bound and priced through the existing
+:class:`~repro.frontier.roofline.RooflineModel` layer timings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..frontier.hardware import GCDSpec
+from ..frontier.roofline import RooflineModel
+from ..models.config import ModelConfig
+from ..models.flops import GEMMShape
+from .kv_pool import KVPoolConfig, PagedKVPool, kv_bytes_per_token
+from .metrics import RequestRecord, ServingMetrics, TimelineSample
+from .scheduler import ContinuousBatchScheduler, Request, SchedulerConfig
+
+__all__ = ["DecodeCostModel", "ServeResult", "ServingEngine",
+           "run_sequential"]
+
+
+class DecodeCostModel:
+    """Virtual-clock pricing of prefill and decode steps on one device."""
+
+    def __init__(self, config: ModelConfig, gcd: GCDSpec | None = None,
+                 roofline: RooflineModel | None = None,
+                 step_overhead_s: float = 250e-6):
+        self.config = config
+        self.gcd = gcd or GCDSpec()
+        self.roofline = roofline or RooflineModel(self.gcd)
+        self.step_overhead_s = step_overhead_s
+        self.weight_bytes = 2.0 * config.num_parameters()
+        self.kv_token_bytes = kv_bytes_per_token(config)
+
+    def prefill_time(self, prompt_len: int) -> float:
+        """Forward pass over the whole prompt (compute-bound, roofline)."""
+        layer = self.roofline.layer_forward_timing(
+            self.config, seq_len=prompt_len, micro_batch=1)
+        total = self.config.num_layers * layer.total_seconds
+        head = GEMMShape("head", prompt_len, self.config.hidden_size,
+                         self.config.vocab_size)
+        return total + self.roofline.gemm_time(head)
+
+    def decode_step_time(self, batch_size: int,
+                         total_context_tokens: int) -> float:
+        """One batched incremental step (memory-bound, weights read once)."""
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        hbm_bytes = self.weight_bytes \
+            + self.kv_token_bytes * total_context_tokens
+        return self.step_overhead_s + hbm_bytes / (self.gcd.hbm_bw_gbs * 1e9)
+
+
+@dataclass
+class ServeResult:
+    """Everything one serving run produced."""
+
+    records: list[RequestRecord]
+    metrics: ServingMetrics
+    trace: list[tuple[float, str, int]] = field(default_factory=list)
+    outputs: dict[int, np.ndarray] = field(default_factory=dict)
+
+    def output_tokens(self, request_id: int) -> np.ndarray:
+        return self.outputs[request_id]
+
+
+class ServingEngine:
+    """Continuous-batching inference over a paged KV pool.
+
+    Parameters
+    ----------
+    model:
+        A :class:`~repro.models.GPTModel`; decoding is greedy (the
+        serving analogue of ``temperature=0``), which keeps preemption-
+        recompute lossless.
+    pool, scheduler_config, cost_model:
+        Injectable for tests; defaults size the pool from one GCD's HBM.
+    """
+
+    def __init__(self, model, pool: PagedKVPool | None = None,
+                 scheduler_config: SchedulerConfig | None = None,
+                 cost_model: DecodeCostModel | None = None,
+                 max_steps: int = 1_000_000):
+        self.model = model
+        self.pool = pool or PagedKVPool(model.config, KVPoolConfig())
+        self.scheduler = ContinuousBatchScheduler(self.pool, scheduler_config)
+        self.cost = cost_model or DecodeCostModel(model.config)
+        self.max_steps = max_steps
+
+    # ------------------------------------------------------------------
+    def _validate(self, requests: list[Request]) -> None:
+        budget = self.model.config.max_seq_len
+        token_budget = self.scheduler.config.max_batch_tokens
+        need = self.pool.capacity_tokens()
+        for req in requests:
+            if req.budget_tokens > budget:
+                raise ValueError(
+                    f"request {req.request_id}: prompt {req.prompt_len} + "
+                    f"max_new_tokens {req.max_new_tokens} exceeds "
+                    f"max_seq_len {budget}")
+            if req.budget_tokens > token_budget:
+                raise ValueError(
+                    f"request {req.request_id}: {req.budget_tokens} tokens "
+                    f"exceed max_batch_tokens {token_budget}")
+            if self.pool.blocks_needed(req.budget_tokens) > self.pool.num_blocks:
+                raise ValueError(
+                    f"request {req.request_id} can never fit the pool "
+                    f"({req.budget_tokens} tokens vs {need} slots)")
+
+    def _prefill(self, req: Request) -> None:
+        """Encode the prompt and emit the first token."""
+        from ..models.attention import KVCache
+        req.caches = [KVCache() for _ in self.model.layers]
+        logits = self.model._forward_cached(req.prompt[None], req.caches)
+        req.output.append(int(logits.data[0, -1].argmax()))
+
+    def _decode_one(self, req: Request) -> None:
+        """Advance one request by one token over its caches."""
+        last = np.array([req.output[-1]], dtype=np.int64)
+        logits = self.model._forward_cached(last[None], req.caches)
+        req.output.append(int(logits.data[0, -1].argmax()))
+
+    # ------------------------------------------------------------------
+    def run(self, requests: list[Request]) -> ServeResult:
+        """Serve the workload to completion; returns records + metrics."""
+        self._validate(requests)
+        pending = sorted(requests, key=lambda r: (r.arrival_time,
+                                                  r.request_id))
+        sched = self.scheduler
+        clock = 0.0
+        trace: list[tuple[float, str, int]] = []
+        records: list[RequestRecord] = []
+        outputs: dict[int, np.ndarray] = {}
+        timeline: list[TimelineSample] = []
+
+        def finish(req: Request) -> None:
+            sched.finish(req, clock)
+            trace.append((clock, "finish", req.request_id))
+            outputs[req.request_id] = np.array(req.output, dtype=np.int64)
+            records.append(RequestRecord(
+                request_id=req.request_id, arrival=req.arrival_time,
+                admit=req.admit_time, first_token=req.first_token_time,
+                finish=clock, prompt_len=req.prompt_len,
+                output_len=len(req.output), preemptions=req.preemptions))
+
+        steps = 0
+        while pending or not sched.idle:
+            if steps >= self.max_steps:
+                raise RuntimeError(f"engine exceeded {self.max_steps} steps")
+            steps += 1
+
+            while pending and pending[0].arrival_time <= clock:
+                req = pending.pop(0)
+                sched.submit(req)
+                trace.append((clock, "arrive", req.request_id))
+
+            for req in sched.admit(clock):
+                trace.append((clock, "admit", req.request_id))
+                self._prefill(req)
+                clock += self.cost.prefill_time(req.prompt_len)
+                req.first_token_time = clock
+                if req.done:
+                    finish(req)
+
+            if not sched.running:
+                if pending and not sched.waiting:
+                    # Idle: jump to the next arrival.
+                    clock = max(clock, pending[0].arrival_time)
+                    continue
+                if sched.waiting:
+                    # Nothing running yet the queue is non-empty: the
+                    # head request alone must fit — force space for it.
+                    if sched.preempt_victim() is None:
+                        raise RuntimeError(
+                            "deadlock: empty batch but admission failed")
+                continue
+
+            # One continuous-batching decode step over the running set.
+            batch = list(sched.running)
+            for req in batch:
+                if req not in sched.running:
+                    continue  # preempted earlier in this same step
+                preempted_self = False
+                while not self.pool.allocate(req.request_id,
+                                             req.context_len + 1):
+                    # Victim = youngest admission, *including* req itself
+                    # (vLLM recompute rule).  The oldest running request
+                    # is therefore never evicted, so it always completes
+                    # — without this, two requests crossing block
+                    # boundaries alternately can evict each other
+                    # forever, each eviction discarding all progress.
+                    victim = sched.running[-1]
+                    sched.preempt(victim)
+                    trace.append((clock, "preempt", victim.request_id))
+                    if victim is req:
+                        preempted_self = True
+                        break
+                if preempted_self:
+                    continue
+                self._decode_one(req)
+            survivors = [r for r in batch if r in sched.running]
+            total_ctx = sum(r.context_len for r in survivors)
+            clock += self.cost.decode_step_time(max(1, len(survivors)),
+                                                total_ctx)
+            for req in survivors:
+                if req.done:
+                    finish(req)
+
+            timeline.append(TimelineSample(
+                time=clock, queue_depth=sched.queue_depth,
+                batch_size=len(survivors),
+                pool_utilization=self.pool.utilization,
+                context_tokens=total_ctx))
+
+        metrics = ServingMetrics.from_records(
+            records, timeline, makespan=clock,
+            peak_pool_utilization=self.pool.peak_utilization,
+            preemptions=sched.total_preemptions)
+        records.sort(key=lambda r: r.request_id)
+        return ServeResult(records=records, metrics=metrics, trace=trace,
+                           outputs=outputs)
+
+
+def run_sequential(model, requests: list[Request],
+                   cost_model: DecodeCostModel | None = None) -> ServeResult:
+    """One-request-at-a-time FCFS baseline under the same cost model.
+
+    This is what ``GPTModel.generate`` gives you operationally: each
+    request occupies the device alone, paying the full weight-stream
+    price per token.  The continuous-batching engine's speedup is
+    measured against this.
+    """
+    cost = cost_model or DecodeCostModel(model.config)
+    clock = 0.0
+    records: list[RequestRecord] = []
+    outputs: dict[int, np.ndarray] = {}
+    for req in sorted(requests, key=lambda r: (r.arrival_time,
+                                               r.request_id)):
+        clock = max(clock, req.arrival_time)
+        admit = clock
+        out = model.generate(req.prompt, req.max_new_tokens,
+                             use_cache=True, eos_id=req.eos_id)
+        generated = out[req.prompt_len:]
+        clock += cost.prefill_time(req.prompt_len)
+        first = clock
+        for i in range(1, len(generated)):
+            clock += cost.decode_step_time(
+                1, req.prompt_len + i + 1)
+        records.append(RequestRecord(
+            request_id=req.request_id, arrival=req.arrival_time,
+            admit=admit, first_token=first, finish=clock,
+            prompt_len=req.prompt_len, output_len=len(generated),
+            preemptions=0))
+        outputs[req.request_id] = np.asarray(generated, dtype=np.int64)
+    metrics = ServingMetrics.from_records(records, [], makespan=clock,
+                                          peak_pool_utilization=0.0,
+                                          preemptions=0)
+    return ServeResult(records=records, metrics=metrics, outputs=outputs)

@@ -1,0 +1,153 @@
+"""Serving metrics: latency distributions, throughput, occupancy.
+
+The vocabulary is the standard serving one:
+
+TTFT
+    Time to first token — arrival until the prefill's first emission.
+    What a user perceives as "it started answering".
+TPOT
+    Time per output token after the first — the streaming rate.
+Latency
+    Arrival to final token.
+
+All times are virtual-clock seconds from the engine's deterministic cost
+model, so every percentile below is reproducible bit-for-bit under a
+fixed workload seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RequestRecord", "TimelineSample", "ServingMetrics",
+           "format_metrics"]
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """Completed-request timings (all virtual-clock seconds)."""
+
+    request_id: int
+    arrival: float
+    admit: float
+    first_token: float
+    finish: float
+    prompt_len: int
+    output_len: int
+    preemptions: int = 0
+
+    @property
+    def ttft(self) -> float:
+        return self.first_token - self.arrival
+
+    @property
+    def latency(self) -> float:
+        return self.finish - self.arrival
+
+    @property
+    def tpot(self) -> float:
+        """Seconds per output token after the first (0 for 1-token outputs)."""
+        if self.output_len <= 1:
+            return 0.0
+        return (self.finish - self.first_token) / (self.output_len - 1)
+
+
+@dataclass(frozen=True)
+class TimelineSample:
+    """One decode-step snapshot of engine state."""
+
+    time: float
+    queue_depth: int
+    batch_size: int
+    pool_utilization: float
+    context_tokens: int = 0  # total in-flight context across the batch
+
+
+@dataclass(frozen=True)
+class ServingMetrics:
+    """Aggregate view of one serving run."""
+
+    num_requests: int
+    total_output_tokens: int
+    makespan: float
+    tokens_per_s: float
+    ttft_mean: float
+    ttft_p50: float
+    ttft_p95: float
+    tpot_mean: float
+    latency_p50: float
+    latency_p95: float
+    latency_p99: float
+    mean_batch_size: float
+    mean_context_tokens: float
+    peak_queue_depth: int
+    peak_pool_utilization: float
+    preemptions: int
+
+    @classmethod
+    def from_records(cls, records: list[RequestRecord],
+                     timeline: list[TimelineSample], makespan: float,
+                     peak_pool_utilization: float = 0.0,
+                     preemptions: int = 0) -> "ServingMetrics":
+        if not records:
+            raise ValueError("no completed requests to aggregate")
+        ttft = np.array([r.ttft for r in records])
+        lat = np.array([r.latency for r in records])
+        tpot = np.array([r.tpot for r in records if r.output_len > 1])
+        tokens = int(sum(r.output_len for r in records))
+        batches = np.array([s.batch_size for s in timeline]) if timeline \
+            else np.array([1.0])
+        ctx = np.array([s.context_tokens for s in timeline]) if timeline \
+            else np.array([0.0])
+        queue = max((s.queue_depth for s in timeline), default=0)
+        return cls(
+            num_requests=len(records),
+            total_output_tokens=tokens,
+            makespan=float(makespan),
+            tokens_per_s=tokens / makespan if makespan > 0 else 0.0,
+            ttft_mean=float(ttft.mean()),
+            ttft_p50=float(np.percentile(ttft, 50)),
+            ttft_p95=float(np.percentile(ttft, 95)),
+            tpot_mean=float(tpot.mean()) if tpot.size else 0.0,
+            latency_p50=float(np.percentile(lat, 50)),
+            latency_p95=float(np.percentile(lat, 95)),
+            latency_p99=float(np.percentile(lat, 99)),
+            mean_batch_size=float(batches.mean()),
+            mean_context_tokens=float(ctx.mean()),
+            peak_queue_depth=int(queue),
+            peak_pool_utilization=float(peak_pool_utilization),
+            preemptions=int(preemptions),
+        )
+
+    def rows(self) -> list[tuple[str, str]]:
+        ms = lambda s: f"{s * 1e3:.2f} ms"
+        return [
+            ("requests completed", str(self.num_requests)),
+            ("output tokens", str(self.total_output_tokens)),
+            ("makespan", f"{self.makespan:.3f} s"),
+            ("throughput", f"{self.tokens_per_s:.1f} tok/s"),
+            ("TTFT mean / p50 / p95",
+             f"{ms(self.ttft_mean)} / {ms(self.ttft_p50)} / "
+             f"{ms(self.ttft_p95)}"),
+            ("TPOT mean", ms(self.tpot_mean)),
+            ("latency p50 / p95 / p99",
+             f"{ms(self.latency_p50)} / {ms(self.latency_p95)} / "
+             f"{ms(self.latency_p99)}"),
+            ("mean batch size", f"{self.mean_batch_size:.2f}"),
+            ("peak queue depth", str(self.peak_queue_depth)),
+            ("KV pool peak occupancy",
+             f"{self.peak_pool_utilization:.1%}"),
+            ("preemptions", str(self.preemptions)),
+        ]
+
+
+def format_metrics(metrics: ServingMetrics,
+                   title: str = "serving metrics") -> str:
+    """Render the metrics as an aligned two-column text table."""
+    rows = metrics.rows()
+    width = max(len(k) for k, _ in rows)
+    lines = [title, "-" * len(title)]
+    lines += [f"{k:<{width}}  {v}" for k, v in rows]
+    return "\n".join(lines)

@@ -1,0 +1,215 @@
+"""Admission and continuous-batching scheduling.
+
+Requests arrive over (virtual) time, wait in an admission queue, and are
+folded into the running decode batch whenever the batch has room and the
+KV pool can hold their prompt — *continuous batching* (Orca-style): the
+batch re-forms every decode step instead of waiting for a full batch to
+drain.
+
+Two admission policies are provided:
+
+``fcfs``
+    Strict arrival order.
+``spf``
+    Shortest-prompt-first — cheap requests jump the queue, trading p99
+    fairness for mean TTFT (the classic SJF trade-off, observable in the
+    metrics).
+
+When the pool cannot supply the next token's block, the scheduler
+preempts the *most recently admitted* running request (LIFO victim
+choice, as in vLLM's recompute mode): its blocks are freed and it
+returns to the head of the queue to be re-prefilled later.  Greedy
+decoding makes recomputation produce identical tokens, so preemption is
+invisible in outputs — only in latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .kv_pool import PagedKVPool
+
+__all__ = ["Request", "SchedulerConfig", "ContinuousBatchScheduler"]
+
+_POLICIES = ("fcfs", "spf")
+
+#: Request lifecycle states.
+WAITING, RUNNING, FINISHED = "waiting", "running", "finished"
+
+
+@dataclass
+class Request:
+    """One generation request moving through the serving stack."""
+
+    request_id: int
+    prompt: np.ndarray
+    max_new_tokens: int
+    arrival_time: float = 0.0
+    eos_id: int | None = None
+
+    # Runtime bookkeeping (owned by scheduler/engine).
+    state: str = WAITING
+    output: list[int] = field(default_factory=list)
+    caches: list | None = None
+    admit_time: float | None = None
+    first_token_time: float | None = None
+    finish_time: float | None = None
+    preemptions: int = 0
+
+    def __post_init__(self) -> None:
+        self.prompt = np.asarray(self.prompt, dtype=np.int64).ravel()
+        if self.prompt.size == 0:
+            raise ValueError("prompt must be non-empty")
+        if self.max_new_tokens < 1:
+            raise ValueError("max_new_tokens must be >= 1")
+
+    @property
+    def prompt_len(self) -> int:
+        return int(self.prompt.size)
+
+    @property
+    def context_len(self) -> int:
+        """Tokens currently in the KV cache (prompt + generated)."""
+        return self.prompt_len + len(self.output)
+
+    @property
+    def budget_tokens(self) -> int:
+        """Worst-case context this request can reach."""
+        return self.prompt_len + self.max_new_tokens
+
+    @property
+    def done(self) -> bool:
+        if len(self.output) >= self.max_new_tokens:
+            return True
+        return self.eos_id is not None and len(self.output) > 0 \
+            and self.output[-1] == self.eos_id
+
+    def reset_for_requeue(self) -> None:
+        """Drop generated state so the request can be re-prefilled."""
+        self.output.clear()
+        self.caches = None
+        self.state = WAITING
+        self.first_token_time = None
+        self.preemptions += 1
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Batching knobs.
+
+    ``max_batch_tokens`` bounds the *worst-case* token demand of the
+    running set (sum of prompt + max_new_tokens), so an admitted batch
+    can always finish without exceeding the budget it was admitted under.
+    """
+
+    policy: str = "fcfs"
+    max_batch_size: int = 8
+    max_batch_tokens: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.policy not in _POLICIES:
+            raise ValueError(f"policy must be one of {_POLICIES}: "
+                             f"{self.policy!r}")
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if self.max_batch_tokens < 1:
+            raise ValueError("max_batch_tokens must be >= 1")
+
+
+class ContinuousBatchScheduler:
+    """Admission queue + running batch over a shared paged KV pool."""
+
+    def __init__(self, pool: PagedKVPool,
+                 config: SchedulerConfig | None = None):
+        self.pool = pool
+        self.config = config or SchedulerConfig()
+        self.waiting: list[Request] = []
+        self.running: list[Request] = []
+        self.total_preemptions = 0
+
+    # ------------------------------------------------------------------
+    def submit(self, request: Request) -> None:
+        request.state = WAITING
+        self.waiting.append(request)
+
+    def _sort_waiting(self) -> None:
+        if self.config.policy == "spf":
+            key = lambda r: (r.prompt_len, r.arrival_time, r.request_id)
+        else:
+            key = lambda r: (r.arrival_time, r.request_id)
+        self.waiting.sort(key=key)
+
+    def batch_budget_tokens(self) -> int:
+        return sum(r.budget_tokens for r in self.running)
+
+    # ------------------------------------------------------------------
+    def admit(self, now: float) -> list[Request]:
+        """Fold as many waiting requests into the batch as fit.
+
+        A request is admitted when (a) the batch has a free slot, (b) its
+        worst-case token demand fits the batch token budget, and (c) the
+        pool can hold its prompt plus the first generated token.
+        """
+        self._sort_waiting()
+        admitted: list[Request] = []
+        remaining: list[Request] = []
+        for req in self.waiting:
+            if (len(self.running) < self.config.max_batch_size
+                    and self.batch_budget_tokens() + req.budget_tokens
+                    <= self.config.max_batch_tokens
+                    and self.pool.allocate(req.request_id,
+                                           req.prompt_len + 1)):
+                req.state = RUNNING
+                req.admit_time = now
+                self.running.append(req)
+                admitted.append(req)
+            else:
+                remaining.append(req)
+        self.waiting = remaining
+        return admitted
+
+    # ------------------------------------------------------------------
+    def preempt_victim(self, keep: Request | None = None) -> Request | None:
+        """Evict the most recently admitted running request (LIFO).
+
+        ``keep`` marks a request that must survive (the one we are trying
+        to grow).  Returns the victim, already requeued, or None if no
+        other request can be evicted.
+        """
+        for victim in reversed(self.running):
+            if victim is keep:
+                continue
+            self.running.remove(victim)
+            self.pool.free(victim.request_id)
+            victim.reset_for_requeue()
+            # Head of the queue: a preempted request resumes first among
+            # equals (its original arrival time keeps its FCFS rank).
+            self.waiting.append(victim)
+            self.total_preemptions += 1
+            return victim
+        return None
+
+    def preempt(self, request: Request) -> None:
+        """Evict a specific running request (self-preemption)."""
+        self.running.remove(request)
+        self.pool.free(request.request_id)
+        request.reset_for_requeue()
+        self.waiting.append(request)
+        self.total_preemptions += 1
+
+    def finish(self, request: Request, now: float) -> None:
+        self.running.remove(request)
+        self.pool.free(request.request_id)
+        request.state = FINISHED
+        request.finish_time = now
+
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        return len(self.waiting)
+
+    @property
+    def idle(self) -> bool:
+        return not self.waiting and not self.running

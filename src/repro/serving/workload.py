@@ -1,0 +1,74 @@
+"""Synthetic open-loop serving workloads.
+
+Requests arrive by a Poisson process (exponential inter-arrival times)
+with prompt and output lengths drawn uniformly from configured ranges —
+the standard open-loop setup of serving benchmarks, where arrivals do
+not wait for completions and queueing is therefore real.  Everything is
+driven by one seeded generator, so a (config, model) pair always yields
+the identical request list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..models.config import ModelConfig
+from .scheduler import Request
+
+__all__ = ["WorkloadConfig", "synthesize_workload"]
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """An open-loop Poisson workload specification."""
+
+    num_requests: int = 64
+    arrival_rate: float = 50.0          # mean requests per virtual second
+    prompt_len_range: tuple[int, int] = (4, 24)
+    output_len_range: tuple[int, int] = (4, 16)
+    eos_id: int | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_requests < 1:
+            raise ValueError("num_requests must be >= 1")
+        if self.arrival_rate <= 0:
+            raise ValueError("arrival_rate must be > 0")
+        for name, (lo, hi) in (("prompt_len_range", self.prompt_len_range),
+                               ("output_len_range", self.output_len_range)):
+            if lo < 1 or hi < lo:
+                raise ValueError(f"{name} must satisfy 1 <= lo <= hi: "
+                                 f"({lo}, {hi})")
+
+
+def synthesize_workload(config: WorkloadConfig,
+                        model_config: ModelConfig) -> list[Request]:
+    """Draw a seeded request list compatible with ``model_config``.
+
+    Lengths are clamped so every request fits the model context
+    (``prompt + output <= max_seq_len``); token ids are uniform over the
+    vocabulary, which is all a timing-level benchmark needs.
+    """
+    rng = np.random.default_rng(config.seed)
+    p_lo, p_hi = config.prompt_len_range
+    o_lo, o_hi = config.output_len_range
+    budget = model_config.max_seq_len
+    if p_lo + o_lo > budget:
+        raise ValueError(
+            f"minimum request ({p_lo}+{o_lo} tokens) exceeds max_seq_len "
+            f"{budget}")
+    requests = []
+    t = 0.0
+    for i in range(config.num_requests):
+        t += float(rng.exponential(1.0 / config.arrival_rate))
+        prompt_len = int(rng.integers(p_lo, p_hi + 1))
+        prompt_len = min(prompt_len, budget - o_lo)
+        out_len = int(rng.integers(o_lo, o_hi + 1))
+        out_len = min(out_len, budget - prompt_len)
+        prompt = rng.integers(0, model_config.vocab_size, size=prompt_len)
+        requests.append(Request(
+            request_id=i, prompt=prompt, max_new_tokens=out_len,
+            arrival_time=t, eos_id=config.eos_id))
+    return requests

@@ -9,7 +9,7 @@ class TestParser:
     def test_all_commands_registered(self):
         parser = build_parser()
         for cmd in ("observations", "heatmap", "scaling", "recommend",
-                    "study"):
+                    "study", "serve-bench"):
             args = parser.parse_args([cmd] if cmd != "recommend"
                                      else [cmd, "--gpus", "8"])
             assert args.command == cmd
@@ -27,6 +27,18 @@ class TestParser:
     def test_heatmap_arch_choices(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["heatmap", "--arch", "bert"])
+
+    def test_serve_bench_defaults_and_alias(self):
+        args = build_parser().parse_args(["serve-bench"])
+        assert args.model == "tiny-llama"
+        assert args.requests == 64
+        assert args.policy == "fcfs"
+        alias = build_parser().parse_args(["serve"])
+        assert alias.requests == args.requests
+
+    def test_serve_bench_policy_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve-bench", "--policy", "edf"])
 
 
 class TestCommands:
@@ -58,3 +70,24 @@ class TestCommands:
         assert main(["recommend", "--model", "neox-1.7b-hf-52k",
                      "--gpus", "256"]) == 0
         assert "recommended: DP" in capsys.readouterr().out
+
+    def test_serve_bench_smoke(self, capsys):
+        assert main(["serve-bench", "--requests", "12",
+                     "--compare-sequential"]) == 0
+        out = capsys.readouterr().out
+        assert "requests completed" in out
+        assert "TTFT" in out
+        assert "speedup" in out
+        assert "Frontier-node extrapolation" in out
+
+    def test_serve_bench_unknown_preset_exits_2(self, capsys):
+        assert main(["serve-bench", "--model", "gpt-5"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_serve_bench_invalid_workload_exits_2(self, capsys):
+        assert main(["serve-bench", "--requests", "0"]) == 2
+        assert "num_requests" in capsys.readouterr().err
+
+    def test_serve_bench_impossible_pool_exits_2(self, capsys):
+        assert main(["serve-bench", "--pool-blocks", "1"]) == 2
+        assert "never fit" in capsys.readouterr().err

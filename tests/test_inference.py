@@ -79,6 +79,20 @@ class TestKVCache:
             sizes[label] = sum(c.memory_bytes() for c in caches)
         assert sizes["gqa"] == sizes["mha"] // 4  # 8 -> 2 kv heads
 
+    @pytest.mark.parametrize("arch", ["neox", "llama"])
+    @pytest.mark.parametrize("kv_heads", [1, 2, 4, 8])
+    def test_cached_parity_across_arch_and_gqa(self, arch, kv_heads):
+        """Cached and uncached greedy decode agree for every family and
+        every GQA grouping, including MHA (kv == heads) and MQA (1)."""
+        cfg = ModelConfig(arch=arch, hidden_size=64, num_layers=2,
+                          num_heads=8, num_kv_heads=kv_heads,
+                          vocab_size=256, max_seq_len=64)
+        model = GPTModel(cfg, seed=3)
+        prompt = np.array([5, 11, 42])
+        np.testing.assert_array_equal(
+            model.generate(prompt, 16),
+            model.generate(prompt, 16, use_cache=True))
+
     def test_cache_fallback_beyond_context(self):
         """Prompts near max_seq_len fall back to windowed decoding."""
         model = GPTModel(preset("tiny-llama"), seed=0)  # max_seq_len 64
@@ -95,6 +109,36 @@ class TestKVCache:
         c = KVCache()
         assert c.length == 0
         assert c.memory_bytes() == 0
+
+
+class TestStopToken:
+    """generate(eos_id=...) terminates decoding early in both paths."""
+
+    @pytest.mark.parametrize("use_cache", [False, True])
+    def test_stops_at_eos(self, use_cache):
+        model = GPTModel(preset("tiny-neox"), seed=0)
+        prompt = np.array([9, 2, 7])
+        full = model.generate(prompt, 12, use_cache=use_cache)
+        eos = int(full[len(prompt) + 2])
+        out = model.generate(prompt, 12, use_cache=use_cache, eos_id=eos)
+        assert int(out[-1]) == eos
+        assert len(out) < len(full)
+        np.testing.assert_array_equal(out, full[:len(out)])
+
+    def test_cached_and_uncached_agree_with_eos(self):
+        model = GPTModel(preset("tiny-llama"), seed=0)
+        prompt = np.array([4, 4, 8])
+        eos = int(model.generate(prompt, 8)[-1])
+        np.testing.assert_array_equal(
+            model.generate(prompt, 8, eos_id=eos),
+            model.generate(prompt, 8, use_cache=True, eos_id=eos))
+
+    def test_unseen_eos_is_inert(self):
+        model = GPTModel(preset("tiny-llama"), seed=0)
+        prompt = np.array([1])
+        np.testing.assert_array_equal(
+            model.generate(prompt, 6, eos_id=-5),
+            model.generate(prompt, 6))
 
 
 class TestCheckpointing:
