@@ -18,6 +18,10 @@ Commands
     Run a seeded Poisson workload through the continuous-batching
     serving engine and print metrics plus the Frontier-node
     extrapolation.
+``cluster-bench`` (alias ``cluster``)
+    Sweep node counts and load-balancing policies over the multi-node
+    cluster simulator and print per-policy TTFT/TPOT percentiles;
+    ``--trace`` exports the request-lifecycle Chrome trace.
 """
 
 from __future__ import annotations
@@ -141,10 +145,10 @@ def cmd_study(args: argparse.Namespace) -> int:
 
 def cmd_serve_bench(args: argparse.Namespace) -> int:
     from .models import GPTModel, preset
-    from .serving import (DecodeCostModel, KVPoolConfig, PagedKVPool,
-                          SchedulerConfig, ServingEngine, ServingPerfModel,
-                          WorkloadConfig, format_estimate, format_metrics,
-                          run_sequential, synthesize_workload)
+    from .serving import (DecodeCostModel, ServingConfig, ServingEngine,
+                          ServingPerfModel, WorkloadConfig, format_estimate,
+                          format_metrics, run_sequential,
+                          synthesize_workload)
     try:
         config = preset(args.model)
     except KeyError as exc:
@@ -155,17 +159,16 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         workload = WorkloadConfig(num_requests=args.requests,
                                   arrival_rate=args.rate, seed=args.seed)
         requests = synthesize_workload(workload, config)
-        pool = PagedKVPool(config, KVPoolConfig(
+        serving = ServingConfig(
+            policy=args.policy, max_batch_size=args.batch_size,
             block_size=args.block_size,
-            num_blocks=args.pool_blocks if args.pool_blocks > 0 else None))
-        engine = ServingEngine(
-            model, pool=pool,
-            scheduler_config=SchedulerConfig(policy=args.policy,
-                                             max_batch_size=args.batch_size))
+            num_blocks=args.pool_blocks if args.pool_blocks > 0 else None)
+        engine = ServingEngine(model, serving)
         result = engine.run(requests)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    pool = engine.pool
     print(f"workload: {len(requests)} requests, Poisson rate "
           f"{args.rate:.0f}/s, seed {args.seed}, policy {args.policy}")
     print(f"pool: {pool.num_blocks} blocks x {pool.block_size} tokens "
@@ -174,8 +177,9 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
     print(format_metrics(result.metrics,
                          title=f"serving metrics — {config.label()}"))
     if args.compare_sequential:
-        base = run_sequential(model, requests,
-                              DecodeCostModel(config, gcd=engine.cost.gcd))
+        base = run_sequential(
+            model, requests,
+            cost_model=DecodeCostModel(config, gcd=engine.cost.gcd))
         speedup = result.metrics.tokens_per_s / base.metrics.tokens_per_s
         print(f"\nsequential baseline: "
               f"{base.metrics.tokens_per_s:.1f} tok/s — continuous "
@@ -187,6 +191,65 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
     print(format_estimate(est))
     completed = result.metrics.num_requests
     return 0 if completed == len(requests) else 1
+
+
+def cmd_cluster_bench(args: argparse.Namespace) -> int:
+    from .models import preset
+    from .serving import (LB_POLICIES, ClusterConfig, ClusterSimulator,
+                          ReplicaLayout, WorkloadConfig, format_cluster,
+                          synthesize_workload)
+    try:
+        config = preset(args.model)
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    num_requests, node_list = args.requests, args.nodes
+    if args.smoke:
+        num_requests, node_list = min(num_requests, 48), "2"
+    try:
+        layout = ReplicaLayout.from_label(args.layout)
+        node_counts = [int(n) for n in node_list.split(",") if n]
+        if not node_counts:
+            raise ValueError(f"--nodes must name at least one node count: "
+                             f"{args.nodes!r}")
+        policies = list(LB_POLICIES) if args.policy == "all" \
+            else [args.policy]
+        workload = WorkloadConfig(
+            num_requests=num_requests, arrival_rate=args.rate,
+            prompt_len_range=(64, 256), output_len_range=(16, 64),
+            prompt_skew=args.prompt_skew, heavy_multiplier=8,
+            seed=args.seed)
+        results = []
+        for nodes in node_counts:
+            for policy in policies:
+                sim = ClusterSimulator(config, ClusterConfig(
+                    num_nodes=nodes, layout=layout, policy=policy,
+                    max_outstanding_per_replica=args.max_outstanding))
+                # Fresh Request objects per run: the scheduler mutates
+                # them, and the seed reproduces the identical workload.
+                results.append(sim.run(synthesize_workload(workload,
+                                                           config)))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    skew_note = f", {args.prompt_skew:.0%} heavy prompts" \
+        if args.prompt_skew else ""
+    print(f"workload: {num_requests} requests, Poisson rate "
+          f"{args.rate:.0f}/s, prompts 64-256 tokens{skew_note}, "
+          f"seed {args.seed}")
+    print(f"cluster: {config.label()}, layout {layout.label} "
+          f"({layout.replicas_per_node} replica(s)/node, TP={layout.tp})")
+    print()
+    print(format_cluster(results,
+                         title=f"cluster sweep — {config.label()}"))
+    if args.trace:
+        # Trace the last run (largest node count, last policy swept).
+        path = results[-1].save_trace(args.trace)
+        print(f"\nwrote Chrome trace ({results[-1].policy}, "
+              f"{results[-1].num_nodes} nodes): {path}")
+    completed = all(r.metrics.num_requests == num_requests
+                    for r in results)
+    return 0 if completed else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -243,6 +306,37 @@ def build_parser() -> argparse.ArgumentParser:
                    help="KV-pool size in blocks; 0 = size from GCD HBM")
     p.add_argument("--compare-sequential", action="store_true",
                    help="also run the one-request-at-a-time baseline")
+
+    p = sub.add_parser(
+        "cluster-bench", aliases=["cluster"],
+        help="multi-node serving cluster sweep with traced request "
+             "lifecycles")
+    p.add_argument("--model", default="llama-1.7b-hf-52k",
+                   help="model preset to simulate (timing-level, no "
+                        "weights are instantiated)")
+    p.add_argument("--nodes", default="4",
+                   help="comma-separated node counts to sweep "
+                        "(default: 4)")
+    p.add_argument("--policy", default="all",
+                   choices=["all", "round-robin", "least-outstanding",
+                            "jskq"],
+                   help="load-balancing policy, or 'all' to sweep")
+    p.add_argument("--layout", default="8xTP1",
+                   help="replica layout per node, e.g. 8xTP1 or 1xTP8")
+    p.add_argument("--requests", type=int, default=200,
+                   help="number of Poisson-arrival requests (default: 200)")
+    p.add_argument("--rate", type=float, default=800.0,
+                   help="mean arrival rate, requests per virtual second")
+    p.add_argument("--prompt-skew", type=float, default=0.15,
+                   help="fraction of heavy-tail (8x longer) prompts")
+    p.add_argument("--seed", type=int, default=0,
+                   help="workload seed (fixes the whole cluster trace)")
+    p.add_argument("--max-outstanding", type=int, default=32,
+                   help="per-replica admission backpressure cap")
+    p.add_argument("--trace", default="",
+                   help="export the request-lifecycle Chrome trace here")
+    p.add_argument("--smoke", action="store_true",
+                   help="tiny 2-node sweep for CI (<= 48 requests)")
     return parser
 
 
@@ -256,6 +350,8 @@ _COMMANDS = {
     "study": cmd_study,
     "serve-bench": cmd_serve_bench,
     "serve": cmd_serve_bench,  # alias, kept so README shorthand works
+    "cluster-bench": cmd_cluster_bench,
+    "cluster": cmd_cluster_bench,  # alias, same convention as serve
 }
 
 

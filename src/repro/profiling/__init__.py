@@ -1,7 +1,8 @@
 """Profiling analogues: rocprof aggregation, OmniTrace timelines, rocm-smi."""
 
 from .breakdown import GEMM_COMPONENTS, LayerBreakdown, layer_breakdown
-from .export import save_chrome_trace, smi_to_csv, to_chrome_trace
+from .export import (lanes_to_chrome_trace, save_chrome_trace,
+                     save_lanes_chrome_trace, smi_to_csv, to_chrome_trace)
 from .rocprof import (KernelAggregation, KernelRecord, aggregate_step,
                       classify_kernel)
 from .smi import SmiSample, SmiTrace, sample_run
@@ -10,7 +11,8 @@ from .tracer import StepTrace, TraceEvent, build_step_trace
 __all__ = [
     "GEMM_COMPONENTS", "LayerBreakdown", "layer_breakdown",
     "KernelAggregation", "KernelRecord", "aggregate_step", "classify_kernel",
-    "save_chrome_trace", "smi_to_csv", "to_chrome_trace",
+    "lanes_to_chrome_trace", "save_chrome_trace", "save_lanes_chrome_trace",
+    "smi_to_csv", "to_chrome_trace",
     "SmiSample", "SmiTrace", "sample_run", "StepTrace", "TraceEvent",
     "build_step_trace",
 ]

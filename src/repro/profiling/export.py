@@ -3,19 +3,24 @@
 ``StepTrace`` timelines export to the Chrome trace-event JSON format, so
 simulated steps open directly in ``chrome://tracing`` / Perfetto next to
 real rocprof traces; rocm-smi style samples export to CSV for spreadsheet
-or pandas analysis.
+or pandas analysis.  ``lanes_to_chrome_trace`` generalizes the export to
+many processes (one pid per simulated node, one tid per lane), which is
+how :mod:`repro.serving.cluster` emits request-lifecycle traces in the
+same format as the training profiles.
 """
 
 from __future__ import annotations
 
 import csv
 import json
+from collections.abc import Mapping, Sequence
 from pathlib import Path
 
 from .smi import SmiTrace
-from .tracer import StepTrace
+from .tracer import StepTrace, TraceEvent
 
-__all__ = ["to_chrome_trace", "save_chrome_trace", "smi_to_csv"]
+__all__ = ["to_chrome_trace", "save_chrome_trace",
+           "lanes_to_chrome_trace", "save_lanes_chrome_trace", "smi_to_csv"]
 
 _CATEGORY_TID = {"forward": 1, "backward": 1, "comm": 2, "io": 3,
                  "optimizer": 1}
@@ -57,6 +62,55 @@ def save_chrome_trace(trace: StepTrace, path: str | Path,
         path = path.with_suffix(".json")
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(to_chrome_trace(trace, process_name)))
+    return path
+
+
+def lanes_to_chrome_trace(
+        processes: Mapping[str, Mapping[str, Sequence[TraceEvent]]]) -> dict:
+    """Convert named event lanes to a multi-process Chrome trace document.
+
+    ``processes`` maps a process name (e.g. ``"node0"``) to its lanes
+    (e.g. ``"replica0 (TP=1)"``), each holding :class:`TraceEvent` spans.
+    Every process becomes one Perfetto track group (pid) and every lane a
+    thread (tid) inside it.  Zero-duration events are emitted as instant
+    events (``ph: "i"``) so lifecycle markers render as ticks instead of
+    invisible slivers.
+    """
+    events: list[dict] = []
+    for pid, (process, lanes) in enumerate(processes.items()):
+        events.append({"name": "process_name", "ph": "M", "pid": pid,
+                       "args": {"name": process}})
+        for tid, (lane, lane_events) in enumerate(lanes.items(), start=1):
+            events.append({"name": "thread_name", "ph": "M", "pid": pid,
+                           "tid": tid, "args": {"name": lane}})
+            for event in sorted(lane_events, key=lambda e: e.start_s):
+                entry = {
+                    "name": event.name,
+                    "cat": event.category,
+                    "pid": pid,
+                    "tid": tid,
+                    "ts": event.start_s * 1e6,
+                    "args": {"phase": event.phase},
+                }
+                if event.duration_s > 0:
+                    entry["ph"] = "X"
+                    entry["dur"] = event.duration_s * 1e6
+                else:
+                    entry["ph"] = "i"
+                    entry["s"] = "t"
+                events.append(entry)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def save_lanes_chrome_trace(
+        processes: Mapping[str, Mapping[str, Sequence[TraceEvent]]],
+        path: str | Path) -> Path:
+    """Write a multi-process lane trace as Chrome JSON; returns the path."""
+    path = Path(path)
+    if path.suffix != ".json":
+        path = path.with_suffix(".json")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(lanes_to_chrome_trace(processes)))
     return path
 
 

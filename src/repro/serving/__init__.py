@@ -1,28 +1,50 @@
-"""Continuous-batching inference engine with a paged KV-cache pool.
+"""Continuous-batching inference engine and cluster simulator.
 
 The serving vertical of the repo: a request-level stack (pool →
 scheduler → engine → metrics) that decodes with the real NumPy models
-on a deterministic virtual clock, plus the analytic extrapolation that
-maps a measured trace onto Frontier MI250X GCDs.  Entry point:
-``python -m repro serve-bench``.
+on a deterministic virtual clock, the analytic extrapolation that maps
+a measured trace onto Frontier MI250X GCDs, and a multi-node cluster
+simulator that routes Poisson traffic across replica layouts with
+traced request lifecycles.  Entry points: ``python -m repro
+serve-bench`` and ``python -m repro cluster-bench``.
+
+The curated public surface is ``__all__`` below; one
+:class:`ServingConfig` describes a replica for both the engine and the
+cluster, and :class:`ServeResult` / :class:`ClusterResult` share
+:class:`ServingResultBase` (``percentiles`` / ``to_dict`` /
+``save_json``).
 """
 
-from .engine import (DecodeCostModel, ServeResult, ServingEngine,
-                     run_sequential)
+from .cluster import (LB_POLICIES, ClusterConfig, ClusterResult,
+                      ClusterSimulator, ReplicaLayout, ReplicaServer,
+                      format_cluster)
+from .config import ServingConfig
+from .engine import DecodeCostModel, ServingEngine, run_sequential
 from .kv_pool import KVPoolConfig, PagedKVPool, kv_bytes_per_token
 from .metrics import (RequestRecord, ServingMetrics, TimelineSample,
                       format_metrics)
 from .perf_model import (DeploymentEstimate, FrontierServingEstimate,
                          ServingPerfModel, format_estimate)
+from .results import ServeResult, ServingResultBase
 from .scheduler import ContinuousBatchScheduler, Request, SchedulerConfig
 from .workload import WorkloadConfig, synthesize_workload
 
 __all__ = [
-    "DecodeCostModel", "ServeResult", "ServingEngine", "run_sequential",
+    # Unified configuration and result hierarchy.
+    "ServingConfig", "ServingResultBase", "ServeResult", "ClusterResult",
+    # Single-replica engine.
+    "DecodeCostModel", "ServingEngine", "run_sequential",
+    # Cluster simulator.
+    "ClusterConfig", "ClusterSimulator", "ReplicaLayout", "ReplicaServer",
+    "LB_POLICIES", "format_cluster",
+    # KV pool.
     "KVPoolConfig", "PagedKVPool", "kv_bytes_per_token",
+    # Scheduling.
+    "ContinuousBatchScheduler", "Request", "SchedulerConfig",
+    # Workloads and metrics.
+    "WorkloadConfig", "synthesize_workload",
     "RequestRecord", "ServingMetrics", "TimelineSample", "format_metrics",
+    # Frontier extrapolation.
     "DeploymentEstimate", "FrontierServingEstimate", "ServingPerfModel",
     "format_estimate",
-    "ContinuousBatchScheduler", "Request", "SchedulerConfig",
-    "WorkloadConfig", "synthesize_workload",
 ]

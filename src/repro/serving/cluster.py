@@ -1,0 +1,508 @@
+"""Multi-node serving cluster simulator with traced request lifecycles.
+
+PR 1 stopped at one engine on one simulated GCD; this module composes
+many of them into a Frontier *cluster*: N nodes, each hosting replicas
+laid out by a :class:`ReplicaLayout` (eight TP=1 replicas per node, or
+one TP=8 replica spanning it), with a load balancer routing seeded
+Poisson traffic across all replicas and per-replica admission
+backpressure spilling into a cluster-level queue.
+
+The replicas here are *timing-level*: they reuse the real scheduler,
+paged KV pool, and preemption rules of :class:`ServingEngine`, but
+decode sentinel tokens instead of running the NumPy model, so a
+4-node × 8-replica sweep over hundreds of requests costs milliseconds
+while reproducing the engine's queueing behaviour exactly.  Time comes
+from the same calibrated stack — the roofline prices prefill, the HBM
+stream prices decode, and TP layouts pay per-layer activation
+allreduces through :class:`~repro.parallel.collectives.CollectiveModel`.
+
+Every request emits lifecycle trace events (arrive → route → admit →
+prefill → [preempt →] decode → finish) as
+:class:`~repro.profiling.tracer.TraceEvent` spans, and
+:meth:`ClusterResult.save_trace` exports them in the same Chrome-trace
+format as the training profiles: one Perfetto track group per node, one
+lane per replica, plus a cluster router lane for arrivals and
+backpressure queueing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+from ..frontier.hardware import GCDSpec, NodeSpec
+from ..models.config import ModelConfig
+from ..parallel.collectives import CollectiveModel
+from ..profiling.export import save_lanes_chrome_trace
+from ..profiling.tracer import TraceEvent
+from .config import ServingConfig
+from .engine import DecodeCostModel, _validate_requests
+from .kv_pool import PagedKVPool
+from .metrics import RequestRecord, ServingMetrics, TimelineSample
+from .results import ServingResultBase
+from .scheduler import ContinuousBatchScheduler, Request
+
+__all__ = ["ReplicaLayout", "ClusterConfig", "ReplicaServer",
+           "ClusterSimulator", "ClusterResult", "LB_POLICIES",
+           "format_cluster"]
+
+#: Load-balancing policies the router understands.
+LB_POLICIES = ("round-robin", "least-outstanding", "jskq")
+
+#: Timing-level replicas decode this placeholder instead of real tokens;
+#: it is outside every vocabulary, so an ``eos_id`` never matches and a
+#: cluster request always runs to its ``max_new_tokens``.
+_SENTINEL = -1
+
+
+@dataclass(frozen=True)
+class ReplicaLayout:
+    """How one node's eight GCDs are carved into serving replicas.
+
+    The two layouts the paper's Observation 2 contrasts for training
+    reappear in serving: ``8xTP1`` (eight independent replicas, no
+    communication, weights must fit one GCD) versus ``1xTP8`` (one
+    replica sharding weights and KV across the node, paying the
+    allreduce tax every decode step).
+    """
+
+    replicas_per_node: int = 8
+    tp: int = 1
+
+    def __post_init__(self) -> None:
+        if self.replicas_per_node < 1:
+            raise ValueError(
+                f"replicas_per_node must be >= 1: {self.replicas_per_node}")
+        if self.tp < 1:
+            raise ValueError(f"tp must be >= 1: {self.tp}")
+
+    @property
+    def gcds_used(self) -> int:
+        return self.replicas_per_node * self.tp
+
+    @property
+    def label(self) -> str:
+        return f"{self.replicas_per_node}xTP{self.tp}"
+
+    @classmethod
+    def from_label(cls, label: str) -> "ReplicaLayout":
+        """Parse ``"8xTP1"`` / ``"1xTP8"`` style labels."""
+        try:
+            replicas, tp = label.lower().split("xtp")
+            return cls(replicas_per_node=int(replicas), tp=int(tp))
+        except (ValueError, TypeError):
+            raise ValueError(
+                f"layout must look like '8xTP1' or '1xTP8': {label!r}"
+            ) from None
+
+    def validate(self, model_config: ModelConfig, node: NodeSpec,
+                 gcd: GCDSpec) -> None:
+        if self.gcds_used > node.num_gcds:
+            raise ValueError(
+                f"layout {self.label} needs {self.gcds_used} GCDs but a "
+                f"node has {node.num_gcds}")
+        weights = 2.0 * model_config.num_parameters() / self.tp
+        if weights > gcd.hbm_bytes:
+            raise ValueError(
+                f"layout {self.label}: {weights / 1e9:.1f} GB of weights "
+                f"per GCD exceed the {gcd.hbm_gb:.0f} GB HBM — raise tp")
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Topology, routing policy, and per-replica serving knobs.
+
+    ``serving`` configures every replica identically; its
+    ``tensor_parallel`` field is superseded by ``layout.tp`` (the layout
+    owns the node geometry).  ``max_outstanding_per_replica`` is the
+    admission backpressure cap: a replica already holding that many
+    unfinished requests refuses new ones, and when every replica
+    refuses, arrivals wait in the cluster queue — which is exactly what
+    pushes the cluster-level TTFT tail out under overload.
+    """
+
+    num_nodes: int = 4
+    layout: ReplicaLayout = ReplicaLayout()
+    policy: str = "round-robin"
+    serving: ServingConfig = ServingConfig()
+    max_outstanding_per_replica: int = 32
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1: {self.num_nodes}")
+        if self.policy not in LB_POLICIES:
+            raise ValueError(
+                f"policy must be one of {LB_POLICIES}: {self.policy!r}")
+        if self.max_outstanding_per_replica < 1:
+            raise ValueError(
+                f"max_outstanding_per_replica must be >= 1: "
+                f"{self.max_outstanding_per_replica}")
+
+
+class ReplicaServer:
+    """One timing-level serving replica inside the cluster.
+
+    Reuses :class:`ContinuousBatchScheduler` and :class:`PagedKVPool`
+    unchanged — admission, token budgets, LIFO preemption, and recompute
+    behave exactly as in :class:`ServingEngine` — but decodes sentinel
+    tokens on the virtual clock instead of running the model.  The
+    cluster advances replicas lazily (`advance_to`), so routing policies
+    can observe each replica's queue state at any arrival instant.
+    """
+
+    def __init__(self, node_index: int, replica_index: int,
+                 model_config: ModelConfig, serving: ServingConfig,
+                 cost: DecodeCostModel, pool: PagedKVPool):
+        self.node_index = node_index
+        self.replica_index = replica_index
+        #: flat position in the cluster's replica list (set by the owner)
+        self.index = 0
+        self.model_config = model_config
+        self.pool = pool
+        self.cost = cost
+        self.scheduler = ContinuousBatchScheduler(
+            pool, serving.scheduler_config())
+        self.max_steps = serving.max_steps
+        self.clock = 0.0
+        self.records: list[RequestRecord] = []
+        self.timeline: list[TimelineSample] = []
+        self.events: list[TraceEvent] = []
+        self._steps = 0
+
+    @property
+    def name(self) -> str:
+        return f"node{self.node_index}/replica{self.replica_index}"
+
+    # -- state the load balancer reads ---------------------------------
+    @property
+    def busy(self) -> bool:
+        return not self.scheduler.idle
+
+    @property
+    def outstanding(self) -> int:
+        """Routed-but-unfinished requests (waiting + running)."""
+        return len(self.scheduler.waiting) + len(self.scheduler.running)
+
+    @property
+    def kv_demand_tokens(self) -> int:
+        """Worst-case KV token demand of everything routed here."""
+        return sum(r.budget_tokens for r in self.scheduler.waiting) \
+            + sum(r.budget_tokens for r in self.scheduler.running)
+
+    # ------------------------------------------------------------------
+    def _event(self, request_id: int, stage: str, start: float,
+               duration: float = 0.0) -> None:
+        phase = "compute" if stage in ("prefill", "decode") else "io"
+        self.events.append(TraceEvent(f"req{request_id}/{stage}", start,
+                                      duration, stage, phase))
+
+    def enqueue(self, request: Request, now: float) -> None:
+        """Accept a routed request; the caller has advanced us to now."""
+        self._event(request.request_id, "route", now)
+        self.scheduler.submit(request)
+
+    def _finish(self, request: Request) -> None:
+        self.scheduler.finish(request, self.clock)
+        self._event(request.request_id, "decode", request.first_token_time,
+                    self.clock - request.first_token_time)
+        self._event(request.request_id, "finish", self.clock)
+        self.records.append(RequestRecord(
+            request_id=request.request_id, arrival=request.arrival_time,
+            admit=request.admit_time, first_token=request.first_token_time,
+            finish=self.clock, prompt_len=request.prompt_len,
+            output_len=len(request.output),
+            preemptions=request.preemptions))
+
+    def step(self) -> None:
+        """One scheduling iteration: admit + prefill, or one decode step."""
+        if self._steps >= self.max_steps:
+            raise RuntimeError(
+                f"{self.name} exceeded {self.max_steps} steps")
+        self._steps += 1
+        sched = self.scheduler
+
+        for req in sched.admit(self.clock):
+            self._event(req.request_id, "admit", self.clock)
+            start = self.clock
+            duration = self.cost.prefill_time(req.prompt_len)
+            req.output.append(_SENTINEL)
+            self.clock = start + duration
+            self._event(req.request_id, "prefill", start, duration)
+            req.first_token_time = self.clock
+            if req.done:
+                self._finish(req)
+
+        if not sched.running:
+            if sched.waiting:
+                # Queue non-empty yet nothing admitted: force space for
+                # the head request (it fits alone, per validation).
+                victim = sched.preempt_victim()
+                if victim is None:
+                    raise RuntimeError(
+                        f"{self.name} deadlock: empty batch but admission "
+                        f"failed")
+                self._event(victim.request_id, "preempt", self.clock)
+            return
+
+        batch = list(sched.running)
+        for req in batch:
+            if req not in sched.running:
+                continue  # preempted earlier in this same step
+            preempted_self = False
+            while not self.pool.allocate(req.request_id,
+                                         req.context_len + 1):
+                # Same youngest-first (vLLM recompute) rule as the engine.
+                victim = sched.running[-1]
+                sched.preempt(victim)
+                self._event(victim.request_id, "preempt", self.clock)
+                if victim is req:
+                    preempted_self = True
+                    break
+            if preempted_self:
+                continue
+            req.output.append(_SENTINEL)
+        survivors = [r for r in batch if r in sched.running]
+        total_ctx = sum(r.context_len for r in survivors)
+        self.clock += self.cost.decode_step_time(max(1, len(survivors)),
+                                                 total_ctx)
+        for req in survivors:
+            if req.done:
+                self._finish(req)
+        self.timeline.append(TimelineSample(
+            time=self.clock, queue_depth=sched.queue_depth,
+            batch_size=len(survivors),
+            pool_utilization=self.pool.utilization,
+            context_tokens=total_ctx))
+
+    def advance_to(self, t: float) -> None:
+        """Run until the local clock reaches ``t`` (or the replica idles)."""
+        while self.clock < t and self.busy:
+            self.step()
+        if self.clock < t:
+            self.clock = t
+
+    def drain(self) -> None:
+        """Run every routed request to completion."""
+        while self.busy:
+            self.step()
+
+
+@dataclass
+class ClusterResult(ServingResultBase):
+    """Everything one cluster run produced (shares the serving base)."""
+
+    policy: str = ""
+    num_nodes: int = 0
+    layout: str = ""
+    #: request id -> (node index, replica index)
+    assignments: dict[int, tuple[int, int]] = field(default_factory=dict)
+    #: arrivals that hit cluster-level backpressure before routing
+    queued_requests: int = 0
+    #: process -> lane -> lifecycle events (Chrome-trace shaped)
+    lanes: dict[str, dict[str, list[TraceEvent]]] = field(
+        default_factory=dict)
+
+    def per_node_requests(self) -> dict[int, int]:
+        """Completed-request count per node index."""
+        counts: dict[int, int] = {}
+        for node, _replica in self.assignments.values():
+            counts[node] = counts.get(node, 0) + 1
+        return counts
+
+    def save_trace(self, path: str | Path) -> Path:
+        """Export the lifecycle trace as Chrome JSON (one track per node)."""
+        return save_lanes_chrome_trace(self.lanes, path)
+
+    def to_dict(self) -> dict:
+        data = super().to_dict()
+        data.update(
+            policy=self.policy, num_nodes=self.num_nodes,
+            layout=self.layout, queued_requests=self.queued_requests,
+            assignments={str(i): list(a)
+                         for i, a in sorted(self.assignments.items())})
+        return data
+
+
+class ClusterSimulator:
+    """Route Poisson traffic across simulated Frontier serving nodes."""
+
+    def __init__(self, model_config: ModelConfig,
+                 config: ClusterConfig | None = None, *,
+                 gcd: GCDSpec | None = None, node: NodeSpec | None = None,
+                 collectives: CollectiveModel | None = None):
+        self.model_config = model_config
+        self.config = config or ClusterConfig()
+        self.gcd = gcd or GCDSpec()
+        self.node = node or NodeSpec()
+        layout = self.config.layout
+        layout.validate(model_config, self.node, self.gcd)
+        serving = self.config.serving
+        cost = DecodeCostModel(
+            model_config, gcd=self.gcd,
+            step_overhead_s=serving.step_overhead_s, tp=layout.tp,
+            collectives=collectives or CollectiveModel(self.node))
+        pool_config = serving.pool_config()
+        if pool_config.num_blocks is None and pool_config.hbm_gb is None:
+            # A TP group aggregates its GCDs' HBM; the pool budget is
+            # that aggregate minus the (unsharded-total) weights.
+            pool_config = replace(pool_config,
+                                  hbm_gb=layout.tp * self.gcd.hbm_gb)
+        self.replicas = [
+            ReplicaServer(n, r, model_config, serving, cost,
+                          PagedKVPool(model_config, pool_config,
+                                      gcd=self.gcd))
+            for n in range(self.config.num_nodes)
+            for r in range(layout.replicas_per_node)
+        ]
+        for i, replica in enumerate(self.replicas):
+            replica.index = i
+        self._rr_next = 0
+        self._router_events: list[TraceEvent] = []
+        self.assignments: dict[int, tuple[int, int]] = {}
+        self._pending: list[Request] = []
+
+    # -- load balancing ------------------------------------------------
+    def _candidates(self) -> list[ReplicaServer]:
+        cap = self.config.max_outstanding_per_replica
+        return [r for r in self.replicas if r.outstanding < cap]
+
+    def _cycle(self, candidates: list[ReplicaServer]) -> ReplicaServer:
+        """Deterministic rotating pick: first candidate at/after the
+        cursor.  Used directly by round-robin and as the tie-break for
+        the load-aware policies — a fixed lowest-index tie-break would
+        funnel all ties onto the first replicas and leave the rest idle,
+        which is exactly the imbalance a load balancer exists to avoid.
+        """
+        chosen = min(candidates,
+                     key=lambda r: ((r.index - self._rr_next)
+                                    % len(self.replicas)))
+        self._rr_next = (chosen.index + 1) % len(self.replicas)
+        return chosen
+
+    def _choose(self) -> ReplicaServer | None:
+        """Pick a replica under the backpressure cap, per policy."""
+        candidates = self._candidates()
+        if not candidates:
+            return None
+        policy = self.config.policy
+        if policy == "least-outstanding":
+            best = min(r.outstanding for r in candidates)
+            candidates = [r for r in candidates if r.outstanding == best]
+        elif policy == "jskq":
+            # Join the shortest KV queue — route by worst-case token
+            # demand, so one long-context request counts for many short.
+            best = min(r.kv_demand_tokens for r in candidates)
+            candidates = [r for r in candidates
+                          if r.kv_demand_tokens == best]
+        return self._cycle(candidates)
+
+    def _dispatch(self, request: Request, replica: ReplicaServer,
+                  now: float) -> None:
+        self.assignments[request.request_id] = (replica.node_index,
+                                                replica.replica_index)
+        replica.enqueue(request, now)
+
+    def _dispatch_pending(self) -> None:
+        """FIFO-drain the cluster queue into replicas that freed capacity."""
+        while self._pending:
+            replica = self._choose()
+            if replica is None:
+                return
+            request = self._pending.pop(0)
+            self._dispatch(request, replica,
+                           max(request.arrival_time, replica.clock))
+
+    # ------------------------------------------------------------------
+    def run(self, requests: list[Request]) -> ClusterResult:
+        """Serve the workload to completion across all nodes."""
+        if not requests:
+            raise ValueError("no requests to serve")
+        first = self.replicas[0]
+        _validate_requests(requests, first.pool, first.scheduler.config,
+                           self.model_config.max_seq_len)
+        arrivals = sorted(requests, key=lambda r: (r.arrival_time,
+                                                   r.request_id))
+        self.assignments: dict[int, tuple[int, int]] = {}
+        self._pending: list[Request] = []
+        queued = 0
+
+        for req in arrivals:
+            t = req.arrival_time
+            for replica in self.replicas:
+                replica.advance_to(t)
+            self._dispatch_pending()
+            self._router_events.append(TraceEvent(
+                f"req{req.request_id}/arrive", t, 0.0, "arrive", "io"))
+            replica = self._choose() if not self._pending else None
+            if replica is None:
+                # Backpressure: every replica is at its admission cap
+                # (or earlier arrivals are still queued ahead of us).
+                queued += 1
+                self._router_events.append(TraceEvent(
+                    f"req{req.request_id}/queue", t, 0.0, "queue", "io"))
+                self._pending.append(req)
+            else:
+                self._dispatch(req, replica, t)
+
+        # Drain: step the laggard replica until queued work can route,
+        # then let every replica finish.
+        while self._pending:
+            self._dispatch_pending()
+            if not self._pending:
+                break
+            busy = [r for r in self.replicas if r.busy]
+            if not busy:  # pragma: no cover — cap >= 1 frees an idle slot
+                raise RuntimeError("cluster stalled with queued requests")
+            min(busy, key=lambda r: (r.clock, r.index)).step()
+        for replica in self.replicas:
+            replica.drain()
+
+        records = sorted((rec for r in self.replicas for rec in r.records),
+                         key=lambda rec: rec.request_id)
+        timeline = sorted((s for r in self.replicas for s in r.timeline),
+                          key=lambda s: s.time)
+        metrics = ServingMetrics.from_records(
+            records, timeline,
+            makespan=max(rec.finish for rec in records),
+            peak_pool_utilization=max(r.pool.peak_utilization
+                                      for r in self.replicas),
+            preemptions=sum(r.scheduler.total_preemptions
+                            for r in self.replicas))
+        lanes: dict[str, dict[str, list[TraceEvent]]] = {
+            "cluster": {"router": self._router_events}}
+        for replica in self.replicas:
+            lanes.setdefault(f"node{replica.node_index}", {})[
+                f"replica{replica.replica_index} "
+                f"(TP={self.config.layout.tp})"] = replica.events
+        return ClusterResult(
+            records=records, metrics=metrics, policy=self.config.policy,
+            num_nodes=self.config.num_nodes,
+            layout=self.config.layout.label,
+            assignments=self.assignments, queued_requests=queued,
+            lanes=lanes)
+
+
+def format_cluster(results: list[ClusterResult],
+                   title: str = "cluster sweep") -> str:
+    """Render per-policy/per-size results as an aligned comparison table."""
+    if not results:
+        raise ValueError("no cluster results to format")
+    header = ["policy", "nodes", "layout", "p50 TTFT", "p99 TTFT",
+              "p50 TPOT", "p99 TPOT", "tok/s", "preempt", "queued"]
+    rows = []
+    for res in results:
+        ttft = res.percentiles("ttft", (50.0, 99.0))
+        tpot = res.percentiles("tpot", (50.0, 99.0))
+        rows.append([
+            res.policy, str(res.num_nodes), res.layout,
+            f"{ttft[50.0] * 1e3:.2f} ms", f"{ttft[99.0] * 1e3:.2f} ms",
+            f"{tpot[50.0] * 1e3:.2f} ms", f"{tpot[99.0] * 1e3:.2f} ms",
+            f"{res.metrics.tokens_per_s:.0f}",
+            str(res.metrics.preemptions), str(res.queued_requests)])
+    widths = [max(len(header[i]), max(len(row[i]) for row in rows))
+              for i in range(len(header))]
+    lines = [title, "-" * len(title),
+             "  ".join(h.ljust(widths[i]) for i, h in enumerate(header))]
+    lines += ["  ".join(cell.ljust(widths[i])
+                        for i, cell in enumerate(row)) for row in rows]
+    return "\n".join(lines)

@@ -1,0 +1,89 @@
+"""The one serving configuration object.
+
+PR 1 grew the engine organically: pool geometry lived in
+:class:`KVPoolConfig`, batching knobs in :class:`SchedulerConfig`, cost
+knobs in ``DecodeCostModel`` arguments, and ``serve-bench`` re-plumbed
+each as a CLI flag.  The cluster layer composes *many* engines, so the
+knobs are gathered here once: a frozen :class:`ServingConfig` describes
+one replica completely, and both :class:`~repro.serving.ServingEngine`
+and :class:`~repro.serving.cluster.ClusterSimulator` consume it.  The
+old per-piece configs remain as the internal representation —
+``ServingConfig`` is the public face that builds them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..frontier.hardware import GCDSpec
+from ..models.config import ModelConfig
+from .kv_pool import KVPoolConfig, PagedKVPool
+from .scheduler import SchedulerConfig
+
+__all__ = ["ServingConfig"]
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Everything one serving replica needs, in one frozen object.
+
+    Scheduler policy and batch geometry mirror :class:`SchedulerConfig`;
+    pool geometry mirrors :class:`KVPoolConfig`; ``step_overhead_s`` and
+    ``tensor_parallel`` feed the decode cost model; ``max_steps`` bounds
+    the engine loop (a livelock becomes an error, not a hang).
+    """
+
+    # Scheduler / batching.
+    policy: str = "fcfs"
+    max_batch_size: int = 8
+    max_batch_tokens: int = 4096
+    # KV-pool geometry.
+    block_size: int = 16
+    num_blocks: int | None = None
+    hbm_gb: float | None = None
+    dtype_bytes: int = 2
+    # Cost-model knobs.
+    step_overhead_s: float = 250e-6
+    tensor_parallel: int = 1
+    # Engine loop bound.
+    max_steps: int = 1_000_000
+
+    def __post_init__(self) -> None:
+        # Delegate validation to the configs this one expands into, so
+        # the error messages (and the rules) stay in one place each.
+        self.scheduler_config()
+        self.pool_config()
+        if self.tensor_parallel < 1:
+            raise ValueError(
+                f"tensor_parallel must be >= 1: {self.tensor_parallel}")
+        if self.step_overhead_s < 0:
+            raise ValueError(
+                f"step_overhead_s must be >= 0: {self.step_overhead_s}")
+        if self.max_steps < 1:
+            raise ValueError(f"max_steps must be >= 1: {self.max_steps}")
+
+    # ------------------------------------------------------------------
+    def scheduler_config(self) -> SchedulerConfig:
+        return SchedulerConfig(policy=self.policy,
+                               max_batch_size=self.max_batch_size,
+                               max_batch_tokens=self.max_batch_tokens)
+
+    def pool_config(self) -> KVPoolConfig:
+        return KVPoolConfig(block_size=self.block_size,
+                            dtype_bytes=self.dtype_bytes,
+                            num_blocks=self.num_blocks,
+                            hbm_gb=self.hbm_gb)
+
+    def build_pool(self, model_config: ModelConfig,
+                   gcd: GCDSpec | None = None) -> PagedKVPool:
+        """Instantiate the paged KV pool this config describes."""
+        return PagedKVPool(model_config, self.pool_config(), gcd=gcd)
+
+    def build_cost_model(self, model_config: ModelConfig,
+                         gcd: GCDSpec | None = None, collectives=None):
+        """Instantiate the decode cost model (TP-aware when tp > 1)."""
+        from .engine import DecodeCostModel
+        return DecodeCostModel(model_config, gcd=gcd,
+                               step_overhead_s=self.step_overhead_s,
+                               tp=self.tensor_parallel,
+                               collectives=collectives)

@@ -16,12 +16,17 @@ batching B requests amortizes the weight read B ways:
     t_step = overhead + (weights + sum_r kv(r)) / HBM_bw
 
 Prefill is compute-bound and priced through the existing
-:class:`~repro.frontier.roofline.RooflineModel` layer timings.
+:class:`~repro.frontier.roofline.RooflineModel` layer timings.  With
+``tp > 1`` the model prices a tensor-parallel replica: weights and KV
+shard ``tp`` ways, and every layer pays two activation allreduces per
+step through :class:`~repro.parallel.collectives.CollectiveModel` — the
+same α–β hierarchy the training simulator uses, which is what lets
+:mod:`repro.serving.cluster` cost 8×TP=1 against 1×TP=8 layouts.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
 
 import numpy as np
 
@@ -29,8 +34,12 @@ from ..frontier.hardware import GCDSpec
 from ..frontier.roofline import RooflineModel
 from ..models.config import ModelConfig
 from ..models.flops import GEMMShape
-from .kv_pool import KVPoolConfig, PagedKVPool, kv_bytes_per_token
+from ..parallel.collectives import CollectiveModel, GroupTopology
+from .config import ServingConfig
+from .kv_pool import PagedKVPool, kv_bytes_per_token
 from .metrics import RequestRecord, ServingMetrics, TimelineSample
+from .perf_model import TP_ALLREDUCES_PER_LAYER
+from .results import ServeResult
 from .scheduler import ContinuousBatchScheduler, Request, SchedulerConfig
 
 __all__ = ["DecodeCostModel", "ServeResult", "ServingEngine",
@@ -38,26 +47,49 @@ __all__ = ["DecodeCostModel", "ServeResult", "ServingEngine",
 
 
 class DecodeCostModel:
-    """Virtual-clock pricing of prefill and decode steps on one device."""
+    """Virtual-clock pricing of prefill and decode steps on one replica.
+
+    ``tp = 1`` prices a single GCD.  ``tp > 1`` prices one
+    tensor-parallel replica spanning ``tp`` GCDs: compute and HBM
+    traffic shard ``tp`` ways and each layer pays
+    :data:`~repro.serving.perf_model.TP_ALLREDUCES_PER_LAYER` activation
+    allreduces, placed on the fastest links that fit the group.
+    """
 
     def __init__(self, config: ModelConfig, gcd: GCDSpec | None = None,
                  roofline: RooflineModel | None = None,
-                 step_overhead_s: float = 250e-6):
+                 step_overhead_s: float = 250e-6, tp: int = 1,
+                 collectives: CollectiveModel | None = None):
+        if tp < 1:
+            raise ValueError(f"tp must be >= 1: {tp}")
         self.config = config
         self.gcd = gcd or GCDSpec()
         self.roofline = roofline or RooflineModel(self.gcd)
         self.step_overhead_s = step_overhead_s
-        self.weight_bytes = 2.0 * config.num_parameters()
+        self.tp = tp
+        self.collectives = collectives or CollectiveModel()
+        self.topology = GroupTopology.place(tp)
+        self.weight_bytes = 2.0 * config.num_parameters() / tp
         self.kv_token_bytes = kv_bytes_per_token(config)
+
+    def _tp_comm(self, tokens: int) -> float:
+        """Allreduce tax of one forward over ``tokens`` activations."""
+        if self.tp <= 1:
+            return 0.0
+        act_bytes = int(2 * tokens * self.config.hidden_size)
+        per_call = self.collectives.allreduce(act_bytes,
+                                              self.topology).seconds
+        return TP_ALLREDUCES_PER_LAYER * self.config.num_layers * per_call
 
     def prefill_time(self, prompt_len: int) -> float:
         """Forward pass over the whole prompt (compute-bound, roofline)."""
         layer = self.roofline.layer_forward_timing(
             self.config, seq_len=prompt_len, micro_batch=1)
-        total = self.config.num_layers * layer.total_seconds
+        total = self.config.num_layers * layer.total_seconds / self.tp
         head = GEMMShape("head", prompt_len, self.config.hidden_size,
                          self.config.vocab_size)
-        return total + self.roofline.gemm_time(head)
+        return total + self.roofline.gemm_time(head) / self.tp \
+            + self._tp_comm(prompt_len)
 
     def decode_step_time(self, batch_size: int,
                          total_context_tokens: int) -> float:
@@ -65,21 +97,36 @@ class DecodeCostModel:
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         hbm_bytes = self.weight_bytes \
-            + self.kv_token_bytes * total_context_tokens
-        return self.step_overhead_s + hbm_bytes / (self.gcd.hbm_bw_gbs * 1e9)
+            + self.kv_token_bytes * total_context_tokens / self.tp
+        return self.step_overhead_s + hbm_bytes / (self.gcd.hbm_bw_gbs * 1e9) \
+            + self._tp_comm(batch_size)
 
 
-@dataclass
-class ServeResult:
-    """Everything one serving run produced."""
+def _validate_requests(requests: list[Request], pool: PagedKVPool,
+                       scheduler_config: SchedulerConfig,
+                       max_seq_len: int) -> None:
+    """Reject requests that can never be served by this replica shape.
 
-    records: list[RequestRecord]
-    metrics: ServingMetrics
-    trace: list[tuple[float, str, int]] = field(default_factory=list)
-    outputs: dict[int, np.ndarray] = field(default_factory=dict)
-
-    def output_tokens(self, request_id: int) -> np.ndarray:
-        return self.outputs[request_id]
+    Shared by :class:`ServingEngine` and the cluster replicas, so a
+    request that would deadlock one simulated node fails loudly at
+    submission in both paths.
+    """
+    token_budget = scheduler_config.max_batch_tokens
+    need = pool.capacity_tokens()
+    for req in requests:
+        if req.budget_tokens > max_seq_len:
+            raise ValueError(
+                f"request {req.request_id}: prompt {req.prompt_len} + "
+                f"max_new_tokens {req.max_new_tokens} exceeds "
+                f"max_seq_len {max_seq_len}")
+        if req.budget_tokens > token_budget:
+            raise ValueError(
+                f"request {req.request_id}: {req.budget_tokens} tokens "
+                f"exceed max_batch_tokens {token_budget}")
+        if pool.blocks_needed(req.budget_tokens) > pool.num_blocks:
+            raise ValueError(
+                f"request {req.request_id} can never fit the pool "
+                f"({req.budget_tokens} tokens vs {need} slots)")
 
 
 class ServingEngine:
@@ -91,39 +138,45 @@ class ServingEngine:
         A :class:`~repro.models.GPTModel`; decoding is greedy (the
         serving analogue of ``temperature=0``), which keeps preemption-
         recompute lossless.
-    pool, scheduler_config, cost_model:
-        Injectable for tests; defaults size the pool from one GCD's HBM.
+    config:
+        A :class:`ServingConfig` describing scheduler policy, pool
+        geometry, cost knobs, and the step bound.
+    pool, cost_model:
+        Injection seams for tests; defaults are built from ``config``.
+    scheduler_config, max_steps:
+        Deprecated — fold them into ``config`` instead.  Honoured (and
+        they override ``config``) for one release.
     """
 
-    def __init__(self, model, pool: PagedKVPool | None = None,
-                 scheduler_config: SchedulerConfig | None = None,
+    def __init__(self, model, config: ServingConfig | None = None, *,
+                 pool: PagedKVPool | None = None,
                  cost_model: DecodeCostModel | None = None,
-                 max_steps: int = 1_000_000):
+                 scheduler_config: SchedulerConfig | None = None,
+                 max_steps: int | None = None):
         self.model = model
-        self.pool = pool or PagedKVPool(model.config, KVPoolConfig())
-        self.scheduler = ContinuousBatchScheduler(self.pool, scheduler_config)
-        self.cost = cost_model or DecodeCostModel(model.config)
-        self.max_steps = max_steps
+        self.config = config or ServingConfig()
+        sched_cfg = self.config.scheduler_config()
+        if scheduler_config is not None:
+            warnings.warn(
+                "ServingEngine(scheduler_config=...) is deprecated; pass "
+                "ServingConfig(policy=..., max_batch_size=...) instead",
+                DeprecationWarning, stacklevel=2)
+            sched_cfg = scheduler_config
+        self.max_steps = self.config.max_steps
+        if max_steps is not None:
+            warnings.warn(
+                "ServingEngine(max_steps=...) is deprecated; pass "
+                "ServingConfig(max_steps=...) instead",
+                DeprecationWarning, stacklevel=2)
+            self.max_steps = max_steps
+        self.pool = pool or self.config.build_pool(model.config)
+        self.scheduler = ContinuousBatchScheduler(self.pool, sched_cfg)
+        self.cost = cost_model or self.config.build_cost_model(model.config)
 
     # ------------------------------------------------------------------
     def _validate(self, requests: list[Request]) -> None:
-        budget = self.model.config.max_seq_len
-        token_budget = self.scheduler.config.max_batch_tokens
-        need = self.pool.capacity_tokens()
-        for req in requests:
-            if req.budget_tokens > budget:
-                raise ValueError(
-                    f"request {req.request_id}: prompt {req.prompt_len} + "
-                    f"max_new_tokens {req.max_new_tokens} exceeds "
-                    f"max_seq_len {budget}")
-            if req.budget_tokens > token_budget:
-                raise ValueError(
-                    f"request {req.request_id}: {req.budget_tokens} tokens "
-                    f"exceed max_batch_tokens {token_budget}")
-            if self.pool.blocks_needed(req.budget_tokens) > self.pool.num_blocks:
-                raise ValueError(
-                    f"request {req.request_id} can never fit the pool "
-                    f"({req.budget_tokens} tokens vs {need} slots)")
+        _validate_requests(requests, self.pool, self.scheduler.config,
+                           self.model.config.max_seq_len)
 
     def _prefill(self, req: Request) -> None:
         """Encode the prompt and emit the first token."""
@@ -240,6 +293,7 @@ class ServingEngine:
 
 
 def run_sequential(model, requests: list[Request],
+                   config: ServingConfig | None = None, *,
                    cost_model: DecodeCostModel | None = None) -> ServeResult:
     """One-request-at-a-time FCFS baseline under the same cost model.
 
@@ -248,7 +302,17 @@ def run_sequential(model, requests: list[Request],
     price per token.  The continuous-batching engine's speedup is
     measured against this.
     """
-    cost = cost_model or DecodeCostModel(model.config)
+    if isinstance(config, DecodeCostModel):
+        # Pre-ServingConfig signature: run_sequential(model, reqs, cost).
+        warnings.warn(
+            "passing a DecodeCostModel positionally to run_sequential is "
+            "deprecated; pass cost_model=... or a ServingConfig",
+            DeprecationWarning, stacklevel=2)
+        cost_model, config = config, None
+    if cost_model is None:
+        cost_model = (config or ServingConfig()).build_cost_model(
+            model.config)
+    cost = cost_model
     clock = 0.0
     records: list[RequestRecord] = []
     outputs: dict[int, np.ndarray] = {}

@@ -1,0 +1,91 @@
+"""Shared result hierarchy for serving runs.
+
+``ServeResult`` (one engine on one simulated GCD) and ``ClusterResult``
+(many replicas across simulated Frontier nodes) share one base so that
+any serving run — local benchmark or cluster sweep — answers the same
+questions the same way: ``percentiles("ttft")``, ``to_dict()``,
+``save_json()``.  Percentiles are computed from the per-request records,
+not re-read from the aggregate metrics, so callers can ask for any
+quantile, not just the ones :class:`ServingMetrics` pre-bakes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from .metrics import RequestRecord, ServingMetrics
+
+__all__ = ["ServingResultBase", "ServeResult"]
+
+#: Per-request quantities ``percentiles`` knows how to extract.
+_METRIC_FIELDS = ("ttft", "tpot", "latency")
+
+
+@dataclass
+class ServingResultBase:
+    """Records + aggregate metrics common to engine and cluster runs."""
+
+    records: list[RequestRecord]
+    metrics: ServingMetrics
+
+    def percentiles(self, metric: str = "ttft",
+                    qs: tuple[float, ...] = (50.0, 95.0, 99.0)
+                    ) -> dict[float, float]:
+        """Quantiles of a per-request metric over the completed records.
+
+        ``metric`` is one of ``ttft``, ``tpot`` (requests with more than
+        one output token), or ``latency``.
+        """
+        if metric not in _METRIC_FIELDS:
+            raise ValueError(f"metric must be one of {_METRIC_FIELDS}: "
+                             f"{metric!r}")
+        records = self.records
+        if metric == "tpot":
+            records = [r for r in records if r.output_len > 1]
+        if not records:
+            raise ValueError(f"no records with a defined {metric!r}")
+        values = np.array([getattr(r, metric) for r in records])
+        return {float(q): float(np.percentile(values, q)) for q in qs}
+
+    def to_dict(self) -> dict:
+        """JSON-ready view: aggregate metrics plus per-request records."""
+        return {
+            "metrics": asdict(self.metrics),
+            "records": [asdict(r) for r in self.records],
+        }
+
+    def save_json(self, path: str | Path) -> Path:
+        """Write ``to_dict()`` as JSON; returns the path."""
+        path = Path(path)
+        if path.suffix != ".json":
+            path = path.with_suffix(".json")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2))
+        return path
+
+
+@dataclass
+class ServeResult(ServingResultBase):
+    """Everything one single-engine serving run produced."""
+
+    trace: list[tuple[float, str, int]] = field(default_factory=list)
+    outputs: dict[int, np.ndarray] = field(default_factory=dict)
+
+    def output_tokens(self, request_id: int) -> np.ndarray:
+        try:
+            return self.outputs[request_id]
+        except KeyError:
+            known = ", ".join(str(i) for i in sorted(self.outputs))
+            raise ValueError(
+                f"unknown request id {request_id}; known ids: "
+                f"[{known}]") from None
+
+    def to_dict(self) -> dict:
+        data = super().to_dict()
+        data["outputs"] = {str(i): tokens.tolist()
+                           for i, tokens in sorted(self.outputs.items())}
+        return data

@@ -22,12 +22,22 @@ __all__ = ["WorkloadConfig", "synthesize_workload"]
 
 @dataclass(frozen=True)
 class WorkloadConfig:
-    """An open-loop Poisson workload specification."""
+    """An open-loop Poisson workload specification.
+
+    ``prompt_skew`` mixes in a heavy tail: that fraction of requests
+    draws its prompt length from ``(p_hi, heavy_multiplier * p_hi]``
+    instead of the base range, modelling the skewed prompt-length
+    distributions of real traffic where a few long-context requests can
+    stall whichever replica they land on.  ``prompt_skew = 0`` (the
+    default) leaves the seeded draw stream bit-identical to PR 1.
+    """
 
     num_requests: int = 64
     arrival_rate: float = 50.0          # mean requests per virtual second
     prompt_len_range: tuple[int, int] = (4, 24)
     output_len_range: tuple[int, int] = (4, 16)
+    prompt_skew: float = 0.0            # heavy-tail request fraction
+    heavy_multiplier: int = 4           # heavy prompts reach mult * p_hi
     eos_id: int | None = None
     seed: int = 0
 
@@ -41,6 +51,12 @@ class WorkloadConfig:
             if lo < 1 or hi < lo:
                 raise ValueError(f"{name} must satisfy 1 <= lo <= hi: "
                                  f"({lo}, {hi})")
+        if not 0.0 <= self.prompt_skew <= 1.0:
+            raise ValueError(
+                f"prompt_skew must be in [0, 1]: {self.prompt_skew}")
+        if self.heavy_multiplier < 1:
+            raise ValueError(
+                f"heavy_multiplier must be >= 1: {self.heavy_multiplier}")
 
 
 def synthesize_workload(config: WorkloadConfig,
@@ -64,6 +80,10 @@ def synthesize_workload(config: WorkloadConfig,
     for i in range(config.num_requests):
         t += float(rng.exponential(1.0 / config.arrival_rate))
         prompt_len = int(rng.integers(p_lo, p_hi + 1))
+        if config.prompt_skew > 0 and rng.random() < config.prompt_skew:
+            heavy_hi = min(config.heavy_multiplier * p_hi, budget - o_lo)
+            if heavy_hi > p_hi:
+                prompt_len = int(rng.integers(p_hi + 1, heavy_hi + 1))
         prompt_len = min(prompt_len, budget - o_lo)
         out_len = int(rng.integers(o_lo, o_hi + 1))
         out_len = min(out_len, budget - prompt_len)

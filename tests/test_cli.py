@@ -40,6 +40,23 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["serve-bench", "--policy", "edf"])
 
+    def test_cluster_bench_defaults_and_alias(self):
+        args = build_parser().parse_args(["cluster-bench"])
+        assert args.model == "llama-1.7b-hf-52k"
+        assert args.nodes == "4"
+        assert args.policy == "all"
+        assert args.layout == "8xTP1"
+        assert args.requests == 200
+        assert args.rate == 800.0
+        assert args.prompt_skew == 0.15
+        alias = build_parser().parse_args(["cluster"])
+        assert alias.requests == args.requests
+
+    def test_cluster_bench_policy_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cluster-bench", "--policy",
+                                       "random"])
+
 
 class TestCommands:
     def test_observations_exit_zero(self, capsys):
@@ -91,3 +108,28 @@ class TestCommands:
     def test_serve_bench_impossible_pool_exits_2(self, capsys):
         assert main(["serve-bench", "--pool-blocks", "1"]) == 2
         assert "never fit" in capsys.readouterr().err
+
+    def test_cluster_bench_smoke(self, capsys, tmp_path):
+        trace = tmp_path / "trace.json"
+        assert main(["cluster-bench", "--smoke", "--trace",
+                     str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "cluster sweep" in out
+        for policy in ("round-robin", "least-outstanding", "jskq"):
+            assert policy in out
+        assert "p99 TTFT" in out
+        assert "wrote Chrome trace" in out
+        assert trace.exists()
+
+    def test_cluster_bench_unknown_preset_exits_2(self, capsys):
+        assert main(["cluster-bench", "--model", "gpt-5"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_cluster_bench_bad_layout_exits_2(self, capsys):
+        assert main(["cluster-bench", "--smoke", "--layout", "8x1"]) == 2
+        assert "layout" in capsys.readouterr().err
+
+    def test_cluster_bench_oversized_layout_exits_2(self, capsys):
+        assert main(["cluster-bench", "--smoke", "--layout",
+                     "8xTP8"]) == 2
+        assert "GCDs" in capsys.readouterr().err

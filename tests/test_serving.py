@@ -8,8 +8,9 @@ from repro.models import GPTModel, ModelConfig, preset
 from repro.serving import (ContinuousBatchScheduler, DecodeCostModel,
                            FrontierServingEstimate, KVPoolConfig,
                            PagedKVPool, Request, SchedulerConfig,
-                           ServingEngine, ServingPerfModel, WorkloadConfig,
-                           format_estimate, format_metrics,
+                           ServeResult, ServingConfig, ServingEngine,
+                           ServingPerfModel, ServingResultBase,
+                           WorkloadConfig, format_estimate, format_metrics,
                            kv_bytes_per_token, run_sequential,
                            synthesize_workload)
 
@@ -186,11 +187,9 @@ class TestWorkload:
 
 
 def _tight_engine(model, blocks, batch=4):
-    pool = PagedKVPool(model.config, KVPoolConfig(block_size=4,
-                                                  num_blocks=blocks))
-    return ServingEngine(model, pool=pool,
-                         scheduler_config=SchedulerConfig(
-                             max_batch_size=batch))
+    return ServingEngine(model, ServingConfig(max_batch_size=batch,
+                                              block_size=4,
+                                              num_blocks=blocks))
 
 
 class TestEngine:
@@ -240,12 +239,10 @@ class TestEngine:
         each other forever.  max_steps converts a livelock into a
         failure instead of a hang."""
         reqs = make_workload(model, n=20, rate=5000.0)
-        pool = PagedKVPool(model.config,
-                           KVPoolConfig(block_size=4, num_blocks=10))
-        engine = ServingEngine(model, pool=pool,
-                               scheduler_config=SchedulerConfig(
-                                   max_batch_size=8),
-                               max_steps=5000)
+        engine = ServingEngine(model, ServingConfig(max_batch_size=8,
+                                                    block_size=4,
+                                                    num_blocks=10,
+                                                    max_steps=5000))
         result = engine.run(reqs)
         assert result.metrics.num_requests == 20
         assert result.metrics.peak_pool_utilization == 1.0
@@ -305,6 +302,118 @@ class TestEngine:
             assert rec.arrival <= rec.first_token <= rec.finish
             assert rec.ttft > 0 and rec.latency > 0
         assert "tok/s" in format_metrics(m)
+
+
+class TestServingConfig:
+    """The unified replica description shared by engine and cluster."""
+
+    def test_frozen_and_validated(self):
+        cfg = ServingConfig()
+        with pytest.raises((AttributeError, TypeError)):
+            cfg.max_batch_size = 2
+        for bad in (dict(policy="lifo"), dict(max_batch_size=0),
+                    dict(block_size=0), dict(tensor_parallel=0),
+                    dict(step_overhead_s=-1.0), dict(max_steps=0)):
+            with pytest.raises(ValueError):
+                ServingConfig(**bad)
+
+    def test_engine_consumes_config(self, model):
+        cfg = ServingConfig(policy="spf", max_batch_size=2, block_size=4,
+                            num_blocks=32)
+        engine = ServingEngine(model, cfg)
+        assert engine.scheduler.config.policy == "spf"
+        assert engine.pool.block_size == 4
+        assert engine.pool.num_blocks == 32
+        result = engine.run(make_workload(model, n=6))
+        assert result.metrics.num_requests == 6
+        assert result.metrics.mean_batch_size <= 2.0
+
+    def test_legacy_scheduler_kwargs_warn_but_work(self, model):
+        with pytest.deprecated_call():
+            engine = ServingEngine(
+                model, scheduler_config=SchedulerConfig(policy="spf"))
+        assert engine.scheduler.config.policy == "spf"
+        with pytest.deprecated_call():
+            engine = ServingEngine(model, max_steps=123)
+        assert engine.max_steps == 123
+
+    def test_legacy_positional_cost_model_warns(self, model):
+        reqs = make_workload(model, n=4)
+        with pytest.deprecated_call():
+            result = run_sequential(model, reqs,
+                                    DecodeCostModel(model.config))
+        assert result.metrics.num_requests == 4
+
+
+class TestResults:
+    """ServeResult / ClusterResult share the ServingResultBase surface."""
+
+    def test_unknown_request_id_is_descriptive(self, model):
+        result = ServingEngine(model).run(make_workload(model, n=4))
+        assert isinstance(result, ServeResult)
+        with pytest.raises(ValueError, match=r"unknown request id 99"):
+            result.output_tokens(99)
+        with pytest.raises(ValueError, match=r"0, 1, 2, 3"):
+            result.output_tokens(99)
+
+    def test_percentiles_and_errors(self, model):
+        result = ServingEngine(model).run(make_workload(model, n=8))
+        assert isinstance(result, ServingResultBase)
+        p = result.percentiles("ttft")
+        assert set(p) == {50.0, 95.0, 99.0}
+        assert p[50.0] <= p[95.0] <= p[99.0]
+        assert result.percentiles("tpot", qs=(50.0,))[50.0] > 0
+        with pytest.raises(ValueError):
+            result.percentiles("throughput")
+
+    def test_save_json_roundtrip(self, model, tmp_path):
+        import json
+        result = ServingEngine(model).run(make_workload(model, n=4))
+        path = result.save_json(tmp_path / "serve")
+        assert path.suffix == ".json"
+        data = json.loads(path.read_text())
+        assert data["metrics"]["num_requests"] == 4
+        assert len(data["records"]) == 4
+
+
+class TestPreemptionFairness:
+    """Property-style check: youngest-first LIFO preemption terminates.
+
+    Adversarial same-length request pairs arriving together are the
+    worst case for victim selection — identical budgets mean every
+    tie-break matters, and a victim choice that excludes the grower
+    itself livelocks two requests crossing block boundaries in
+    lockstep.  ``max_steps`` turns any such livelock into a hard
+    failure instead of a hang."""
+
+    @pytest.mark.parametrize("plen,max_new", [(6, 6), (7, 5), (4, 8)])
+    def test_adversarial_pairs_terminate(self, model, plen, max_new):
+        budget_blocks = -(-(plen + max_new) // 4)       # ceil
+        engine = ServingEngine(
+            model, ServingConfig(max_batch_size=4, block_size=4,
+                                 num_blocks=budget_blocks + 1,
+                                 max_steps=4000))
+        reqs = [Request(request_id=i, prompt=np.arange(1, plen + 1),
+                        max_new_tokens=max_new, arrival_time=0.0)
+                for i in range(4)]
+        result = engine.run(reqs)
+        assert result.metrics.num_requests == 4
+        assert result.metrics.preemptions > 0
+        for r in reqs:
+            assert len(result.outputs[r.request_id]) == max_new
+
+    def test_preempted_pairs_match_generate(self, model):
+        """Recompute after preemption still yields exact tokens."""
+        engine = ServingEngine(
+            model, ServingConfig(max_batch_size=4, block_size=4,
+                                 num_blocks=4, max_steps=4000))
+        reqs = [Request(request_id=i, prompt=np.arange(3, 9),
+                        max_new_tokens=6, arrival_time=0.0)
+                for i in range(4)]
+        result = engine.run(reqs)
+        expected = model.generate(np.arange(3, 9), 6, use_cache=True)[6:]
+        for i in range(4):
+            np.testing.assert_array_equal(result.outputs[i], expected)
 
 
 class TestCostModel:
