@@ -26,13 +26,16 @@ Subpackages
     Band-gap prediction: crystals, GNNs, LLM-embedding fusion.
 ``repro.serving``
     Continuous-batching inference engine with a paged KV-cache pool.
+``repro.analysis``
+    Domain-specific static analysis enforcing the repo's simulation,
+    autograd, and units invariants (``python -m repro lint``).
 """
 
 __version__ = "1.0.0"
 
-from . import (core, data, evalharness, frontier, matsci, models, parallel,
-               profiling, serving, tokenizers, training)
+from . import (analysis, core, data, evalharness, frontier, matsci, models,
+               parallel, profiling, serving, tokenizers, training)
 
-__all__ = ["core", "data", "evalharness", "frontier", "matsci", "models",
-           "parallel", "profiling", "serving", "tokenizers", "training",
-           "__version__"]
+__all__ = ["analysis", "core", "data", "evalharness", "frontier", "matsci",
+           "models", "parallel", "profiling", "serving", "tokenizers",
+           "training", "__version__"]

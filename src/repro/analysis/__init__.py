@@ -1,0 +1,36 @@
+"""Domain-specific static analysis for the repro codebase.
+
+``repro.analysis`` enforces the invariants the repo's analytical models
+stand on — virtual-clock purity in the simulators, autograd-node
+immutability, unit-suffix hygiene in roofline/collective arithmetic,
+API hygiene, and float-comparison discipline — as a single-AST-walk
+checker framework with suppression comments, baseline support, and
+text/JSON output.  Entry point: ``python -m repro lint`` (rule catalog
+in docs/ANALYSIS.md).
+"""
+
+from .base import (Checker, FileContext, all_checkers, dotted_name,
+                   register, resolve_rules)
+from .baseline import load_baseline, split_baselined, write_baseline
+from .checkers import (ApiHygieneChecker, AutogradContractChecker,
+                       FloatEqualityChecker, UnitsHygieneChecker,
+                       VirtualClockChecker)
+from .findings import SEVERITIES, Finding
+from .runner import (LintReport, format_json, format_text,
+                     iter_python_files, lint_paths, lint_source)
+from .suppressions import SuppressionSheet, collect_suppressions
+
+__all__ = [
+    # Framework.
+    "Checker", "FileContext", "Finding", "SEVERITIES", "register",
+    "all_checkers", "resolve_rules", "dotted_name",
+    # Runner.
+    "LintReport", "lint_paths", "lint_source", "iter_python_files",
+    "format_text", "format_json",
+    # Suppressions and baseline.
+    "SuppressionSheet", "collect_suppressions",
+    "load_baseline", "write_baseline", "split_baselined",
+    # Rule catalog.
+    "VirtualClockChecker", "AutogradContractChecker",
+    "UnitsHygieneChecker", "ApiHygieneChecker", "FloatEqualityChecker",
+]

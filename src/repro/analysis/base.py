@@ -1,0 +1,145 @@
+"""Checker framework: registry, per-file context, and scope rules.
+
+A checker is a class with ``visit_<NodeType>`` (and optional
+``leave_<NodeType>``) methods plus begin/end-of-module hooks.  The
+runner instantiates every enabled checker once per file and drives them
+all from a *single* AST traversal — adding a checker never adds a walk.
+
+Scoping is by directory name: a checker with
+``scopes = ("serving", "parallel")`` only runs on files whose path
+contains a directory of that name, which is how simulation-only rules
+(virtual-clock purity) stay silent in, say, ``tokenizers/``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .findings import Finding
+
+__all__ = ["Checker", "FileContext", "register", "all_checkers",
+           "resolve_rules", "dotted_name"]
+
+
+@dataclass
+class FileContext:
+    """Everything a checker may need about the file being walked."""
+
+    path: str                      #: path as reported in findings
+    parts: tuple[str, ...]         #: path components, for scope checks
+    source: str
+    lines: list[str] = field(default_factory=list)
+    findings: list[Finding] = field(default_factory=list)
+    #: enclosing function names, innermost last (maintained by the walker)
+    func_stack: list[str] = field(default_factory=list)
+    #: enclosing class names, innermost last (maintained by the walker)
+    class_stack: list[str] = field(default_factory=list)
+
+    @property
+    def at_module_level(self) -> bool:
+        return not self.func_stack and not self.class_stack
+
+    @property
+    def current_function(self) -> str:
+        return self.func_stack[-1] if self.func_stack else ""
+
+    def report(self, checker: "Checker", node: ast.AST,
+               message: str) -> None:
+        """File a finding for ``checker`` at ``node``'s location."""
+        self.findings.append(Finding(
+            path=self.path, line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1, rule=checker.rule,
+            severity=checker.severity, message=message))
+
+
+class Checker:
+    """Base class for one lint rule.
+
+    Subclasses set :attr:`rule` (``RPR###``), :attr:`severity`,
+    :attr:`title`, and optionally :attr:`scopes` /
+    :attr:`exclude_scopes`; they implement any ``visit_<NodeType>`` /
+    ``leave_<NodeType>`` methods they need.  A fresh instance is built
+    per file, so instance attributes are safe per-file state.
+    """
+
+    rule: str = "RPR000"
+    severity: str = "error"
+    title: str = ""
+    #: directory names the rule is limited to; empty = everywhere
+    scopes: tuple[str, ...] = ()
+    #: directory names (or ``test_*`` file stems) the rule skips
+    exclude_scopes: tuple[str, ...] = ()
+
+    @classmethod
+    def applies_to(cls, parts: tuple[str, ...]) -> bool:
+        stem = Path(parts[-1]).stem if parts else ""
+        if any(p in cls.exclude_scopes for p in parts[:-1]):
+            return False
+        if "tests" in cls.exclude_scopes and (
+                stem.startswith("test_") or stem == "conftest"):
+            return False
+        if not cls.scopes:
+            return True
+        return any(p in cls.scopes for p in parts[:-1])
+
+    def begin_module(self, ctx: FileContext, tree: ast.Module) -> None:
+        """Called once before the walk starts."""
+
+    def end_module(self, ctx: FileContext) -> None:
+        """Called once after the walk finishes."""
+
+
+#: rule id -> checker class, in registration (catalog) order
+_REGISTRY: dict[str, type[Checker]] = {}
+
+
+def register(cls: type[Checker]) -> type[Checker]:
+    """Class decorator adding a checker to the global registry."""
+    if cls.rule in _REGISTRY:
+        raise ValueError(f"duplicate checker rule id {cls.rule}")
+    _REGISTRY[cls.rule] = cls
+    return cls
+
+
+def all_checkers() -> dict[str, type[Checker]]:
+    """The registered rule catalog (importing ``checkers`` populates it)."""
+    from . import checkers  # noqa: F401  (registration side effect)
+    return dict(_REGISTRY)
+
+
+def resolve_rules(selection: str | None) -> list[type[Checker]]:
+    """Map a ``RPR001,RPR003`` selection string to checker classes.
+
+    ``None`` or ``""`` selects every registered rule; unknown ids raise
+    ``ValueError`` so CLI typos fail loudly instead of silently linting
+    nothing.
+    """
+    catalog = all_checkers()
+    if not selection:
+        return list(catalog.values())
+    chosen = []
+    for rule in (r.strip() for r in selection.split(",") if r.strip()):
+        if rule not in catalog:
+            known = ", ".join(sorted(catalog))
+            raise ValueError(f"unknown rule {rule!r}; known rules: {known}")
+        chosen.append(catalog[rule])
+    return chosen
+
+
+def dotted_name(node: ast.AST) -> str:
+    """Flatten ``a.b.c`` attribute chains to ``"a.b.c"`` (else ``""``).
+
+    Shared by checkers that match call targets; anything that is not a
+    pure Name/Attribute chain (subscripts, calls) yields ``""`` so it
+    never matches a blacklist by accident.
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return ""
+    parts.append(node.id)
+    return ".".join(reversed(parts))

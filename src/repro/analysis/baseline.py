@@ -1,0 +1,58 @@
+"""Baseline files: accepted findings that should not fail the build.
+
+A baseline entry is a finding *fingerprint* (rule + path + message —
+no line number, see :class:`~repro.analysis.findings.Finding`), so
+accepted findings keep matching as surrounding code shifts.  The intent
+is a ratchet: the committed baseline starts (and should stay) empty or
+near-empty, new findings always fail, and deleting a fixed entry is the
+only maintenance.  ``repro lint --write-baseline`` regenerates the file
+from the current tree when a deliberate debt item must be recorded.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .findings import Finding
+
+__all__ = ["load_baseline", "write_baseline", "split_baselined"]
+
+_VERSION = 1
+
+
+def load_baseline(path: str | Path) -> set[str]:
+    """Read a baseline file into a set of fingerprints."""
+    path = Path(path)
+    doc = json.loads(path.read_text())
+    if doc.get("version") != _VERSION:
+        raise ValueError(
+            f"{path}: unsupported baseline version {doc.get('version')!r} "
+            f"(expected {_VERSION})")
+    entries = doc.get("findings", [])
+    return {f"{e['rule']}::{e['path']}::{e['message']}" for e in entries}
+
+
+def write_baseline(findings: list[Finding], path: str | Path) -> Path:
+    """Write the baseline capturing ``findings``; returns the path.
+
+    Entries keep a ``line`` field purely as a human breadcrumb — it is
+    ignored on load — and every entry carries a ``justification`` slot
+    the committer is expected to fill in review.
+    """
+    path = Path(path)
+    entries = [{"rule": f.rule, "path": f.path, "line": f.line,
+                "message": f.message, "justification": ""}
+               for f in sorted(set(findings))]
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(
+        {"version": _VERSION, "findings": entries}, indent=2) + "\n")
+    return path
+
+
+def split_baselined(findings: list[Finding], baseline: set[str]
+                    ) -> tuple[list[Finding], list[Finding]]:
+    """Partition into (fresh, baselined) against the fingerprint set."""
+    fresh = [f for f in findings if f.fingerprint not in baseline]
+    known = [f for f in findings if f.fingerprint in baseline]
+    return fresh, known

@@ -1,0 +1,49 @@
+"""The unit of lint output: a :class:`Finding` pinned to ``file:line``.
+
+Findings are frozen so they can live in sets, and they serialize to the
+JSON schema CI archives (``rule``/``severity``/``path``/``line``/``col``/
+``message``).  The *fingerprint* deliberately omits the line number:
+baseline entries keep matching a finding that merely moved when
+unrelated code above it was edited, which is what keeps the baseline
+file small and stable across refactors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+__all__ = ["Finding", "SEVERITIES"]
+
+#: Recognised severities, mildest last.  Every severity fails a strict
+#: lint run; the label exists for triage, not for exit-code policy.
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    severity: str
+    message: str
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"severity must be one of {SEVERITIES}: "
+                             f"{self.severity!r}")
+
+    @property
+    def fingerprint(self) -> str:
+        """Line-independent identity used for baseline matching."""
+        return f"{self.rule}::{self.path}::{self.message}"
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    def format(self) -> str:
+        """The canonical one-line text rendering."""
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.rule} [{self.severity}] {self.message}")

@@ -1,0 +1,177 @@
+"""The lint driver: discover files, walk each AST once, report.
+
+One :class:`_Walker` traversal per file dispatches every node to every
+enabled checker (``visit_<NodeType>`` going down, ``leave_<NodeType>``
+coming back up), maintaining the function/class scope stacks checkers
+read from :class:`~repro.analysis.base.FileContext`.  Suppression
+comments and the baseline are applied afterwards, and unused
+suppressions are themselves reported (RPR000) so ignores cannot
+outlive the finding they excused.
+
+Exit-code contract (shared with the ``repro lint`` CLI):
+0 = clean (or everything baselined), 1 = fresh findings, 2 = usage or
+I/O error.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .base import Checker, FileContext
+from .findings import Finding
+from .suppressions import collect_suppressions
+
+__all__ = ["LintReport", "lint_paths", "lint_source", "iter_python_files",
+           "format_text", "format_json"]
+
+#: Rule id for meta findings (parse failures, unused suppressions).
+META_RULE = "RPR000"
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    checked_files: int = 0
+    rules: list[str] = field(default_factory=list)
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0
+
+
+class _Walker:
+    """Single-pass dispatcher driving every checker over one AST."""
+
+    _SCOPED = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+    def __init__(self, checkers: list[Checker], ctx: FileContext):
+        self.ctx = ctx
+        self.enter: dict[str, list] = {}
+        self.leave: dict[str, list] = {}
+        for checker in checkers:
+            for attr in dir(checker):
+                if attr.startswith("visit_"):
+                    self.enter.setdefault(attr[6:], []).append(
+                        getattr(checker, attr))
+                elif attr.startswith("leave_"):
+                    self.leave.setdefault(attr[6:], []).append(
+                        getattr(checker, attr))
+
+    def walk(self, node: ast.AST) -> None:
+        kind = type(node).__name__
+        for method in self.enter.get(kind, ()):
+            method(node, self.ctx)
+        if isinstance(node, self._SCOPED):
+            self.ctx.func_stack.append(getattr(node, "name", "<lambda>"))
+            self._children(node)
+            self.ctx.func_stack.pop()
+        elif isinstance(node, ast.ClassDef):
+            self.ctx.class_stack.append(node.name)
+            self._children(node)
+            self.ctx.class_stack.pop()
+        else:
+            self._children(node)
+        for method in self.leave.get(kind, ()):
+            method(node, self.ctx)
+
+    def _children(self, node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            self.walk(child)
+
+
+def lint_source(source: str, path: str,
+                checker_classes: list[type[Checker]]) -> list[Finding]:
+    """Lint one file's text; returns findings after suppressions."""
+    parts = tuple(Path(path).parts)
+    active = [cls() for cls in checker_classes
+              if cls.applies_to(parts)]
+    ctx = FileContext(path=path, parts=parts, source=source,
+                      lines=source.splitlines())
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Finding(path=path, line=exc.lineno or 1,
+                        col=(exc.offset or 0) + 1, rule=META_RULE,
+                        severity="error",
+                        message=f"file does not parse: {exc.msg}")]
+    if not active:
+        return []
+    for checker in active:
+        checker.begin_module(ctx, tree)
+    _Walker(active, ctx).walk(tree)
+    for checker in active:
+        checker.end_module(ctx)
+
+    sheet = collect_suppressions(source)
+    kept = [f for f in ctx.findings
+            if not sheet.suppresses(f.line, f.rule)]
+    for line, rule in sheet.unused():
+        kept.append(Finding(
+            path=path, line=line, col=1, rule=META_RULE,
+            severity="warning",
+            message=f"unused suppression: ignore[{rule}] matches no "
+                    f"finding on this line"))
+    return sorted(kept)
+
+
+def iter_python_files(paths: list[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(p for p in path.rglob("*.py")
+                                if "__pycache__" not in p.parts))
+        elif path.is_file():
+            files.append(path)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return files
+
+
+def lint_paths(paths: list[str | Path],
+               checker_classes: list[type[Checker]],
+               baseline: set[str] | None = None) -> LintReport:
+    """Lint files/directories; apply ``baseline`` fingerprints if given."""
+    from .baseline import split_baselined
+    report = LintReport(rules=[cls.rule for cls in checker_classes])
+    for path in iter_python_files(paths):
+        source = path.read_text(encoding="utf-8")
+        findings = lint_source(source, str(path), checker_classes)
+        report.findings.extend(findings)
+        report.checked_files += 1
+    report.findings.sort()
+    if baseline:
+        report.findings, report.baselined = split_baselined(
+            report.findings, baseline)
+    return report
+
+
+def format_text(report: LintReport) -> str:
+    """Human-readable rendering, one line per finding plus a summary."""
+    lines = [f.format() for f in report.findings]
+    summary = (f"{len(report.findings)} finding(s) in "
+               f"{report.checked_files} file(s)")
+    if report.baselined:
+        summary += f", {len(report.baselined)} baselined"
+    lines.append(summary if report.findings
+                 else f"clean: {summary}")
+    return "\n".join(lines)
+
+
+def format_json(report: LintReport) -> str:
+    """The JSON document CI archives (schema version 1)."""
+    return json.dumps({
+        "version": 1,
+        "rules": report.rules,
+        "checked_files": report.checked_files,
+        "findings": [f.to_dict() for f in report.findings],
+        "baselined": [f.to_dict() for f in report.baselined],
+        "exit_code": report.exit_code,
+    }, indent=2)

@@ -1,0 +1,74 @@
+"""``# repro: ignore[RULE]`` suppression comments.
+
+A finding is suppressed when the physical line it points at carries an
+ignore comment naming its rule (or ``*``).  Comments are discovered with
+``tokenize`` rather than a regex over raw lines, so string literals that
+merely *look* like suppressions (as in this module's own tests) are
+never honoured.
+
+The syntax requires a rule list on purpose — a bare blanket
+``# repro: ignore`` is rejected — and the runner reports unused
+suppressions as RPR000 findings so stale ignores cannot rot silently.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+__all__ = ["SuppressionSheet", "collect_suppressions"]
+
+_PATTERN = re.compile(
+    r"#\s*repro:\s*ignore\[(?P<rules>[A-Za-z0-9*,\s]+)\]")
+
+
+class SuppressionSheet:
+    """Per-file map of line number -> suppressed rule ids."""
+
+    def __init__(self, by_line: dict[int, set[str]]):
+        self._by_line = by_line
+        self._used: dict[int, set[str]] = {}
+
+    def suppresses(self, line: int, rule: str) -> bool:
+        rules = self._by_line.get(line)
+        if rules is None or (rule not in rules and "*" not in rules):
+            return False
+        self._used.setdefault(line, set()).add(rule)
+        return True
+
+    def unused(self) -> list[tuple[int, str]]:
+        """(line, rule) pairs that suppressed nothing, sorted by line."""
+        leftovers = []
+        for line, rules in sorted(self._by_line.items()):
+            if "*" in rules and self._used.get(line):
+                continue
+            for rule in sorted(rules):
+                if rule not in self._used.get(line, set()):
+                    leftovers.append((line, rule))
+        return leftovers
+
+
+def collect_suppressions(source: str) -> SuppressionSheet:
+    """Scan ``source`` for ignore comments; tolerate tokenize failures.
+
+    A file that fails to tokenize will also fail to parse, and the
+    runner reports that as its own finding — so here we just return an
+    empty sheet instead of raising twice.
+    """
+    by_line: dict[int, set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _PATTERN.search(tok.string)
+            if not match:
+                continue
+            rules = {r.strip() for r in match.group("rules").split(",")
+                     if r.strip()}
+            if rules:
+                by_line.setdefault(tok.start[0], set()).update(rules)
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        pass
+    return SuppressionSheet(by_line)

@@ -22,6 +22,10 @@ Commands
     Sweep node counts and load-balancing policies over the multi-node
     cluster simulator and print per-policy TTFT/TPOT percentiles;
     ``--trace`` exports the request-lifecycle Chrome trace.
+``lint``
+    Run the domain-specific static-analysis pass (``repro.analysis``)
+    over source trees: virtual-clock purity, autograd contract, units
+    hygiene, API hygiene, float equality.  See docs/ANALYSIS.md.
 """
 
 from __future__ import annotations
@@ -189,8 +193,47 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         config, result.metrics,
         mean_context_tokens=result.metrics.mean_context_tokens)
     print(format_estimate(est))
+    if args.trace:
+        path = result.save_trace(args.trace)
+        print(f"\nwrote Chrome trace ({len(requests)} request "
+              f"lifecycles): {path}")
     completed = result.metrics.num_requests
     return 0 if completed == len(requests) else 1
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis import (all_checkers, format_json, format_text,
+                           lint_paths, load_baseline, resolve_rules,
+                           write_baseline)
+    if args.list_rules:
+        for rule, cls in sorted(all_checkers().items()):
+            scope = ", ".join(cls.scopes) if cls.scopes else "all files"
+            print(f"{rule} [{cls.severity:>7}] {cls.title} — {scope}")
+        return 0
+    try:
+        checkers = resolve_rules(args.rules)
+        baseline = load_baseline(args.baseline) if args.baseline else None
+        report = lint_paths(args.paths, checkers, baseline=baseline)
+    except (ValueError, KeyError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.write_baseline:
+        # Capture everything currently firing (fresh + already
+        # baselined) so a regenerated baseline stays complete.
+        path = write_baseline(report.findings + report.baselined,
+                              args.write_baseline)
+        print(f"wrote baseline with "
+              f"{len(report.findings) + len(report.baselined)} "
+              f"finding(s): {path}")
+        return 0
+    rendered = format_json(report) if args.format == "json" \
+        else format_text(report)
+    print(rendered)
+    if args.output:
+        from pathlib import Path
+        Path(args.output).write_text(rendered + "\n")
+        print(f"wrote report: {args.output}", file=sys.stderr)
+    return report.exit_code
 
 
 def cmd_cluster_bench(args: argparse.Namespace) -> int:
@@ -306,6 +349,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="KV-pool size in blocks; 0 = size from GCD HBM")
     p.add_argument("--compare-sequential", action="store_true",
                    help="also run the one-request-at-a-time baseline")
+    p.add_argument("--trace", default="",
+                   help="export the request-lifecycle Chrome trace here")
 
     p = sub.add_parser(
         "cluster-bench", aliases=["cluster"],
@@ -337,6 +382,25 @@ def build_parser() -> argparse.ArgumentParser:
                    help="export the request-lifecycle Chrome trace here")
     p.add_argument("--smoke", action="store_true",
                    help="tiny 2-node sweep for CI (<= 48 requests)")
+
+    p = sub.add_parser(
+        "lint",
+        help="domain-specific static analysis (rule catalog: "
+             "docs/ANALYSIS.md)")
+    p.add_argument("paths", nargs="*", default=["src"],
+                   help="files or directories to lint (default: src)")
+    p.add_argument("--format", default="text", choices=["text", "json"],
+                   help="report format (default: text)")
+    p.add_argument("--rules", default="",
+                   help="comma-separated rule ids to run (default: all)")
+    p.add_argument("--baseline", default="",
+                   help="baseline JSON; matching findings don't fail")
+    p.add_argument("--write-baseline", default="", metavar="PATH",
+                   help="write current findings as the baseline and exit")
+    p.add_argument("--output", default="",
+                   help="also write the report to this file (CI artifact)")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule catalog and exit")
     return parser
 
 
@@ -352,6 +416,7 @@ _COMMANDS = {
     "serve": cmd_serve_bench,  # alias, kept so README shorthand works
     "cluster-bench": cmd_cluster_bench,
     "cluster": cmd_cluster_bench,  # alias, same convention as serve
+    "lint": cmd_lint,
 }
 
 

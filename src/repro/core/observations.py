@@ -19,7 +19,7 @@ from ..training.loss_model import LossCurveModel, LossRecipe
 from .architecture_search import FIG4_GRID, flash_boost_table, run_grid_search
 
 __all__ = ["ObservationCheck", "observation_1", "observation_2",
-           "observation_3", "observation_5", "check_all"]
+           "observation_3", "observation_4", "observation_5", "check_all"]
 
 
 @dataclass

@@ -25,7 +25,8 @@ from ..data.corpus import (_APPLICATIONS, _FAMILIES, _METHODS, _STRUCTURES,
 from ..data.formulas import FormulaGenerator
 from .tasks import MCQuestion, Task, TaskRegistry
 
-__all__ = ["TASK_NAMES", "build_task", "build_benchmark_suite"]
+__all__ = ["TASK_NAMES", "build_task", "build_benchmark_suite",
+           "hashlib_stable"]
 
 #: Canonical task order used in the paper's figures.
 TASK_NAMES = ("sciq", "piqa", "obqa", "arc_e", "arc_c",

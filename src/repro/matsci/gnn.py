@@ -31,7 +31,8 @@ from ..training.optimizers import Adam
 from .graphs import GraphBatch
 
 __all__ = ["GraphConv", "GNNRegressor", "GNNSpec", "MODEL_ZOO", "build_gnn",
-           "train_regressor", "mean_absolute_error"]
+           "train_regressor", "mean_absolute_error", "RegressionHistory",
+           "predict"]
 
 
 class GraphConv(Module):

@@ -38,7 +38,7 @@ from .pipeline import bubble_fraction
 __all__ = ["SimulatedComm", "DataParallelTrainer", "Zero1DataParallel",
            "split_mlp_tensor_parallel", "tp_mlp_forward",
            "split_attention_tensor_parallel", "tp_attention_forward",
-           "PipelineExecutor"]
+           "PipelineExecutor", "ScheduleSlot", "PipelineRun"]
 
 
 class SimulatedComm:

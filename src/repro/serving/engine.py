@@ -35,6 +35,7 @@ from ..frontier.roofline import RooflineModel
 from ..models.config import ModelConfig
 from ..models.flops import GEMMShape
 from ..parallel.collectives import CollectiveModel, GroupTopology
+from ..profiling.tracer import TraceEvent
 from .config import ServingConfig
 from .kv_pool import PagedKVPool, kv_bytes_per_token
 from .metrics import RequestRecord, ServingMetrics, TimelineSample
@@ -200,13 +201,25 @@ class ServingEngine:
         sched = self.scheduler
         clock = 0.0
         trace: list[tuple[float, str, int]] = []
+        events: list[TraceEvent] = []
         records: list[RequestRecord] = []
         outputs: dict[int, np.ndarray] = {}
         timeline: list[TimelineSample] = []
 
+        def event(request_id: int, stage: str, start: float,
+                  duration: float = 0.0) -> None:
+            # Same naming scheme as the cluster replicas, so engine and
+            # cluster traces open side by side in Perfetto.
+            phase = "compute" if stage in ("prefill", "decode") else "io"
+            events.append(TraceEvent(f"req{request_id}/{stage}", start,
+                                     duration, stage, phase))
+
         def finish(req: Request) -> None:
             sched.finish(req, clock)
             trace.append((clock, "finish", req.request_id))
+            event(req.request_id, "decode", req.first_token_time,
+                  clock - req.first_token_time)
+            event(req.request_id, "finish", clock)
             outputs[req.request_id] = np.array(req.output, dtype=np.int64)
             records.append(RequestRecord(
                 request_id=req.request_id, arrival=req.arrival_time,
@@ -224,11 +237,15 @@ class ServingEngine:
                 req = pending.pop(0)
                 sched.submit(req)
                 trace.append((clock, "arrive", req.request_id))
+                event(req.request_id, "arrive", clock)
 
             for req in sched.admit(clock):
                 trace.append((clock, "admit", req.request_id))
+                event(req.request_id, "admit", clock)
                 self._prefill(req)
+                start = clock
                 clock += self.cost.prefill_time(req.prompt_len)
+                event(req.request_id, "prefill", start, clock - start)
                 req.first_token_time = clock
                 if req.done:
                     finish(req)
@@ -241,9 +258,12 @@ class ServingEngine:
                 if sched.waiting:
                     # Nothing running yet the queue is non-empty: the
                     # head request alone must fit — force space for it.
-                    if sched.preempt_victim() is None:
+                    victim = sched.preempt_victim()
+                    if victim is None:
                         raise RuntimeError(
                             "deadlock: empty batch but admission failed")
+                    trace.append((clock, "preempt", victim.request_id))
+                    event(victim.request_id, "preempt", clock)
                 continue
 
             # One continuous-batching decode step over the running set.
@@ -263,6 +283,7 @@ class ServingEngine:
                     victim = sched.running[-1]
                     sched.preempt(victim)
                     trace.append((clock, "preempt", victim.request_id))
+                    event(victim.request_id, "preempt", clock)
                     if victim is req:
                         preempted_self = True
                         break
@@ -288,8 +309,9 @@ class ServingEngine:
             peak_pool_utilization=self.pool.peak_utilization,
             preemptions=sched.total_preemptions)
         records.sort(key=lambda r: r.request_id)
+        lanes = {"engine": {f"replica (TP={self.cost.tp})": events}}
         return ServeResult(records=records, metrics=metrics, trace=trace,
-                           outputs=outputs)
+                           outputs=outputs, lanes=lanes)
 
 
 def run_sequential(model, requests: list[Request],

@@ -17,6 +17,8 @@ from pathlib import Path
 
 import numpy as np
 
+from ..profiling.export import save_lanes_chrome_trace
+from ..profiling.tracer import TraceEvent
 from .metrics import RequestRecord, ServingMetrics
 
 __all__ = ["ServingResultBase", "ServeResult"]
@@ -74,6 +76,14 @@ class ServeResult(ServingResultBase):
 
     trace: list[tuple[float, str, int]] = field(default_factory=list)
     outputs: dict[int, np.ndarray] = field(default_factory=dict)
+    #: process -> lane -> lifecycle events (Chrome-trace shaped), same
+    #: layout as :attr:`ClusterResult.lanes` so both export identically
+    lanes: dict[str, dict[str, list[TraceEvent]]] = field(
+        default_factory=dict)
+
+    def save_trace(self, path: str | Path) -> Path:
+        """Export the request-lifecycle trace as Chrome JSON."""
+        return save_lanes_chrome_trace(self.lanes, path)
 
     def output_tokens(self, request_id: int) -> np.ndarray:
         try:

@@ -7,7 +7,7 @@ from .unigram import UnigramTokenizer
 
 __all__ = ["SPECIAL_TOKENS", "Tokenizer", "TokenizerStats", "BPETokenizer",
            "UnigramTokenizer", "export_bpe", "export_unigram",
-           "import_bpe", "import_unigram"]
+           "import_bpe", "import_unigram", "build_tokenizer"]
 
 
 def build_tokenizer(family: str, **kwargs) -> Tokenizer:

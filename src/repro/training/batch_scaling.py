@@ -24,7 +24,8 @@ from ..models.config import ModelConfig
 from ..models.transformer import GPTModel
 from .trainer import Trainer, TrainerConfig
 
-__all__ = ["BatchScalingPoint", "BatchScalingCurve", "batch_scaling_study"]
+__all__ = ["BatchScalingPoint", "BatchScalingCurve", "batch_scaling_study",
+           "scaled_lr"]
 
 _LR_SCALING = {"adam": "sqrt", "lamb": "linear", "sgd": "linear"}
 

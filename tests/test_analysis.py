@@ -1,0 +1,271 @@
+"""Tests for the domain-specific static-analysis pass (repro.analysis)."""
+
+import json
+
+import pytest
+
+from repro.analysis import (Finding, all_checkers, collect_suppressions,
+                            format_json, format_text, lint_paths,
+                            lint_source, load_baseline, resolve_rules,
+                            split_baselined, write_baseline)
+from repro.cli import main
+
+ALL_RULES = resolve_rules(None)
+
+
+def findings_for(source, path="src/repro/serving/mod.py", rules=None):
+    return lint_source(source, path, rules or ALL_RULES)
+
+
+def rules_of(findings):
+    return {f.rule for f in findings}
+
+
+# ----------------------------------------------------------------------
+# One positive + one negative snippet per rule.
+# ----------------------------------------------------------------------
+
+RULE_SNIPPETS = [
+    # (rule, path, bad snippet, good snippet)
+    ("RPR001", "src/repro/serving/engine.py",
+     "import time\n\ndef step():\n    return time.perf_counter()\n",
+     "def step(clock):\n    return clock + 0.25\n"),
+    ("RPR001", "src/repro/parallel/sim.py",
+     "import numpy as np\n\ndef jitter():\n    return np.random.rand()\n",
+     "import numpy as np\n\ndef jitter(seed):\n"
+     "    return np.random.default_rng(seed).random()\n"),
+    ("RPR001", "src/repro/frontier/power.py",
+     "import random\n\ndef noise():\n    return random.random()\n",
+     "import random\n\ndef noise(seed):\n"
+     "    return random.Random(seed).random()\n"),
+    ("RPR002", "src/repro/models/layers.py",
+     "def fuse(p, q):\n    p.data += q.data\n",
+     "def fuse(p, q):\n    return p + q\n"),
+    ("RPR002", "src/repro/training/trainer.py",
+     "def clip(p):\n    p.grad[:] = 0.0\n",
+     "class Opt:\n    def __init__(self, p):\n"
+     "        p.data = p.data * 1.0\n"),
+    ("RPR002", "src/repro/models/ops.py",
+     "def build(tensors):\n"
+     "    for t in tensors:\n"
+     "        def backward(out):\n"
+     "            return t * out\n",
+     "def build(tensors):\n"
+     "    for t in tensors:\n"
+     "        def backward(out, t=t):\n"
+     "            return t * out\n"),
+    ("RPR003", "src/repro/frontier/roofline.py",
+     "def traffic(weight_bytes, kv_gb):\n"
+     "    return weight_bytes + kv_gb\n",
+     "GB = 1 << 30\n\ndef traffic(weight_bytes, kv_gb):\n"
+     "    return weight_bytes + kv_gb * GB\n"),
+    ("RPR003", "src/repro/serving/metrics.py",
+     "def slow(step_us, budget_ms):\n    return step_us > budget_ms\n",
+     "def slow(step_us, budget_us):\n    return step_us > budget_us\n"),
+    ("RPR004", "src/repro/serving/bench.py",
+     "def build(model, cfg):\n"
+     "    return ServingEngine(model, max_steps=10)\n",
+     "def build(model, cfg):\n    return ServingEngine(model, cfg)\n"),
+    ("RPR004", "src/repro/core/api.py",
+     '__all__ = ["missing_name"]\n',
+     '__all__ = ["thing"]\n\ndef thing():\n    return 1\n'),
+    ("RPR004", "src/repro/core/util.py",
+     "def merge(a, seen=[]):\n    seen.append(a)\n    return seen\n",
+     "def merge(a, seen=None):\n    return (seen or []) + [a]\n"),
+    ("RPR005", "src/repro/frontier/memory.py",
+     "def check(a, b):\n    return a / b == 0.5\n",
+     "def check(a, b):\n    return abs(a / b - 0.5) < 1e-9\n"),
+]
+
+
+class TestRuleCatalog:
+    @pytest.mark.parametrize("rule,path,bad,good", RULE_SNIPPETS,
+                             ids=[f"{r}-{p.rsplit('/', 1)[1]}"
+                                  for r, p, _, _ in RULE_SNIPPETS])
+    def test_rule_fires_on_bad_and_not_on_good(self, rule, path, bad,
+                                               good):
+        assert rule in rules_of(findings_for(bad, path))
+        assert rule not in rules_of(findings_for(good, path))
+
+    def test_no_rule_is_dead(self):
+        covered = {r for r, _, _, _ in RULE_SNIPPETS}
+        assert covered == set(all_checkers())
+
+    def test_findings_carry_location_and_severity(self):
+        found = findings_for(
+            "import time\n\ndef f():\n    return time.time()\n")
+        (finding,) = [f for f in found if f.rule == "RPR001"]
+        assert finding.line == 4
+        assert finding.col > 0
+        assert finding.severity == "error"
+        assert "time.time" in finding.message
+
+    def test_scoping_keeps_simulation_rules_out_of_other_dirs(self):
+        source = "import time\n\ndef f():\n    return time.time()\n"
+        assert "RPR001" in rules_of(
+            findings_for(source, "src/repro/serving/x.py"))
+        assert "RPR001" not in rules_of(
+            findings_for(source, "src/repro/tokenizers/x.py"))
+
+    def test_float_equality_skips_test_files(self):
+        source = "def f(a, b):\n    return a / b == 0.5\n"
+        assert "RPR005" not in rules_of(
+            findings_for(source, "tests/test_memory.py"))
+
+    def test_parse_error_is_reported_not_raised(self):
+        found = findings_for("def broken(:\n")
+        assert rules_of(found) == {"RPR000"}
+
+    def test_resolve_rules_subset_and_unknown(self):
+        subset = resolve_rules("RPR001,RPR003")
+        assert [c.rule for c in subset] == ["RPR001", "RPR003"]
+        with pytest.raises(ValueError, match="unknown rule"):
+            resolve_rules("RPR999")
+
+
+class TestSuppressions:
+    BAD = ("import time\n\ndef f():\n"
+           "    return time.time()  # repro: ignore[RPR001] virtual\n")
+
+    def test_ignore_comment_suppresses_the_rule(self):
+        assert "RPR001" not in rules_of(findings_for(self.BAD))
+
+    def test_wildcard_suppresses_everything(self):
+        source = self.BAD.replace("RPR001", "*")
+        assert "RPR001" not in rules_of(findings_for(source))
+
+    def test_other_rule_id_does_not_suppress(self):
+        source = self.BAD.replace("RPR001", "RPR004")
+        found = rules_of(findings_for(source))
+        assert "RPR001" in found
+
+    def test_unused_suppression_is_reported(self):
+        source = "def f():\n    return 1  # repro: ignore[RPR001]\n"
+        found = findings_for(source)
+        assert rules_of(found) == {"RPR000"}
+        assert "unused suppression" in found[0].message
+
+    def test_string_literals_are_not_suppressions(self):
+        sheet = collect_suppressions(
+            's = "# repro: ignore[RPR001]"\n')
+        assert not sheet.suppresses(1, "RPR001")
+
+
+class TestBaseline:
+    def test_round_trip(self, tmp_path):
+        findings = [Finding(path="src/x.py", line=3, col=1,
+                            rule="RPR001", severity="error",
+                            message="wall-clock call time.time()")]
+        path = write_baseline(findings, tmp_path / "base.json")
+        fingerprints = load_baseline(path)
+        fresh, known = split_baselined(findings, fingerprints)
+        assert fresh == [] and known == findings
+
+    def test_baseline_matching_ignores_line_moves(self, tmp_path):
+        original = Finding(path="src/x.py", line=3, col=1, rule="RPR001",
+                           severity="error", message="m")
+        moved = Finding(path="src/x.py", line=30, col=5, rule="RPR001",
+                        severity="error", message="m")
+        fingerprints = load_baseline(
+            write_baseline([original], tmp_path / "b.json"))
+        fresh, known = split_baselined([moved], fingerprints)
+        assert fresh == [] and known == [moved]
+
+    def test_unknown_version_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"version": 99, "findings": []}))
+        with pytest.raises(ValueError, match="baseline version"):
+            load_baseline(path)
+
+
+def write_tree(tmp_path, bad=True):
+    pkg = tmp_path / "src" / "repro" / "serving"
+    pkg.mkdir(parents=True)
+    body = "import time\n\ndef f():\n    return time.time()\n" if bad \
+        else "def f(clock):\n    return clock\n"
+    (pkg / "mod.py").write_text(body)
+    return tmp_path / "src"
+
+
+class TestRunnerAndOutput:
+    def test_lint_paths_walks_directories(self, tmp_path):
+        root = write_tree(tmp_path)
+        report = lint_paths([root], ALL_RULES)
+        assert report.checked_files == 1
+        assert report.exit_code == 1
+        assert rules_of(report.findings) == {"RPR001"}
+
+    def test_json_schema(self, tmp_path):
+        report = lint_paths([write_tree(tmp_path)], ALL_RULES)
+        doc = json.loads(format_json(report))
+        assert doc["version"] == 1
+        assert doc["checked_files"] == 1
+        assert doc["exit_code"] == 1
+        assert set(doc["rules"]) == set(all_checkers())
+        (entry,) = doc["findings"]
+        assert set(entry) == {"path", "line", "col", "rule", "severity",
+                              "message"}
+        assert entry["rule"] == "RPR001"
+
+    def test_text_format_lists_findings_and_summary(self, tmp_path):
+        report = lint_paths([write_tree(tmp_path)], ALL_RULES)
+        text = format_text(report)
+        assert "RPR001" in text and "1 finding(s)" in text
+        clean = lint_paths([write_tree(tmp_path / "ok", bad=False)],
+                           ALL_RULES)
+        assert format_text(clean).startswith("clean:")
+
+    def test_missing_path_raises(self):
+        with pytest.raises(FileNotFoundError):
+            lint_paths(["/no/such/dir"], ALL_RULES)
+
+
+class TestLintCLI:
+    def test_exit_codes_clean_dirty_usage(self, tmp_path, capsys):
+        dirty = write_tree(tmp_path)
+        assert main(["lint", str(dirty)]) == 1
+        clean = write_tree(tmp_path / "ok", bad=False)
+        assert main(["lint", str(clean)]) == 0
+        assert main(["lint", str(tmp_path / "absent")]) == 2
+        assert main(["lint", str(clean), "--rules", "RPR999"]) == 2
+        capsys.readouterr()
+
+    def test_json_output_and_report_file(self, tmp_path, capsys):
+        root = write_tree(tmp_path)
+        out_file = tmp_path / "report.json"
+        code = main(["lint", str(root), "--format", "json",
+                     "--output", str(out_file)])
+        assert code == 1
+        stdout = capsys.readouterr().out
+        assert json.loads(stdout)["findings"]
+        assert json.loads(out_file.read_text())["exit_code"] == 1
+
+    def test_baseline_workflow_end_to_end(self, tmp_path, capsys):
+        root = write_tree(tmp_path)
+        base = tmp_path / "baseline.json"
+        assert main(["lint", str(root), "--write-baseline",
+                     str(base)]) == 0
+        # Accepted findings no longer fail...
+        assert main(["lint", str(root), "--baseline", str(base)]) == 0
+        out = capsys.readouterr().out
+        assert "baselined" in out
+        # ...but a new finding alongside them still does.
+        extra = root / "repro" / "serving" / "new.py"
+        extra.write_text("import time\nT0 = time.time()\n")
+        assert main(["lint", str(root), "--baseline", str(base)]) == 1
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in all_checkers():
+            assert rule in out
+
+    def test_repo_tree_is_clean_against_shipped_baseline(self):
+        # The dogfooding guarantee: `repro lint src/` exits 0 as shipped.
+        assert main(["lint", "src", "--baseline",
+                     "lint-baseline.json"]) == 0
+
+
+class TestDogfood:
+    def test_shipped_baseline_is_empty(self):
+        assert load_baseline("lint-baseline.json") == set()

@@ -9,7 +9,7 @@ class TestParser:
     def test_all_commands_registered(self):
         parser = build_parser()
         for cmd in ("observations", "heatmap", "scaling", "recommend",
-                    "study", "serve-bench"):
+                    "study", "serve-bench", "lint"):
             args = parser.parse_args([cmd] if cmd != "recommend"
                                      else [cmd, "--gpus", "8"])
             assert args.command == cmd
@@ -96,6 +96,13 @@ class TestCommands:
         assert "TTFT" in out
         assert "speedup" in out
         assert "Frontier-node extrapolation" in out
+
+    def test_serve_bench_trace_export(self, capsys, tmp_path):
+        trace = tmp_path / "serve-trace.json"
+        assert main(["serve-bench", "--requests", "8", "--trace",
+                     str(trace)]) == 0
+        assert "wrote Chrome trace" in capsys.readouterr().out
+        assert trace.exists()
 
     def test_serve_bench_unknown_preset_exits_2(self, capsys):
         assert main(["serve-bench", "--model", "gpt-5"]) == 2

@@ -475,3 +475,56 @@ class TestGenerateEos:
         prompt = np.array([1, 2])
         out = model.generate(prompt, 8, eos_id=-1)
         assert len(out) == 10
+
+
+class TestEngineLifecycleTrace:
+    """Satellite: per-request lifecycle events from the single engine."""
+
+    def run_engine(self, model, n=8):
+        engine = ServingEngine(model, ServingConfig(max_batch_size=4,
+                                                    num_blocks=32))
+        return engine.run(make_workload(model, n=n))
+
+    def test_lanes_cover_every_request_lifecycle(self, model):
+        result = self.run_engine(model)
+        (lanes,) = result.lanes.values()          # one process: "engine"
+        (events,) = lanes.values()                # one replica lane
+        stages = {}
+        for event in events:
+            req, stage = event.name.split("/")
+            stages.setdefault(req, set()).add(stage)
+        assert len(stages) == len(result.records)
+        for seen in stages.values():
+            assert {"arrive", "admit", "prefill", "decode",
+                    "finish"} <= seen
+
+    def test_spans_match_record_timings(self, model):
+        result = self.run_engine(model)
+        (events,) = next(iter(result.lanes.values())).values()
+        by_record = {r.request_id: r for r in result.records}
+        for event in events:
+            req_id = int(event.name.split("/")[0][len("req"):])
+            record = by_record[req_id]
+            if event.category == "decode":
+                assert event.start_s == pytest.approx(record.first_token)
+                assert event.end_s == pytest.approx(record.finish)
+            elif event.category == "finish":
+                assert event.start_s == pytest.approx(record.finish)
+
+    def test_save_trace_writes_chrome_json(self, model, tmp_path):
+        import json
+        result = self.run_engine(model)
+        path = result.save_trace(tmp_path / "engine-trace")
+        doc = json.loads(path.read_text())
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert "engine" in {e["args"]["name"] for e in doc["traceEvents"]
+                            if e["name"] == "process_name"}
+        assert any(n.startswith("req") and n.endswith("/prefill")
+                   for n in names)
+
+    def test_trace_is_deterministic_under_seed(self, model):
+        a = self.run_engine(model)
+        b = self.run_engine(model)
+        lane_a = next(iter(a.lanes.values()))
+        lane_b = next(iter(b.lanes.values()))
+        assert lane_a == lane_b
