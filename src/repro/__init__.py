@@ -26,6 +26,9 @@ Subpackages
     Band-gap prediction: crystals, GNNs, LLM-embedding fusion.
 ``repro.serving``
     Continuous-batching inference engine with a paged KV-cache pool.
+``repro.faults``
+    Seeded fault injection: failures, stragglers, degraded links;
+    consumed by training checkpoint-restart and serving failover.
 ``repro.analysis``
     Domain-specific static analysis enforcing the repo's simulation,
     autograd, and units invariants (``python -m repro lint``).
@@ -33,9 +36,9 @@ Subpackages
 
 __version__ = "1.0.0"
 
-from . import (analysis, core, data, evalharness, frontier, matsci, models,
-               parallel, profiling, serving, tokenizers, training)
+from . import (analysis, core, data, evalharness, faults, frontier, matsci,
+               models, parallel, profiling, serving, tokenizers, training)
 
-__all__ = ["analysis", "core", "data", "evalharness", "frontier", "matsci",
-           "models", "parallel", "profiling", "serving", "tokenizers",
-           "training", "__version__"]
+__all__ = ["analysis", "core", "data", "evalharness", "faults", "frontier",
+           "matsci", "models", "parallel", "profiling", "serving",
+           "tokenizers", "training", "__version__"]

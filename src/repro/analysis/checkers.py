@@ -16,6 +16,9 @@ docs/ANALYSIS.md for the full catalog with examples):
   no ``__all__`` drift, no mutable default arguments.
 * RPR005 — ``==``/``!=`` on computed float expressions is almost never
   the intended comparison in an analytical model.
+* RPR006 — exception hygiene: bare ``except:`` and broad handlers that
+  silently swallow (``except Exception: pass``) hide the descriptive
+  errors the simulators go out of their way to raise.
 """
 
 from __future__ import annotations
@@ -26,7 +29,7 @@ from .base import Checker, FileContext, dotted_name, register
 
 __all__ = ["VirtualClockChecker", "AutogradContractChecker",
            "UnitsHygieneChecker", "ApiHygieneChecker",
-           "FloatEqualityChecker"]
+           "FloatEqualityChecker", "ExceptionHygieneChecker"]
 
 
 # ----------------------------------------------------------------------
@@ -432,3 +435,61 @@ class FloatEqualityChecker(Checker):
                            "compare with math.isclose / np.isclose or "
                            "an explicit tolerance")
                 return
+
+
+# ----------------------------------------------------------------------
+# RPR006 — exception hygiene
+# ----------------------------------------------------------------------
+
+#: Catch-all exception classes a swallowing handler must not hide.
+_BROAD_EXCEPTIONS = {"Exception", "BaseException"}
+
+
+def _catches_broadly(node: ast.ExceptHandler) -> bool:
+    """True when the handler's type includes Exception/BaseException."""
+    types = node.type.elts if isinstance(node.type, ast.Tuple) \
+        else [node.type]
+    return any(dotted_name(t).rsplit(".", 1)[-1] in _BROAD_EXCEPTIONS
+               for t in types if t is not None)
+
+
+def _swallows(body: list[ast.stmt]) -> bool:
+    """True when the handler body discards the exception silently.
+
+    Only no-op bodies count — ``pass``, a bare ``...``, or a lone
+    ``continue``.  A handler that logs, re-raises, wraps (``raise X
+    from exc``), returns a fallback, or does *any* real work is fine.
+    """
+    for stmt in body:
+        if isinstance(stmt, (ast.Pass, ast.Continue)):
+            continue
+        if isinstance(stmt, ast.Expr) and \
+                isinstance(stmt.value, ast.Constant) and \
+                stmt.value.value is Ellipsis:
+            continue
+        return False
+    return True
+
+
+@register
+class ExceptionHygieneChecker(Checker):
+    """RPR006: no bare ``except:`` / silent broad-exception swallowing."""
+
+    rule = "RPR006"
+    severity = "error"
+    title = "exception hygiene (bare except, silent broad swallowing)"
+    exclude_scopes = ("tests",)
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler,
+                            ctx: FileContext) -> None:
+        if node.type is None:
+            ctx.report(self, node,
+                       "bare except: catches SystemExit/KeyboardInterrupt "
+                       "too; name the exception types (or use "
+                       "'except Exception' and handle it)")
+            return
+        if _catches_broadly(node) and _swallows(node.body):
+            ctx.report(self, node,
+                       "broad exception handler silently swallows the "
+                       "error; narrow the type, log it, or re-raise a "
+                       "descriptive error")

@@ -22,6 +22,12 @@ Commands
     Sweep node counts and load-balancing policies over the multi-node
     cluster simulator and print per-policy TTFT/TPOT percentiles;
     ``--trace`` exports the request-lifecycle Chrome trace.
+``fault-bench`` (alias ``faults``)
+    Sweep seeded fault injection: MTBF x checkpoint-interval for
+    training (Young-Daly goodput) and MTBF x balancing-policy for the
+    serving cluster (availability, retries, failover).  With
+    ``--mtbf inf`` both sweeps reproduce the fault-free baselines
+    exactly.  See docs/RESILIENCE.md.
 ``lint``
     Run the domain-specific static-analysis pass (``repro.analysis``)
     over source trees: virtual-clock purity, autograd contract, units
@@ -295,6 +301,186 @@ def cmd_cluster_bench(args: argparse.Namespace) -> int:
     return 0 if completed else 1
 
 
+def _parse_mtbf_list(spec: str, flag: str) -> list[float]:
+    """Parse a comma-separated MTBF list in hours; ``inf`` disables."""
+    values = []
+    for token in spec.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        try:
+            values.append(float(token))
+        except ValueError:
+            raise ValueError(f"{flag} entries must be numbers or 'inf': "
+                             f"{token!r}") from None
+    if not values:
+        raise ValueError(f"{flag} must name at least one MTBF: {spec!r}")
+    return values
+
+
+def _json_safe(obj):
+    """Replace non-finite floats with strings so the JSON stays valid."""
+    import math
+    if isinstance(obj, float) and not math.isfinite(obj):
+        return str(obj)
+    if isinstance(obj, dict):
+        return {k: _json_safe(v) for k, v in obj.items()}
+    if isinstance(obj, list):
+        return [_json_safe(v) for v in obj]
+    return obj
+
+
+def _fault_bench_training(args) -> tuple[list[dict], int]:
+    """MTBF x checkpoint-interval sweep; returns (JSON rows, exit code)."""
+    import math
+
+    from .faults import FaultConfig
+    from .models import preset
+    from .parallel import ParallelConfig, TrainingSimulator
+    from .training import (CheckpointCostModel, CheckpointRestartSimulator,
+                           checkpoint_state_bytes, format_goodput_sweep)
+
+    model = preset(args.train_model).with_flash(1)
+    steps = min(args.steps, 300) if args.smoke else args.steps
+    gpus = args.gpus
+    profile = TrainingSimulator().step(
+        model, ParallelConfig(dp=gpus, zero_stage=1))
+    step_time = profile.total_s
+    params = model.num_parameters()
+    cost = CheckpointCostModel(
+        state_bytes=checkpoint_state_bytes(params, args.optimizer),
+        num_nodes=max(1, gpus // 8))
+    print(f"training: {model.label()} ({params / 1e6:.0f}M params) on "
+          f"{gpus} GCDs, step {step_time * 1e3:.1f} ms, "
+          f"checkpoint write {cost.write_s:.2f} s "
+          f"(restart +{cost.restart_s:.1f} s), {steps} steps")
+    rows = []
+    for mtbf in _parse_mtbf_list(args.train_mtbf, "--train-mtbf"):
+        faults = FaultConfig(mtbf_hours=mtbf, seed=args.seed)
+        sim = CheckpointRestartSimulator(step_time, steps, cost, faults,
+                                         num_gcds=gpus)
+        tau = sim.young_daly_interval()
+        if math.isinf(tau):
+            # Fault-free: no checkpoints needed, the replay is the
+            # baseline trainer wall time bit-for-bit.
+            intervals = [math.inf]
+            title = "mtbf=inf (fault-free baseline)"
+        else:
+            intervals = [tau * 0.25, tau, tau * 4.0]
+            title = (f"mtbf={mtbf:g} h/GCD (system MTBF "
+                     f"{sim.system_mtbf_s:.0f} s, Young-Daly "
+                     f"{tau:.0f} s)")
+        reports = sim.interval_sweep(intervals)
+        print()
+        print(format_goodput_sweep(reports, title=title))
+        rows.append({
+            "mtbf_hours": mtbf,
+            "system_mtbf_s": sim.system_mtbf_s,
+            "young_daly_s": tau,
+            "reports": [rep.to_dict() for rep in reports],
+        })
+    return rows, 0
+
+
+def _fault_bench_serving(args) -> tuple[list[dict], int]:
+    """MTBF x balancing-policy sweep; returns (JSON rows, exit code)."""
+    from .faults import FaultConfig, RetryPolicy
+    from .models import preset
+    from .serving import (LB_POLICIES, ClusterConfig, ClusterSimulator,
+                          FailoverConfig, ReplicaLayout, WorkloadConfig,
+                          format_cluster, synthesize_workload)
+
+    config = preset(args.model)
+    num_requests = min(args.requests, 48) if args.smoke else args.requests
+    layout = ReplicaLayout.from_label(args.layout)
+    policies = list(LB_POLICIES) if args.policy == "all" else [args.policy]
+    failover = FailoverConfig(
+        detection_s=args.detection, recovery_s=args.recovery,
+        retry=RetryPolicy(max_retries=args.max_retries, seed=args.seed),
+        slo_ttft_s=args.slo if args.slo > 0 else None)
+    workload = WorkloadConfig(
+        num_requests=num_requests, arrival_rate=args.rate,
+        prompt_len_range=(64, 256), output_len_range=(16, 64),
+        prompt_skew=args.prompt_skew, heavy_multiplier=8, seed=args.seed)
+    slo_note = f", SLO TTFT {args.slo * 1e3:.0f} ms" if args.slo > 0 \
+        else ""
+    print(f"serving: {config.label()}, {args.nodes} node(s) of "
+          f"{layout.label}, {num_requests} requests at {args.rate:.0f}/s, "
+          f"detection {args.detection * 1e3:.0f} ms, recovery "
+          f"{args.recovery:.2f} s, max {args.max_retries} "
+          f"retries{slo_note}")
+    rows, last_faulted = [], None
+    for mtbf in _parse_mtbf_list(args.serve_mtbf, "--serve-mtbf"):
+        faults = FaultConfig(mtbf_hours=mtbf, seed=args.seed + 1)
+        results = []
+        for policy in policies:
+            sim = ClusterSimulator(config, ClusterConfig(
+                num_nodes=args.nodes, layout=layout, policy=policy,
+                max_outstanding_per_replica=args.max_outstanding,
+                faults=faults, failover=failover))
+            # Fresh Request objects per run: the scheduler mutates them,
+            # and the seed reproduces the identical workload.
+            result = sim.run(synthesize_workload(workload, config))
+            results.append(result)
+            rows.append({
+                "mtbf_hours": mtbf, "policy": policy,
+                "nodes": args.nodes, "layout": layout.label,
+                "availability": result.availability,
+                "retries_total": result.retries_total,
+                "failed": len(result.failed_records),
+                "fault_events": len(result.fault_events),
+                "tokens_per_s": result.metrics.tokens_per_s,
+                "ttft_p95_s": result.metrics.ttft_p95,
+                "latency_p99_s": result.metrics.latency_p99,
+            })
+            if result.fault_events:
+                last_faulted = result
+        title = "mtbf=inf (fault-free baseline)" if mtbf == float("inf") \
+            else f"mtbf={mtbf:g} h/GCD"
+        print()
+        print(format_cluster(results, title=title))
+    if args.trace:
+        traced = last_faulted or results[-1]
+        path = traced.save_trace(args.trace)
+        print(f"\nwrote Chrome trace ({traced.policy}, "
+              f"{len(traced.fault_events)} fault event(s)): {path}")
+    return rows, 0
+
+
+def cmd_fault_bench(args: argparse.Namespace) -> int:
+    training_rows: list[dict] = []
+    serving_rows: list[dict] = []
+    try:
+        if args.mode in ("training", "both"):
+            training_rows, code = _fault_bench_training(args)
+            if code:
+                return code
+        if args.mode in ("serving", "both"):
+            if args.mode == "both":
+                print()
+            serving_rows, code = _fault_bench_serving(args)
+            if code:
+                return code
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        import json
+        from pathlib import Path
+        path = Path(args.json)
+        if path.suffix != ".json":
+            path = path.with_suffix(".json")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(_json_safe(
+            {"training": training_rows, "serving": serving_rows}),
+            indent=2))
+        print(f"\nwrote results JSON: {path}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -384,6 +570,72 @@ def build_parser() -> argparse.ArgumentParser:
                    help="tiny 2-node sweep for CI (<= 48 requests)")
 
     p = sub.add_parser(
+        "fault-bench", aliases=["faults", "fault"],
+        help="seeded fault-injection sweeps: checkpoint-restart goodput "
+             "(training) and failover availability (serving)")
+    p.add_argument("--mode", default="both",
+                   choices=["training", "serving", "both"],
+                   help="which resilience sweep(s) to run (default: both)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed for workload, fault schedule, and retry "
+                        "jitter (fixes every trace)")
+    p.add_argument("--json", default="", metavar="PATH",
+                   help="write sweep results as a JSON artifact")
+    p.add_argument("--smoke", action="store_true",
+                   help="tiny sweeps for CI (<= 48 requests, <= 300 steps)")
+    # Training sweep: MTBF x checkpoint interval (Young-Daly).
+    p.add_argument("--train-model", default="llama-1.7b-hf-52k",
+                   help="model preset whose step time and checkpoint "
+                        "size the training sweep prices")
+    p.add_argument("--gpus", type=int, default=64,
+                   help="GCDs the training job spans (scales the "
+                        "aggregate failure rate)")
+    p.add_argument("--steps", type=int, default=2000,
+                   help="optimizer steps in the replayed run")
+    p.add_argument("--optimizer", default="adam",
+                   choices=["sgd", "adam", "lamb"],
+                   help="optimizer whose state the checkpoint persists")
+    p.add_argument("--train-mtbf", default="inf,4,1",
+                   help="comma-separated per-GCD MTBF values in hours "
+                        "('inf' disables faults)")
+    # Serving sweep: MTBF x load-balancing policy under failover.  The
+    # virtual horizon is seconds, so meaningful MTBFs are tiny in hours.
+    p.add_argument("--model", default="llama-1.7b-hf-52k",
+                   help="model preset to serve (timing-level)")
+    p.add_argument("--nodes", type=int, default=2,
+                   help="Frontier nodes in the serving cluster")
+    p.add_argument("--layout", default="8xTP1",
+                   help="replica layout per node, e.g. 8xTP1 or 1xTP8")
+    p.add_argument("--policy", default="all",
+                   choices=["all", "round-robin", "least-outstanding",
+                            "jskq"],
+                   help="load-balancing policy, or 'all' to sweep")
+    p.add_argument("--requests", type=int, default=200,
+                   help="number of Poisson-arrival requests")
+    p.add_argument("--rate", type=float, default=800.0,
+                   help="mean arrival rate, requests per virtual second")
+    p.add_argument("--prompt-skew", type=float, default=0.15,
+                   help="fraction of heavy-tail (8x longer) prompts")
+    p.add_argument("--max-outstanding", type=int, default=32,
+                   help="per-replica admission backpressure cap")
+    p.add_argument("--serve-mtbf", default="inf,0.001,0.0002",
+                   help="comma-separated per-GCD MTBF values in hours; "
+                        "the simulated horizon is seconds, so ~1e-4 to "
+                        "1e-2 engages failover")
+    p.add_argument("--detection", type=float, default=0.01,
+                   help="health-check detection latency, seconds")
+    p.add_argument("--recovery", type=float, default=0.5,
+                   help="replica recovery time, seconds ('inf' via a "
+                        "large value = fail-stop)")
+    p.add_argument("--max-retries", type=int, default=3,
+                   help="failover retries before a request is abandoned")
+    p.add_argument("--slo", type=float, default=0.0,
+                   help="TTFT SLO in seconds for availability "
+                        "(0 = count bare completion)")
+    p.add_argument("--trace", default="",
+                   help="export the last faulted run's Chrome trace here")
+
+    p = sub.add_parser(
         "lint",
         help="domain-specific static analysis (rule catalog: "
              "docs/ANALYSIS.md)")
@@ -416,6 +668,9 @@ _COMMANDS = {
     "serve": cmd_serve_bench,  # alias, kept so README shorthand works
     "cluster-bench": cmd_cluster_bench,
     "cluster": cmd_cluster_bench,  # alias, same convention as serve
+    "fault-bench": cmd_fault_bench,
+    "faults": cmd_fault_bench,  # alias, same convention as serve
+    "fault": cmd_fault_bench,  # bare-prefix alias, like serve/cluster
     "lint": cmd_lint,
 }
 

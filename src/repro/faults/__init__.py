@@ -1,0 +1,32 @@
+"""Seeded fault injection for the training and serving simulators.
+
+At the paper's scale — thousands of GCDs for weeks — hardware faults
+are the norm, not the exception: Dash et al. report that node failures
+and checkpoint-restart overhead materially shape achievable throughput
+on Frontier.  This package supplies the *fault process* both simulators
+replay: a :class:`FaultModel` samples GCD/node failures (exponential
+MTBF), transient stragglers (a slowdown factor over a window), and
+degraded Slingshot links from independent seeded RNG streams, scaled by
+component count, so the same seed always produces the identical fault
+schedule regardless of how the consumer interleaves its queries.
+
+Consumers
+---------
+``repro.training.resilience``
+    Replays failures against a training run to report lost work,
+    restart count, and goodput, and computes the Young–Daly optimal
+    checkpoint interval.
+``repro.serving.cluster``
+    Kills replicas on the virtual clock, models health-check detection
+    latency, and fails requests over to surviving replicas with the
+    capped exponential backoff (plus deterministic jitter) of
+    :class:`RetryPolicy`.
+
+Entry point: ``python -m repro fault-bench`` (docs/RESILIENCE.md).
+"""
+
+from .model import (FAULT_KINDS, FaultConfig, FaultEvent, FaultModel,
+                    RetryPolicy)
+
+__all__ = ["FAULT_KINDS", "FaultConfig", "FaultEvent", "FaultModel",
+           "RetryPolicy"]

@@ -2,7 +2,8 @@
 
 from .comparison import (PlatformComparison, SELENE_LIKE,
                          compare_platforms, make_simulator)
-from .hardware import FRONTIER, GCDSpec, MachineSpec, MI250XSpec, NodeSpec
+from .hardware import (FRONTIER, FilesystemSpec, GCDSpec, MachineSpec,
+                       MI250XSpec, NodeSpec)
 from .memory import MemoryBreakdown, MemoryConstants, MemoryModel
 from .power import PowerConstants, PowerModel, PowerSummary
 from .roofline import LayerTiming, PerfConstants, RooflineModel
@@ -10,7 +11,8 @@ from .roofline import LayerTiming, PerfConstants, RooflineModel
 __all__ = [
     "PlatformComparison", "SELENE_LIKE", "compare_platforms",
     "make_simulator",
-    "FRONTIER", "GCDSpec", "MachineSpec", "MI250XSpec", "NodeSpec",
+    "FRONTIER", "FilesystemSpec", "GCDSpec", "MachineSpec", "MI250XSpec",
+    "NodeSpec",
     "MemoryBreakdown", "MemoryConstants", "MemoryModel",
     "PowerConstants", "PowerModel", "PowerSummary",
     "LayerTiming", "PerfConstants", "RooflineModel",

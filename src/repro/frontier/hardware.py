@@ -10,14 +10,18 @@ the public Frontier documentation it cites:
 * 200 GB/s Infinity Fabric between the two GCDs of one MI250X;
 * 100 GB/s Infinity Fabric between GCDs of different MI250X in a node;
 * 100 GB/s Slingshot-11 NIC bandwidth per node;
-* 9408 nodes → 75,264 effective GPUs.
+* 9408 nodes → 75,264 effective GPUs;
+* Orion, the center-wide Lustre filesystem: ~5 TB/s aggregate write,
+  ~10 TB/s aggregate read (public ORNL figures), reached through each
+  node's Slingshot NIC.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["GCDSpec", "MI250XSpec", "NodeSpec", "MachineSpec", "FRONTIER"]
+__all__ = ["GCDSpec", "MI250XSpec", "NodeSpec", "FilesystemSpec",
+           "MachineSpec", "FRONTIER"]
 
 
 @dataclass(frozen=True)
@@ -71,12 +75,45 @@ class NodeSpec:
 
 
 @dataclass(frozen=True)
+class FilesystemSpec:
+    """The parallel filesystem checkpoints stream to (Orion Lustre).
+
+    A checkpoint write from N nodes is bounded by whichever is slower:
+    each node's NIC share or the filesystem's aggregate bandwidth —
+    exactly the two regimes :mod:`repro.training.resilience` prices.
+    """
+
+    name: str = "Orion"
+    aggregate_write_gbs: float = 5000.0   # ~5 TB/s peak write
+    aggregate_read_gbs: float = 10000.0   # ~10 TB/s peak read
+
+    def write_seconds(self, total_bytes: float, num_nodes: int,
+                      nic_bw_gbs: float) -> float:
+        """Time to land ``total_bytes`` from ``num_nodes`` writers."""
+        if num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1: {num_nodes}")
+        per_node = total_bytes / num_nodes / (nic_bw_gbs * 1e9)
+        aggregate = total_bytes / (self.aggregate_write_gbs * 1e9)
+        return max(per_node, aggregate)
+
+    def read_seconds(self, total_bytes: float, num_nodes: int,
+                     nic_bw_gbs: float) -> float:
+        """Time to restore ``total_bytes`` onto ``num_nodes`` readers."""
+        if num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1: {num_nodes}")
+        per_node = total_bytes / num_nodes / (nic_bw_gbs * 1e9)
+        aggregate = total_bytes / (self.aggregate_read_gbs * 1e9)
+        return max(per_node, aggregate)
+
+
+@dataclass(frozen=True)
 class MachineSpec:
     """The full machine."""
 
     name: str = "Frontier"
     node: NodeSpec = NodeSpec()
     num_nodes: int = 9408
+    filesystem: FilesystemSpec = FilesystemSpec()
 
     @property
     def num_gcds(self) -> int:

@@ -2,8 +2,8 @@
 
 from .attention import (CausalSelfAttention, KVCache, RotaryEmbedding,
                         flash_attention_forward)
-from .checkpoint import (load_checkpoint, load_tokenizer,
-                         save_checkpoint, save_tokenizer)
+from .checkpoint import (CheckpointCorruptError, load_checkpoint,
+                         load_tokenizer, save_checkpoint, save_tokenizer)
 from .config import ModelConfig, PRESETS, TABLE_II, preset
 from .flops import (GEMMShape, LayerAccounting, layer_accounting,
                     model_flops_per_token, model_training_flops)
@@ -17,7 +17,8 @@ __all__ = [
     "CausalSelfAttention", "KVCache", "RotaryEmbedding",
     "flash_attention_forward",
     "ModelConfig", "PRESETS", "TABLE_II", "preset",
-    "load_checkpoint", "load_tokenizer", "save_checkpoint", "save_tokenizer",
+    "CheckpointCorruptError", "load_checkpoint", "load_tokenizer",
+    "save_checkpoint", "save_tokenizer",
     "GEMMShape", "LayerAccounting", "layer_accounting",
     "model_flops_per_token", "model_training_flops",
     "Dropout", "Embedding", "LayerNorm", "Linear", "Module", "Parameter",

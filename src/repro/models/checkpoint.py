@@ -5,12 +5,28 @@ model's configuration and weights to one ``.npz`` file and
 `load_checkpoint` reconstructs the identical model.  Tokenizers pickle
 their learned state alongside (both implementations are pure-Python
 dict/bytes structures).
+
+Every artifact is written **crash-safely**: the bytes land in a
+temporary file in the destination directory and are published with one
+atomic :func:`os.replace`, so a failure mid-write (the exact scenario
+:mod:`repro.training.resilience` charges for) can never leave a
+half-written checkpoint behind — the path either holds the previous
+complete artifact or the new one.  Each file carries a sha256 of its
+payload in a one-line header; loads verify it *before* deserializing
+and raise :class:`CheckpointCorruptError` naming the path instead of
+surfacing a cryptic unpickling/zipfile error.  Headerless files from
+older versions of this repo still load (best effort, no verification).
 """
 
 from __future__ import annotations
 
+import hashlib
+import io
 import json
+import os
 import pickle
+import tempfile
+import zipfile
 from dataclasses import asdict
 from pathlib import Path
 
@@ -19,10 +35,83 @@ import numpy as np
 from .config import ModelConfig
 from .transformer import GPTModel
 
-__all__ = ["save_checkpoint", "load_checkpoint", "save_tokenizer",
-           "load_tokenizer"]
+__all__ = ["CheckpointCorruptError", "load_checkpoint", "load_tokenizer",
+           "read_verified", "save_checkpoint", "save_tokenizer",
+           "write_atomic"]
 
 _CONFIG_KEY = "__config_json__"
+_MAGIC = b"repro-ckpt-v2"
+
+
+class CheckpointCorruptError(Exception):
+    """A checkpoint file failed its integrity check.
+
+    Raised when the stored sha256 does not match the payload, the file
+    is truncated, or the payload cannot be deserialized — i.e. the
+    artifact on disk is not what ``save_*`` wrote.
+    """
+
+
+def write_atomic(path: Path, payload: bytes) -> Path:
+    """Publish ``payload`` at ``path`` with a checksummed header, atomically.
+
+    The bytes are staged in a temp file in the same directory (same
+    filesystem, so the final :func:`os.replace` is a single atomic rename)
+    and fsync'd before the rename; readers never observe a partial file.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    digest = hashlib.sha256(payload).hexdigest()
+    header = b"%s sha256=%s bytes=%d\n" % (
+        _MAGIC, digest.encode(), len(payload))
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent,
+                                    prefix=path.name + ".tmp-")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(header)
+            fh.write(payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def read_verified(path: Path) -> bytes | None:
+    """Return the verified payload, or ``None`` for a headerless file.
+
+    ``None`` signals a legacy artifact written before the envelope
+    existed — callers fall back to loading the raw bytes unverified.
+    Raises :class:`CheckpointCorruptError` on a truncated payload or a
+    checksum mismatch.
+    """
+    with open(path, "rb") as fh:
+        header = fh.readline(256)
+        if not header.startswith(_MAGIC + b" "):
+            return None
+        payload = fh.read()
+    try:
+        fields = dict(part.split(b"=", 1)
+                      for part in header.split()[1:])
+        expected_digest = fields[b"sha256"].decode()
+        expected_bytes = int(fields[b"bytes"])
+    except (KeyError, ValueError) as exc:
+        raise CheckpointCorruptError(
+            f"{path}: malformed checkpoint header") from exc
+    if len(payload) != expected_bytes:
+        raise CheckpointCorruptError(
+            f"{path}: truncated checkpoint — header promises "
+            f"{expected_bytes} payload bytes, found {len(payload)}")
+    digest = hashlib.sha256(payload).hexdigest()
+    if digest != expected_digest:
+        raise CheckpointCorruptError(
+            f"{path}: checksum mismatch — expected sha256 "
+            f"{expected_digest}, payload hashes to {digest}")
+    return payload
 
 
 def save_checkpoint(model: GPTModel, path: str | Path) -> Path:
@@ -32,24 +121,30 @@ def save_checkpoint(model: GPTModel, path: str | Path) -> Path:
         path = path.with_suffix(".npz")
     arrays = {name: p.data for name, p in model.named_parameters()}
     config_json = json.dumps(asdict(model.config))
-    path.parent.mkdir(parents=True, exist_ok=True)
-    np.savez(path, **arrays,
+    buffer = io.BytesIO()
+    np.savez(buffer, **arrays,
              **{_CONFIG_KEY: np.frombuffer(config_json.encode(),
                                            dtype=np.uint8)})
-    return path
+    return write_atomic(path, buffer.getvalue())
 
 
 def load_checkpoint(path: str | Path) -> GPTModel:
     """Reconstruct a model saved with :func:`save_checkpoint`."""
     path = Path(path)
-    with np.load(path) as data:
-        if _CONFIG_KEY not in data:
-            raise ValueError(f"{path} is not a repro checkpoint "
-                             f"(missing {_CONFIG_KEY})")
-        config_json = bytes(data[_CONFIG_KEY]).decode()
-        config = ModelConfig(**json.loads(config_json))
-        model = GPTModel(config, seed=0)
-        state = {k: data[k] for k in data.files if k != _CONFIG_KEY}
+    payload = read_verified(path)
+    source = path if payload is None else io.BytesIO(payload)
+    try:
+        with np.load(source) as data:
+            if _CONFIG_KEY not in data:
+                raise ValueError(f"{path} is not a repro checkpoint "
+                                 f"(missing {_CONFIG_KEY})")
+            config_json = bytes(data[_CONFIG_KEY]).decode()
+            config = ModelConfig(**json.loads(config_json))
+            model = GPTModel(config, seed=0)
+            state = {k: data[k] for k in data.files if k != _CONFIG_KEY}
+    except (zipfile.BadZipFile, OSError) as exc:
+        raise CheckpointCorruptError(
+            f"{path}: not a readable npz archive ({exc})") from exc
     model.load_state_dict(state)
     return model
 
@@ -61,16 +156,22 @@ def save_tokenizer(tokenizer, path: str | Path) -> Path:
     path = Path(path)
     if path.suffix != ".pkl":
         path = path.with_suffix(".pkl")
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with open(path, "wb") as fh:
-        pickle.dump(tokenizer, fh)
-    return path
+    return write_atomic(path, pickle.dumps(tokenizer))
 
 
 def load_tokenizer(path: str | Path):
     """Load a tokenizer saved with :func:`save_tokenizer`."""
-    with open(path, "rb") as fh:
-        tokenizer = pickle.load(fh)
+    path = Path(path)
+    payload = read_verified(path)
+    if payload is None:
+        with open(path, "rb") as fh:
+            payload = fh.read()
+    try:
+        tokenizer = pickle.loads(payload)
+    except Exception as exc:
+        raise CheckpointCorruptError(
+            f"{path}: tokenizer payload failed to unpickle ({exc})"
+        ) from exc
     if not getattr(tokenizer, "_trained", False):
         raise ValueError(f"{path} did not contain a trained tokenizer")
     return tokenizer

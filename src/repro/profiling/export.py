@@ -25,6 +25,13 @@ __all__ = ["to_chrome_trace", "save_chrome_trace",
 _CATEGORY_TID = {"forward": 1, "backward": 1, "comm": 2, "io": 3,
                  "optimizer": 1}
 
+#: Chrome-trace reserved color names for fault-lifecycle categories, so
+#: failures jump out of the lifecycle lanes without hunting by name.
+_CATEGORY_CNAME = {"fail": "terrible", "failed": "terrible",
+                   "detect": "bad", "straggler": "bad",
+                   "link-degrade": "bad", "retry": "bad",
+                   "recover": "good"}
+
 
 def to_chrome_trace(trace: StepTrace, process_name: str = "GCD 0") -> dict:
     """Convert a step timeline to a Chrome trace-event document.
@@ -92,6 +99,9 @@ def lanes_to_chrome_trace(
                     "ts": event.start_s * 1e6,
                     "args": {"phase": event.phase},
                 }
+                cname = _CATEGORY_CNAME.get(event.category)
+                if cname is not None:
+                    entry["cname"] = cname
                 if event.duration_s > 0:
                     entry["ph"] = "X"
                     entry["dur"] = event.duration_s * 1e6

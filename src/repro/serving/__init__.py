@@ -5,8 +5,10 @@ scheduler → engine → metrics) that decodes with the real NumPy models
 on a deterministic virtual clock, the analytic extrapolation that maps
 a measured trace onto Frontier MI250X GCDs, and a multi-node cluster
 simulator that routes Poisson traffic across replica layouts with
-traced request lifecycles.  Entry points: ``python -m repro
-serve-bench`` and ``python -m repro cluster-bench``.
+traced request lifecycles — optionally under seeded replica failures
+with health-check detection and request failover (``repro.faults``).
+Entry points: ``python -m repro serve-bench``, ``python -m repro
+cluster-bench``, and ``python -m repro fault-bench``.
 
 The curated public surface is ``__all__`` below; one
 :class:`ServingConfig` describes a replica for both the engine and the
@@ -18,20 +20,22 @@ cluster, and :class:`ServeResult` / :class:`ClusterResult` share
 from .cluster import (LB_POLICIES, ClusterConfig, ClusterResult,
                       ClusterSimulator, ReplicaLayout, ReplicaServer,
                       format_cluster)
-from .config import ServingConfig
+from .config import FailoverConfig, ServingConfig
 from .engine import DecodeCostModel, ServingEngine, run_sequential
 from .kv_pool import KVPoolConfig, PagedKVPool, kv_bytes_per_token
 from .metrics import (RequestRecord, ServingMetrics, TimelineSample,
                       format_metrics)
 from .perf_model import (DeploymentEstimate, FrontierServingEstimate,
                          ServingPerfModel, format_estimate)
-from .results import ServeResult, ServingResultBase
+from .results import FailedRequest, ServeResult, ServingResultBase
 from .scheduler import ContinuousBatchScheduler, Request, SchedulerConfig
 from .workload import WorkloadConfig, synthesize_workload
 
 __all__ = [
     # Unified configuration and result hierarchy.
     "ServingConfig", "ServingResultBase", "ServeResult", "ClusterResult",
+    # Fault injection & failover (see also repro.faults).
+    "FailoverConfig", "FailedRequest",
     # Single-replica engine.
     "DecodeCostModel", "ServingEngine", "run_sequential",
     # Cluster simulator.

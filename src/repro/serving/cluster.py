@@ -23,23 +23,44 @@ prefill → [preempt →] decode → finish) as
 format as the training profiles: one Perfetto track group per node, one
 lane per replica, plus a cluster router lane for arrivals and
 backpressure queueing.
+
+With ``ClusterConfig.faults`` set, the cluster additionally replays a
+seeded :class:`~repro.faults.FaultModel`: replicas die on the virtual
+clock (a failure takes effect at the victim's first step boundary at or
+after its onset — steps are atomic), stay invisible to the router until
+the health check fires ``detection_s`` later, and rejoin ``recovery_s``
+after death.  In-flight requests of a dead replica — including ones
+routed to it during the detection window — are failed over: reset,
+delayed by the capped-exponential-backoff-with-deterministic-jitter
+:class:`~repro.faults.RetryPolicy`, and re-routed to survivors, or
+abandoned as :class:`~repro.serving.results.FailedRequest` once their
+retry budget is spent.  Stragglers stretch the victim's step durations
+over their window; a degraded link stretches only the TP-allreduce
+share of the affected node's replicas (TP=1 replicas pay nothing —
+decode sends no cross-GCD traffic).  With ``faults`` unset (or all
+processes disabled) the simulator runs the identical code path as
+before, bit for bit.
 """
 
 from __future__ import annotations
 
+import heapq
+import itertools
+import math
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 
+from ..faults.model import FaultConfig, FaultEvent, FaultModel
 from ..frontier.hardware import GCDSpec, NodeSpec
 from ..models.config import ModelConfig
 from ..parallel.collectives import CollectiveModel
 from ..profiling.export import save_lanes_chrome_trace
 from ..profiling.tracer import TraceEvent
-from .config import ServingConfig
+from .config import FailoverConfig, ServingConfig
 from .engine import DecodeCostModel, _validate_requests
 from .kv_pool import PagedKVPool
 from .metrics import RequestRecord, ServingMetrics, TimelineSample
-from .results import ServingResultBase
+from .results import FailedRequest, ServingResultBase
 from .scheduler import ContinuousBatchScheduler, Request
 
 __all__ = ["ReplicaLayout", "ClusterConfig", "ReplicaServer",
@@ -126,6 +147,10 @@ class ClusterConfig:
     policy: str = "round-robin"
     serving: ServingConfig = ServingConfig()
     max_outstanding_per_replica: int = 32
+    #: fault process to replay (None, or all-inf rates, = exact no-op)
+    faults: FaultConfig | None = None
+    #: detection / recovery / retry semantics when ``faults`` is active
+    failover: FailoverConfig = FailoverConfig()
 
     def __post_init__(self) -> None:
         if self.num_nodes < 1:
@@ -168,6 +193,23 @@ class ReplicaServer:
         self.timeline: list[TimelineSample] = []
         self.events: list[TraceEvent] = []
         self._steps = 0
+        # -- fault state (inert defaults; the fault-free path never
+        #    mutates them, keeping that path bit-identical) -------------
+        #: whether the replica processes work (False between fail/recover)
+        self.alive = True
+        #: the router's view; stays True until the health check fires
+        self.healthy = True
+        #: active (start, end, factor) step-duration stretch windows
+        self.slow_windows: list[tuple[float, float, float]] = []
+        #: share of a decode step spent in TP allreduces (0 for TP=1) —
+        #: what a degraded link can actually slow down.  Taken at a
+        #: representative single-request, 512-token context point; the
+        #: ratio moves little across batch shapes.
+        self.comm_fraction = 0.0
+        if cost.tp > 1:
+            step_s = cost.decode_step_time(1, 512)
+            if step_s > 0:
+                self.comm_fraction = min(1.0, cost._tp_comm(1) / step_s)
 
     @property
     def name(self) -> str:
@@ -196,6 +238,48 @@ class ReplicaServer:
         self.events.append(TraceEvent(f"req{request_id}/{stage}", start,
                                       duration, stage, phase))
 
+    def _fault_event(self, stage: str, start: float,
+                     duration: float = 0.0) -> None:
+        self.events.append(TraceEvent(f"fault/{stage}", start, duration,
+                                      stage, "fault"))
+
+    # -- fault-injection hooks (driven by the cluster simulator) --------
+    def _slowdown(self) -> float:
+        """Product of active stretch factors at the current clock."""
+        factor = 1.0
+        for start, end, f in self.slow_windows:
+            if start <= self.clock < end:
+                factor *= f
+        return factor
+
+    def kill(self, now: float) -> None:
+        """Fail the replica at ``now`` (a step boundary >= the onset)."""
+        self.alive = False
+        self.clock = max(self.clock, now)
+        self._fault_event("fail", self.clock)
+
+    def take_in_flight(self) -> list[Request]:
+        """Extract every routed-but-unfinished request (detection time).
+
+        Frees the dead replica's pool allocations so a later
+        :meth:`revive` starts from an empty pool; the caller owns the
+        returned requests (they are failed over or abandoned).
+        """
+        sched = self.scheduler
+        doomed = list(sched.running) + list(sched.waiting)
+        for req in sched.running:
+            self.pool.free(req.request_id)
+        sched.running.clear()
+        sched.waiting.clear()
+        return doomed
+
+    def revive(self, now: float) -> None:
+        """Bring the replica back into the candidate set at ``now``."""
+        self.alive = True
+        self.healthy = True
+        self.clock = max(self.clock, now)
+        self._fault_event("recover", self.clock)
+
     def enqueue(self, request: Request, now: float) -> None:
         """Accept a routed request; the caller has advanced us to now."""
         self._event(request.request_id, "route", now)
@@ -211,7 +295,7 @@ class ReplicaServer:
             admit=request.admit_time, first_token=request.first_token_time,
             finish=self.clock, prompt_len=request.prompt_len,
             output_len=len(request.output),
-            preemptions=request.preemptions))
+            preemptions=request.preemptions, retries=request.retries))
 
     def step(self) -> None:
         """One scheduling iteration: admit + prefill, or one decode step."""
@@ -225,6 +309,10 @@ class ReplicaServer:
             self._event(req.request_id, "admit", self.clock)
             start = self.clock
             duration = self.cost.prefill_time(req.prompt_len)
+            if self.slow_windows:
+                stretch = self._slowdown()
+                if stretch != 1.0:
+                    duration *= stretch
             req.output.append(_SENTINEL)
             self.clock = start + duration
             self._event(req.request_id, "prefill", start, duration)
@@ -263,8 +351,13 @@ class ReplicaServer:
             req.output.append(_SENTINEL)
         survivors = [r for r in batch if r in sched.running]
         total_ctx = sum(r.context_len for r in survivors)
-        self.clock += self.cost.decode_step_time(max(1, len(survivors)),
-                                                 total_ctx)
+        step_s = self.cost.decode_step_time(max(1, len(survivors)),
+                                            total_ctx)
+        if self.slow_windows:
+            stretch = self._slowdown()
+            if stretch != 1.0:
+                step_s *= stretch
+        self.clock += step_s
         for req in survivors:
             if req.done:
                 self._finish(req)
@@ -275,8 +368,12 @@ class ReplicaServer:
             context_tokens=total_ctx))
 
     def advance_to(self, t: float) -> None:
-        """Run until the local clock reaches ``t`` (or the replica idles)."""
-        while self.clock < t and self.busy:
+        """Run until the local clock reaches ``t`` (or the replica idles).
+
+        A dead replica does no work; its clock still moves to ``t`` so
+        that the revival time is well-ordered with the router's clock.
+        """
+        while self.clock < t and self.busy and self.alive:
             self.step()
         if self.clock < t:
             self.clock = t
@@ -301,6 +398,17 @@ class ClusterResult(ServingResultBase):
     #: process -> lane -> lifecycle events (Chrome-trace shaped)
     lanes: dict[str, dict[str, list[TraceEvent]]] = field(
         default_factory=dict)
+    #: requests submitted to the cluster (completed + failed, always)
+    submitted: int = 0
+    #: requests abandoned after exhausting their failover retries
+    failed_records: list[FailedRequest] = field(default_factory=list)
+    #: failover re-routes summed over completed and failed requests
+    retries_total: int = 0
+    #: fraction of submitted requests that completed within the TTFT SLO
+    #: (bare completion when no SLO is configured); 1.0 without faults
+    availability: float = 1.0
+    #: the replayed fault schedule, as ``FaultEvent.to_dict()`` rows
+    fault_events: list[dict] = field(default_factory=list)
 
     def per_node_requests(self) -> dict[int, int]:
         """Completed-request count per node index."""
@@ -319,7 +427,12 @@ class ClusterResult(ServingResultBase):
             policy=self.policy, num_nodes=self.num_nodes,
             layout=self.layout, queued_requests=self.queued_requests,
             assignments={str(i): list(a)
-                         for i, a in sorted(self.assignments.items())})
+                         for i, a in sorted(self.assignments.items())},
+            submitted=self.submitted,
+            failed=[f.to_dict() for f in self.failed_records],
+            retries_total=self.retries_total,
+            availability=self.availability,
+            fault_events=self.fault_events)
         return data
 
 
@@ -360,11 +473,19 @@ class ClusterSimulator:
         self._router_events: list[TraceEvent] = []
         self.assignments: dict[int, tuple[int, int]] = {}
         self._pending: list[Request] = []
+        # -- failover state (all inert on the fault-free path) ----------
+        self._seq = itertools.count()     # heap tie-break counter
+        self._deferred: list[tuple[float, int, Request]] = []  # retries
+        self._detections: list[tuple[float, int, int]] = []
+        self._recoveries: list[tuple[float, int, int]] = []
+        self._failed: list[FailedRequest] = []
+        self._fault_events: list[dict] = []
 
     # -- load balancing ------------------------------------------------
     def _candidates(self) -> list[ReplicaServer]:
         cap = self.config.max_outstanding_per_replica
-        return [r for r in self.replicas if r.outstanding < cap]
+        return [r for r in self.replicas
+                if r.healthy and r.outstanding < cap]
 
     def _cycle(self, candidates: list[ReplicaServer]) -> ReplicaServer:
         """Deterministic rotating pick: first candidate at/after the
@@ -424,8 +545,16 @@ class ClusterSimulator:
                                                    r.request_id))
         self.assignments: dict[int, tuple[int, int]] = {}
         self._pending: list[Request] = []
-        queued = 0
+        faults = self.config.faults
+        if faults is None or faults.fault_free:
+            queued = self._run_fault_free(arrivals)
+        else:
+            queued = self._run_with_faults(arrivals, faults)
+        return self._assemble(arrivals, queued)
 
+    def _run_fault_free(self, arrivals: list[Request]) -> int:
+        """The original (exact) arrival/drain loop; returns queued count."""
+        queued = 0
         for req in arrivals:
             t = req.arrival_time
             for replica in self.replicas:
@@ -456,9 +585,192 @@ class ClusterSimulator:
             min(busy, key=lambda r: (r.clock, r.index)).step()
         for replica in self.replicas:
             replica.drain()
+        return queued
 
+    # -- failover path --------------------------------------------------
+    def _run_with_faults(self, arrivals: list[Request],
+                         faults: FaultConfig) -> int:
+        """Arrival/drain loop interleaved with the seeded fault process.
+
+        The router's next event is the earliest of: arrival, health-check
+        detection, replica recovery, retry-backoff expiry.  Fault onsets
+        at or before that instant are applied first (each takes effect at
+        its victim's next step boundary), so no replica ever computes
+        past an unapplied fault.
+        """
+        fm = FaultModel(faults, len(self.replicas),
+                        gcds_per_component=self.config.layout.tp,
+                        num_link_domains=self.config.num_nodes)
+        fo = self.config.failover
+        queued = 0
+        index = 0  # next arrival
+        while True:
+            t_arrive = arrivals[index].arrival_time \
+                if index < len(arrivals) else math.inf
+            t_detect = self._detections[0][0] \
+                if self._detections else math.inf
+            t_recover = self._recoveries[0][0] \
+                if self._recoveries else math.inf
+            t_retry = self._deferred[0][0] if self._deferred else math.inf
+            t_router = min(t_arrive, t_detect, t_recover, t_retry)
+
+            if math.isinf(t_router):
+                # No router events left: drain survivors, still letting
+                # fault onsets they reach interrupt them.
+                busy = [r for r in self.replicas if r.alive and r.busy]
+                if not busy:
+                    break
+                laggard = min(busy, key=lambda r: (r.clock, r.index))
+                if fm.peek_time() <= laggard.clock:
+                    self._apply_fault(fm.pop(), fo)
+                else:
+                    laggard.step()
+                    self._dispatch_pending()
+                continue
+
+            if fm.peek_time() <= t_router:
+                self._apply_fault(fm.pop(), fo)
+                continue
+
+            for replica in self.replicas:
+                if replica.alive:
+                    replica.advance_to(t_router)
+                elif replica.clock < t_router:
+                    replica.clock = t_router
+            self._dispatch_pending()
+
+            # Equal-time ties resolve detection -> recovery -> retry ->
+            # arrival: a router must notice a death before it can route
+            # around it, revive, or hand the slot to new work.
+            if t_detect == t_router:
+                _, _, flat = heapq.heappop(self._detections)
+                replica = self.replicas[flat]
+                replica.healthy = False
+                replica._fault_event("detect", t_router)
+                for req in replica.take_in_flight():
+                    self._fail_over(req, t_router, fo)
+            elif t_recover == t_router:
+                _, _, flat = heapq.heappop(self._recoveries)
+                self.replicas[flat].revive(t_router)
+                self._dispatch_pending()
+            elif t_retry == t_router:
+                _, _, req = heapq.heappop(self._deferred)
+                replica = self._choose() if not self._pending else None
+                if replica is None:
+                    self._router_events.append(TraceEvent(
+                        f"req{req.request_id}/queue", t_router, 0.0,
+                        "queue", "io"))
+                    self._pending.append(req)
+                else:
+                    self._dispatch(req, replica, t_router)
+            else:
+                req = arrivals[index]
+                index += 1
+                self._router_events.append(TraceEvent(
+                    f"req{req.request_id}/arrive", t_router, 0.0,
+                    "arrive", "io"))
+                replica = self._choose() if not self._pending else None
+                if replica is None:
+                    queued += 1
+                    self._router_events.append(TraceEvent(
+                        f"req{req.request_id}/queue", t_router, 0.0,
+                        "queue", "io"))
+                    self._pending.append(req)
+                else:
+                    self._dispatch(req, replica, t_router)
+
+        if self._pending:
+            raise ValueError(
+                f"cluster has zero surviving replicas: "
+                f"{len(self._pending)} requests cannot be served because "
+                f"every replica failed and recovery_s="
+                f"{fo.recovery_s} never revives one; set a finite "
+                f"recovery_s or raise mtbf_hours "
+                f"(={faults.mtbf_hours})")
+        return queued
+
+    def _apply_fault(self, event: FaultEvent, fo: FailoverConfig) -> None:
+        """Take one sampled fault into effect at its victim."""
+        self._fault_events.append(event.to_dict())
+        if event.kind == "failure":
+            replica = self.replicas[event.component]
+            if not replica.alive:
+                return  # struck an already-down replica: absorbed
+            # The victim finishes steps it started before the onset
+            # (steps are atomic); death lands on the first boundary
+            # at or after it.
+            while replica.alive and replica.busy \
+                    and replica.clock < event.time_s:
+                replica.step()
+                self._dispatch_pending()
+            replica.kill(event.time_s)
+            heapq.heappush(self._detections,
+                           (replica.clock + fo.detection_s,
+                            next(self._seq), replica.index))
+            if not fo.fail_stop:
+                heapq.heappush(self._recoveries,
+                               (replica.clock + fo.recovery_s,
+                                next(self._seq), replica.index))
+        elif event.kind == "straggler":
+            replica = self.replicas[event.component]
+            replica.slow_windows.append(
+                (event.time_s, event.time_s + event.window_s,
+                 event.factor))
+            replica._fault_event("straggler", event.time_s,
+                                 event.window_s)
+        else:  # link-degrade: the component is a *node* index
+            for replica in self.replicas:
+                if replica.node_index != event.component:
+                    continue
+                if replica.comm_fraction <= 0.0:
+                    continue  # TP=1 decode sends no cross-GCD traffic
+                # Only the allreduce share slows by 1/factor.
+                stretch = 1.0 + replica.comm_fraction \
+                    * (1.0 / event.factor - 1.0)
+                replica.slow_windows.append(
+                    (event.time_s, event.time_s + event.window_s,
+                     stretch))
+                replica._fault_event("link-degrade", event.time_s,
+                                     event.window_s)
+
+    def _fail_over(self, req: Request, now: float,
+                   fo: FailoverConfig) -> None:
+        """Re-queue a killed request with backoff, or abandon it."""
+        retry = fo.retry
+        if req.retries >= retry.max_retries:
+            self._failed.append(FailedRequest(
+                request_id=req.request_id, arrival=req.arrival_time,
+                failed_at=now, retries=req.retries,
+                prompt_len=req.prompt_len))
+            self._router_events.append(TraceEvent(
+                f"req{req.request_id}/failed", now, 0.0, "failed", "io"))
+            return
+        req.reset_for_failover()
+        ready = now + retry.delay(req.request_id, req.retries)
+        heapq.heappush(self._deferred,
+                       (ready, next(self._seq), req))
+        self._router_events.append(TraceEvent(
+            f"req{req.request_id}/retry", now, 0.0, "retry", "io"))
+
+    # -- result assembly ------------------------------------------------
+    def _assemble(self, arrivals: list[Request],
+                  queued: int) -> ClusterResult:
+        submitted = len(arrivals)
         records = sorted((rec for r in self.replicas for rec in r.records),
                          key=lambda rec: rec.request_id)
+        failed = sorted(self._failed, key=lambda f: f.request_id)
+        if len(records) + len(failed) != submitted:
+            raise RuntimeError(  # pragma: no cover — simulator invariant
+                f"request accounting broken: {len(records)} completed + "
+                f"{len(failed)} failed != {submitted} submitted")
+        if not records:
+            fo = self.config.failover
+            faults = self.config.faults
+            raise ValueError(
+                f"no requests completed: all {submitted} exhausted "
+                f"max_retries={fo.retry.max_retries} under mtbf_hours="
+                f"{faults.mtbf_hours if faults else math.inf}; raise "
+                f"max_retries, shorten recovery_s, or raise mtbf_hours")
         timeline = sorted((s for r in self.replicas for s in r.timeline),
                           key=lambda s: s.time)
         metrics = ServingMetrics.from_records(
@@ -468,6 +780,9 @@ class ClusterSimulator:
                                       for r in self.replicas),
             preemptions=sum(r.scheduler.total_preemptions
                             for r in self.replicas))
+        slo = self.config.failover.slo_ttft_s
+        within_slo = sum(1 for rec in records
+                         if slo is None or rec.ttft <= slo)
         lanes: dict[str, dict[str, list[TraceEvent]]] = {
             "cluster": {"router": self._router_events}}
         for replica in self.replicas:
@@ -479,7 +794,11 @@ class ClusterSimulator:
             num_nodes=self.config.num_nodes,
             layout=self.config.layout.label,
             assignments=self.assignments, queued_requests=queued,
-            lanes=lanes)
+            lanes=lanes, submitted=submitted, failed_records=failed,
+            retries_total=sum(rec.retries for rec in records)
+            + sum(f.retries for f in failed),
+            availability=within_slo / submitted,
+            fault_events=self._fault_events)
 
 
 def format_cluster(results: list[ClusterResult],
@@ -488,7 +807,8 @@ def format_cluster(results: list[ClusterResult],
     if not results:
         raise ValueError("no cluster results to format")
     header = ["policy", "nodes", "layout", "p50 TTFT", "p99 TTFT",
-              "p50 TPOT", "p99 TPOT", "tok/s", "preempt", "queued"]
+              "p50 TPOT", "p99 TPOT", "tok/s", "preempt", "queued",
+              "avail", "retries", "failed"]
     rows = []
     for res in results:
         ttft = res.percentiles("ttft", (50.0, 99.0))
@@ -498,7 +818,9 @@ def format_cluster(results: list[ClusterResult],
             f"{ttft[50.0] * 1e3:.2f} ms", f"{ttft[99.0] * 1e3:.2f} ms",
             f"{tpot[50.0] * 1e3:.2f} ms", f"{tpot[99.0] * 1e3:.2f} ms",
             f"{res.metrics.tokens_per_s:.0f}",
-            str(res.metrics.preemptions), str(res.queued_requests)])
+            str(res.metrics.preemptions), str(res.queued_requests),
+            f"{res.availability:.1%}", str(res.retries_total),
+            str(len(res.failed_records))])
     widths = [max(len(header[i]), max(len(row[i]) for row in rows))
               for i in range(len(header))]
     lines = [title, "-" * len(title),

@@ -13,14 +13,16 @@ old per-piece configs remain as the internal representation —
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
+from ..faults.model import RetryPolicy
 from ..frontier.hardware import GCDSpec
 from ..models.config import ModelConfig
 from .kv_pool import KVPoolConfig, PagedKVPool
 from .scheduler import SchedulerConfig
 
-__all__ = ["ServingConfig"]
+__all__ = ["FailoverConfig", "ServingConfig"]
 
 
 @dataclass(frozen=True)
@@ -87,3 +89,48 @@ class ServingConfig:
                                step_overhead_s=self.step_overhead_s,
                                tp=self.tensor_parallel,
                                collectives=collectives)
+
+
+@dataclass(frozen=True)
+class FailoverConfig:
+    """How the cluster rides out replica failures.
+
+    ``detection_s`` is the health-check latency: between a replica's
+    death and its detection the router keeps routing to it (those
+    requests join the failover batch when the check fires).
+    ``recovery_s`` is how long a failed replica stays down before
+    rejoining the candidate set (``math.inf`` = fail-stop, the replica
+    never returns).  ``retry`` shapes the capped exponential backoff a
+    failed-over request waits before re-routing; a request killed more
+    than ``retry.max_retries`` times is abandoned and reported in
+    :attr:`~repro.serving.cluster.ClusterResult.failed_records`.
+    ``slo_ttft_s`` defines availability: the fraction of submitted
+    requests that completed with TTFT within the SLO (``None`` counts
+    bare completion).
+    """
+
+    detection_s: float = 0.005
+    recovery_s: float = 2.0
+    retry: RetryPolicy = RetryPolicy()
+    slo_ttft_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.detection_s < 0:
+            raise ValueError(
+                f"detection_s must be >= 0: {self.detection_s}")
+        if not self.recovery_s > 0:
+            raise ValueError(
+                f"recovery_s must be > 0 (math.inf = fail-stop): "
+                f"{self.recovery_s}")
+        if self.detection_s > self.recovery_s:
+            raise ValueError(
+                f"detection_s ({self.detection_s}) must be <= recovery_s "
+                f"({self.recovery_s}): a replica cannot rejoin the router "
+                f"before its failure was even detected")
+        if self.slo_ttft_s is not None and not self.slo_ttft_s > 0:
+            raise ValueError(
+                f"slo_ttft_s must be > 0 (or None): {self.slo_ttft_s}")
+
+    @property
+    def fail_stop(self) -> bool:
+        return math.isinf(self.recovery_s)

@@ -37,6 +37,7 @@ class RequestRecord:
     prompt_len: int
     output_len: int
     preemptions: int = 0
+    retries: int = 0
 
     @property
     def ttft(self) -> float:

@@ -21,10 +21,29 @@ from ..profiling.export import save_lanes_chrome_trace
 from ..profiling.tracer import TraceEvent
 from .metrics import RequestRecord, ServingMetrics
 
-__all__ = ["ServingResultBase", "ServeResult"]
+__all__ = ["FailedRequest", "ServingResultBase", "ServeResult"]
 
 #: Per-request quantities ``percentiles`` knows how to extract.
 _METRIC_FIELDS = ("ttft", "tpot", "latency")
+
+
+@dataclass(frozen=True)
+class FailedRequest:
+    """A request abandoned after exhausting its failover retries.
+
+    The counterpart of :class:`~repro.serving.metrics.RequestRecord` for
+    requests that never completed: the no-silent-drop invariant is that
+    every submitted request ends in exactly one of the two lists.
+    """
+
+    request_id: int
+    arrival: float
+    failed_at: float
+    retries: int
+    prompt_len: int
+
+    def to_dict(self) -> dict:
+        return asdict(self)
 
 
 @dataclass

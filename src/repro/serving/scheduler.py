@@ -57,6 +57,7 @@ class Request:
     first_token_time: float | None = None
     finish_time: float | None = None
     preemptions: int = 0
+    retries: int = 0
 
     def __post_init__(self) -> None:
         self.prompt = np.asarray(self.prompt, dtype=np.int64).ravel()
@@ -93,6 +94,21 @@ class Request:
         self.state = WAITING
         self.first_token_time = None
         self.preemptions += 1
+
+    def reset_for_failover(self) -> None:
+        """Drop *all* replica state so the request can re-route.
+
+        Unlike :meth:`reset_for_requeue` (same replica, prompt still
+        resident), failover lands on a different replica: admission
+        restarts from scratch and the attempt counts toward ``retries``
+        (a separate budget from ``preemptions``, which are benign).
+        """
+        self.output.clear()
+        self.caches = None
+        self.state = WAITING
+        self.admit_time = None
+        self.first_token_time = None
+        self.retries += 1
 
 
 @dataclass(frozen=True)

@@ -1,4 +1,5 @@
-"""Training engine: optimizers, schedules, precision, trainer, loss model."""
+"""Training engine: optimizers, schedules, precision, trainer, loss model,
+checkpoint-restart resilience."""
 
 from .batch_scaling import (BatchScalingCurve, BatchScalingPoint,
                             batch_scaling_study, scaled_lr)
@@ -6,6 +7,10 @@ from .loss_model import LossCurve, LossCurveModel, LossRecipe
 from .optimizers import LAMB, Adam, Optimizer, SGD, clip_grad_norm
 from .precision import (DTYPE_RANGES, PrecisionPolicy, cast, round_bf16,
                         round_fp16)
+from .resilience import (BYTES_PER_PARAM, CheckpointCostModel,
+                         CheckpointRestartSimulator, TrainingRunReport,
+                         checkpoint_state_bytes, expected_goodput,
+                         format_goodput_sweep, young_daly_interval)
 from .schedules import ConstantSchedule, CosineWarmupSchedule
 from .trainer import Trainer, TrainerConfig, TrainingHistory
 
@@ -16,4 +21,7 @@ __all__ = [
     "Trainer", "TrainerConfig", "TrainingHistory",
     "BatchScalingCurve", "BatchScalingPoint", "batch_scaling_study",
     "scaled_lr",
+    "BYTES_PER_PARAM", "CheckpointCostModel", "CheckpointRestartSimulator",
+    "TrainingRunReport", "checkpoint_state_bytes", "expected_goodput",
+    "format_goodput_sweep", "young_daly_interval",
 ]

@@ -1,0 +1,376 @@
+"""Checkpoint-restart resilience model for simulated training runs.
+
+At 1000+ GCD scale a training job *will* fail mid-run; what the operator
+controls is the checkpoint interval.  Checkpoint too often and the run
+drowns in write time; too rarely and every failure throws away hours of
+work.  The classic Young–Daly analysis balances the two: with checkpoint
+write cost ``C`` and system mean time between failures ``M``, the
+optimal interval is
+
+    tau_opt = sqrt(2 * C * M)
+
+(first-order, valid for ``C << M`` — both assumptions hold in every
+regime this repo sweeps).  This module implements the full pipeline:
+
+1. :class:`CheckpointCostModel` prices one checkpoint write/restore
+   through the hardware model — per-node NIC share vs. the Lustre
+   aggregate, whichever is slower (:class:`~repro.frontier.hardware.
+   FilesystemSpec`).
+2. :func:`young_daly_interval` and :func:`expected_goodput` give the
+   closed-form analysis.
+3. :class:`CheckpointRestartSimulator` *replays* a seeded
+   :class:`~repro.faults.FaultModel` failure schedule against a run,
+   reporting wall time, lost work, restart count, and **goodput**
+   (useful step time / wall time) — the measured counterpart the
+   closed form is checked against, with stragglers and degraded links
+   stretching step durations the formula cannot see.
+
+Entry point: ``python -m repro fault-bench --mode training``
+(docs/RESILIENCE.md walks through the derivation as implemented).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..faults.model import FaultConfig, FaultEvent, FaultModel
+from ..frontier.hardware import FRONTIER, MachineSpec
+
+__all__ = ["BYTES_PER_PARAM", "CheckpointCostModel",
+           "CheckpointRestartSimulator", "TrainingRunReport",
+           "checkpoint_state_bytes", "expected_goodput",
+           "format_goodput_sweep", "young_daly_interval"]
+
+#: Checkpoint bytes per parameter by optimizer: bf16 weights (2) plus an
+#: fp32 master copy (4) plus fp32 optimizer slots (Adam/LAMB carry two
+#: moments, SGD none) — the mixed-precision recipe of the paper's runs.
+BYTES_PER_PARAM = {"sgd": 2 + 4, "adam": 2 + 4 + 8, "lamb": 2 + 4 + 8}
+
+
+def checkpoint_state_bytes(num_params: int, optimizer: str = "adam") -> int:
+    """Total bytes one checkpoint must persist for ``num_params``."""
+    if num_params < 1:
+        raise ValueError(f"num_params must be >= 1: {num_params}")
+    try:
+        per_param = BYTES_PER_PARAM[optimizer]
+    except KeyError:
+        known = ", ".join(sorted(BYTES_PER_PARAM))
+        raise ValueError(f"unknown optimizer {optimizer!r}; known: "
+                         f"{known}") from None
+    return num_params * per_param
+
+
+def young_daly_interval(write_s: float, system_mtbf_s: float) -> float:
+    """Young–Daly optimal checkpoint interval ``sqrt(2 * C * M)``."""
+    if write_s <= 0:
+        raise ValueError(f"write_s must be > 0: {write_s}")
+    if not system_mtbf_s > 0:
+        raise ValueError(f"system_mtbf_s must be > 0: {system_mtbf_s}")
+    if math.isinf(system_mtbf_s):
+        return math.inf
+    return math.sqrt(2.0 * write_s * system_mtbf_s)
+
+
+def expected_goodput(interval_s: float, system_mtbf_s: float,
+                     write_s: float, restart_s: float) -> float:
+    """First-order expected goodput of a checkpointed run.
+
+    Per interval of useful work ``tau`` the run pays the write ``C``;
+    failures arrive at rate ``1/M`` over the ``tau + C`` exposure and
+    each costs the restart ``R`` plus half an interval of lost work on
+    average::
+
+        goodput = tau / (tau + C + (tau + C) / M * (tau/2 + R))
+
+    Exactly 1.0 when both checkpointing and failures are disabled.
+    """
+    if interval_s <= 0:
+        raise ValueError(f"interval_s must be > 0: {interval_s}")
+    write = 0.0 if math.isinf(interval_s) else write_s
+    tau = interval_s if not math.isinf(interval_s) else 1.0
+    if math.isinf(system_mtbf_s):
+        if math.isinf(interval_s):
+            return 1.0
+        return interval_s / (interval_s + write)
+    if math.isinf(interval_s):
+        # No checkpoints: every failure loses half the elapsed run on
+        # average; the first-order form diverges, so report the limit
+        # behaviour via a full-run loss term instead.
+        raise ValueError(
+            "interval_s=inf with finite system_mtbf_s has no first-order "
+            "closed form; pass a finite checkpoint interval")
+    cycle = tau + write
+    overhead = cycle / system_mtbf_s * (tau / 2.0 + restart_s)
+    return tau / (cycle + overhead)
+
+
+@dataclass(frozen=True)
+class CheckpointCostModel:
+    """Prices one checkpoint write/restore through the hardware model.
+
+    ``state_bytes`` is the full persisted state (weights + master copy +
+    optimizer moments, see :func:`checkpoint_state_bytes`); the write
+    streams from ``num_nodes`` writers through their Slingshot NICs into
+    the filesystem, and the restore reads it back on restart.
+    ``restart_overhead_s`` covers everything that is not data movement:
+    re-queueing the job, re-initialising communicators, warming caches.
+    """
+
+    state_bytes: float
+    num_nodes: int = 1
+    machine: MachineSpec = FRONTIER
+    restart_overhead_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.state_bytes <= 0:
+            raise ValueError(f"state_bytes must be > 0: {self.state_bytes}")
+        if self.num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1: {self.num_nodes}")
+        if self.restart_overhead_s < 0:
+            raise ValueError(f"restart_overhead_s must be >= 0: "
+                             f"{self.restart_overhead_s}")
+
+    @property
+    def write_s(self) -> float:
+        return self.machine.filesystem.write_seconds(
+            self.state_bytes, self.num_nodes, self.machine.node.nic_bw_gbs)
+
+    @property
+    def restore_s(self) -> float:
+        return self.machine.filesystem.read_seconds(
+            self.state_bytes, self.num_nodes, self.machine.node.nic_bw_gbs)
+
+    @property
+    def restart_s(self) -> float:
+        """Full failure price: overhead plus reading the checkpoint back."""
+        return self.restart_overhead_s + self.restore_s
+
+
+@dataclass(frozen=True)
+class TrainingRunReport:
+    """What one replayed run cost, and where the time went."""
+
+    interval_s: float
+    num_steps: int
+    step_time_s: float
+    wall_time_s: float
+    useful_s: float
+    goodput: float
+    failures: int
+    checkpoints: int
+    checkpoint_overhead_s: float
+    lost_work_s: float
+    restart_overhead_s: float
+    straggler_stretch_s: float
+
+    def to_dict(self) -> dict:
+        return {
+            "interval_s": self.interval_s, "num_steps": self.num_steps,
+            "step_time_s": self.step_time_s,
+            "wall_time_s": self.wall_time_s, "useful_s": self.useful_s,
+            "goodput": self.goodput, "failures": self.failures,
+            "checkpoints": self.checkpoints,
+            "checkpoint_overhead_s": self.checkpoint_overhead_s,
+            "lost_work_s": self.lost_work_s,
+            "restart_overhead_s": self.restart_overhead_s,
+            "straggler_stretch_s": self.straggler_stretch_s,
+        }
+
+
+class CheckpointRestartSimulator:
+    """Replay a seeded failure schedule against a checkpointed run.
+
+    The run is ``num_steps`` optimizer steps of ``step_time_s`` each
+    (priced upstream, e.g. by the parallel training simulator); every
+    ``interval_s`` of useful work a checkpoint is written.  Failures
+    rewind progress to the last completed checkpoint and charge the
+    restart; a failure *during* a write voids that checkpoint (the
+    atomic-write discipline of ``models.checkpoint``), falling back to
+    the previous one.  Stragglers stretch the steps inside their window;
+    degraded links stretch only the communication share
+    (``comm_fraction``) of a step.
+
+    The zero-fault replay is exact: with the all-``inf``
+    :class:`FaultConfig` and ``interval_s=inf`` the wall time equals
+    ``num_steps * step_time_s`` to the last bit and goodput is 1.0.
+    """
+
+    def __init__(self, step_time_s: float, num_steps: int,
+                 cost: CheckpointCostModel, faults: FaultConfig, *,
+                 num_gcds: int = 8, comm_fraction: float = 0.0):
+        if step_time_s <= 0:
+            raise ValueError(f"step_time_s must be > 0: {step_time_s}")
+        if num_steps < 1:
+            raise ValueError(f"num_steps must be >= 1: {num_steps}")
+        if num_gcds < 1:
+            raise ValueError(f"num_gcds must be >= 1: {num_gcds}")
+        if not 0.0 <= comm_fraction <= 1.0:
+            raise ValueError(
+                f"comm_fraction must be in [0, 1]: {comm_fraction}")
+        self.step_time_s = step_time_s
+        self.num_steps = num_steps
+        self.cost = cost
+        self.faults = faults
+        self.num_gcds = num_gcds
+        self.comm_fraction = comm_fraction
+
+    # ------------------------------------------------------------------
+    @property
+    def system_mtbf_s(self) -> float:
+        return FaultModel(self.faults, 1,
+                          gcds_per_component=self.num_gcds).system_mtbf_s
+
+    def young_daly_interval(self) -> float:
+        """The Young–Daly optimum for this run's write cost and MTBF."""
+        return young_daly_interval(self.cost.write_s, self.system_mtbf_s)
+
+    # ------------------------------------------------------------------
+    def _step_duration(self, now: float,
+                      windows: list[tuple[float, float, float]]) -> float:
+        """One step's wall duration under any active slowdown windows."""
+        duration = self.step_time_s
+        for start, end, factor in windows:
+            if start <= now < end:
+                duration *= factor
+        return duration
+
+    def replay(self, interval_s: float) -> TrainingRunReport:
+        """Run the schedule to completion; returns the accounting."""
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be > 0: {interval_s}")
+        # The whole job is one component whose failure rate scales with
+        # the GCDs it spans; stragglers/link events strike that same
+        # component (the job) and stretch its steps.
+        model = FaultModel(self.faults, 1,
+                           gcds_per_component=self.num_gcds)
+        steps_per_ckpt = math.inf if math.isinf(interval_s) else \
+            max(1, round(interval_s / self.step_time_s))
+        write_s, restart_s = self.cost.write_s, self.cost.restart_s
+
+        now = 0.0
+        done = 0              # completed steps since job start
+        saved = 0             # steps safely on disk
+        failures = checkpoints = 0
+        ckpt_overhead = lost_work = restart_overhead = stretch = 0.0
+        # (start, end, factor) slowdown windows, appended in time order.
+        windows: list[tuple[float, float, float]] = []
+        next_fault = model.peek_time()
+
+        def failure_until(t: float) -> float:
+            """Fold straggler/link events with onset <= ``t`` into
+            windows; return the onset of the first failure <= ``t``
+            (consumed), or inf when none strikes by then."""
+            nonlocal next_fault
+            while next_fault <= t:
+                event = model.pop()
+                next_fault = model.peek_time()
+                if event.kind == "failure":
+                    return event.time_s
+                windows.append(self._window(event))
+            return math.inf
+
+        def fail(at: float, partial_s: float = 0.0) -> float:
+            """Charge a failure at ``at``; returns when work resumes.
+
+            Failures that strike *during* the restart window (common
+            when the system MTBF is comparable to the restart cost)
+            restart the restart, so the clock only ever moves forward.
+            """
+            nonlocal failures, lost_work, restart_overhead
+            failures += 1
+            lost_work += (done - saved) * self.step_time_s + partial_s
+            end = at + restart_s
+            while True:
+                again = failure_until(end)
+                if math.isinf(again):
+                    restart_overhead += end - at
+                    return end
+                failures += 1
+                end = again + restart_s
+
+        while done < self.num_steps:
+            duration = self._step_duration(now, windows)
+            fail_at = failure_until(now + duration)
+            if fail_at <= now + duration:
+                # Failure mid-step: the step never completes, and the
+                # partial work from ``now`` to the failure is lost too.
+                now = fail(fail_at, partial_s=fail_at - now)
+                done = saved
+                continue
+            stretch += duration - self.step_time_s
+            now += duration
+            done += 1
+            if done < self.num_steps and not math.isinf(steps_per_ckpt) \
+                    and done - saved >= steps_per_ckpt:
+                fail_at = failure_until(now + write_s)
+                if fail_at <= now + write_s:
+                    # Failure mid-write: the checkpoint is void (atomic
+                    # writes never expose a partial file) and the run
+                    # rewinds to the previous completed checkpoint.
+                    ckpt_overhead += fail_at - now
+                    now = fail(fail_at)
+                    done = saved
+                    continue
+                now += write_s
+                ckpt_overhead += write_s
+                checkpoints += 1
+                saved = done
+
+        useful = self.num_steps * self.step_time_s
+        if failures == 0 and checkpoints == 0 and stretch == 0.0:
+            # Bit-exact fault-free contract: the accumulated sum can
+            # drift ulps from the product the baseline trainer reports.
+            now = useful
+        return TrainingRunReport(
+            interval_s=interval_s, num_steps=self.num_steps,
+            step_time_s=self.step_time_s, wall_time_s=now,
+            useful_s=useful,
+            goodput=useful / now if now > 0 else 1.0,
+            failures=failures, checkpoints=checkpoints,
+            checkpoint_overhead_s=ckpt_overhead, lost_work_s=lost_work,
+            restart_overhead_s=restart_overhead,
+            straggler_stretch_s=stretch)
+
+    def _window(self, event: FaultEvent) -> tuple[float, float, float]:
+        if event.kind == "straggler":
+            return (event.time_s, event.time_s + event.window_s,
+                    event.factor)
+        # Degraded link: only the communication share of a step slows
+        # by 1/factor; compute is untouched.
+        cf = self.comm_fraction
+        stretched = 1.0 + cf * (1.0 / event.factor - 1.0)
+        return (event.time_s, event.time_s + event.window_s, stretched)
+
+    # ------------------------------------------------------------------
+    def interval_sweep(self, intervals: list[float]
+                       ) -> list[TrainingRunReport]:
+        """Replay the identical failure schedule per interval."""
+        if not intervals:
+            raise ValueError("no checkpoint intervals to sweep")
+        return [self.replay(interval) for interval in intervals]
+
+
+def format_goodput_sweep(reports: list[TrainingRunReport],
+                         title: str = "checkpoint-interval sweep") -> str:
+    """Render an interval sweep as an aligned comparison table."""
+    if not reports:
+        raise ValueError("no training-run reports to format")
+    header = ["interval", "goodput", "wall", "failures", "ckpts",
+              "lost work", "ckpt cost"]
+    rows = []
+    for rep in reports:
+        interval = "inf" if math.isinf(rep.interval_s) \
+            else f"{rep.interval_s:.0f} s"
+        rows.append([
+            interval, f"{rep.goodput:.3f}", f"{rep.wall_time_s:.0f} s",
+            str(rep.failures), str(rep.checkpoints),
+            f"{rep.lost_work_s:.0f} s",
+            f"{rep.checkpoint_overhead_s:.0f} s"])
+    widths = [max(len(header[i]), max(len(row[i]) for row in rows))
+              for i in range(len(header))]
+    lines = [title, "-" * len(title),
+             "  ".join(h.ljust(widths[i]) for i, h in enumerate(header))]
+    lines += ["  ".join(cell.ljust(widths[i])
+                        for i, cell in enumerate(row)) for row in rows]
+    return "\n".join(lines)

@@ -200,29 +200,63 @@ class Trainer:
     # ------------------------------------------------------------------
     # Checkpoint / resume
     # ------------------------------------------------------------------
+    def state_bytes(self) -> int:
+        """Bytes one checkpoint persists, for resilience cost models.
+
+        Counts the mixed-precision recipe's durable state per parameter:
+        bf16 weights + fp32 master copy + fp32 optimizer slots (two
+        moments for Adam/LAMB, none for SGD) — matching
+        :data:`repro.training.resilience.BYTES_PER_PARAM`.
+        """
+        num_params = sum(p.data.size for p in self.model.parameters())
+        per_param = 6 if self.config.optimizer == "sgd" else 14
+        return num_params * per_param
+
     def save(self, path, step: int):
-        """Write model weights + optimizer state + progress to disk."""
+        """Write model weights + optimizer state + progress to disk.
+
+        The file is published atomically with an embedded checksum (see
+        :mod:`repro.models.checkpoint`): a crash mid-save leaves the
+        previous checkpoint intact, never a half-written one.
+        """
         import pickle
         from pathlib import Path
+
+        from ..models.checkpoint import write_atomic
         path = Path(path)
         if path.suffix != ".ckpt":
             path = path.with_suffix(".ckpt")
-        path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
             "model_state": self.model.state_dict(),
             "optimizer_state": self.optimizer.state_dict(),
             "step": int(step),
             "config": self.config,
         }
-        with open(path, "wb") as fh:
-            pickle.dump(payload, fh)
-        return path
+        return write_atomic(path, pickle.dumps(payload))
 
     def resume(self, path) -> int:
-        """Restore a checkpoint; returns the step to continue from."""
+        """Restore a checkpoint; returns the step to continue from.
+
+        Verifies the stored checksum before unpickling and raises
+        :class:`~repro.models.checkpoint.CheckpointCorruptError` on any
+        damaged file; pre-envelope checkpoints still load.
+        """
         import pickle
-        with open(path, "rb") as fh:
-            payload = pickle.load(fh)
+        from pathlib import Path
+
+        from ..models.checkpoint import (CheckpointCorruptError,
+                                         read_verified)
+        path = Path(path)
+        raw = read_verified(path)
+        if raw is None:
+            with open(path, "rb") as fh:
+                raw = fh.read()
+        try:
+            payload = pickle.loads(raw)
+        except Exception as exc:
+            raise CheckpointCorruptError(
+                f"{path}: trainer checkpoint failed to unpickle "
+                f"({exc})") from exc
         if payload["config"] != self.config:
             raise ValueError(
                 "checkpoint was written with a different TrainerConfig")

@@ -75,6 +75,24 @@ RULE_SNIPPETS = [
     ("RPR005", "src/repro/frontier/memory.py",
      "def check(a, b):\n    return a / b == 0.5\n",
      "def check(a, b):\n    return abs(a / b - 0.5) < 1e-9\n"),
+    ("RPR006", "src/repro/models/ckpt.py",
+     "def load(path):\n"
+     "    try:\n        return open(path)\n"
+     "    except:\n        pass\n",
+     "def load(path):\n"
+     "    try:\n        return open(path)\n"
+     "    except OSError as exc:\n"
+     "        raise ValueError(f'bad path: {exc}') from exc\n"),
+    ("RPR006", "src/repro/serving/router.py",
+     "def poll(replicas):\n"
+     "    for r in replicas:\n"
+     "        try:\n            r.ping()\n"
+     "        except (OSError, Exception):\n            continue\n",
+     "def poll(replicas):\n"
+     "    for r in replicas:\n"
+     "        try:\n            r.ping()\n"
+     "        except Exception as exc:\n"
+     "            r.mark_unhealthy(exc)\n"),
 ]
 
 

@@ -57,6 +57,19 @@ class TestParser:
             build_parser().parse_args(["cluster-bench", "--policy",
                                        "random"])
 
+    def test_fault_bench_defaults_and_alias(self):
+        args = build_parser().parse_args(["fault-bench"])
+        assert args.mode == "both"
+        assert args.train_mtbf == "inf,4,1"
+        assert args.serve_mtbf == "inf,0.001,0.0002"
+        assert args.max_retries == 3
+        alias = build_parser().parse_args(["faults"])
+        assert alias.mode == args.mode
+
+    def test_fault_bench_mode_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fault-bench", "--mode", "chaos"])
+
 
 class TestCommands:
     def test_observations_exit_zero(self, capsys):
@@ -130,6 +143,38 @@ class TestCommands:
 
     def test_cluster_bench_unknown_preset_exits_2(self, capsys):
         assert main(["cluster-bench", "--model", "gpt-5"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_fault_bench_smoke(self, capsys, tmp_path):
+        results = tmp_path / "faults.json"
+        assert main(["fault-bench", "--smoke", "--json",
+                     str(results)]) == 0
+        out = capsys.readouterr().out
+        assert "fault-free baseline" in out
+        assert "Young-Daly" in out
+        assert "goodput" in out
+        assert "avail" in out
+        assert results.exists()
+        import json
+        data = json.loads(results.read_text())
+        assert data["training"] and data["serving"]
+        assert data["training"][0]["mtbf_hours"] == "inf"
+
+    def test_fault_bench_serving_only(self, capsys):
+        assert main(["fault-bench", "--smoke", "--mode", "serving",
+                     "--serve-mtbf", "inf"]) == 0
+        out = capsys.readouterr().out
+        assert "Young-Daly" not in out
+        assert "100.0%" in out
+
+    def test_fault_bench_bad_mtbf_exits_2(self, capsys):
+        assert main(["fault-bench", "--smoke", "--mode", "serving",
+                     "--serve-mtbf", "soon"]) == 2
+        assert "--serve-mtbf" in capsys.readouterr().err
+
+    def test_fault_bench_unknown_preset_exits_2(self, capsys):
+        assert main(["fault-bench", "--smoke", "--mode", "serving",
+                     "--model", "gpt-5"]) == 2
         assert "error" in capsys.readouterr().err
 
     def test_cluster_bench_bad_layout_exits_2(self, capsys):
