@@ -1,0 +1,202 @@
+"""Wall-clock microbenchmarks for the batched decode path.
+
+Everything else in the repo times work on a *virtual* clock; this module
+is the deliberate exception (and lives outside the virtual-clock lint
+scopes for that reason): it measures real elapsed seconds to demonstrate
+that the packed-pool batched decode step actually amortizes Python and
+matmul overhead the way :class:`~repro.serving.DecodeCostModel` credits
+it.  ``python -m repro perf-bench`` drives it and writes
+``BENCH_decode.json``.
+
+Two comparisons:
+
+decode
+    N same-length requests advanced ``new_tokens`` steps, sequentially
+    (one ``_forward_cached`` call per request per step — the pre-batching
+    engine inner loop) versus batched (one
+    :meth:`~repro.models.GPTModel.decode_step_batched` call per step over
+    a :class:`~repro.models.PackedKVPool`).  Tokens are asserted equal.
+
+prefill
+    One long prompt encoded monolithically versus in fixed-size chunks
+    through the same cache (the ``prefill_chunk_tokens`` execution path).
+    Tokens are asserted equal; wall times show the overhead chunking
+    pays for its TTFT fairness.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from .models import GPTModel, KVCache, PackedKVPool, preset
+
+__all__ = ["bench_decode", "bench_prefill", "run_perf_bench",
+           "format_perf_bench"]
+
+
+def _make_prompts(model, batch_size: int, prompt_len: int,
+                  seed: int) -> list[np.ndarray]:
+    rng = np.random.default_rng(seed)
+    vocab = model.config.vocab_size
+    return [rng.integers(0, vocab, size=prompt_len)
+            for _ in range(batch_size)]
+
+
+def bench_decode(model: GPTModel, batch_size: int, prompt_len: int = 32,
+                 new_tokens: int = 16, seed: int = 0,
+                 repeats: int = 1) -> dict:
+    """Time sequential vs batched greedy decode of one batch.
+
+    Prefill is excluded from both timings — the comparison is the decode
+    inner loop, which is where the engine spends its steps.  Returns the
+    best-of-``repeats`` wall times plus a token-equality check.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    prompts = _make_prompts(model, batch_size, prompt_len, seed)
+
+    seq_best, seq_tokens = np.inf, None
+    for _ in range(repeats):
+        caches_list, last = [], []
+        for prompt in prompts:
+            caches = [KVCache() for _ in model.layers]
+            logits = model._forward_cached(prompt[None], caches)
+            caches_list.append(caches)
+            last.append(int(logits.data[0, -1].argmax()))
+        tokens = [[t] for t in last]
+        t0 = time.perf_counter()
+        for _ in range(new_tokens - 1):
+            for i in range(batch_size):
+                step = np.array([tokens[i][-1]], dtype=np.int64)
+                logits = model._forward_cached(step[None], caches_list[i])
+                tokens[i].append(int(logits.data[0, -1].argmax()))
+        seq_best = min(seq_best, time.perf_counter() - t0)
+        seq_tokens = tokens
+
+    bat_best, bat_tokens = np.inf, None
+    for _ in range(repeats):
+        pool = PackedKVPool.for_model(model.config, num_slots=batch_size,
+                                      block_tokens=max(16, prompt_len))
+        slots, last = [], []
+        for prompt in prompts:
+            slot = pool.acquire()
+            logits = model._forward_cached(prompt[None],
+                                           pool.slot_caches(slot))
+            slots.append(slot)
+            last.append(int(logits.data[0, -1].argmax()))
+        tokens = [[t] for t in last]
+        t0 = time.perf_counter()
+        for _ in range(new_tokens - 1):
+            logits = model.decode_step_batched(
+                np.array([t[-1] for t in tokens], dtype=np.int64),
+                pool, slots)
+            for i in range(batch_size):
+                tokens[i].append(int(logits[i].argmax()))
+        bat_best = min(bat_best, time.perf_counter() - t0)
+        bat_tokens = tokens
+
+    return {
+        "batch_size": batch_size,
+        "prompt_len": prompt_len,
+        "new_tokens": new_tokens,
+        "sequential_s": seq_best,
+        "batched_s": bat_best,
+        "speedup": seq_best / bat_best if bat_best > 0 else np.inf,
+        "tokens_match": seq_tokens == bat_tokens,
+    }
+
+
+def bench_prefill(model: GPTModel, prompt_len: int = 48,
+                  chunk_tokens: int = 16, seed: int = 0,
+                  repeats: int = 1) -> dict:
+    """Time monolithic vs chunked prefill of one long prompt."""
+    if chunk_tokens < 1:
+        raise ValueError("chunk_tokens must be >= 1")
+    prompt = _make_prompts(model, 1, prompt_len, seed)[0]
+
+    mono_best, mono_token = np.inf, None
+    for _ in range(repeats):
+        caches = [KVCache() for _ in model.layers]
+        t0 = time.perf_counter()
+        logits = model._forward_cached(prompt[None], caches)
+        mono_best = min(mono_best, time.perf_counter() - t0)
+        mono_token = int(logits.data[0, -1].argmax())
+
+    chunk_best, chunk_token = np.inf, None
+    num_chunks = 0
+    for _ in range(repeats):
+        caches = [KVCache() for _ in model.layers]
+        t0 = time.perf_counter()
+        pos, num_chunks = 0, 0
+        while pos < prompt_len:
+            step = prompt[pos:pos + chunk_tokens]
+            logits = model._forward_cached(step[None], caches)
+            pos += step.size
+            num_chunks += 1
+        chunk_best = min(chunk_best, time.perf_counter() - t0)
+        chunk_token = int(logits.data[0, -1].argmax())
+
+    return {
+        "prompt_len": prompt_len,
+        "chunk_tokens": chunk_tokens,
+        "num_chunks": num_chunks,
+        "monolithic_s": mono_best,
+        "chunked_s": chunk_best,
+        "overhead_ratio": chunk_best / mono_best if mono_best > 0
+        else np.inf,
+        "tokens_match": mono_token == chunk_token,
+    }
+
+
+def run_perf_bench(model_name: str = "tiny-llama",
+                   batch_sizes: tuple[int, ...] = (1, 2, 4, 8),
+                   prompt_len: int = 32, new_tokens: int = 16,
+                   chunk_tokens: int = 16, prefill_len: int = 48,
+                   seed: int = 0, repeats: int = 3) -> dict:
+    """The full perf-bench sweep, as one JSON-ready dict."""
+    model = GPTModel(preset(model_name), seed=seed)
+    decode = [bench_decode(model, b, prompt_len=prompt_len,
+                           new_tokens=new_tokens, seed=seed,
+                           repeats=repeats)
+              for b in batch_sizes]
+    prefill = bench_prefill(model, prompt_len=prefill_len,
+                            chunk_tokens=chunk_tokens, seed=seed,
+                            repeats=repeats)
+    return {
+        "model": model_name,
+        "seed": seed,
+        "repeats": repeats,
+        "decode": decode,
+        "prefill": prefill,
+    }
+
+
+def format_perf_bench(results: dict) -> str:
+    """Aligned text rendering of a :func:`run_perf_bench` result."""
+    lines = [f"perf-bench — {results['model']} "
+             f"(best of {results['repeats']})"]
+    header = ["batch", "sequential", "batched", "speedup", "tokens"]
+    rows = []
+    for row in results["decode"]:
+        rows.append([str(row["batch_size"]),
+                     f"{row['sequential_s'] * 1e3:.1f} ms",
+                     f"{row['batched_s'] * 1e3:.1f} ms",
+                     f"{row['speedup']:.2f}x",
+                     "match" if row["tokens_match"] else "MISMATCH"])
+    widths = [max(len(header[i]), max(len(r[i]) for r in rows))
+              for i in range(len(header))]
+    lines.append("  ".join(h.ljust(widths[i])
+                           for i, h in enumerate(header)))
+    lines += ["  ".join(c.ljust(widths[i]) for i, c in enumerate(r))
+              for r in rows]
+    p = results["prefill"]
+    lines.append("")
+    lines.append(
+        f"prefill {p['prompt_len']} tokens: monolithic "
+        f"{p['monolithic_s'] * 1e3:.1f} ms vs {p['num_chunks']} chunks of "
+        f"{p['chunk_tokens']} at {p['chunked_s'] * 1e3:.1f} ms "
+        f"({p['overhead_ratio']:.2f}x) — tokens "
+        f"{'match' if p['tokens_match'] else 'MISMATCH'}")
+    return "\n".join(lines)

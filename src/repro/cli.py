@@ -22,6 +22,11 @@ Commands
     Sweep node counts and load-balancing policies over the multi-node
     cluster simulator and print per-policy TTFT/TPOT percentiles;
     ``--trace`` exports the request-lifecycle Chrome trace.
+``perf-bench`` (alias ``perf``)
+    Wall-clock microbenchmark of the batched decode path: sequential
+    per-request decode vs one ``decode_step_batched`` call per step over
+    a packed KV pool, plus chunked vs monolithic prefill.  Writes
+    ``BENCH_decode.json``.
 ``fault-bench`` (alias ``faults``)
     Sweep seeded fault injection: MTBF x checkpoint-interval for
     training (Young-Daly goodput) and MTBF x balancing-policy for the
@@ -165,6 +170,9 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     try:
+        if args.prefill_chunk < 0:
+            raise ValueError(f"--prefill-chunk must be >= 0 (0 disables "
+                             f"chunking): {args.prefill_chunk}")
         model = GPTModel(config, seed=args.seed)
         workload = WorkloadConfig(num_requests=args.requests,
                                   arrival_rate=args.rate, seed=args.seed)
@@ -172,7 +180,9 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         serving = ServingConfig(
             policy=args.policy, max_batch_size=args.batch_size,
             block_size=args.block_size,
-            num_blocks=args.pool_blocks if args.pool_blocks > 0 else None)
+            num_blocks=args.pool_blocks if args.pool_blocks > 0 else None,
+            prefill_chunk_tokens=args.prefill_chunk
+            if args.prefill_chunk > 0 else None)
         engine = ServingEngine(model, serving)
         result = engine.run(requests)
     except ValueError as exc:
@@ -447,6 +457,40 @@ def _fault_bench_serving(args) -> tuple[list[dict], int]:
     return rows, 0
 
 
+def cmd_perf_bench(args: argparse.Namespace) -> int:
+    from .bench import format_perf_bench, run_perf_bench
+    try:
+        batch_sizes = tuple(int(b) for b in args.batch_sizes.split(",")
+                            if b.strip())
+        if not batch_sizes:
+            raise ValueError(f"--batch-sizes must name at least one "
+                             f"batch size: {args.batch_sizes!r}")
+        new_tokens, repeats = args.tokens, args.repeats
+        if args.smoke:
+            batch_sizes = tuple(b for b in batch_sizes if b <= 8) or (1, 8)
+            new_tokens, repeats = min(new_tokens, 8), 1
+        results = run_perf_bench(
+            args.model, batch_sizes=batch_sizes, prompt_len=args.prompt,
+            new_tokens=new_tokens, chunk_tokens=args.chunk,
+            prefill_len=args.prefill_len, seed=args.seed, repeats=repeats)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(format_perf_bench(results))
+    if args.output:
+        import json
+        from pathlib import Path
+        path = Path(args.output)
+        if path.suffix != ".json":
+            path = path.with_suffix(".json")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(_json_safe(results), indent=2) + "\n")
+        print(f"\nwrote results JSON: {path}")
+    ok = all(r["tokens_match"] for r in results["decode"]) \
+        and results["prefill"]["tokens_match"]
+    return 0 if ok else 1
+
+
 def cmd_fault_bench(args: argparse.Namespace) -> int:
     training_rows: list[dict] = []
     serving_rows: list[dict] = []
@@ -533,10 +577,39 @@ def build_parser() -> argparse.ArgumentParser:
                    help="KV-pool tokens per block (default: 16)")
     p.add_argument("--pool-blocks", type=int, default=64,
                    help="KV-pool size in blocks; 0 = size from GCD HBM")
+    p.add_argument("--prefill-chunk", type=int, default=0,
+                   help="chunked-prefill chunk size in tokens "
+                        "(0 = monolithic prefill)")
     p.add_argument("--compare-sequential", action="store_true",
                    help="also run the one-request-at-a-time baseline")
     p.add_argument("--trace", default="",
                    help="export the request-lifecycle Chrome trace here")
+
+    p = sub.add_parser(
+        "perf-bench", aliases=["perf"],
+        help="wall-clock benchmark: sequential vs batched decode, "
+             "chunked vs monolithic prefill")
+    p.add_argument("--model", default="tiny-llama",
+                   help="model preset to run (default: tiny-llama)")
+    p.add_argument("--batch-sizes", default="1,2,4,8",
+                   help="comma-separated decode batch sizes to sweep")
+    p.add_argument("--prompt", type=int, default=32,
+                   help="prompt length per request in the decode sweep")
+    p.add_argument("--tokens", type=int, default=16,
+                   help="new tokens decoded per request (default: 16)")
+    p.add_argument("--prefill-len", type=int, default=48,
+                   help="prompt length for the prefill comparison")
+    p.add_argument("--chunk", type=int, default=16,
+                   help="chunk size for the chunked-prefill comparison")
+    p.add_argument("--seed", type=int, default=0,
+                   help="model + prompt seed (fixes the whole run)")
+    p.add_argument("--repeats", type=int, default=3,
+                   help="timing repeats; best-of is reported (default: 3)")
+    p.add_argument("--output", "-o", default="BENCH_decode.json",
+                   help="write results JSON here ('' disables)")
+    p.add_argument("--smoke", action="store_true",
+                   help="tiny sweep for CI (batch <= 8, <= 8 tokens, "
+                        "1 repeat)")
 
     p = sub.add_parser(
         "cluster-bench", aliases=["cluster"],
@@ -666,6 +739,8 @@ _COMMANDS = {
     "study": cmd_study,
     "serve-bench": cmd_serve_bench,
     "serve": cmd_serve_bench,  # alias, kept so README shorthand works
+    "perf-bench": cmd_perf_bench,
+    "perf": cmd_perf_bench,  # alias, same convention as serve
     "cluster-bench": cmd_cluster_bench,
     "cluster": cmd_cluster_bench,  # alias, same convention as serve
     "fault-bench": cmd_fault_bench,

@@ -1,7 +1,7 @@
 """NumPy transformer implementations of the GPT-NeoX and LLaMA families."""
 
 from .attention import (CausalSelfAttention, KVCache, RotaryEmbedding,
-                        flash_attention_forward)
+                        flash_attention_forward, flash_decode_forward)
 from .checkpoint import (CheckpointCorruptError, load_checkpoint,
                          load_tokenizer, save_checkpoint, save_tokenizer)
 from .config import ModelConfig, PRESETS, TABLE_II, preset
@@ -10,12 +10,14 @@ from .flops import (GEMMShape, LayerAccounting, layer_accounting,
 from .layers import (Dropout, Embedding, LayerNorm, Linear, Module, Parameter,
                      RMSNorm)
 from .mlp import GeluMLP, SwiGLUMLP, build_mlp
+from .packed_kv import PackedKVPool, PackedSlotCache
 from .tensor import Tensor, no_grad
 from .transformer import GPTModel, TransformerLayer, cross_entropy
 
 __all__ = [
     "CausalSelfAttention", "KVCache", "RotaryEmbedding",
-    "flash_attention_forward",
+    "flash_attention_forward", "flash_decode_forward",
+    "PackedKVPool", "PackedSlotCache",
     "ModelConfig", "PRESETS", "TABLE_II", "preset",
     "CheckpointCorruptError", "load_checkpoint", "load_tokenizer",
     "save_checkpoint", "save_tokenizer",

@@ -28,7 +28,7 @@ from .layers import Linear, Module
 from .tensor import Tensor
 
 __all__ = ["RotaryEmbedding", "CausalSelfAttention", "KVCache",
-           "flash_attention_forward"]
+           "flash_attention_forward", "flash_decode_forward"]
 
 
 class RotaryEmbedding:
@@ -72,6 +72,28 @@ class RotaryEmbedding:
         rd = self.rotary_dim
         cos = Tensor(self.cos[offset:offset + seq_len])
         sin = Tensor(self.sin[offset:offset + seq_len])
+        if rd == x.shape[-1]:
+            return x * cos + self._rotate_half(x) * sin
+        x_rot = x[..., :rd]
+        x_pass = x[..., rd:]
+        rotated = x_rot * cos + self._rotate_half(x_rot) * sin
+        return Tensor.concatenate([rotated, x_pass], axis=-1)
+
+    def apply_batched(self, x: Tensor, offsets: np.ndarray) -> Tensor:
+        """Rotate one position per batch row at per-row absolute offsets.
+
+        ``x`` has shape (batch, heads, 1, head_dim); row ``i`` sits at
+        absolute position ``offsets[i]``.  Rotation is elementwise, so
+        each row matches ``apply(row, 1, offset=offsets[i])`` bit for bit.
+        """
+        offsets = np.asarray(offsets, dtype=np.int64)
+        if int(offsets.max()) >= self.cos.shape[0]:
+            raise ValueError(
+                f"positions up to {int(offsets.max()) + 1} exceed rotary "
+                f"table ({self.cos.shape[0]})")
+        rd = self.rotary_dim
+        cos = Tensor(self.cos[offsets][:, None, None, :])
+        sin = Tensor(self.sin[offsets][:, None, None, :])
         if rd == x.shape[-1]:
             return x * cos + self._rotate_half(x) * sin
         x_rot = x[..., :rd]
@@ -139,6 +161,62 @@ def flash_attention_forward(q: np.ndarray, k: np.ndarray, v: np.ndarray,
             l[:, :, i0:i1] = alpha * l[:, :, i0:i1] + p.sum(axis=-1, keepdims=True)
             out[:, :, i0:i1] = alpha * out[:, :, i0:i1] + p @ v_tile
             m[:, :, i0:i1] = m_new
+
+    with np.errstate(invalid="ignore", divide="ignore"):
+        out = np.where(l > 0, out / l, 0.0)
+    return out
+
+
+def flash_decode_forward(q: np.ndarray, k: np.ndarray, v: np.ndarray,
+                         lengths: np.ndarray, block_size: int = 64,
+                         ) -> np.ndarray:
+    """Tiled online-softmax attention for one decode step over ragged rows.
+
+    Parameters
+    ----------
+    q:
+        Query for the single new position, shape (batch, heads, 1, head_dim).
+    k, v:
+        Key/value contexts padded to a common length, shape
+        (batch, heads, max_len, head_dim); row ``i`` is valid only up to
+        ``lengths[i]`` (padding may be anything finite — it is masked).
+    lengths:
+        Per-row valid context lengths; the new position is included, so the
+        query attends to all ``lengths[i]`` entries (no causal mask needed).
+
+    When every row has the same (full) length the mask is skipped entirely
+    — the same-length fast path of the batched decode step.
+    """
+    b, h, _, d = q.shape
+    n = k.shape[2]
+    lengths = np.asarray(lengths, dtype=np.int64)
+    uniform = bool((lengths == n).all())
+    valid = None if uniform else (np.arange(n)[None, :] < lengths[:, None])
+    scale = 1.0 / np.sqrt(d)
+    out = np.zeros_like(q)
+    m = np.full((b, h, 1, 1), -np.inf)
+    l = np.zeros((b, h, 1, 1))
+
+    for j0 in range(0, n, block_size):
+        j1 = min(j0 + block_size, n)
+        k_tile = k[:, :, j0:j1]
+        v_tile = v[:, :, j0:j1]
+        scores = (q @ np.swapaxes(k_tile, -1, -2)) * scale
+        if not uniform:
+            pad = ~valid[:, j0:j1]
+            scores = np.where(pad[:, None, None, :], -np.inf, scores)
+        tile_max = scores.max(axis=-1, keepdims=True)
+        m_new = np.maximum(m, tile_max)
+        # Same -inf bookkeeping as flash_attention_forward: fully-padded
+        # tiles have tile_max == -inf and must contribute nothing.
+        safe_m = np.where(np.isinf(m_new), 0.0, m_new)
+        p = np.exp(np.where(np.isinf(scores) & (scores < 0), -np.inf,
+                            scores) - safe_m)
+        p = np.where(np.isinf(scores) & (scores < 0), 0.0, p)
+        alpha = np.where(np.isinf(m), 0.0, np.exp(m - safe_m))
+        l = alpha * l + p.sum(axis=-1, keepdims=True)
+        out = alpha * out + p @ v_tile
+        m = m_new
 
     with np.errstate(invalid="ignore", divide="ignore"):
         out = np.where(l > 0, out / l, 0.0)
@@ -253,30 +331,132 @@ class CausalSelfAttention(Module):
                                                    self.hidden_size)
         return self.out_proj(merged)
 
+    def _expand_kv_np(self, x: np.ndarray) -> np.ndarray:
+        """GQA head expansion on raw arrays (mirrors :meth:`_expand_kv`)."""
+        groups = self.num_heads // self.num_kv_heads
+        if groups == 1:
+            return x
+        return np.concatenate([x] * groups, axis=1)
+
+    def forward_decode_batched(self, x: Tensor, pool, slots, layer: int
+                               ) -> Tensor:
+        """One decode position for N ragged-length requests, one forward.
+
+        ``x`` has shape (batch, 1, hidden); row ``i`` is the latest token
+        of the request leasing ``slots[i]`` in ``pool`` (a
+        :class:`~repro.models.packed_kv.PackedKVPool`), whose context in
+        ``layer`` already holds that request's previous positions.
+
+        The standard path groups rows by context length and runs one
+        stacked, unpadded attention call per group — elementwise ops and
+        per-slice matmuls make each row bit-identical to
+        :meth:`forward_cached` on its own cache (padding the short rows
+        instead would *not* be bit-exact: BLAS kernels are sensitive to
+        reduction length).  With a single unique length this degenerates
+        to one call with no masking.  The flash path pads to the batch
+        max and length-masks inside the tiled kernel, matching
+        :func:`flash_attention_forward` semantics.
+        """
+        batch, seq, _ = x.shape
+        h = self.hidden_size
+        kv_dim = self.num_kv_heads * self.head_dim
+        offsets = pool.lengths_of(layer, slots)
+        qkv = self.qkv(x)
+        q = self._split_heads(qkv[..., :h], seq, batch, self.num_heads)
+        k_new = self._split_heads(qkv[..., h:h + kv_dim], seq, batch,
+                                  self.num_kv_heads)
+        v_new = self._split_heads(qkv[..., h + kv_dim:], seq, batch,
+                                  self.num_kv_heads)
+        q = self.rotary.apply_batched(q, offsets)
+        k_new = self.rotary.apply_batched(k_new, offsets)
+
+        lengths = pool.append_batched(layer, slots, k_new.data, v_new.data)
+
+        if self.flash:
+            k_pad, v_pad = pool.gather(layer, slots, int(lengths.max()))
+            ctx = flash_decode_forward(q.data, self._expand_kv_np(k_pad),
+                                       self._expand_kv_np(v_pad), lengths)
+        else:
+            ctx = self._decode_grouped(q.data, pool, slots, layer, lengths)
+
+        merged = (Tensor(ctx).transpose(0, 2, 1, 3)
+                  .reshape(batch, seq, self.hidden_size))
+        return self.out_proj(merged)
+
+    def _decode_grouped(self, q: np.ndarray, pool, slots, layer: int,
+                        lengths: np.ndarray) -> np.ndarray:
+        """Exact batched decode attention: one stacked call per unique
+        context length, mirroring the op sequence of the sequential path
+        (scale, shift-by-max softmax, probs @ v) on raw arrays."""
+        ctx = np.zeros_like(q)
+        scale = 1.0 / np.sqrt(self.head_dim)
+        slots = np.asarray(slots, dtype=np.int64)
+        for n in np.unique(lengths):
+            rows = np.nonzero(lengths == n)[0]
+            k_g, v_g = pool.gather(layer, slots[rows], int(n))
+            k_g = self._expand_kv_np(k_g)
+            v_g = self._expand_kv_np(v_g)
+            scores = (q[rows] @ np.swapaxes(k_g, -1, -2)) * scale
+            shifted = scores - scores.max(axis=-1, keepdims=True)
+            e = np.exp(shifted)
+            probs = e / e.sum(axis=-1, keepdims=True)
+            ctx[rows] = probs @ v_g
+        return ctx
+
 
 class KVCache:
-    """Per-layer key/value cache for incremental decoding."""
+    """Per-layer key/value cache for incremental decoding.
+
+    Storage grows geometrically (amortized O(1) per appended token) rather
+    than reallocating via ``np.concatenate`` every call, which made long
+    generations O(n²) in copied bytes.  ``memory_bytes`` reports *logical*
+    (used) bytes; the allocated footprint is ``capacity_bytes``.
+    """
 
     def __init__(self) -> None:
         self.k: np.ndarray | None = None
         self.v: np.ndarray | None = None
+        self._length = 0
 
     @property
     def length(self) -> int:
+        return self._length
+
+    @property
+    def capacity(self) -> int:
         return 0 if self.k is None else self.k.shape[2]
 
     def append(self, k_new: np.ndarray, v_new: np.ndarray
                ) -> tuple[np.ndarray, np.ndarray]:
-        """Append new positions; returns the full (k, v) arrays."""
+        """Append new positions; returns views of the full (k, v) prefix."""
+        seq = k_new.shape[2]
+        need = self._length + seq
         if self.k is None:
-            self.k, self.v = k_new, v_new
+            self.k = np.ascontiguousarray(k_new)
+            self.v = np.ascontiguousarray(v_new)
         else:
-            self.k = np.concatenate([self.k, k_new], axis=2)
-            self.v = np.concatenate([self.v, v_new], axis=2)
-        return self.k, self.v
+            if need > self.capacity:
+                new_cap = max(need, 2 * self.capacity)
+                b, heads, _, d = self.k.shape
+                k = np.zeros((b, heads, new_cap, d), dtype=self.k.dtype)
+                k[:, :, :self._length] = self.k[:, :, :self._length]
+                v = np.zeros((b, heads, new_cap, d), dtype=self.v.dtype)
+                v[:, :, :self._length] = self.v[:, :, :self._length]
+                self.k, self.v = k, v
+            self.k[:, :, self._length:need] = k_new
+            self.v[:, :, self._length:need] = v_new
+        self._length = need
+        return self.k[:, :, :need], self.v[:, :, :need]
 
     def memory_bytes(self, dtype_bytes: int = 2) -> int:
-        """Cache footprint — GQA's inference saving is visible here."""
+        """Logical cache footprint — GQA's inference saving is visible here."""
+        if self.k is None:
+            return 0
+        b, heads, _, d = self.k.shape
+        return dtype_bytes * 2 * b * heads * self._length * d
+
+    def capacity_bytes(self, dtype_bytes: int = 2) -> int:
+        """Allocated footprint (>= :meth:`memory_bytes` after growth)."""
         if self.k is None:
             return 0
         return dtype_bytes * (self.k.size + self.v.size)

@@ -1,0 +1,242 @@
+"""Packed, slot-based KV storage for batched decoding.
+
+The serving engine's original per-request :class:`~repro.models.attention.KVCache`
+kept one pair of ``(1, kv_heads, len, head_dim)`` arrays per request per
+layer, rebuilt on every appended token.  :class:`PackedKVPool` replaces
+that with *one* contiguous ``(slots, kv_heads, capacity, head_dim)`` K
+and V buffer per layer: every in-flight request leases a slot, lengths
+are tracked per (layer, slot), and capacity grows geometrically in
+block-granular steps shared by all slots — so appending a token is an
+in-place write, and a whole decode batch can be gathered into stacked
+arrays for a single forward call.
+
+Two access paths cover the two execution styles:
+
+per-slot (:class:`PackedSlotCache`)
+    An adapter with the exact ``length``/``append`` protocol of the
+    legacy ``KVCache``, so ``GPTModel._forward_cached`` runs unchanged
+    for (chunked) prefill while writing straight into the pool.
+
+batched (:meth:`PackedKVPool.append_batched` / :meth:`PackedKVPool.gather`)
+    Vectorized append of one new position for N slots at once, and
+    contiguous gathers of stacked K/V used by
+    ``CausalSelfAttention.forward_decode_batched``.
+
+Numerical note: buffers are zero-initialized (and zero-grown) so that a
+padded gather never exposes ``inf``/``nan`` garbage to the flash decode
+kernel — a zero key/value column under a zero attention weight
+contributes exactly nothing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["PackedKVPool", "PackedSlotCache"]
+
+
+class PackedKVPool:
+    """Preallocated block-granular K/V storage shared by N decode slots.
+
+    Parameters
+    ----------
+    num_layers, num_kv_heads, head_dim:
+        Cache geometry (GQA-compact: ``num_kv_heads`` may be smaller
+        than the model's query head count).
+    num_slots:
+        Concurrent requests the pool can hold — the serving engine sizes
+        this to its ``max_batch_size``.
+    max_len:
+        Hard per-slot capacity bound (the model's ``max_seq_len``).
+    block_tokens:
+        Granularity of capacity growth; capacity is always a multiple of
+        this (except when clipped to ``max_len``).
+    """
+
+    def __init__(self, num_layers: int, num_kv_heads: int, head_dim: int,
+                 num_slots: int, max_len: int, block_tokens: int = 16,
+                 dtype=np.float64):
+        if num_layers < 1:
+            raise ValueError(f"num_layers must be >= 1: {num_layers}")
+        if num_kv_heads < 1:
+            raise ValueError(f"num_kv_heads must be >= 1: {num_kv_heads}")
+        if head_dim < 1:
+            raise ValueError(f"head_dim must be >= 1: {head_dim}")
+        if num_slots < 1:
+            raise ValueError(f"num_slots must be >= 1: {num_slots}")
+        if max_len < 1:
+            raise ValueError(f"max_len must be >= 1: {max_len}")
+        if block_tokens < 1:
+            raise ValueError(f"block_tokens must be >= 1: {block_tokens}")
+        self.num_layers = num_layers
+        self.num_kv_heads = num_kv_heads
+        self.head_dim = head_dim
+        self.num_slots = num_slots
+        self.max_len = max_len
+        self.block_tokens = block_tokens
+        self.dtype = np.dtype(dtype)
+        self.capacity = min(max_len, block_tokens)
+        shape = (num_slots, num_kv_heads, self.capacity, head_dim)
+        self.k = [np.zeros(shape, dtype=self.dtype)
+                  for _ in range(num_layers)]
+        self.v = [np.zeros(shape, dtype=self.dtype)
+                  for _ in range(num_layers)]
+        self._lengths = np.zeros((num_layers, num_slots), dtype=np.int64)
+        self._free = list(range(num_slots - 1, -1, -1))
+        self.grow_count = 0
+
+    @classmethod
+    def for_model(cls, config, num_slots: int, block_tokens: int = 16,
+                  dtype=np.float64) -> "PackedKVPool":
+        """Size a pool from a :class:`~repro.models.config.ModelConfig`."""
+        return cls(config.num_layers, config.kv_heads, config.head_dim,
+                   num_slots, config.max_seq_len, block_tokens=block_tokens,
+                   dtype=dtype)
+
+    # -- slot lifecycle -------------------------------------------------
+    @property
+    def slots_in_use(self) -> int:
+        return self.num_slots - len(self._free)
+
+    def acquire(self) -> int:
+        """Lease a free slot; its per-layer lengths start at zero."""
+        if not self._free:
+            raise RuntimeError(
+                f"all {self.num_slots} KV slots are leased")
+        return self._free.pop()
+
+    def release(self, slot: int) -> None:
+        """Return a slot to the free list and reset its lengths."""
+        self._check_slot(slot)
+        if slot in self._free:
+            raise ValueError(f"slot {slot} is not leased")
+        self._lengths[:, slot] = 0
+        self._free.append(slot)
+
+    def _check_slot(self, slot: int) -> None:
+        if not 0 <= slot < self.num_slots:
+            raise IndexError(
+                f"slot {slot} out of range [0, {self.num_slots})")
+
+    # -- length bookkeeping ---------------------------------------------
+    def length(self, layer: int, slot: int) -> int:
+        return int(self._lengths[layer, slot])
+
+    def lengths_of(self, layer: int, slots) -> np.ndarray:
+        """Current lengths of ``slots`` in ``layer`` (copy)."""
+        return self._lengths[layer, np.asarray(slots, dtype=np.int64)].copy()
+
+    # -- growth ---------------------------------------------------------
+    def _ensure_capacity(self, need: int) -> None:
+        """Geometrically grow every layer's buffers to hold ``need``."""
+        if need <= self.capacity:
+            return
+        if need > self.max_len:
+            raise ValueError(
+                f"context of {need} tokens exceeds max_len {self.max_len}")
+        new_cap = max(need, 2 * self.capacity)
+        new_cap = -(-new_cap // self.block_tokens) * self.block_tokens
+        new_cap = min(new_cap, self.max_len)
+        shape = (self.num_slots, self.num_kv_heads, new_cap, self.head_dim)
+        for layer in range(self.num_layers):
+            k = np.zeros(shape, dtype=self.dtype)
+            k[:, :, :self.capacity] = self.k[layer]
+            v = np.zeros(shape, dtype=self.dtype)
+            v[:, :, :self.capacity] = self.v[layer]
+            self.k[layer], self.v[layer] = k, v
+        self.capacity = new_cap
+        self.grow_count += 1
+
+    # -- writes ----------------------------------------------------------
+    def append(self, layer: int, slot: int, k_new: np.ndarray,
+               v_new: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Append positions to one slot; returns full-context views.
+
+        ``k_new``/``v_new`` have shape ``(1, kv_heads, seq, head_dim)``
+        — the same protocol as ``KVCache.append``, so the sequential
+        cached forward writes into the pool unchanged.
+        """
+        seq = k_new.shape[2]
+        offset = int(self._lengths[layer, slot])
+        need = offset + seq
+        self._ensure_capacity(need)
+        self.k[layer][slot, :, offset:need] = k_new[0]
+        self.v[layer][slot, :, offset:need] = v_new[0]
+        self._lengths[layer, slot] = need
+        return (self.k[layer][slot:slot + 1, :, :need],
+                self.v[layer][slot:slot + 1, :, :need])
+
+    def append_batched(self, layer: int, slots, k_new: np.ndarray,
+                       v_new: np.ndarray) -> np.ndarray:
+        """Append one new position for each slot; returns new lengths.
+
+        ``k_new``/``v_new`` have shape ``(batch, kv_heads, 1, head_dim)``
+        with rows ordered like ``slots``.
+        """
+        index = np.asarray(slots, dtype=np.int64)
+        offsets = self._lengths[layer, index]
+        self._ensure_capacity(int(offsets.max()) + 1)
+        rows = np.arange(index.size)
+        self.k[layer][index, :, offsets[rows]] = k_new[:, :, 0]
+        self.v[layer][index, :, offsets[rows]] = v_new[:, :, 0]
+        self._lengths[layer, index] = offsets + 1
+        return offsets + 1
+
+    # -- reads -----------------------------------------------------------
+    def gather(self, layer: int, slots, length: int
+               ) -> tuple[np.ndarray, np.ndarray]:
+        """Stack ``slots``' K/V prefixes into contiguous arrays.
+
+        Returns ``(batch, kv_heads, length, head_dim)`` copies.  Rows
+        whose slot holds fewer than ``length`` tokens are zero beyond
+        their length (buffers are zero-initialized), which the flash
+        decode kernel masks out.
+        """
+        index = np.asarray(slots, dtype=np.int64)
+        return (self.k[layer][index][:, :, :length].copy(),
+                self.v[layer][index][:, :, :length].copy())
+
+    def slot_caches(self, slot: int) -> list["PackedSlotCache"]:
+        """Per-layer cache adapters for the sequential forward path."""
+        self._check_slot(slot)
+        return [PackedSlotCache(self, layer, slot)
+                for layer in range(self.num_layers)]
+
+    # -- accounting ------------------------------------------------------
+    def memory_bytes(self, dtype_bytes: int = 2) -> int:
+        """Logical (used) bytes across all layers and slots."""
+        per_token = 2 * self.num_kv_heads * self.head_dim * dtype_bytes
+        return int(self._lengths.sum()) * per_token
+
+    def capacity_bytes(self, dtype_bytes: int = 2) -> int:
+        """Allocated bytes across all layers and slots."""
+        per_token = 2 * self.num_kv_heads * self.head_dim * dtype_bytes
+        return self.num_layers * self.num_slots * self.capacity * per_token
+
+
+class PackedSlotCache:
+    """``KVCache``-shaped view of one (layer, slot) in a pool.
+
+    Exposes exactly the ``length`` / ``append`` protocol that
+    ``CausalSelfAttention.forward_cached`` consumes, so prefill (whole
+    or chunked) runs through the unchanged sequential code path while
+    its keys and values land directly in the packed pool.
+    """
+
+    def __init__(self, pool: PackedKVPool, layer: int, slot: int):
+        self.pool = pool
+        self.layer = layer
+        self.slot = slot
+
+    @property
+    def length(self) -> int:
+        return self.pool.length(self.layer, self.slot)
+
+    def append(self, k_new: np.ndarray, v_new: np.ndarray
+               ) -> tuple[np.ndarray, np.ndarray]:
+        return self.pool.append(self.layer, self.slot, k_new, v_new)
+
+    def memory_bytes(self, dtype_bytes: int = 2) -> int:
+        """Logical bytes of this slot's cache in this layer."""
+        return 2 * self.pool.num_kv_heads * self.pool.head_dim \
+            * self.length * dtype_bytes

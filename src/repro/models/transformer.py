@@ -64,6 +64,23 @@ class TransformerLayer(Module):
         x = x + self.mlp(self.norm2(x))
         return x
 
+    def forward_decode_batched(self, x: Tensor, pool, slots,
+                               layer_index: int) -> Tensor:
+        """Batched single-position decode over a packed KV pool.
+
+        Every non-attention op here (norms, MLP, residual adds) is
+        per-row elementwise or row-local, so stacking N requests keeps
+        each row bit-identical to its sequential counterpart.
+        """
+        if self.arch == "neox":
+            return x + self.attn.forward_decode_batched(
+                self.norm1(x), pool, slots, layer_index) \
+                + self.mlp(self.norm2(x))
+        x = x + self.attn.forward_decode_batched(self.norm1(x), pool, slots,
+                                                 layer_index)
+        x = x + self.mlp(self.norm2(x))
+        return x
+
 
 class GPTModel(Module):
     """A causal language model in either the NeoX or LLaMA family.
@@ -239,6 +256,27 @@ class GPTModel(Module):
                 x = layer.forward_cached(x, cache)
             x = self.final_norm(x)
             return x @ self.embed.weight.swapaxes(0, 1)
+
+    def decode_step_batched(self, last_tokens: np.ndarray, pool, slots
+                            ) -> np.ndarray:
+        """Advance N requests one token in a single stacked forward.
+
+        ``last_tokens[i]`` is the newest token of the request leasing
+        ``slots[i]`` in ``pool`` (a
+        :class:`~repro.models.packed_kv.PackedKVPool` whose per-slot
+        contexts were filled by prefill through the same pool).  Returns
+        next-token logits of shape (batch, vocab) — row ``i`` bit-equal
+        to ``_forward_cached(last_tokens[i][None], caches_i)`` on the
+        standard path, token-equal on the flash path.
+        """
+        tokens = np.asarray(last_tokens, dtype=np.int64).reshape(-1, 1)
+        with no_grad():
+            x = self.embed(tokens)
+            for index, layer in enumerate(self.layers):
+                x = layer.forward_decode_batched(x, pool, slots, index)
+            x = self.final_norm(x)
+            logits = x @ self.embed.weight.swapaxes(0, 1)
+        return logits.data[:, -1, :]
 
 
 def _logsumexp(x: np.ndarray) -> np.ndarray:

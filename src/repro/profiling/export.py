@@ -30,7 +30,11 @@ _CATEGORY_TID = {"forward": 1, "backward": 1, "comm": 2, "io": 3,
 _CATEGORY_CNAME = {"fail": "terrible", "failed": "terrible",
                    "detect": "bad", "straggler": "bad",
                    "link-degrade": "bad", "retry": "bad",
-                   "recover": "good"}
+                   "recover": "good",
+                   # chunked-prefill spans read differently from whole
+                   # prefills: a long prompt shows as a dashed run of
+                   # same-colored slices interleaved with decode steps
+                   "prefill-chunk": "thread_state_runnable"}
 
 
 def to_chrome_trace(trace: StepTrace, process_name: str = "GCD 0") -> dict:

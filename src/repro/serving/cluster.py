@@ -61,7 +61,7 @@ from .engine import DecodeCostModel, _validate_requests
 from .kv_pool import PagedKVPool
 from .metrics import RequestRecord, ServingMetrics, TimelineSample
 from .results import FailedRequest, ServingResultBase
-from .scheduler import ContinuousBatchScheduler, Request
+from .scheduler import ContinuousBatchScheduler, Request, next_prefill_target
 
 __all__ = ["ReplicaLayout", "ClusterConfig", "ReplicaServer",
            "ClusterSimulator", "ClusterResult", "LB_POLICIES",
@@ -188,6 +188,7 @@ class ReplicaServer:
         self.scheduler = ContinuousBatchScheduler(
             pool, serving.scheduler_config())
         self.max_steps = serving.max_steps
+        self.prefill_chunk = serving.prefill_chunk_tokens
         self.clock = 0.0
         self.records: list[RequestRecord] = []
         self.timeline: list[TimelineSample] = []
@@ -234,7 +235,8 @@ class ReplicaServer:
     # ------------------------------------------------------------------
     def _event(self, request_id: int, stage: str, start: float,
                duration: float = 0.0) -> None:
-        phase = "compute" if stage in ("prefill", "decode") else "io"
+        phase = "compute" if stage in ("prefill", "prefill-chunk",
+                                       "decode") else "io"
         self.events.append(TraceEvent(f"req{request_id}/{stage}", start,
                                       duration, stage, phase))
 
@@ -307,18 +309,43 @@ class ReplicaServer:
 
         for req in sched.admit(self.clock):
             self._event(req.request_id, "admit", self.clock)
+            if self.prefill_chunk is not None:
+                continue  # encoded chunk by chunk below
             start = self.clock
             duration = self.cost.prefill_time(req.prompt_len)
             if self.slow_windows:
                 stretch = self._slowdown()
                 if stretch != 1.0:
                     duration *= stretch
+            req.prefill_pos = req.prompt_len
             req.output.append(_SENTINEL)
             self.clock = start + duration
             self._event(req.request_id, "prefill", start, duration)
             req.first_token_time = self.clock
             if req.done:
                 self._finish(req)
+
+        if self.prefill_chunk is not None:
+            target = next_prefill_target(sched.running)
+            if target is not None:
+                chunk = min(self.prefill_chunk,
+                            target.prompt_len - target.prefill_pos)
+                duration = self.cost.chunked_prefill_time(
+                    chunk, target.prefill_pos)
+                if self.slow_windows:
+                    stretch = self._slowdown()
+                    if stretch != 1.0:
+                        duration *= stretch
+                start = self.clock
+                target.prefill_pos += chunk
+                self.clock = start + duration
+                self._event(target.request_id, "prefill-chunk", start,
+                            duration)
+                if target.prefill_pos >= target.prompt_len:
+                    target.output.append(_SENTINEL)
+                    target.first_token_time = self.clock
+                    if target.done:
+                        self._finish(target)
 
         if not sched.running:
             if sched.waiting:
@@ -332,7 +359,8 @@ class ReplicaServer:
                 self._event(victim.request_id, "preempt", self.clock)
             return
 
-        batch = list(sched.running)
+        batch = [r for r in sched.running
+                 if r.prefill_pos >= r.prompt_len]
         for req in batch:
             if req not in sched.running:
                 continue  # preempted earlier in this same step
@@ -350,9 +378,12 @@ class ReplicaServer:
                 continue
             req.output.append(_SENTINEL)
         survivors = [r for r in batch if r in sched.running]
+        if not survivors:
+            return
         total_ctx = sum(r.context_len for r in survivors)
-        step_s = self.cost.decode_step_time(max(1, len(survivors)),
-                                            total_ctx)
+        # Billed with the executed batch shape (no max(1, ...) floor):
+        # a step that decodes nothing charges nothing.
+        step_s = self.cost.decode_step_time(len(survivors), total_ctx)
         if self.slow_windows:
             stretch = self._slowdown()
             if stretch != 1.0:

@@ -47,6 +47,11 @@ class ServingConfig:
     # Cost-model knobs.
     step_overhead_s: float = 250e-6
     tensor_parallel: int = 1
+    # Prefill chunking: encode prompts in chunks of at most this many
+    # tokens, interleaved with decode steps of the running batch, so a
+    # long prompt no longer stalls everyone else's TTFT.  ``None`` keeps
+    # the original monolithic prefill.
+    prefill_chunk_tokens: int | None = None
     # Engine loop bound.
     max_steps: int = 1_000_000
 
@@ -63,6 +68,11 @@ class ServingConfig:
                 f"step_overhead_s must be >= 0: {self.step_overhead_s}")
         if self.max_steps < 1:
             raise ValueError(f"max_steps must be >= 1: {self.max_steps}")
+        if self.prefill_chunk_tokens is not None \
+                and self.prefill_chunk_tokens < 1:
+            raise ValueError(
+                f"prefill_chunk_tokens must be >= 1 (or None): "
+                f"{self.prefill_chunk_tokens}")
 
     # ------------------------------------------------------------------
     def scheduler_config(self) -> SchedulerConfig:

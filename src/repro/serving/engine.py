@@ -34,6 +34,7 @@ from ..frontier.hardware import GCDSpec
 from ..frontier.roofline import RooflineModel
 from ..models.config import ModelConfig
 from ..models.flops import GEMMShape
+from ..models.packed_kv import PackedKVPool
 from ..parallel.collectives import CollectiveModel, GroupTopology
 from ..profiling.tracer import TraceEvent
 from .config import ServingConfig
@@ -41,7 +42,8 @@ from .kv_pool import PagedKVPool, kv_bytes_per_token
 from .metrics import RequestRecord, ServingMetrics, TimelineSample
 from .perf_model import TP_ALLREDUCES_PER_LAYER
 from .results import ServeResult
-from .scheduler import ContinuousBatchScheduler, Request, SchedulerConfig
+from .scheduler import (ContinuousBatchScheduler, Request, SchedulerConfig,
+                        next_prefill_target)
 
 __all__ = ["DecodeCostModel", "ServeResult", "ServingEngine",
            "run_sequential"]
@@ -101,6 +103,24 @@ class DecodeCostModel:
             + self.kv_token_bytes * total_context_tokens / self.tp
         return self.step_overhead_s + hbm_bytes / (self.gcd.hbm_bw_gbs * 1e9) \
             + self._tp_comm(batch_size)
+
+    def chunked_prefill_time(self, chunk_tokens: int,
+                             prior_context_tokens: int = 0) -> float:
+        """One prefill chunk over ``chunk_tokens`` new prompt positions.
+
+        Priced like a short prefill plus the HBM stream of the KV
+        already resident from earlier chunks (attention over the prior
+        context is memory-bound at decode-like intensity).
+        """
+        if chunk_tokens < 1:
+            raise ValueError("chunk_tokens must be >= 1")
+        if prior_context_tokens < 0:
+            raise ValueError("prior_context_tokens must be >= 0")
+        base = self.prefill_time(chunk_tokens)
+        if prior_context_tokens:
+            base += self.kv_token_bytes * prior_context_tokens / self.tp \
+                / (self.gcd.hbm_bw_gbs * 1e9)
+        return base
 
 
 def _validate_requests(requests: list[Request], pool: PagedKVPool,
@@ -173,18 +193,49 @@ class ServingEngine:
         self.pool = pool or self.config.build_pool(model.config)
         self.scheduler = ContinuousBatchScheduler(self.pool, sched_cfg)
         self.cost = cost_model or self.config.build_cost_model(model.config)
+        self.prefill_chunk = self.config.prefill_chunk_tokens
+        # Real KV storage: one packed slot per batch seat (admission is
+        # capped at max_batch_size, so acquire() can never run dry).
+        self.packed = PackedKVPool.for_model(
+            model.config, num_slots=sched_cfg.max_batch_size,
+            block_tokens=self.config.block_size)
 
     # ------------------------------------------------------------------
     def _validate(self, requests: list[Request]) -> None:
         _validate_requests(requests, self.pool, self.scheduler.config,
                            self.model.config.max_seq_len)
 
+    def _assign_slot(self, req: Request) -> None:
+        req.slot = self.packed.acquire()
+        req.caches = self.packed.slot_caches(req.slot)
+
+    def _release_slot(self, req: Request) -> None:
+        if req.slot is not None:
+            self.packed.release(req.slot)
+            req.slot = None
+
     def _prefill(self, req: Request) -> None:
-        """Encode the prompt and emit the first token."""
-        from ..models.attention import KVCache
-        req.caches = [KVCache() for _ in self.model.layers]
+        """Encode the whole prompt and emit the first token."""
+        if req.caches is None:
+            self._assign_slot(req)
         logits = self.model._forward_cached(req.prompt[None], req.caches)
+        req.prefill_pos = req.prompt_len
         req.output.append(int(logits.data[0, -1].argmax()))
+
+    def _prefill_chunk(self, req: Request) -> int:
+        """Encode the next <= prefill_chunk_tokens prompt positions.
+
+        Returns the chunk size; on the final chunk the first token is
+        emitted.  Chunk boundaries do not change the tokens produced —
+        the cached forward is incremental by construction.
+        """
+        chunk = min(self.prefill_chunk, req.prompt_len - req.prefill_pos)
+        tokens = req.prompt[req.prefill_pos:req.prefill_pos + chunk]
+        logits = self.model._forward_cached(tokens[None], req.caches)
+        req.prefill_pos += chunk
+        if req.prefill_pos >= req.prompt_len:
+            req.output.append(int(logits.data[0, -1].argmax()))
+        return chunk
 
     def _decode_one(self, req: Request) -> None:
         """Advance one request by one token over its caches."""
@@ -210,11 +261,13 @@ class ServingEngine:
                   duration: float = 0.0) -> None:
             # Same naming scheme as the cluster replicas, so engine and
             # cluster traces open side by side in Perfetto.
-            phase = "compute" if stage in ("prefill", "decode") else "io"
+            phase = "compute" if stage in ("prefill", "prefill-chunk",
+                                           "decode") else "io"
             events.append(TraceEvent(f"req{request_id}/{stage}", start,
                                      duration, stage, phase))
 
         def finish(req: Request) -> None:
+            self._release_slot(req)
             sched.finish(req, clock)
             trace.append((clock, "finish", req.request_id))
             event(req.request_id, "decode", req.first_token_time,
@@ -242,13 +295,32 @@ class ServingEngine:
             for req in sched.admit(clock):
                 trace.append((clock, "admit", req.request_id))
                 event(req.request_id, "admit", clock)
-                self._prefill(req)
-                start = clock
-                clock += self.cost.prefill_time(req.prompt_len)
-                event(req.request_id, "prefill", start, clock - start)
-                req.first_token_time = clock
-                if req.done:
-                    finish(req)
+                self._assign_slot(req)
+                if self.prefill_chunk is None:
+                    self._prefill(req)
+                    start = clock
+                    clock += self.cost.prefill_time(req.prompt_len)
+                    event(req.request_id, "prefill", start, clock - start)
+                    req.first_token_time = clock
+                    if req.done:
+                        finish(req)
+                # else: the prompt is encoded chunk by chunk below,
+                # interleaved with decode steps of the running batch.
+
+            if self.prefill_chunk is not None:
+                target = next_prefill_target(sched.running)
+                if target is not None:
+                    prior = target.prefill_pos
+                    chunk = self._prefill_chunk(target)
+                    start = clock
+                    clock += self.cost.chunked_prefill_time(chunk, prior)
+                    event(target.request_id, "prefill-chunk", start,
+                          clock - start)
+                    if target.prefill_pos >= target.prompt_len:
+                        req = target
+                        req.first_token_time = clock
+                        if req.done:
+                            finish(req)
 
             if not sched.running:
                 if pending and not sched.waiting:
@@ -262,12 +334,15 @@ class ServingEngine:
                     if victim is None:
                         raise RuntimeError(
                             "deadlock: empty batch but admission failed")
+                    self._release_slot(victim)
                     trace.append((clock, "preempt", victim.request_id))
                     event(victim.request_id, "preempt", clock)
                 continue
 
-            # One continuous-batching decode step over the running set.
-            batch = list(sched.running)
+            # One continuous-batching decode step over the running set
+            # (requests still mid-prefill under chunking don't decode yet).
+            batch = [r for r in sched.running
+                     if r.prefill_pos >= r.prompt_len]
             for req in batch:
                 if req not in sched.running:
                     continue  # preempted earlier in this same step
@@ -282,6 +357,7 @@ class ServingEngine:
                     # forever, each eviction discarding all progress.
                     victim = sched.running[-1]
                     sched.preempt(victim)
+                    self._release_slot(victim)
                     trace.append((clock, "preempt", victim.request_id))
                     event(victim.request_id, "preempt", clock)
                     if victim is req:
@@ -289,11 +365,23 @@ class ServingEngine:
                         break
                 if preempted_self:
                     continue
-                self._decode_one(req)
             survivors = [r for r in batch if r in sched.running]
+            if not survivors:
+                continue
+
+            # The whole step is ONE stacked forward over the packed pool
+            # — the compute the cost model has credited all along.
+            last = np.array([r.output[-1] for r in survivors],
+                            dtype=np.int64)
+            slots = [r.slot for r in survivors]
+            logits = self.model.decode_step_batched(last, self.packed,
+                                                    slots)
+            for i, req in enumerate(survivors):
+                req.output.append(int(logits[i].argmax()))
             total_ctx = sum(r.context_len for r in survivors)
-            clock += self.cost.decode_step_time(max(1, len(survivors)),
-                                                total_ctx)
+            # Billed time uses the executed batch shape, not max(1, ...):
+            # an empty step executes nothing and bills nothing.
+            clock += self.cost.decode_step_time(len(survivors), total_ctx)
             for req in survivors:
                 if req.done:
                     finish(req)

@@ -31,7 +31,8 @@ import numpy as np
 
 from .kv_pool import PagedKVPool
 
-__all__ = ["Request", "SchedulerConfig", "ContinuousBatchScheduler"]
+__all__ = ["Request", "SchedulerConfig", "ContinuousBatchScheduler",
+           "next_prefill_target"]
 
 _POLICIES = ("fcfs", "spf")
 
@@ -53,6 +54,10 @@ class Request:
     state: str = WAITING
     output: list[int] = field(default_factory=list)
     caches: list | None = None
+    #: leased PackedKVPool slot while running (owned by the engine)
+    slot: int | None = None
+    #: prompt tokens already encoded (chunked prefill progress)
+    prefill_pos: int = 0
     admit_time: float | None = None
     first_token_time: float | None = None
     finish_time: float | None = None
@@ -91,6 +96,7 @@ class Request:
         """Drop generated state so the request can be re-prefilled."""
         self.output.clear()
         self.caches = None
+        self.prefill_pos = 0
         self.state = WAITING
         self.first_token_time = None
         self.preemptions += 1
@@ -105,10 +111,32 @@ class Request:
         """
         self.output.clear()
         self.caches = None
+        self.prefill_pos = 0
         self.state = WAITING
         self.admit_time = None
         self.first_token_time = None
         self.retries += 1
+
+
+def next_prefill_target(running: list[Request]) -> Request | None:
+    """Pick the running request whose prefill should advance next.
+
+    Shortest-remaining-prefill-first (SRPT): among running requests
+    still mid-prefill, the one with the fewest prompt tokens left, ties
+    broken by admission order.  Plain FCFS chunking would still
+    head-of-line block a late-arriving short prompt behind a long
+    in-progress prefill; SRPT is what bounds the short's TTFT.
+    """
+    best: Request | None = None
+    best_key: tuple | None = None
+    for req in running:
+        remaining = req.prompt_len - req.prefill_pos
+        if remaining <= 0:
+            continue
+        key = (remaining, req.admit_time, req.request_id)
+        if best_key is None or key < best_key:
+            best, best_key = req, key
+    return best
 
 
 @dataclass(frozen=True)
