@@ -375,7 +375,16 @@ class ApiHygieneChecker(Checker):
                 self._remember(alias.asname or alias.name, node)
 
     def end_module(self, ctx: FileContext) -> None:
-        if self._all_node is None or self._star_import:
+        if self._star_import:
+            return
+        if self._all_node is None:
+            if self._public_defs:
+                first = min(self._public_defs.values(),
+                            key=lambda n: getattr(n, "lineno", 0))
+                ctx.report(self, first,
+                           f"module defines public API "
+                           f"({len(self._public_defs)} public def(s)) "
+                           f"but no __all__; declare the export list")
             return
         for name in self._all_names:
             if name not in self._top_level:

@@ -33,7 +33,7 @@ import numpy as np
 from .models import GPTModel, KVCache, PackedKVPool, preset
 
 __all__ = ["bench_decode", "bench_prefill", "run_perf_bench",
-           "format_perf_bench"]
+           "format_perf_bench", "compare_perf_baseline"]
 
 
 def _make_prompts(model, batch_size: int, prompt_len: int,
@@ -171,6 +171,44 @@ def run_perf_bench(model_name: str = "tiny-llama",
         "decode": decode,
         "prefill": prefill,
     }
+
+
+def compare_perf_baseline(results: dict, baseline: dict,
+                          threshold: float = 0.25) -> list[str]:
+    """Ratchet check of a perf-bench run against a committed baseline.
+
+    Returns human-readable regression descriptions (empty = pass).  A
+    decode batch size regresses when its speedup falls more than
+    ``threshold`` below the baseline's; the prefill comparison regresses
+    when its chunking overhead_ratio grows more than ``threshold`` above
+    the baseline's.  Only batch sizes present in both runs are compared,
+    so the sweep can grow without invalidating an old baseline.
+    """
+    if not 0.0 < threshold < 1.0:
+        raise ValueError(f"threshold must be in (0, 1): {threshold}")
+    problems: list[str] = []
+    base_rows = {row["batch_size"]: row
+                 for row in baseline.get("decode", [])}
+    for row in results.get("decode", []):
+        base = base_rows.get(row["batch_size"])
+        if base is None:
+            continue
+        floor = (1.0 - threshold) * base["speedup"]
+        if row["speedup"] < floor:
+            problems.append(
+                f"decode batch {row['batch_size']}: speedup "
+                f"{row['speedup']:.2f}x fell below {floor:.2f}x "
+                f"(baseline {base['speedup']:.2f}x - {threshold:.0%})")
+    base_prefill = baseline.get("prefill")
+    prefill = results.get("prefill")
+    if base_prefill and prefill:
+        ceiling = (1.0 + threshold) * base_prefill["overhead_ratio"]
+        if prefill["overhead_ratio"] > ceiling:
+            problems.append(
+                f"prefill: chunking overhead {prefill['overhead_ratio']:.2f}x "
+                f"rose above {ceiling:.2f}x (baseline "
+                f"{base_prefill['overhead_ratio']:.2f}x + {threshold:.0%})")
+    return problems
 
 
 def format_perf_bench(results: dict) -> str:

@@ -46,8 +46,10 @@ import sys
 
 import numpy as np
 
+__all__ = ["build_parser", "main"]
 
-def cmd_observations(args: argparse.Namespace) -> int:
+
+def _cmd_observations(args: argparse.Namespace) -> int:
     from .core import check_all
     failures = 0
     for check in check_all():
@@ -60,7 +62,7 @@ def cmd_observations(args: argparse.Namespace) -> int:
     return failures
 
 
-def cmd_heatmap(args: argparse.Namespace) -> int:
+def _cmd_heatmap(args: argparse.Namespace) -> int:
     from .core import (flash_boost_table, format_heatmap, format_table,
                        run_grid_search)
     heatmap = run_grid_search(args.arch)
@@ -80,7 +82,7 @@ def cmd_heatmap(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_scaling(args: argparse.Namespace) -> int:
+def _cmd_scaling(args: argparse.Namespace) -> int:
     from .core import format_series
     from .models import preset
     from .parallel import TrainingSimulator
@@ -99,7 +101,7 @@ def cmd_scaling(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_recommend(args: argparse.Namespace) -> int:
+def _cmd_recommend(args: argparse.Namespace) -> int:
     from .core import format_table, recommend_layouts
     from .models import preset
     model = preset(args.model).with_flash(args.flash)
@@ -116,7 +118,7 @@ def cmd_recommend(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_reproduce(args: argparse.Namespace) -> int:
+def _cmd_reproduce(args: argparse.Namespace) -> int:
     from .core import ExperimentContext, list_experiments, reproduce
     if args.list:
         for row in list_experiments():
@@ -134,14 +136,14 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_report(args: argparse.Namespace) -> int:
+def _cmd_report(args: argparse.Namespace) -> int:
     from .core import write_report
     path = write_report(args.output, include_heavy=args.heavy)
     print(f"wrote {path}")
     return 0
 
 
-def cmd_study(args: argparse.Namespace) -> int:
+def _cmd_study(args: argparse.Namespace) -> int:
     from .core import ComparativeStudy, StudyConfig, format_table
     study = ComparativeStudy(StudyConfig(train_steps=args.steps))
     results = study.run()
@@ -158,11 +160,12 @@ def cmd_study(args: argparse.Namespace) -> int:
     return 0 if obs.holds else 1
 
 
-def cmd_serve_bench(args: argparse.Namespace) -> int:
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
     from .models import GPTModel, preset
     from .serving import (DecodeCostModel, ServingConfig, ServingEngine,
-                          ServingPerfModel, WorkloadConfig, format_estimate,
-                          format_metrics, run_sequential,
+                          ServingPerfModel, SessionWorkloadConfig,
+                          WorkloadConfig, format_estimate, format_metrics,
+                          run_sequential, synthesize_sessions,
                           synthesize_workload)
     try:
         config = preset(args.model)
@@ -174,28 +177,82 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
             raise ValueError(f"--prefill-chunk must be >= 0 (0 disables "
                              f"chunking): {args.prefill_chunk}")
         model = GPTModel(config, seed=args.seed)
-        workload = WorkloadConfig(num_requests=args.requests,
-                                  arrival_rate=args.rate, seed=args.seed)
-        requests = synthesize_workload(workload, config)
+        if args.sessions > 0:
+            session_workload = SessionWorkloadConfig(
+                num_sessions=args.sessions, arrival_rate=args.rate,
+                num_system_prompts=args.system_prompts,
+                think_time_s=args.think_time, seed=args.seed)
+
+            def make_requests():
+                # Fresh Request objects per run: the scheduler mutates
+                # them, and the seed reproduces the identical workload.
+                return synthesize_sessions(session_workload, config)
+        else:
+            workload = WorkloadConfig(num_requests=args.requests,
+                                      arrival_rate=args.rate,
+                                      seed=args.seed)
+
+            def make_requests():
+                return synthesize_workload(workload, config)
+
+        cache_on = args.prefix_cache or args.compare_cache
         serving = ServingConfig(
             policy=args.policy, max_batch_size=args.batch_size,
             block_size=args.block_size,
             num_blocks=args.pool_blocks if args.pool_blocks > 0 else None,
             prefill_chunk_tokens=args.prefill_chunk
-            if args.prefill_chunk > 0 else None)
+            if args.prefill_chunk > 0 else None,
+            prefix_cache=cache_on, prefix_cache_blocks=args.cache_blocks)
+        requests = make_requests()
         engine = ServingEngine(model, serving)
         result = engine.run(requests)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     pool = engine.pool
-    print(f"workload: {len(requests)} requests, Poisson rate "
-          f"{args.rate:.0f}/s, seed {args.seed}, policy {args.policy}")
+    if args.sessions > 0:
+        print(f"workload: {len(requests)} requests across {args.sessions} "
+              f"sessions ({args.system_prompts} shared system prompts), "
+              f"rate {args.rate:.0f}/s, seed {args.seed}, "
+              f"policy {args.policy}")
+    else:
+        print(f"workload: {len(requests)} requests, Poisson rate "
+              f"{args.rate:.0f}/s, seed {args.seed}, policy {args.policy}")
     print(f"pool: {pool.num_blocks} blocks x {pool.block_size} tokens "
-          f"({pool.bytes_per_token} B/token)")
+          f"({pool.bytes_per_token} B/token)"
+          + (f", prefix cache {args.cache_blocks} blocks" if cache_on
+             else ""))
     print()
     print(format_metrics(result.metrics,
                          title=f"serving metrics — {config.label()}"))
+    if args.compare_cache:
+        # Same seed, cache disabled: outputs must be bitwise identical
+        # (the cache only skips recomputing KV it already holds), and
+        # TTFT should improve whenever prefixes actually repeat.
+        try:
+            baseline = ServingEngine(model, ServingConfig(
+                policy=args.policy, max_batch_size=args.batch_size,
+                block_size=args.block_size,
+                num_blocks=args.pool_blocks
+                if args.pool_blocks > 0 else None,
+                prefill_chunk_tokens=args.prefill_chunk
+                if args.prefill_chunk > 0 else None,
+                prefix_cache=False)).run(make_requests())
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        same = (sorted(result.outputs) == sorted(baseline.outputs)
+                and all(np.array_equal(result.outputs[i],
+                                       baseline.outputs[i])
+                        for i in result.outputs))
+        on, off = result.metrics, baseline.metrics
+        print(f"\ncache-off baseline: mean TTFT "
+              f"{off.ttft_mean * 1e3:.3f} ms vs {on.ttft_mean * 1e3:.3f} "
+              f"ms cached ({off.ttft_mean - on.ttft_mean:+.2e} s saved), "
+              f"{on.prefill_tokens_saved} prefill tokens saved, "
+              f"outputs {'match' if same else 'MISMATCH'}")
+        if not same:
+            return 1
     if args.compare_sequential:
         base = run_sequential(
             model, requests,
@@ -217,7 +274,7 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0 if completed == len(requests) else 1
 
 
-def cmd_lint(args: argparse.Namespace) -> int:
+def _cmd_lint(args: argparse.Namespace) -> int:
     from .analysis import (all_checkers, format_json, format_text,
                            lint_paths, load_baseline, resolve_rules,
                            write_baseline)
@@ -252,10 +309,12 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return report.exit_code
 
 
-def cmd_cluster_bench(args: argparse.Namespace) -> int:
+def _cmd_cluster_bench(args: argparse.Namespace) -> int:
     from .models import preset
     from .serving import (LB_POLICIES, ClusterConfig, ClusterSimulator,
-                          ReplicaLayout, WorkloadConfig, format_cluster,
+                          ReplicaLayout, ServingConfig,
+                          SessionWorkloadConfig, WorkloadConfig,
+                          format_cluster, synthesize_sessions,
                           synthesize_workload)
     try:
         config = preset(args.model)
@@ -273,29 +332,58 @@ def cmd_cluster_bench(args: argparse.Namespace) -> int:
                              f"{args.nodes!r}")
         policies = list(LB_POLICIES) if args.policy == "all" \
             else [args.policy]
-        workload = WorkloadConfig(
-            num_requests=num_requests, arrival_rate=args.rate,
-            prompt_len_range=(64, 256), output_len_range=(16, 64),
-            prompt_skew=args.prompt_skew, heavy_multiplier=8,
-            seed=args.seed)
+        if args.sessions > 0:
+            # Paper-sized contexts get fleet-realistic prompt lengths;
+            # tiny test models fall back to the config defaults, which
+            # are sized for max_seq_len = 64.
+            lengths = {"system_prompt_len_range": (64, 128),
+                       "user_len_range": (16, 64),
+                       "output_len_range": (16, 64)} \
+                if config.max_seq_len >= 512 else {}
+            session_workload = SessionWorkloadConfig(
+                num_sessions=args.sessions, arrival_rate=args.rate,
+                seed=args.seed, **lengths)
+
+            def make_requests():
+                # Fresh Request objects per run: the scheduler mutates
+                # them, and the seed reproduces the identical workload.
+                return synthesize_sessions(session_workload, config)
+        else:
+            workload = WorkloadConfig(
+                num_requests=num_requests, arrival_rate=args.rate,
+                prompt_len_range=(64, 256), output_len_range=(16, 64),
+                prompt_skew=args.prompt_skew, heavy_multiplier=8,
+                seed=args.seed)
+
+            def make_requests():
+                return synthesize_workload(workload, config)
+
+        serving = ServingConfig(prefix_cache=args.prefix_cache,
+                                prefix_cache_blocks=args.cache_blocks)
         results = []
         for nodes in node_counts:
             for policy in policies:
                 sim = ClusterSimulator(config, ClusterConfig(
                     num_nodes=nodes, layout=layout, policy=policy,
-                    max_outstanding_per_replica=args.max_outstanding))
-                # Fresh Request objects per run: the scheduler mutates
-                # them, and the seed reproduces the identical workload.
-                results.append(sim.run(synthesize_workload(workload,
-                                                           config)))
+                    max_outstanding_per_replica=args.max_outstanding,
+                    serving=serving))
+                results.append(sim.run(make_requests()))
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    num_requests = len(make_requests())
     skew_note = f", {args.prompt_skew:.0%} heavy prompts" \
         if args.prompt_skew else ""
-    print(f"workload: {num_requests} requests, Poisson rate "
-          f"{args.rate:.0f}/s, prompts 64-256 tokens{skew_note}, "
-          f"seed {args.seed}")
+    cache_note = f", prefix cache {args.cache_blocks} blocks" \
+        if args.prefix_cache else ""
+    if args.sessions > 0:
+        print(f"workload: {num_requests} requests across {args.sessions} "
+              f"sessions, rate {args.rate:.0f}/s, seed "
+              f"{args.seed}{cache_note}")
+    else:
+        print(f"workload: {num_requests} requests, Poisson rate "
+              f"{args.rate:.0f}/s, prompts 64-256 tokens{skew_note}, "
+              f"seed {args.seed}{cache_note}")
     print(f"cluster: {config.label()}, layout {layout.label} "
           f"({layout.replicas_per_node} replica(s)/node, TP={layout.tp})")
     print()
@@ -457,8 +545,9 @@ def _fault_bench_serving(args) -> tuple[list[dict], int]:
     return rows, 0
 
 
-def cmd_perf_bench(args: argparse.Namespace) -> int:
-    from .bench import format_perf_bench, run_perf_bench
+def _cmd_perf_bench(args: argparse.Namespace) -> int:
+    from .bench import (compare_perf_baseline, format_perf_bench,
+                        run_perf_bench)
     try:
         batch_sizes = tuple(int(b) for b in args.batch_sizes.split(",")
                             if b.strip())
@@ -488,10 +577,27 @@ def cmd_perf_bench(args: argparse.Namespace) -> int:
         print(f"\nwrote results JSON: {path}")
     ok = all(r["tokens_match"] for r in results["decode"]) \
         and results["prefill"]["tokens_match"]
+    if args.baseline:
+        import json
+        from pathlib import Path
+        try:
+            baseline = json.loads(Path(args.baseline).read_text())
+            problems = compare_perf_baseline(
+                results, baseline, threshold=args.regression_threshold)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if problems:
+            print(f"\nperf regression vs baseline {args.baseline}:")
+            for problem in problems:
+                print(f"  {problem}")
+            return 1
+        print(f"\nno perf regression vs baseline {args.baseline} "
+              f"(threshold {args.regression_threshold:.0%})")
     return 0 if ok else 1
 
 
-def cmd_fault_bench(args: argparse.Namespace) -> int:
+def _cmd_fault_bench(args: argparse.Namespace) -> int:
     training_rows: list[dict] = []
     serving_rows: list[dict] = []
     try:
@@ -580,6 +686,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--prefill-chunk", type=int, default=0,
                    help="chunked-prefill chunk size in tokens "
                         "(0 = monolithic prefill)")
+    p.add_argument("--prefix-cache", action="store_true",
+                   help="enable the radix prefix cache (KV reuse across "
+                        "requests sharing a prompt prefix)")
+    p.add_argument("--cache-blocks", type=int, default=64,
+                   help="prefix-cache capacity in KV blocks (default: 64)")
+    p.add_argument("--sessions", type=int, default=0,
+                   help="session-aware workload: N multi-turn sessions "
+                        "over shared system prompts (0 = plain Poisson)")
+    p.add_argument("--system-prompts", type=int, default=2,
+                   help="distinct shared system prompts for --sessions")
+    p.add_argument("--think-time", type=float, default=1.0,
+                   help="mean think time between session turns, seconds")
+    p.add_argument("--compare-cache", action="store_true",
+                   help="also run with the cache disabled on the same "
+                        "seed; asserts identical output tokens and "
+                        "reports the TTFT delta")
     p.add_argument("--compare-sequential", action="store_true",
                    help="also run the one-request-at-a-time baseline")
     p.add_argument("--trace", default="",
@@ -607,6 +729,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="timing repeats; best-of is reported (default: 3)")
     p.add_argument("--output", "-o", default="BENCH_decode.json",
                    help="write results JSON here ('' disables)")
+    p.add_argument("--baseline", default="", metavar="PATH",
+                   help="committed results JSON to ratchet against; "
+                        "exits 1 on regression past the threshold")
+    p.add_argument("--regression-threshold", type=float, default=0.25,
+                   help="allowed fractional slip vs the baseline "
+                        "(default: 0.25)")
     p.add_argument("--smoke", action="store_true",
                    help="tiny sweep for CI (batch <= 8, <= 8 tokens, "
                         "1 repeat)")
@@ -637,6 +765,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="workload seed (fixes the whole cluster trace)")
     p.add_argument("--max-outstanding", type=int, default=32,
                    help="per-replica admission backpressure cap")
+    p.add_argument("--prefix-cache", action="store_true",
+                   help="enable the per-replica radix prefix cache "
+                        "(timing-level KV reuse)")
+    p.add_argument("--cache-blocks", type=int, default=64,
+                   help="prefix-cache capacity in KV blocks per replica")
+    p.add_argument("--sessions", type=int, default=0,
+                   help="session-aware workload: N multi-turn sessions "
+                        "over shared system prompts (0 = plain Poisson)")
     p.add_argument("--trace", default="",
                    help="export the request-lifecycle Chrome trace here")
     p.add_argument("--smoke", action="store_true",
@@ -730,23 +866,23 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 _COMMANDS = {
-    "observations": cmd_observations,
-    "reproduce": cmd_reproduce,
-    "report": cmd_report,
-    "heatmap": cmd_heatmap,
-    "scaling": cmd_scaling,
-    "recommend": cmd_recommend,
-    "study": cmd_study,
-    "serve-bench": cmd_serve_bench,
-    "serve": cmd_serve_bench,  # alias, kept so README shorthand works
-    "perf-bench": cmd_perf_bench,
-    "perf": cmd_perf_bench,  # alias, same convention as serve
-    "cluster-bench": cmd_cluster_bench,
-    "cluster": cmd_cluster_bench,  # alias, same convention as serve
-    "fault-bench": cmd_fault_bench,
-    "faults": cmd_fault_bench,  # alias, same convention as serve
-    "fault": cmd_fault_bench,  # bare-prefix alias, like serve/cluster
-    "lint": cmd_lint,
+    "observations": _cmd_observations,
+    "reproduce": _cmd_reproduce,
+    "report": _cmd_report,
+    "heatmap": _cmd_heatmap,
+    "scaling": _cmd_scaling,
+    "recommend": _cmd_recommend,
+    "study": _cmd_study,
+    "serve-bench": _cmd_serve_bench,
+    "serve": _cmd_serve_bench,  # alias, kept so README shorthand works
+    "perf-bench": _cmd_perf_bench,
+    "perf": _cmd_perf_bench,  # alias, same convention as serve
+    "cluster-bench": _cmd_cluster_bench,
+    "cluster": _cmd_cluster_bench,  # alias, same convention as serve
+    "fault-bench": _cmd_fault_bench,
+    "faults": _cmd_fault_bench,  # alias, same convention as serve
+    "fault": _cmd_fault_bench,  # bare-prefix alias, like serve/cluster
+    "lint": _cmd_lint,
 }
 
 

@@ -356,6 +356,14 @@ class CausalSelfAttention(Module):
         to one call with no masking.  The flash path pads to the batch
         max and length-masks inside the tiled kernel, matching
         :func:`flash_attention_forward` semantics.
+
+        A batch of one skips the pack/gather machinery entirely: the new
+        position is appended through the single-slot protocol (in-place
+        write returning zero-copy views) and attention runs straight
+        over the views with the exact grouped-path op sequence — same
+        values, no ``unique``/fancy-index/copy overhead, which is what
+        kept the batched path slower than the sequential forward at
+        batch size 1.
         """
         batch, seq, _ = x.shape
         h = self.hidden_size
@@ -370,14 +378,30 @@ class CausalSelfAttention(Module):
         q = self.rotary.apply_batched(q, offsets)
         k_new = self.rotary.apply_batched(k_new, offsets)
 
-        lengths = pool.append_batched(layer, slots, k_new.data, v_new.data)
-
-        if self.flash:
-            k_pad, v_pad = pool.gather(layer, slots, int(lengths.max()))
-            ctx = flash_decode_forward(q.data, self._expand_kv_np(k_pad),
-                                       self._expand_kv_np(v_pad), lengths)
+        if not self.flash and batch == 1:
+            slot = int(np.asarray(slots, dtype=np.int64).ravel()[0])
+            k_all, v_all = pool.append(layer, slot, k_new.data, v_new.data)
+            k_g = self._expand_kv_np(k_all)
+            v_g = self._expand_kv_np(v_all)
+            scale = 1.0 / np.sqrt(self.head_dim)
+            scores = (q.data @ np.swapaxes(k_g, -1, -2)) * scale
+            shifted = scores - scores.max(axis=-1, keepdims=True)
+            e = np.exp(shifted)
+            probs = e / e.sum(axis=-1, keepdims=True)
+            ctx = probs @ v_g
         else:
-            ctx = self._decode_grouped(q.data, pool, slots, layer, lengths)
+            lengths = pool.append_batched(layer, slots, k_new.data,
+                                          v_new.data)
+            if self.flash:
+                k_pad, v_pad = pool.gather(layer, slots,
+                                           int(lengths.max()))
+                ctx = flash_decode_forward(q.data,
+                                           self._expand_kv_np(k_pad),
+                                           self._expand_kv_np(v_pad),
+                                           lengths)
+            else:
+                ctx = self._decode_grouped(q.data, pool, slots, layer,
+                                           lengths)
 
         merged = (Tensor(ctx).transpose(0, 2, 1, 3)
                   .reshape(batch, seq, self.hidden_size))

@@ -26,6 +26,14 @@ Numerical note: buffers are zero-initialized (and zero-grown) so that a
 padded gather never exposes ``inf``/``nan`` garbage to the flash decode
 kernel — a zero key/value column under a zero attention weight
 contributes exactly nothing.
+
+Slot leases are *refcounted*: :meth:`PackedKVPool.acquire` hands out a
+slot at refcount 1, :meth:`PackedKVPool.retain` adds a reference, and
+:meth:`PackedKVPool.release` drops one — the slot only returns to the
+free list (and its lengths reset) when the count reaches zero.  This is
+what lets the prefix cache share a cached block with any number of
+concurrent readers without a copy: a shared slot cannot be recycled out
+from under a live reference.
 """
 
 from __future__ import annotations
@@ -83,6 +91,7 @@ class PackedKVPool:
                   for _ in range(num_layers)]
         self._lengths = np.zeros((num_layers, num_slots), dtype=np.int64)
         self._free = list(range(num_slots - 1, -1, -1))
+        self._refs = [0] * num_slots
         self.grow_count = 0
 
     @classmethod
@@ -99,19 +108,42 @@ class PackedKVPool:
         return self.num_slots - len(self._free)
 
     def acquire(self) -> int:
-        """Lease a free slot; its per-layer lengths start at zero."""
+        """Lease a free slot at refcount 1; lengths start at zero."""
         if not self._free:
             raise RuntimeError(
                 f"all {self.num_slots} KV slots are leased")
-        return self._free.pop()
+        slot = self._free.pop()
+        self._refs[slot] = 1
+        return slot
 
-    def release(self, slot: int) -> None:
-        """Return a slot to the free list and reset its lengths."""
+    def retain(self, slot: int) -> int:
+        """Add a reference to a leased slot; returns the new refcount."""
         self._check_slot(slot)
-        if slot in self._free:
+        if self._refs[slot] < 1:
             raise ValueError(f"slot {slot} is not leased")
-        self._lengths[:, slot] = 0
-        self._free.append(slot)
+        self._refs[slot] += 1
+        return self._refs[slot]
+
+    def release(self, slot: int) -> int:
+        """Drop one reference; returns the remaining refcount.
+
+        The slot returns to the free list (lengths reset) only when the
+        last reference is released — a shared slot is never recycled
+        while any holder remains.
+        """
+        self._check_slot(slot)
+        if self._refs[slot] < 1:
+            raise ValueError(f"slot {slot} is not leased")
+        self._refs[slot] -= 1
+        if self._refs[slot] == 0:
+            self._lengths[:, slot] = 0
+            self._free.append(slot)
+        return self._refs[slot]
+
+    def refcount(self, slot: int) -> int:
+        """Outstanding references on ``slot`` (0 = free)."""
+        self._check_slot(slot)
+        return self._refs[slot]
 
     def _check_slot(self, slot: int) -> None:
         if not 0 <= slot < self.num_slots:
@@ -195,6 +227,55 @@ class PackedKVPool:
         index = np.asarray(slots, dtype=np.int64)
         return (self.k[layer][index][:, :, :length].copy(),
                 self.v[layer][index][:, :, :length].copy())
+
+    def export_span(self, slot: int, start: int, end: int
+                    ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        """Copy token positions ``[start, end)`` of one slot, per layer.
+
+        Returns ``(k_parts, v_parts)``: lists of ``num_layers`` arrays of
+        shape ``(kv_heads, end - start, head_dim)``.  The span must lie
+        within the slot's current length in every layer — this is how
+        the prefix cache captures a finished prefill's blocks.
+        """
+        self._check_slot(slot)
+        if not 0 <= start < end:
+            raise ValueError(f"invalid span [{start}, {end})")
+        shortest = int(self._lengths[:, slot].min())
+        if end > shortest:
+            raise ValueError(
+                f"span [{start}, {end}) exceeds slot {slot} length "
+                f"{shortest}")
+        k_parts = [self.k[layer][slot, :, start:end].copy()
+                   for layer in range(self.num_layers)]
+        v_parts = [self.v[layer][slot, :, start:end].copy()
+                   for layer in range(self.num_layers)]
+        return k_parts, v_parts
+
+    def import_span(self, slot: int, start: int, k_parts, v_parts) -> None:
+        """Write per-layer K/V segments at token offset ``start``.
+
+        The inverse of :meth:`export_span`: seeds a slot with cached
+        prefix KV so the forward pass only has to encode the suffix.
+        Writes must be contiguous (``start`` <= current length), and the
+        slot's lengths advance to cover the written span.
+        """
+        self._check_slot(slot)
+        if start < 0:
+            raise ValueError(f"start must be >= 0: {start}")
+        seg = int(k_parts[0].shape[1])
+        if seg < 1:
+            raise ValueError("span must be non-empty")
+        need = start + seg
+        if int(self._lengths[:, slot].min()) < start:
+            raise ValueError(
+                f"non-contiguous import at offset {start} into slot "
+                f"{slot} (length {int(self._lengths[:, slot].min())})")
+        self._ensure_capacity(need)
+        for layer in range(self.num_layers):
+            self.k[layer][slot, :, start:need] = k_parts[layer]
+            self.v[layer][slot, :, start:need] = v_parts[layer]
+            if self._lengths[layer, slot] < need:
+                self._lengths[layer, slot] = need
 
     def slot_caches(self, slot: int) -> list["PackedSlotCache"]:
         """Per-layer cache adapters for the sequential forward path."""

@@ -34,7 +34,11 @@ _CATEGORY_CNAME = {"fail": "terrible", "failed": "terrible",
                    # chunked-prefill spans read differently from whole
                    # prefills: a long prompt shows as a dashed run of
                    # same-colored slices interleaved with decode steps
-                   "prefill-chunk": "thread_state_runnable"}
+                   "prefill-chunk": "thread_state_runnable",
+                   # prefix-cache lifecycle: hits green, misses neutral,
+                   # evictions flagged like pressure events
+                   "cache-hit": "good", "cache-miss": "grey",
+                   "cache-evict": "bad"}
 
 
 def to_chrome_trace(trace: StepTrace, process_name: str = "GCD 0") -> dict:

@@ -27,8 +27,10 @@ from .metrics import (RequestRecord, ServingMetrics, TimelineSample,
                       format_metrics)
 from .perf_model import (DeploymentEstimate, FrontierServingEstimate,
                          ServingPerfModel, format_estimate)
+from .prefix_cache import CacheStats, PrefixMatch, RadixPrefixCache
 from .results import FailedRequest, ServeResult, ServingResultBase
 from .scheduler import ContinuousBatchScheduler, Request, SchedulerConfig
+from .sessions import SessionWorkloadConfig, synthesize_sessions
 from .workload import WorkloadConfig, synthesize_workload
 
 __all__ = [
@@ -45,8 +47,11 @@ __all__ = [
     "KVPoolConfig", "PagedKVPool", "kv_bytes_per_token",
     # Scheduling.
     "ContinuousBatchScheduler", "Request", "SchedulerConfig",
+    # Prefix/KV reuse.
+    "CacheStats", "PrefixMatch", "RadixPrefixCache",
     # Workloads and metrics.
     "WorkloadConfig", "synthesize_workload",
+    "SessionWorkloadConfig", "synthesize_sessions",
     "RequestRecord", "ServingMetrics", "TimelineSample", "format_metrics",
     # Frontier extrapolation.
     "DeploymentEstimate", "FrontierServingEstimate", "ServingPerfModel",

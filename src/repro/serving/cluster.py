@@ -189,6 +189,14 @@ class ReplicaServer:
             pool, serving.scheduler_config())
         self.max_steps = serving.max_steps
         self.prefill_chunk = serving.prefill_chunk_tokens
+        # Timing-level prefix cache: tracks token structure + refcounts
+        # (no KV payload — decode is sentinel-level), discounting the
+        # billed prefill of matched prefixes.  Cached blocks are charged
+        # to this replica's pool; admission reclaims them LRU-first.
+        self.prefix_cache = serving.build_prefix_cache(
+            model_config, pool, store_kv=False)
+        if self.prefix_cache is not None:
+            self.scheduler.reclaim = self._cache_reclaim
         self.clock = 0.0
         self.records: list[RequestRecord] = []
         self.timeline: list[TimelineSample] = []
@@ -245,6 +253,33 @@ class ReplicaServer:
         self.events.append(TraceEvent(f"fault/{stage}", start, duration,
                                       stage, "fault"))
 
+    # -- prefix-cache hooks ---------------------------------------------
+    def _cache_reclaim(self, blocks: int) -> int:
+        """LRU-evict cache blocks for admission; traces the eviction."""
+        freed = self.prefix_cache.evict(blocks)
+        if freed:
+            self.events.append(TraceEvent(f"cache/evict x{freed}",
+                                          self.clock, 0.0, "cache-evict",
+                                          "io"))
+        return freed
+
+    def _release_cache(self, req: Request) -> None:
+        if req.cache_match is not None:
+            self.prefix_cache.release(req.cache_match)
+            req.cache_match = None
+
+    def _cache_admit(self, req: Request) -> int:
+        """Match + lease the cached prefix; returns matched tokens."""
+        match = self.prefix_cache.match(req.prompt)
+        matched = 0
+        if match.hit:
+            req.cache_match = match
+            req.prefill_pos = match.tokens
+            matched = match.tokens
+        self._event(req.request_id,
+                    "cache-hit" if matched else "cache-miss", self.clock)
+        return matched
+
     # -- fault-injection hooks (driven by the cluster simulator) --------
     def _slowdown(self) -> float:
         """Product of active stretch factors at the current clock."""
@@ -273,6 +308,12 @@ class ReplicaServer:
             self.pool.free(req.request_id)
         sched.running.clear()
         sched.waiting.clear()
+        if self.prefix_cache is not None:
+            # A dead replica loses its HBM contents: release the doomed
+            # requests' leases, then drop every cached block.
+            for req in doomed:
+                self._release_cache(req)
+            self.prefix_cache.clear()
         return doomed
 
     def revive(self, now: float) -> None:
@@ -288,6 +329,8 @@ class ReplicaServer:
         self.scheduler.submit(request)
 
     def _finish(self, request: Request) -> None:
+        if self.prefix_cache is not None:
+            self._release_cache(request)
         self.scheduler.finish(request, self.clock)
         self._event(request.request_id, "decode", request.first_token_time,
                     self.clock - request.first_token_time)
@@ -309,10 +352,19 @@ class ReplicaServer:
 
         for req in sched.admit(self.clock):
             self._event(req.request_id, "admit", self.clock)
+            matched = 0
+            if self.prefix_cache is not None:
+                matched = self._cache_admit(req)
             if self.prefill_chunk is not None:
                 continue  # encoded chunk by chunk below
             start = self.clock
-            duration = self.cost.prefill_time(req.prompt_len)
+            if matched:
+                # The cached prefix skips its prefill; the suffix is
+                # priced as a chunk attending over the resident prefix.
+                duration = self.cost.chunked_prefill_time(
+                    req.prompt_len - matched, matched)
+            else:
+                duration = self.cost.prefill_time(req.prompt_len)
             if self.slow_windows:
                 stretch = self._slowdown()
                 if stretch != 1.0:
@@ -321,6 +373,8 @@ class ReplicaServer:
             req.output.append(_SENTINEL)
             self.clock = start + duration
             self._event(req.request_id, "prefill", start, duration)
+            if self.prefix_cache is not None:
+                self.prefix_cache.insert(req.prompt)
             req.first_token_time = self.clock
             if req.done:
                 self._finish(req)
@@ -343,6 +397,8 @@ class ReplicaServer:
                             duration)
                 if target.prefill_pos >= target.prompt_len:
                     target.output.append(_SENTINEL)
+                    if self.prefix_cache is not None:
+                        self.prefix_cache.insert(target.prompt)
                     target.first_token_time = self.clock
                     if target.done:
                         self._finish(target)
@@ -350,12 +406,19 @@ class ReplicaServer:
         if not sched.running:
             if sched.waiting:
                 # Queue non-empty yet nothing admitted: force space for
-                # the head request (it fits alone, per validation).
+                # the head request (it fits alone, per validation),
+                # draining the cache before declaring deadlock.
                 victim = sched.preempt_victim()
                 if victim is None:
+                    if self.prefix_cache is not None \
+                            and self._cache_reclaim(
+                                self.pool.num_blocks) > 0:
+                        return
                     raise RuntimeError(
                         f"{self.name} deadlock: empty batch but admission "
                         f"failed")
+                if self.prefix_cache is not None:
+                    self._release_cache(victim)
                 self._event(victim.request_id, "preempt", self.clock)
             return
 
@@ -367,9 +430,17 @@ class ReplicaServer:
             preempted_self = False
             while not self.pool.allocate(req.request_id,
                                          req.context_len + 1):
+                # Unreferenced cache blocks are reclaimed before anyone
+                # is preempted — eviction costs nothing, preemption
+                # discards prefill progress.
+                if self.prefix_cache is not None \
+                        and self._cache_reclaim(1) > 0:
+                    continue
                 # Same youngest-first (vLLM recompute) rule as the engine.
                 victim = sched.running[-1]
                 sched.preempt(victim)
+                if self.prefix_cache is not None:
+                    self._release_cache(victim)
                 self._event(victim.request_id, "preempt", self.clock)
                 if victim is req:
                     preempted_self = True
@@ -804,13 +875,21 @@ class ClusterSimulator:
                 f"max_retries, shorten recovery_s, or raise mtbf_hours")
         timeline = sorted((s for r in self.replicas for s in r.timeline),
                           key=lambda s: s.time)
+        cache_stats = None
+        caches = [r.prefix_cache for r in self.replicas
+                  if r.prefix_cache is not None]
+        if caches:
+            cache_stats = caches[0].stats
+            for extra in caches[1:]:
+                cache_stats = cache_stats.merged(extra.stats)
         metrics = ServingMetrics.from_records(
             records, timeline,
             makespan=max(rec.finish for rec in records),
             peak_pool_utilization=max(r.pool.peak_utilization
                                       for r in self.replicas),
             preemptions=sum(r.scheduler.total_preemptions
-                            for r in self.replicas))
+                            for r in self.replicas),
+            cache=cache_stats)
         slo = self.config.failover.slo_ttft_s
         within_slo = sum(1 for rec in records
                          if slo is None or rec.ttft <= slo)
@@ -839,19 +918,22 @@ def format_cluster(results: list[ClusterResult],
         raise ValueError("no cluster results to format")
     header = ["policy", "nodes", "layout", "p50 TTFT", "p99 TTFT",
               "p50 TPOT", "p99 TPOT", "tok/s", "preempt", "queued",
-              "avail", "retries", "failed"]
+              "avail", "retries", "failed", "hit%", "saved"]
     rows = []
     for res in results:
         ttft = res.percentiles("ttft", (50.0, 99.0))
         tpot = res.percentiles("tpot", (50.0, 99.0))
+        m = res.metrics
         rows.append([
             res.policy, str(res.num_nodes), res.layout,
             f"{ttft[50.0] * 1e3:.2f} ms", f"{ttft[99.0] * 1e3:.2f} ms",
             f"{tpot[50.0] * 1e3:.2f} ms", f"{tpot[99.0] * 1e3:.2f} ms",
-            f"{res.metrics.tokens_per_s:.0f}",
-            str(res.metrics.preemptions), str(res.queued_requests),
+            f"{m.tokens_per_s:.0f}",
+            str(m.preemptions), str(res.queued_requests),
             f"{res.availability:.1%}", str(res.retries_total),
-            str(len(res.failed_records))])
+            str(len(res.failed_records)),
+            f"{m.cache_hit_rate:.0%}" if m.cache_lookups else "-",
+            str(m.prefill_tokens_saved) if m.cache_lookups else "-"])
     widths = [max(len(header[i]), max(len(row[i]) for row in rows))
               for i in range(len(header))]
     lines = [title, "-" * len(title),

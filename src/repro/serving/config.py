@@ -52,6 +52,12 @@ class ServingConfig:
     # long prompt no longer stalls everyone else's TTFT.  ``None`` keeps
     # the original monolithic prefill.
     prefill_chunk_tokens: int | None = None
+    # Radix prefix cache: reuse KV of previously prefilled prompt
+    # prefixes (block granularity).  Cached blocks are charged to the
+    # paged pool, so the cache competes with requests for HBM and is
+    # LRU-evicted under pressure before any preemption.
+    prefix_cache: bool = False
+    prefix_cache_blocks: int = 64
     # Engine loop bound.
     max_steps: int = 1_000_000
 
@@ -73,6 +79,10 @@ class ServingConfig:
             raise ValueError(
                 f"prefill_chunk_tokens must be >= 1 (or None): "
                 f"{self.prefill_chunk_tokens}")
+        if self.prefix_cache_blocks < 1:
+            raise ValueError(
+                f"prefix_cache_blocks must be >= 1: "
+                f"{self.prefix_cache_blocks}")
 
     # ------------------------------------------------------------------
     def scheduler_config(self) -> SchedulerConfig:
@@ -90,6 +100,25 @@ class ServingConfig:
                    gcd: GCDSpec | None = None) -> PagedKVPool:
         """Instantiate the paged KV pool this config describes."""
         return PagedKVPool(model_config, self.pool_config(), gcd=gcd)
+
+    def build_prefix_cache(self, model_config: ModelConfig,
+                           pool: PagedKVPool, *, store_kv: bool = True):
+        """Instantiate the radix prefix cache, or None when disabled.
+
+        ``store_kv=True`` (engine) stores real K/V entries; ``False``
+        (timing-level cluster replicas) tracks structure only.  Either
+        way cached blocks are charged to ``pool``.
+        """
+        if not self.prefix_cache:
+            return None
+        from .prefix_cache import RadixPrefixCache
+        return RadixPrefixCache(
+            block_tokens=self.block_size,
+            capacity_blocks=self.prefix_cache_blocks,
+            num_layers=model_config.num_layers,
+            num_kv_heads=model_config.kv_heads,
+            head_dim=model_config.head_dim,
+            store_kv=store_kv, paged_pool=pool)
 
     def build_cost_model(self, model_config: ModelConfig,
                          gcd: GCDSpec | None = None, collectives=None):

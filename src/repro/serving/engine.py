@@ -199,6 +199,13 @@ class ServingEngine:
         self.packed = PackedKVPool.for_model(
             model.config, num_slots=sched_cfg.max_batch_size,
             block_tokens=self.config.block_size)
+        # Radix prefix cache (optional): real KV blocks, charged to the
+        # paged pool.  The scheduler's reclaim hook lets admission evict
+        # unreferenced cache blocks instead of preempting requests.
+        self.prefix_cache = self.config.build_prefix_cache(
+            model.config, self.pool, store_kv=True)
+        if self.prefix_cache is not None:
+            self.scheduler.reclaim = self.prefix_cache.evict
 
     # ------------------------------------------------------------------
     def _validate(self, requests: list[Request]) -> None:
@@ -214,11 +221,45 @@ class ServingEngine:
             self.packed.release(req.slot)
             req.slot = None
 
+    def _release_cache(self, req: Request) -> None:
+        """Drop the request's prefix-cache lease (finish or preempt)."""
+        if req.cache_match is not None:
+            self.prefix_cache.release(req.cache_match)
+            req.cache_match = None
+
+    def _cache_admit(self, req: Request) -> int:
+        """Match the prompt against the prefix cache; seed the slot.
+
+        Returns the matched token count; the request's prefill resumes
+        at that position, so only the suffix is ever forwarded.  The
+        match lease is released as soon as the KV is copied into the
+        request's own slot: the copy (not the cached block) is what the
+        request decodes over, so pinning the cache for the request's
+        lifetime would only double-count pool demand — under pressure
+        that pins eviction *and* preemption into a livelock.  The
+        reference is held exactly across the copy, which is the window
+        where eviction could corrupt it.
+        """
+        match = self.prefix_cache.match(req.prompt)
+        if not match.hit:
+            return 0
+        self.prefix_cache.copy_into(match, self.packed, req.slot)
+        self.prefix_cache.release(match)
+        req.prefill_pos = match.tokens
+        return match.tokens
+
     def _prefill(self, req: Request) -> None:
-        """Encode the whole prompt and emit the first token."""
+        """Encode the (remaining) prompt and emit the first token.
+
+        With a prefix-cache hit the slot already holds ``prefill_pos``
+        positions of KV, so only the suffix is forwarded — the logits of
+        the last prompt token, and hence every output token, are
+        bit-identical to the uncached forward.
+        """
         if req.caches is None:
             self._assign_slot(req)
-        logits = self.model._forward_cached(req.prompt[None], req.caches)
+        tokens = req.prompt[req.prefill_pos:]
+        logits = self.model._forward_cached(tokens[None], req.caches)
         req.prefill_pos = req.prompt_len
         req.output.append(int(logits.data[0, -1].argmax()))
 
@@ -250,6 +291,7 @@ class ServingEngine:
         pending = sorted(requests, key=lambda r: (r.arrival_time,
                                                   r.request_id))
         sched = self.scheduler
+        cache = self.prefix_cache
         clock = 0.0
         trace: list[tuple[float, str, int]] = []
         events: list[TraceEvent] = []
@@ -266,7 +308,20 @@ class ServingEngine:
             events.append(TraceEvent(f"req{request_id}/{stage}", start,
                                      duration, stage, phase))
 
+        if cache is not None:
+            def reclaim(blocks: int) -> int:
+                # Admission-time reclaim: LRU-evict unreferenced cache
+                # blocks so a new request fits without preempting anyone.
+                freed = cache.evict(blocks)
+                if freed:
+                    events.append(TraceEvent(f"cache/evict x{freed}",
+                                             clock, 0.0, "cache-evict",
+                                             "io"))
+                return freed
+            sched.reclaim = reclaim
+
         def finish(req: Request) -> None:
+            self._release_cache(req)
             self._release_slot(req)
             sched.finish(req, clock)
             trace.append((clock, "finish", req.request_id))
@@ -296,11 +351,26 @@ class ServingEngine:
                 trace.append((clock, "admit", req.request_id))
                 event(req.request_id, "admit", clock)
                 self._assign_slot(req)
+                matched = 0
+                if cache is not None:
+                    matched = self._cache_admit(req)
+                    stage = "cache-hit" if matched else "cache-miss"
+                    trace.append((clock, stage, req.request_id))
+                    event(req.request_id, stage, clock)
                 if self.prefill_chunk is None:
                     self._prefill(req)
                     start = clock
-                    clock += self.cost.prefill_time(req.prompt_len)
+                    if matched:
+                        # The cached prefix skips its prefill compute;
+                        # the suffix is priced like a chunk attending
+                        # over the resident prefix KV.
+                        clock += self.cost.chunked_prefill_time(
+                            req.prompt_len - matched, matched)
+                    else:
+                        clock += self.cost.prefill_time(req.prompt_len)
                     event(req.request_id, "prefill", start, clock - start)
+                    if cache is not None:
+                        cache.insert(req.prompt, self.packed, req.slot)
                     req.first_token_time = clock
                     if req.done:
                         finish(req)
@@ -318,6 +388,8 @@ class ServingEngine:
                           clock - start)
                     if target.prefill_pos >= target.prompt_len:
                         req = target
+                        if cache is not None:
+                            cache.insert(req.prompt, self.packed, req.slot)
                         req.first_token_time = clock
                         if req.done:
                             finish(req)
@@ -329,11 +401,19 @@ class ServingEngine:
                     continue
                 if sched.waiting:
                     # Nothing running yet the queue is non-empty: the
-                    # head request alone must fit — force space for it.
+                    # head request alone must fit — force space for it,
+                    # draining the cache before declaring deadlock.
                     victim = sched.preempt_victim()
                     if victim is None:
+                        if cache is not None \
+                                and cache.evict(self.pool.num_blocks) > 0:
+                            events.append(TraceEvent(
+                                "cache/evict", clock, 0.0, "cache-evict",
+                                "io"))
+                            continue
                         raise RuntimeError(
                             "deadlock: empty batch but admission failed")
+                    self._release_cache(victim)
                     self._release_slot(victim)
                     trace.append((clock, "preempt", victim.request_id))
                     event(victim.request_id, "preempt", clock)
@@ -349,6 +429,13 @@ class ServingEngine:
                 preempted_self = False
                 while not self.pool.allocate(req.request_id,
                                              req.context_len + 1):
+                    # Cache blocks go first: an unreferenced LRU block
+                    # is free capacity, a preemption discards progress.
+                    if cache is not None and cache.evict(1) > 0:
+                        events.append(TraceEvent(
+                            "cache/evict", clock, 0.0, "cache-evict",
+                            "io"))
+                        continue
                     # Victim = youngest admission, *including* req itself
                     # (vLLM recompute rule).  The oldest running request
                     # is therefore never evicted, so it always completes
@@ -357,6 +444,7 @@ class ServingEngine:
                     # forever, each eviction discarding all progress.
                     victim = sched.running[-1]
                     sched.preempt(victim)
+                    self._release_cache(victim)
                     self._release_slot(victim)
                     trace.append((clock, "preempt", victim.request_id))
                     event(victim.request_id, "preempt", clock)
@@ -395,7 +483,8 @@ class ServingEngine:
         metrics = ServingMetrics.from_records(
             records, timeline, makespan=clock,
             peak_pool_utilization=self.pool.peak_utilization,
-            preemptions=sched.total_preemptions)
+            preemptions=sched.total_preemptions,
+            cache=cache.stats if cache is not None else None)
         records.sort(key=lambda r: r.request_id)
         lanes = {"engine": {f"replica (TP={self.cost.tp})": events}}
         return ServeResult(records=records, metrics=metrics, trace=trace,

@@ -86,12 +86,19 @@ class ServingMetrics:
     peak_queue_depth: int
     peak_pool_utilization: float
     preemptions: int
+    # Prefix-cache counters (all zero when the cache is disabled).
+    cache_lookups: int = 0
+    cache_hits: int = 0
+    cache_hit_rate: float = 0.0
+    prefill_tokens_saved: int = 0
+    cache_evicted_blocks: int = 0
 
     @classmethod
     def from_records(cls, records: list[RequestRecord],
                      timeline: list[TimelineSample], makespan: float,
                      peak_pool_utilization: float = 0.0,
-                     preemptions: int = 0) -> "ServingMetrics":
+                     preemptions: int = 0,
+                     cache=None) -> "ServingMetrics":
         if not records:
             raise ValueError("no completed requests to aggregate")
         ttft = np.array([r.ttft for r in records])
@@ -120,6 +127,11 @@ class ServingMetrics:
             peak_queue_depth=int(queue),
             peak_pool_utilization=float(peak_pool_utilization),
             preemptions=int(preemptions),
+            cache_lookups=cache.lookups if cache else 0,
+            cache_hits=cache.hits if cache else 0,
+            cache_hit_rate=cache.hit_rate if cache else 0.0,
+            prefill_tokens_saved=cache.hit_tokens if cache else 0,
+            cache_evicted_blocks=cache.evicted_blocks if cache else 0,
         )
 
     def rows(self) -> list[tuple[str, str]]:
@@ -141,7 +153,13 @@ class ServingMetrics:
             ("KV pool peak occupancy",
              f"{self.peak_pool_utilization:.1%}"),
             ("preemptions", str(self.preemptions)),
-        ]
+        ] + ([
+            ("prefix cache hit rate",
+             f"{self.cache_hit_rate:.1%} "
+             f"({self.cache_hits}/{self.cache_lookups})"),
+            ("prefill tokens saved", str(self.prefill_tokens_saved)),
+            ("cache blocks evicted", str(self.cache_evicted_blocks)),
+        ] if self.cache_lookups else [])
 
 
 def format_metrics(metrics: ServingMetrics,

@@ -49,6 +49,8 @@ class Request:
     max_new_tokens: int
     arrival_time: float = 0.0
     eos_id: int | None = None
+    #: conversation this request belongs to (session workloads only)
+    session_id: int | None = None
 
     # Runtime bookkeeping (owned by scheduler/engine).
     state: str = WAITING
@@ -56,6 +58,8 @@ class Request:
     caches: list | None = None
     #: leased PackedKVPool slot while running (owned by the engine)
     slot: int | None = None
+    #: live prefix-cache lease (owned by the engine/replica)
+    cache_match: object | None = None
     #: prompt tokens already encoded (chunked prefill progress)
     prefill_pos: int = 0
     admit_time: float | None = None
@@ -172,6 +176,11 @@ class ContinuousBatchScheduler:
         self.waiting: list[Request] = []
         self.running: list[Request] = []
         self.total_preemptions = 0
+        #: optional ``reclaim(blocks) -> freed`` hook: when admission
+        #: fails on pool space, the scheduler asks the owner to release
+        #: reclaimable blocks (prefix-cache LRU eviction) and retries —
+        #: cache pressure resolves by eviction *before* preemption.
+        self.reclaim = None
 
     # ------------------------------------------------------------------
     def submit(self, request: Request) -> None:
@@ -203,8 +212,7 @@ class ContinuousBatchScheduler:
             if (len(self.running) < self.config.max_batch_size
                     and self.batch_budget_tokens() + req.budget_tokens
                     <= self.config.max_batch_tokens
-                    and self.pool.allocate(req.request_id,
-                                           req.prompt_len + 1)):
+                    and self._allocate_with_reclaim(req)):
                 req.state = RUNNING
                 req.admit_time = now
                 self.running.append(req)
@@ -213,6 +221,18 @@ class ContinuousBatchScheduler:
                 remaining.append(req)
         self.waiting = remaining
         return admitted
+
+    def _allocate_with_reclaim(self, req: Request) -> bool:
+        """Pool-allocate for admission, reclaiming cache space if needed."""
+        need = req.prompt_len + 1
+        if self.pool.allocate(req.request_id, need):
+            return True
+        if self.reclaim is None:
+            return False
+        deficit = self.pool.blocks_needed(need) - self.pool.blocks_free
+        if deficit > 0 and self.reclaim(deficit) < 1:
+            return False
+        return self.pool.allocate(req.request_id, need)
 
     # ------------------------------------------------------------------
     def preempt_victim(self, keep: Request | None = None) -> Request | None:

@@ -1,0 +1,155 @@
+"""Session-aware serving workloads: shared prefixes, turns, diurnal load.
+
+:mod:`repro.serving.workload` draws i.i.d. prompts — the right null
+model for capacity math, but the wrong one for prefix reuse: real fleet
+traffic is dominated by a handful of *system prompts* shared across all
+users and by multi-turn conversations whose every turn resends the
+whole history.  This module synthesizes exactly that structure, so the
+prefix cache has something realistic to hit:
+
+shared system-prompt pool
+    ``num_system_prompts`` token sequences drawn once; every session
+    opens with one of them.  Two sessions on the same system prompt
+    share a cacheable block prefix from token zero.
+multi-turn chains
+    A session runs ``turns_range`` turns; turn ``t+1``'s prompt is turn
+    ``t``'s prompt plus fresh user tokens (the resent conversation
+    history — assistant outputs are not replayed, since timing-level
+    replicas decode sentinels).  Turns are spaced by exponential
+    *think time* with mean ``think_time_s``.
+diurnal arrival ramp
+    Session starts follow a nonhomogeneous Poisson process with rate
+    ``arrival_rate * (1 + diurnal_amplitude * sin(2πt / period))``,
+    sampled by thinning — the standard trick: draw candidate arrivals
+    at the peak rate and accept each with probability ``λ(t)/λ_max``.
+
+Everything comes from one seeded generator (same contract as
+``synthesize_workload``): a (config, model) pair always yields the
+identical request list, which is what makes cache-on vs cache-off runs
+comparable token for token.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..models.config import ModelConfig
+from .scheduler import Request
+from .workload import (_check_count, _check_fraction, _check_len_range,
+                       _check_rate)
+
+__all__ = ["SessionWorkloadConfig", "synthesize_sessions"]
+
+
+@dataclass(frozen=True)
+class SessionWorkloadConfig:
+    """A session-structured open-loop workload specification.
+
+    Defaults fit the tiny test models (``max_seq_len = 64``); scale the
+    length ranges up for the paper-sized configurations.
+    """
+
+    num_sessions: int = 16
+    arrival_rate: float = 2.0           # mean session starts per second
+    turns_range: tuple[int, int] = (2, 4)
+    think_time_s: float = 1.0           # mean pause between turns
+    num_system_prompts: int = 2
+    system_prompt_len_range: tuple[int, int] = (16, 24)
+    user_len_range: tuple[int, int] = (4, 8)
+    output_len_range: tuple[int, int] = (4, 8)
+    diurnal_amplitude: float = 0.0      # 0 = homogeneous Poisson
+    diurnal_period_s: float = 60.0
+    eos_id: int | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        # Same validators as WorkloadConfig, so degenerate session
+        # workloads fail with the same descriptive errors.
+        _check_count("num_sessions", self.num_sessions)
+        _check_rate("arrival_rate", self.arrival_rate)
+        _check_len_range("turns_range", self.turns_range)
+        if not math.isfinite(self.think_time_s) or self.think_time_s < 0:
+            raise ValueError(
+                f"think_time_s must be finite and >= 0: "
+                f"{self.think_time_s}")
+        _check_count("num_system_prompts", self.num_system_prompts)
+        _check_len_range("system_prompt_len_range",
+                         self.system_prompt_len_range)
+        _check_len_range("user_len_range", self.user_len_range)
+        _check_len_range("output_len_range", self.output_len_range)
+        _check_fraction("diurnal_amplitude", self.diurnal_amplitude)
+        _check_rate("diurnal_period_s", self.diurnal_period_s)
+
+
+def synthesize_sessions(config: SessionWorkloadConfig,
+                        model_config: ModelConfig) -> list[Request]:
+    """Draw a seeded session-structured request list.
+
+    Requests carry ``session_id`` and arrive in global time order (ids
+    are assigned in arrival order, matching ``synthesize_workload``).
+    A session stops adding turns once the growing history would no
+    longer fit ``max_seq_len`` alongside a minimal output.
+    """
+    rng = np.random.default_rng(config.seed)
+    s_lo, s_hi = config.system_prompt_len_range
+    u_lo, u_hi = config.user_len_range
+    o_lo, o_hi = config.output_len_range
+    t_lo, t_hi = config.turns_range
+    budget = model_config.max_seq_len
+    if s_lo + u_lo + o_lo > budget:
+        raise ValueError(
+            f"minimum first turn ({s_lo}+{u_lo}+{o_lo} tokens) exceeds "
+            f"max_seq_len {budget}")
+
+    system_prompts = []
+    for _ in range(config.num_system_prompts):
+        n = int(rng.integers(s_lo, s_hi + 1))
+        system_prompts.append(
+            rng.integers(0, model_config.vocab_size, size=n))
+
+    # Session starts: nonhomogeneous Poisson via thinning at the peak
+    # rate.  With amplitude 0 every candidate is accepted and this is
+    # the plain exponential inter-arrival process of workload.py.
+    lam_max = config.arrival_rate * (1.0 + config.diurnal_amplitude)
+    entries: list[tuple[float, int, int, np.ndarray, int]] = []
+    t = 0.0
+    for sid in range(config.num_sessions):
+        while True:
+            t += float(rng.exponential(1.0 / lam_max))
+            lam_t = config.arrival_rate * (
+                1.0 + config.diurnal_amplitude
+                * math.sin(2.0 * math.pi * t / config.diurnal_period_s))
+            if float(rng.random()) * lam_max <= lam_t:
+                break
+        system = system_prompts[
+            int(rng.integers(0, len(system_prompts)))]
+        history = np.asarray(system, dtype=np.int64)
+        turns = int(rng.integers(t_lo, t_hi + 1))
+        turn_time = t
+        for turn in range(turns):
+            user_len = int(rng.integers(u_lo, u_hi + 1))
+            user = rng.integers(0, model_config.vocab_size, size=user_len)
+            prompt = np.concatenate([history, user])
+            if int(prompt.size) + o_lo > budget:
+                break  # context budget exhausted: the session ends early
+            out_len = int(rng.integers(o_lo, o_hi + 1))
+            out_len = min(out_len, budget - int(prompt.size))
+            entries.append((turn_time, sid, turn, prompt, out_len))
+            history = prompt
+            if config.think_time_s > 0:
+                turn_time += float(rng.exponential(config.think_time_s))
+    if not entries:
+        raise ValueError(
+            "session workload produced no requests: every session's "
+            "first turn overflowed max_seq_len "
+            f"{budget}; shorten the length ranges")
+
+    entries.sort(key=lambda e: (e[0], e[1], e[2]))
+    return [Request(request_id=i, prompt=prompt, max_new_tokens=out_len,
+                    arrival_time=arrival, eos_id=config.eos_id,
+                    session_id=sid)
+            for i, (arrival, sid, _turn, prompt, out_len)
+            in enumerate(entries)]

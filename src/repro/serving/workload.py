@@ -10,6 +10,7 @@ the identical request list.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -18,6 +19,30 @@ from ..models.config import ModelConfig
 from .scheduler import Request
 
 __all__ = ["WorkloadConfig", "synthesize_workload"]
+
+
+def _check_count(name: str, value: int, minimum: int = 1) -> None:
+    """Reject non-positive counts with the offending value in the error."""
+    if value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}: {value}")
+
+
+def _check_rate(name: str, value: float) -> None:
+    """Reject non-positive or non-finite rates/durations."""
+    if not math.isfinite(value) or value <= 0:
+        raise ValueError(f"{name} must be a positive finite number: {value}")
+
+
+def _check_len_range(name: str, lo_hi: tuple[int, int]) -> None:
+    """Token-length ranges must satisfy ``1 <= lo <= hi``."""
+    lo, hi = lo_hi
+    if lo < 1 or hi < lo:
+        raise ValueError(f"{name} must satisfy 1 <= lo <= hi: ({lo}, {hi})")
+
+
+def _check_fraction(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1]: {value}")
 
 
 @dataclass(frozen=True)
@@ -42,21 +67,12 @@ class WorkloadConfig:
     seed: int = 0
 
     def __post_init__(self) -> None:
-        if self.num_requests < 1:
-            raise ValueError("num_requests must be >= 1")
-        if self.arrival_rate <= 0:
-            raise ValueError("arrival_rate must be > 0")
-        for name, (lo, hi) in (("prompt_len_range", self.prompt_len_range),
-                               ("output_len_range", self.output_len_range)):
-            if lo < 1 or hi < lo:
-                raise ValueError(f"{name} must satisfy 1 <= lo <= hi: "
-                                 f"({lo}, {hi})")
-        if not 0.0 <= self.prompt_skew <= 1.0:
-            raise ValueError(
-                f"prompt_skew must be in [0, 1]: {self.prompt_skew}")
-        if self.heavy_multiplier < 1:
-            raise ValueError(
-                f"heavy_multiplier must be >= 1: {self.heavy_multiplier}")
+        _check_count("num_requests", self.num_requests)
+        _check_rate("arrival_rate", self.arrival_rate)
+        _check_len_range("prompt_len_range", self.prompt_len_range)
+        _check_len_range("output_len_range", self.output_len_range)
+        _check_fraction("prompt_skew", self.prompt_skew)
+        _check_count("heavy_multiplier", self.heavy_multiplier)
 
 
 def synthesize_workload(config: WorkloadConfig,

@@ -63,15 +63,20 @@ RULE_SNIPPETS = [
      "def slow(step_us, budget_ms):\n    return step_us > budget_ms\n",
      "def slow(step_us, budget_us):\n    return step_us > budget_us\n"),
     ("RPR004", "src/repro/serving/bench.py",
-     "def build(model, cfg):\n"
+     '__all__ = ["build"]\n\ndef build(model, cfg):\n'
      "    return ServingEngine(model, max_steps=10)\n",
-     "def build(model, cfg):\n    return ServingEngine(model, cfg)\n"),
+     '__all__ = ["build"]\n\ndef build(model, cfg):\n'
+     "    return ServingEngine(model, cfg)\n"),
     ("RPR004", "src/repro/core/api.py",
      '__all__ = ["missing_name"]\n',
      '__all__ = ["thing"]\n\ndef thing():\n    return 1\n'),
+    ("RPR004", "src/repro/core/missing.py",
+     "def thing():\n    return 1\n",
+     "def _thing():\n    return 1\n"),
     ("RPR004", "src/repro/core/util.py",
-     "def merge(a, seen=[]):\n    seen.append(a)\n    return seen\n",
-     "def merge(a, seen=None):\n    return (seen or []) + [a]\n"),
+     '__all__ = []\n\ndef merge(a, seen=[]):\n'
+     "    seen.append(a)\n    return seen\n",
+     "def _merge(a, seen=None):\n    return (seen or []) + [a]\n"),
     ("RPR005", "src/repro/frontier/memory.py",
      "def check(a, b):\n    return a / b == 0.5\n",
      "def check(a, b):\n    return abs(a / b - 0.5) < 1e-9\n"),
@@ -158,7 +163,7 @@ class TestSuppressions:
         assert "RPR001" in found
 
     def test_unused_suppression_is_reported(self):
-        source = "def f():\n    return 1  # repro: ignore[RPR001]\n"
+        source = "def _f():\n    return 1  # repro: ignore[RPR001]\n"
         found = findings_for(source)
         assert rules_of(found) == {"RPR000"}
         assert "unused suppression" in found[0].message
@@ -199,8 +204,8 @@ class TestBaseline:
 def write_tree(tmp_path, bad=True):
     pkg = tmp_path / "src" / "repro" / "serving"
     pkg.mkdir(parents=True)
-    body = "import time\n\ndef f():\n    return time.time()\n" if bad \
-        else "def f(clock):\n    return clock\n"
+    body = "import time\n\ndef _f():\n    return time.time()\n" if bad \
+        else "def _f(clock):\n    return clock\n"
     (pkg / "mod.py").write_text(body)
     return tmp_path / "src"
 
