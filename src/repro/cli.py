@@ -21,7 +21,11 @@ Commands
 ``cluster-bench`` (alias ``cluster``)
     Sweep node counts and load-balancing policies over the multi-node
     cluster simulator and print per-policy TTFT/TPOT percentiles;
-    ``--trace`` exports the request-lifecycle Chrome trace.
+    ``--trace`` exports the request-lifecycle Chrome trace.  With
+    ``--disagg`` the sweep pivots to disaggregated prefill/decode
+    layouts (prefill:decode ratios vs the colocated baseline) and
+    reports the crossover where priced KV-transfer cost eats the
+    prefill/decode interference win.
 ``perf-bench`` (alias ``perf``)
     Wall-clock microbenchmark of the batched decode path: sequential
     per-request decode vs one ``decode_step_batched`` call per step over
@@ -47,6 +51,89 @@ import sys
 import numpy as np
 
 __all__ = ["build_parser", "main"]
+
+#: Mirrors ``repro.serving.LB_POLICIES`` / ``HANDOFF_POLICIES`` without
+#: importing the serving stack at parser-build time (imports stay lazy
+#: inside the command handlers); ``config.py`` validates against the
+#: canonical tuples, so a drift here fails loudly at run time.
+_LB_CHOICES = ("round-robin", "least-outstanding", "jskq", "cache-aware")
+_HANDOFF_CHOICES = ("least-outstanding", "round-robin", "session-affinity")
+
+
+def _model_parent(default: str, help_text: str) -> argparse.ArgumentParser:
+    """Shared ``--model``/``--seed`` flags, defined once for every bench."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--model", default=default, help=help_text)
+    parent.add_argument("--seed", type=int, default=0,
+                        help="seed fixing the whole run (workload, model, "
+                             "fault schedule)")
+    return parent
+
+
+def _workload_parent(requests: int, rate: float,
+                     prompt_skew: float | None = None
+                     ) -> argparse.ArgumentParser:
+    """Shared Poisson-workload flags; defaults differ per command."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--requests", type=int, default=requests,
+                        help=f"number of Poisson-arrival requests "
+                             f"(default: {requests})")
+    parent.add_argument("--rate", type=float, default=rate,
+                        help="mean arrival rate, requests per virtual "
+                             "second")
+    if prompt_skew is not None:
+        parent.add_argument("--prompt-skew", type=float,
+                            default=prompt_skew,
+                            help="fraction of heavy-tail (8x longer) "
+                                 "prompts")
+    return parent
+
+
+def _sessions_parent(turn_knobs: bool = False) -> argparse.ArgumentParser:
+    """Shared session-workload flags (``--sessions`` + turn knobs)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--sessions", type=int, default=0,
+                        help="session-aware workload: N multi-turn "
+                             "sessions over shared system prompts "
+                             "(0 = plain Poisson)")
+    if turn_knobs:
+        parent.add_argument("--system-prompts", type=int, default=2,
+                            help="distinct shared system prompts for "
+                                 "--sessions")
+        parent.add_argument("--think-time", type=float, default=1.0,
+                            help="mean think time between session turns, "
+                                 "seconds")
+    return parent
+
+
+def _cache_parent(help_text: str) -> argparse.ArgumentParser:
+    """Shared radix-prefix-cache flags."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--prefix-cache", action="store_true",
+                        help=help_text)
+    parent.add_argument("--cache-blocks", type=int, default=64,
+                        help="prefix-cache capacity in KV blocks "
+                             "(default: 64)")
+    return parent
+
+
+def _artifact_parent(trace: str | None = None, smoke: str | None = None,
+                     json_flag: str | None = None
+                     ) -> argparse.ArgumentParser:
+    """Shared artifact flags (``--trace``/``--smoke``/``--json``).
+
+    Each keyword is the per-command help string, or ``None`` to omit the
+    flag for commands where it has no meaning.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    if trace is not None:
+        parent.add_argument("--trace", default="", help=trace)
+    if smoke is not None:
+        parent.add_argument("--smoke", action="store_true", help=smoke)
+    if json_flag is not None:
+        parent.add_argument("--json", default="", metavar="PATH",
+                            help=json_flag)
+    return parent
 
 
 def _cmd_observations(args: argparse.Namespace) -> int:
@@ -172,14 +259,18 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     except KeyError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    num_requests, num_sessions = args.requests, args.sessions
+    if args.smoke:
+        num_requests, num_sessions = min(num_requests, 24), \
+            min(num_sessions, 4)
     try:
         if args.prefill_chunk < 0:
             raise ValueError(f"--prefill-chunk must be >= 0 (0 disables "
                              f"chunking): {args.prefill_chunk}")
         model = GPTModel(config, seed=args.seed)
-        if args.sessions > 0:
+        if num_sessions > 0:
             session_workload = SessionWorkloadConfig(
-                num_sessions=args.sessions, arrival_rate=args.rate,
+                num_sessions=num_sessions, arrival_rate=args.rate,
                 num_system_prompts=args.system_prompts,
                 think_time_s=args.think_time, seed=args.seed)
 
@@ -188,7 +279,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
                 # them, and the seed reproduces the identical workload.
                 return synthesize_sessions(session_workload, config)
         else:
-            workload = WorkloadConfig(num_requests=args.requests,
+            workload = WorkloadConfig(num_requests=num_requests,
                                       arrival_rate=args.rate,
                                       seed=args.seed)
 
@@ -210,8 +301,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     pool = engine.pool
-    if args.sessions > 0:
-        print(f"workload: {len(requests)} requests across {args.sessions} "
+    if num_sessions > 0:
+        print(f"workload: {len(requests)} requests across {num_sessions} "
               f"sessions ({args.system_prompts} shared system prompts), "
               f"rate {args.rate:.0f}/s, seed {args.seed}, "
               f"policy {args.policy}")
@@ -270,6 +361,9 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         path = result.save_trace(args.trace)
         print(f"\nwrote Chrome trace ({len(requests)} request "
               f"lifecycles): {path}")
+    if args.json:
+        path = result.save_json(args.json)
+        print(f"wrote results JSON: {path}")
     completed = result.metrics.num_requests
     return 0 if completed == len(requests) else 1
 
@@ -309,13 +403,84 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return report.exit_code
 
 
+def _parse_ratio_list(spec: str) -> list[tuple[int, int]]:
+    """Parse ``'1:3,1:1,3:1'`` into (prefill, decode) weight pairs."""
+    ratios = []
+    for token in spec.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        parts = token.split(":")
+        try:
+            if len(parts) != 2:
+                raise ValueError
+            p_weight, d_weight = int(parts[0]), int(parts[1])
+            if p_weight <= 0 or d_weight <= 0:
+                raise ValueError
+        except ValueError:
+            raise ValueError(f"--disagg-ratios entries must be 'P:D' "
+                             f"positive integers: {token!r}") from None
+        ratios.append((p_weight, d_weight))
+    if not ratios:
+        raise ValueError(f"--disagg-ratios must name at least one "
+                         f"prefill:decode ratio: {spec!r}")
+    return ratios
+
+
+def _print_disagg_crossover(results, ratios) -> None:
+    """Compare disagg rows against the colocated baseline (row 0).
+
+    The headline of the sweep: at which prefill:decode ratio does the
+    priced KV-transfer cost eat the prefill/decode interference win?
+    Scored on p99 TPOT — interference from co-scheduled prefills is
+    exactly what stretches decode inter-token gaps in the colocated
+    baseline, and the transfer sits on the decode critical path.
+    """
+    base, disagg = results[0], results[1:]
+    base_tpot = base.percentiles("tpot", (99.0,))[99.0]
+    base_ttft = base.percentiles("ttft", (99.0,))[99.0]
+    print()
+    print(f"colocated baseline ({base.layout}): p99 TTFT "
+          f"{base_ttft * 1e3:.2f} ms, p99 TPOT {base_tpot * 1e3:.2f} ms")
+    gains = []
+    for (p_weight, d_weight), res in zip(ratios, disagg):
+        label = f"{p_weight}:{d_weight}"
+        tpot = res.percentiles("tpot", (99.0,))[99.0]
+        ttft = res.percentiles("ttft", (99.0,))[99.0]
+        gain = (base_tpot - tpot) / base_tpot
+        mean_ms = res.transfer_seconds / res.transfers * 1e3 \
+            if res.transfers else 0.0
+        gains.append((label, res.layout, gain))
+        print(f"  {label} ({res.layout}): p99 TPOT {tpot * 1e3:.2f} ms "
+              f"({gain:+.1%} vs colocated), p99 TTFT {ttft * 1e3:.2f} ms, "
+              f"mean transfer {mean_ms:.3f} ms")
+    winners = [g for g in gains if g[2] > 0]
+    if not winners:
+        print("crossover: transfer cost eats the interference win at "
+              "every swept ratio — colocated wins")
+    elif len(winners) == len(gains):
+        best = max(gains, key=lambda g: g[2])
+        print(f"crossover: none in the swept ratios — every "
+              f"disaggregated layout beats colocated (best {best[0]} = "
+              f"{best[1]} at {best[2]:+.1%} p99 TPOT)")
+    else:
+        losers = [g for g in gains if g[2] <= 0]
+        best = max(winners, key=lambda g: g[2])
+        print(f"crossover: {', '.join(g[0] for g in winners)} beat(s) "
+              f"colocated (best {best[0]} = {best[1]} at {best[2]:+.1%} "
+              f"p99 TPOT); transfer cost eats the win at "
+              f"{', '.join(g[0] for g in losers)}")
+
+
 def _cmd_cluster_bench(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
     from .models import preset
     from .serving import (LB_POLICIES, ClusterConfig, ClusterSimulator,
-                          ReplicaLayout, ServingConfig,
-                          SessionWorkloadConfig, WorkloadConfig,
-                          format_cluster, synthesize_sessions,
-                          synthesize_workload)
+                          KVTransferConfig, ReplicaLayout, RoutingConfig,
+                          ServingConfig, SessionWorkloadConfig,
+                          WorkloadConfig, format_cluster,
+                          synthesize_sessions, synthesize_workload)
     try:
         config = preset(args.model)
     except KeyError as exc:
@@ -332,6 +497,22 @@ def _cmd_cluster_bench(args: argparse.Namespace) -> int:
                              f"{args.nodes!r}")
         policies = list(LB_POLICIES) if args.policy == "all" \
             else [args.policy]
+        ratios: list[tuple[int, int]] = []
+        if args.disagg:
+            if layout.disaggregated:
+                raise ValueError(f"--disagg sweeps ratios itself; pass a "
+                                 f"colocated --layout: {args.layout!r}")
+            if layout.replicas_per_node < 2:
+                raise ValueError(f"--disagg needs at least 2 replicas "
+                                 f"per node to split roles: "
+                                 f"{args.layout!r}")
+            ratios = _parse_ratio_list(args.disagg_ratios)
+            # A policies x ratios x nodes product would swamp the table;
+            # the disagg sweep pins one policy and one node count so the
+            # layout axis is the only thing moving.
+            node_counts = node_counts[:1]
+            policies = ["round-robin"] if args.policy == "all" \
+                else [args.policy]
         if args.sessions > 0:
             # Paper-sized contexts get fleet-realistic prompt lengths;
             # tiny test models fall back to the config defaults, which
@@ -360,14 +541,31 @@ def _cmd_cluster_bench(args: argparse.Namespace) -> int:
 
         serving = ServingConfig(prefix_cache=args.prefix_cache,
                                 prefix_cache_blocks=args.cache_blocks)
+        transfer = KVTransferConfig(granularity=args.granularity)
+
+        def routing_for(policy):
+            return RoutingConfig(
+                policy=policy,
+                max_outstanding_per_replica=args.max_outstanding,
+                handoff=args.handoff)
+
+        layouts = [layout]
+        if args.disagg:
+            rpn = layout.replicas_per_node
+            layouts += [
+                replace(layout, prefill_replicas=max(
+                    1, min(rpn - 1,
+                           round(rpn * p_weight / (p_weight + d_weight)))))
+                for p_weight, d_weight in ratios]
         results = []
         for nodes in node_counts:
             for policy in policies:
-                sim = ClusterSimulator(config, ClusterConfig(
-                    num_nodes=nodes, layout=layout, policy=policy,
-                    max_outstanding_per_replica=args.max_outstanding,
-                    serving=serving))
-                results.append(sim.run(make_requests()))
+                for lay in layouts:
+                    sim = ClusterSimulator(config, ClusterConfig(
+                        num_nodes=nodes, layout=lay,
+                        routing=routing_for(policy), transfer=transfer,
+                        serving=serving))
+                    results.append(sim.run(make_requests()))
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -384,16 +582,40 @@ def _cmd_cluster_bench(args: argparse.Namespace) -> int:
         print(f"workload: {num_requests} requests, Poisson rate "
               f"{args.rate:.0f}/s, prompts 64-256 tokens{skew_note}, "
               f"seed {args.seed}{cache_note}")
-    print(f"cluster: {config.label()}, layout {layout.label} "
-          f"({layout.replicas_per_node} replica(s)/node, TP={layout.tp})")
-    print()
-    print(format_cluster(results,
-                         title=f"cluster sweep — {config.label()}"))
+    if args.disagg:
+        print(f"cluster: {config.label()}, {node_counts[0]} node(s), base "
+              f"layout {layout.label}, policy {policies[0]}, handoff "
+              f"{args.handoff}, transfer granularity {args.granularity}")
+        print()
+        print(format_cluster(results,
+                             title=f"disaggregation sweep — "
+                                   f"{config.label()}"))
+        _print_disagg_crossover(results, ratios)
+    else:
+        print(f"cluster: {config.label()}, layout {layout.label} "
+              f"({layout.replicas_per_node} replica(s)/node, "
+              f"TP={layout.tp})")
+        print()
+        print(format_cluster(results,
+                             title=f"cluster sweep — {config.label()}"))
     if args.trace:
-        # Trace the last run (largest node count, last policy swept).
+        # Trace the last run (largest node count, last policy/layout
+        # swept — under --disagg that is the most prefill-heavy ratio,
+        # the one with a populated kv-transfer lane).
         path = results[-1].save_trace(args.trace)
         print(f"\nwrote Chrome trace ({results[-1].policy}, "
-              f"{results[-1].num_nodes} nodes): {path}")
+              f"{results[-1].num_nodes} nodes, {results[-1].layout}): "
+              f"{path}")
+    if args.json:
+        import json
+        from pathlib import Path
+        path = Path(args.json)
+        if path.suffix != ".json":
+            path = path.with_suffix(".json")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(
+            _json_safe([res.to_dict() for res in results]), indent=2))
+        print(f"\nwrote results JSON: {path}")
     completed = all(r.metrics.num_requests == num_requests
                     for r in results)
     return 0 if completed else 1
@@ -485,8 +707,9 @@ def _fault_bench_serving(args) -> tuple[list[dict], int]:
     from .faults import FaultConfig, RetryPolicy
     from .models import preset
     from .serving import (LB_POLICIES, ClusterConfig, ClusterSimulator,
-                          FailoverConfig, ReplicaLayout, WorkloadConfig,
-                          format_cluster, synthesize_workload)
+                          FailoverConfig, ReplicaLayout, RoutingConfig,
+                          WorkloadConfig, format_cluster,
+                          synthesize_workload)
 
     config = preset(args.model)
     num_requests = min(args.requests, 48) if args.smoke else args.requests
@@ -513,8 +736,10 @@ def _fault_bench_serving(args) -> tuple[list[dict], int]:
         results = []
         for policy in policies:
             sim = ClusterSimulator(config, ClusterConfig(
-                num_nodes=args.nodes, layout=layout, policy=policy,
-                max_outstanding_per_replica=args.max_outstanding,
+                num_nodes=args.nodes, layout=layout,
+                routing=RoutingConfig(
+                    policy=policy,
+                    max_outstanding_per_replica=args.max_outstanding),
                 faults=faults, failover=failover))
             # Fresh Request objects per run: the scheduler mutates them,
             # and the seed reproduces the identical workload.
@@ -665,16 +890,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "serve-bench", aliases=["serve"],
+        parents=[
+            _model_parent("tiny-llama",
+                          "model preset to serve (default: tiny-llama)"),
+            _workload_parent(64, 1000.0),
+            _sessions_parent(turn_knobs=True),
+            _cache_parent("enable the radix prefix cache (KV reuse "
+                          "across requests sharing a prompt prefix)"),
+            _artifact_parent(
+                trace="export the request-lifecycle Chrome trace here",
+                smoke="tiny run for CI (<= 24 requests, <= 4 sessions)",
+                json_flag="write the serving result as a JSON artifact"),
+        ],
         help="continuous-batching serving benchmark + Frontier "
              "extrapolation")
-    p.add_argument("--model", default="tiny-llama",
-                   help="model preset to serve (default: tiny-llama)")
-    p.add_argument("--requests", type=int, default=64,
-                   help="number of Poisson-arrival requests (default: 64)")
-    p.add_argument("--rate", type=float, default=1000.0,
-                   help="mean arrival rate, requests per virtual second")
-    p.add_argument("--seed", type=int, default=0,
-                   help="workload + model seed (fixes the whole trace)")
     p.add_argument("--policy", default="fcfs", choices=["fcfs", "spf"],
                    help="admission policy (default: fcfs)")
     p.add_argument("--batch-size", type=int, default=8,
@@ -686,33 +915,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--prefill-chunk", type=int, default=0,
                    help="chunked-prefill chunk size in tokens "
                         "(0 = monolithic prefill)")
-    p.add_argument("--prefix-cache", action="store_true",
-                   help="enable the radix prefix cache (KV reuse across "
-                        "requests sharing a prompt prefix)")
-    p.add_argument("--cache-blocks", type=int, default=64,
-                   help="prefix-cache capacity in KV blocks (default: 64)")
-    p.add_argument("--sessions", type=int, default=0,
-                   help="session-aware workload: N multi-turn sessions "
-                        "over shared system prompts (0 = plain Poisson)")
-    p.add_argument("--system-prompts", type=int, default=2,
-                   help="distinct shared system prompts for --sessions")
-    p.add_argument("--think-time", type=float, default=1.0,
-                   help="mean think time between session turns, seconds")
     p.add_argument("--compare-cache", action="store_true",
                    help="also run with the cache disabled on the same "
                         "seed; asserts identical output tokens and "
                         "reports the TTFT delta")
     p.add_argument("--compare-sequential", action="store_true",
                    help="also run the one-request-at-a-time baseline")
-    p.add_argument("--trace", default="",
-                   help="export the request-lifecycle Chrome trace here")
 
     p = sub.add_parser(
         "perf-bench", aliases=["perf"],
+        parents=[
+            _model_parent("tiny-llama",
+                          "model preset to run (default: tiny-llama)"),
+            _artifact_parent(smoke="tiny sweep for CI (batch <= 8, "
+                                   "<= 8 tokens, 1 repeat)"),
+        ],
         help="wall-clock benchmark: sequential vs batched decode, "
              "chunked vs monolithic prefill")
-    p.add_argument("--model", default="tiny-llama",
-                   help="model preset to run (default: tiny-llama)")
     p.add_argument("--batch-sizes", default="1,2,4,8",
                    help="comma-separated decode batch sizes to sweep")
     p.add_argument("--prompt", type=int, default=32,
@@ -723,8 +942,6 @@ def build_parser() -> argparse.ArgumentParser:
                    help="prompt length for the prefill comparison")
     p.add_argument("--chunk", type=int, default=16,
                    help="chunk size for the chunked-prefill comparison")
-    p.add_argument("--seed", type=int, default=0,
-                   help="model + prompt seed (fixes the whole run)")
     p.add_argument("--repeats", type=int, default=3,
                    help="timing repeats; best-of is reported (default: 3)")
     p.add_argument("--output", "-o", default="BENCH_decode.json",
@@ -735,63 +952,68 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--regression-threshold", type=float, default=0.25,
                    help="allowed fractional slip vs the baseline "
                         "(default: 0.25)")
-    p.add_argument("--smoke", action="store_true",
-                   help="tiny sweep for CI (batch <= 8, <= 8 tokens, "
-                        "1 repeat)")
 
     p = sub.add_parser(
         "cluster-bench", aliases=["cluster"],
+        parents=[
+            _model_parent("llama-1.7b-hf-52k",
+                          "model preset to simulate (timing-level, no "
+                          "weights are instantiated)"),
+            _workload_parent(200, 800.0, prompt_skew=0.15),
+            _sessions_parent(),
+            _cache_parent("enable the per-replica radix prefix cache "
+                          "(timing-level KV reuse)"),
+            _artifact_parent(
+                trace="export the request-lifecycle Chrome trace here",
+                smoke="tiny 2-node sweep for CI (<= 48 requests)",
+                json_flag="write the sweep results as a JSON artifact"),
+        ],
         help="multi-node serving cluster sweep with traced request "
              "lifecycles")
-    p.add_argument("--model", default="llama-1.7b-hf-52k",
-                   help="model preset to simulate (timing-level, no "
-                        "weights are instantiated)")
     p.add_argument("--nodes", default="4",
                    help="comma-separated node counts to sweep "
                         "(default: 4)")
     p.add_argument("--policy", default="all",
-                   choices=["all", "round-robin", "least-outstanding",
-                            "jskq"],
+                   choices=["all", *_LB_CHOICES],
                    help="load-balancing policy, or 'all' to sweep")
     p.add_argument("--layout", default="8xTP1",
-                   help="replica layout per node, e.g. 8xTP1 or 1xTP8")
-    p.add_argument("--requests", type=int, default=200,
-                   help="number of Poisson-arrival requests (default: 200)")
-    p.add_argument("--rate", type=float, default=800.0,
-                   help="mean arrival rate, requests per virtual second")
-    p.add_argument("--prompt-skew", type=float, default=0.15,
-                   help="fraction of heavy-tail (8x longer) prompts")
-    p.add_argument("--seed", type=int, default=0,
-                   help="workload seed (fixes the whole cluster trace)")
+                   help="replica layout per node, e.g. 8xTP1, 1xTP8, or "
+                        "2p6dxTP1 (disaggregated: 2 prefill + 6 decode)")
     p.add_argument("--max-outstanding", type=int, default=32,
                    help="per-replica admission backpressure cap")
-    p.add_argument("--prefix-cache", action="store_true",
-                   help="enable the per-replica radix prefix cache "
-                        "(timing-level KV reuse)")
-    p.add_argument("--cache-blocks", type=int, default=64,
-                   help="prefix-cache capacity in KV blocks per replica")
-    p.add_argument("--sessions", type=int, default=0,
-                   help="session-aware workload: N multi-turn sessions "
-                        "over shared system prompts (0 = plain Poisson)")
-    p.add_argument("--trace", default="",
-                   help="export the request-lifecycle Chrome trace here")
-    p.add_argument("--smoke", action="store_true",
-                   help="tiny 2-node sweep for CI (<= 48 requests)")
+    p.add_argument("--disagg", action="store_true",
+                   help="sweep disaggregated prefill/decode ratios "
+                        "against the colocated baseline and report the "
+                        "transfer-cost crossover")
+    p.add_argument("--disagg-ratios", default="1:3,1:1,3:1",
+                   help="comma-separated prefill:decode ratios for "
+                        "--disagg (default: 1:3,1:1,3:1)")
+    p.add_argument("--granularity", default="layer",
+                   choices=["layer", "cache"],
+                   help="KV-transfer granularity: per-layer messages or "
+                        "one whole-cache message (default: layer)")
+    p.add_argument("--handoff", default="least-outstanding",
+                   choices=list(_HANDOFF_CHOICES),
+                   help="prefill->decode handoff policy for "
+                        "disaggregated layouts")
 
     p = sub.add_parser(
         "fault-bench", aliases=["faults", "fault"],
+        parents=[
+            _model_parent("llama-1.7b-hf-52k",
+                          "model preset to serve (timing-level)"),
+            _workload_parent(200, 800.0, prompt_skew=0.15),
+            _artifact_parent(
+                trace="export the last faulted run's Chrome trace here",
+                smoke="tiny sweeps for CI (<= 48 requests, <= 300 "
+                      "steps)",
+                json_flag="write sweep results as a JSON artifact"),
+        ],
         help="seeded fault-injection sweeps: checkpoint-restart goodput "
              "(training) and failover availability (serving)")
     p.add_argument("--mode", default="both",
                    choices=["training", "serving", "both"],
                    help="which resilience sweep(s) to run (default: both)")
-    p.add_argument("--seed", type=int, default=0,
-                   help="seed for workload, fault schedule, and retry "
-                        "jitter (fixes every trace)")
-    p.add_argument("--json", default="", metavar="PATH",
-                   help="write sweep results as a JSON artifact")
-    p.add_argument("--smoke", action="store_true",
-                   help="tiny sweeps for CI (<= 48 requests, <= 300 steps)")
     # Training sweep: MTBF x checkpoint interval (Young-Daly).
     p.add_argument("--train-model", default="llama-1.7b-hf-52k",
                    help="model preset whose step time and checkpoint "
@@ -809,22 +1031,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "('inf' disables faults)")
     # Serving sweep: MTBF x load-balancing policy under failover.  The
     # virtual horizon is seconds, so meaningful MTBFs are tiny in hours.
-    p.add_argument("--model", default="llama-1.7b-hf-52k",
-                   help="model preset to serve (timing-level)")
     p.add_argument("--nodes", type=int, default=2,
                    help="Frontier nodes in the serving cluster")
     p.add_argument("--layout", default="8xTP1",
                    help="replica layout per node, e.g. 8xTP1 or 1xTP8")
     p.add_argument("--policy", default="all",
-                   choices=["all", "round-robin", "least-outstanding",
-                            "jskq"],
+                   choices=["all", *_LB_CHOICES],
                    help="load-balancing policy, or 'all' to sweep")
-    p.add_argument("--requests", type=int, default=200,
-                   help="number of Poisson-arrival requests")
-    p.add_argument("--rate", type=float, default=800.0,
-                   help="mean arrival rate, requests per virtual second")
-    p.add_argument("--prompt-skew", type=float, default=0.15,
-                   help="fraction of heavy-tail (8x longer) prompts")
     p.add_argument("--max-outstanding", type=int, default=32,
                    help="per-replica admission backpressure cap")
     p.add_argument("--serve-mtbf", default="inf,0.001,0.0002",
@@ -841,8 +1054,6 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--slo", type=float, default=0.0,
                    help="TTFT SLO in seconds for availability "
                         "(0 = count bare completion)")
-    p.add_argument("--trace", default="",
-                   help="export the last faulted run's Chrome trace here")
 
     p = sub.add_parser(
         "lint",

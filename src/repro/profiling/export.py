@@ -38,7 +38,15 @@ _CATEGORY_CNAME = {"fail": "terrible", "failed": "terrible",
                    # prefix-cache lifecycle: hits green, misses neutral,
                    # evictions flagged like pressure events
                    "cache-hit": "good", "cache-miss": "grey",
-                   "cache-evict": "bad"}
+                   "cache-evict": "bad",
+                   # disaggregated serving: KV shipment gets its own
+                   # color so the transfer lane reads as wire time, a
+                   # requeue (transfer lost to a dead decode replica)
+                   # flags like the fault it is, and the endpoint
+                   # markers stay neutral
+                   "kv-transfer": "thread_state_iowait",
+                   "kv-requeue": "bad",
+                   "handoff": "grey", "kv-import": "grey"}
 
 
 def to_chrome_trace(trace: StepTrace, process_name: str = "GCD 0") -> dict:

@@ -17,10 +17,11 @@ cluster, and :class:`ServeResult` / :class:`ClusterResult` share
 ``save_json``).
 """
 
-from .cluster import (LB_POLICIES, ClusterConfig, ClusterResult,
-                      ClusterSimulator, ReplicaLayout, ReplicaServer,
-                      format_cluster)
-from .config import FailoverConfig, ServingConfig
+from .cluster import (HANDOFF_POLICIES, LB_POLICIES, REPLICA_ROLES,
+                      ClusterConfig, ClusterResult, ClusterSimulator,
+                      ReplicaLayout, ReplicaServer, format_cluster)
+from .config import (TRANSFER_GRANULARITIES, FailoverConfig,
+                     KVTransferConfig, RoutingConfig, ServingConfig)
 from .engine import DecodeCostModel, ServingEngine, run_sequential
 from .kv_pool import KVPoolConfig, PagedKVPool, kv_bytes_per_token
 from .metrics import (RequestRecord, ServingMetrics, TimelineSample,
@@ -28,9 +29,11 @@ from .metrics import (RequestRecord, ServingMetrics, TimelineSample,
 from .perf_model import (DeploymentEstimate, FrontierServingEstimate,
                          ServingPerfModel, format_estimate)
 from .prefix_cache import CacheStats, PrefixMatch, RadixPrefixCache
-from .results import FailedRequest, ServeResult, ServingResultBase
+from .results import (FailedRequest, ServeResult, ServingResultBase,
+                      TransferRecord)
 from .scheduler import ContinuousBatchScheduler, Request, SchedulerConfig
 from .sessions import SessionWorkloadConfig, synthesize_sessions
+from .transfer import KVTransferModel
 from .workload import WorkloadConfig, synthesize_workload
 
 __all__ = [
@@ -42,7 +45,11 @@ __all__ = [
     "DecodeCostModel", "ServingEngine", "run_sequential",
     # Cluster simulator.
     "ClusterConfig", "ClusterSimulator", "ReplicaLayout", "ReplicaServer",
-    "LB_POLICIES", "format_cluster",
+    "RoutingConfig", "LB_POLICIES", "HANDOFF_POLICIES", "REPLICA_ROLES",
+    "format_cluster",
+    # Disaggregated prefill/decode KV transfer.
+    "KVTransferConfig", "KVTransferModel", "TransferRecord",
+    "TRANSFER_GRANULARITIES",
     # KV pool.
     "KVPoolConfig", "PagedKVPool", "kv_bytes_per_token",
     # Scheduling.

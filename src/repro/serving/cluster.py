@@ -24,6 +24,23 @@ format as the training profiles: one Perfetto track group per node, one
 lane per replica, plus a cluster router lane for arrivals and
 backpressure queueing.
 
+Replicas carry a *role*: a colocated layout (``prefill_replicas=0``)
+runs every replica as ``mixed`` — prefill and decode on the same pool,
+exactly the pre-disaggregation behaviour — while a disaggregated layout
+(``"2P6DxTP1"``) dedicates the first replicas of each node to prefill
+and the rest to decode.  A prefill replica runs admission + (chunked)
+prefill, emits the first token, then hands the request off: the packed
+KV blocks ship to a decode replica as a cluster-level transfer event on
+the virtual clock, priced per-layer or whole-cache through
+:class:`~repro.serving.transfer.KVTransferModel` (Slingshot NIC across
+nodes, Infinity Fabric within one), after which the decode replica
+imports the span and continues generation.  Decode replicas reserve the
+full worst-case context at import — the KV arrived computed, so there
+is nothing to recompute and preemption is impossible there.  Transfers
+get their own Chrome-trace lane (``cluster/kv-transfer``), and a
+transfer in flight toward a replica that dies is re-queued through the
+normal failover path, never dropped.
+
 With ``ClusterConfig.faults`` set, the cluster additionally replays a
 seeded :class:`~repro.faults.FaultModel`: replicas die on the virtual
 clock (a failure takes effect at the victim's first step boundary at or
@@ -47,6 +64,8 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
+import re
+import warnings
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 
@@ -56,19 +75,22 @@ from ..models.config import ModelConfig
 from ..parallel.collectives import CollectiveModel
 from ..profiling.export import save_lanes_chrome_trace
 from ..profiling.tracer import TraceEvent
-from .config import FailoverConfig, ServingConfig
+from .config import (HANDOFF_POLICIES, LB_POLICIES, FailoverConfig,
+                     KVTransferConfig, RoutingConfig, ServingConfig)
 from .engine import DecodeCostModel, _validate_requests
 from .kv_pool import PagedKVPool
 from .metrics import RequestRecord, ServingMetrics, TimelineSample
-from .results import FailedRequest, ServingResultBase
-from .scheduler import ContinuousBatchScheduler, Request, next_prefill_target
+from .results import FailedRequest, ServingResultBase, TransferRecord
+from .scheduler import (RUNNING, ContinuousBatchScheduler, Request,
+                        next_prefill_target)
+from .transfer import KVTransferModel
 
 __all__ = ["ReplicaLayout", "ClusterConfig", "ReplicaServer",
            "ClusterSimulator", "ClusterResult", "LB_POLICIES",
-           "format_cluster"]
+           "HANDOFF_POLICIES", "REPLICA_ROLES", "format_cluster"]
 
-#: Load-balancing policies the router understands.
-LB_POLICIES = ("round-robin", "least-outstanding", "jskq")
+#: Roles a replica can serve under (``mixed`` = colocated baseline).
+REPLICA_ROLES = ("prefill", "decode", "mixed")
 
 #: Timing-level replicas decode this placeholder instead of real tokens;
 #: it is outside every vocabulary, so an ``eos_id`` never matches and a
@@ -85,10 +107,18 @@ class ReplicaLayout:
     communication, weights must fit one GCD) versus ``1xTP8`` (one
     replica sharding weights and KV across the node, paying the
     allreduce tax every decode step).
+
+    ``prefill_replicas`` assigns roles: 0 (the default) keeps every
+    replica ``mixed`` — the colocated baseline — while ``n > 0``
+    dedicates the first ``n`` replicas of each node to prefill and the
+    rest to decode (label ``"2P6DxTP1"``), with finished prefills
+    shipping their KV to a decode replica.
     """
 
     replicas_per_node: int = 8
     tp: int = 1
+    #: replicas per node dedicated to prefill (0 = colocated ``mixed``)
+    prefill_replicas: int = 0
 
     def __post_init__(self) -> None:
         if self.replicas_per_node < 1:
@@ -96,25 +126,71 @@ class ReplicaLayout:
                 f"replicas_per_node must be >= 1: {self.replicas_per_node}")
         if self.tp < 1:
             raise ValueError(f"tp must be >= 1: {self.tp}")
+        if self.prefill_replicas < 0:
+            raise ValueError(
+                f"prefill_replicas must be >= 0: {self.prefill_replicas}")
+        if self.prefill_replicas >= self.replicas_per_node \
+                and self.prefill_replicas > 0:
+            raise ValueError(
+                f"prefill_replicas ({self.prefill_replicas}) must leave "
+                f"at least one decode replica of the "
+                f"{self.replicas_per_node} per node")
 
     @property
     def gcds_used(self) -> int:
         return self.replicas_per_node * self.tp
 
     @property
+    def disaggregated(self) -> bool:
+        return self.prefill_replicas > 0
+
+    @property
+    def decode_replicas(self) -> int:
+        """Decode-role replicas per node (0 when colocated)."""
+        if not self.disaggregated:
+            return 0
+        return self.replicas_per_node - self.prefill_replicas
+
+    def role_of(self, replica_index: int) -> str:
+        """Role of the ``replica_index``-th replica on any node."""
+        if not 0 <= replica_index < self.replicas_per_node:
+            raise ValueError(
+                f"replica_index must be in [0, {self.replicas_per_node}): "
+                f"{replica_index}")
+        if not self.disaggregated:
+            return "mixed"
+        return "prefill" if replica_index < self.prefill_replicas \
+            else "decode"
+
+    @property
     def label(self) -> str:
+        if self.disaggregated:
+            return (f"{self.prefill_replicas}P"
+                    f"{self.decode_replicas}DxTP{self.tp}")
         return f"{self.replicas_per_node}xTP{self.tp}"
 
     @classmethod
     def from_label(cls, label: str) -> "ReplicaLayout":
-        """Parse ``"8xTP1"`` / ``"1xTP8"`` style labels."""
+        """Parse ``"8xTP1"`` / ``"1xTP8"`` / ``"2P6DxTP1"`` labels."""
         try:
-            replicas, tp = label.lower().split("xtp")
-            return cls(replicas_per_node=int(replicas), tp=int(tp))
+            replicas, tp_text = label.lower().split("xtp")
+            tp = int(tp_text)
+            roles = re.fullmatch(r"(\d+)p(\d+)d", replicas)
+            if roles is not None:
+                prefill, decode = int(roles.group(1)), int(roles.group(2))
+                if prefill == 0:
+                    raise ValueError
+                per_node = prefill + decode
+            else:
+                prefill, per_node = 0, int(replicas)
         except (ValueError, TypeError):
             raise ValueError(
-                f"layout must look like '8xTP1' or '1xTP8': {label!r}"
+                f"layout must look like '8xTP1', '1xTP8', or '2P6DxTP1': "
+                f"{label!r}"
             ) from None
+        # Validation errors (e.g. zero decode replicas) surface as-is.
+        return cls(replicas_per_node=per_node, tp=tp,
+                   prefill_replicas=prefill)
 
     def validate(self, model_config: ModelConfig, node: NodeSpec,
                  gcd: GCDSpec) -> None:
@@ -131,37 +207,61 @@ class ReplicaLayout:
 
 @dataclass(frozen=True)
 class ClusterConfig:
-    """Topology, routing policy, and per-replica serving knobs.
+    """Topology, routing, transfer pricing, and per-replica knobs.
 
     ``serving`` configures every replica identically; its
     ``tensor_parallel`` field is superseded by ``layout.tp`` (the layout
-    owns the node geometry).  ``max_outstanding_per_replica`` is the
-    admission backpressure cap: a replica already holding that many
-    unfinished requests refuses new ones, and when every replica
-    refuses, arrivals wait in the cluster queue — which is exactly what
-    pushes the cluster-level TTFT tail out under overload.
+    owns the node geometry).  Routing policy, the admission backpressure
+    cap, and the prefill→decode handoff policy live in ``routing``;
+    KV-shipment pricing for disaggregated layouts lives in ``transfer``.
+
+    The pre-disaggregation flat kwargs ``policy`` and
+    ``max_outstanding_per_replica`` are deprecated: passing them warns
+    and folds them into ``routing``.  The effective values are mirrored
+    back onto the flat attributes, so existing *readers* keep working
+    unchanged.
     """
 
     num_nodes: int = 4
     layout: ReplicaLayout = ReplicaLayout()
-    policy: str = "round-robin"
     serving: ServingConfig = ServingConfig()
-    max_outstanding_per_replica: int = 32
+    routing: RoutingConfig = RoutingConfig()
+    #: KV-transfer pricing (disaggregated layouts only)
+    transfer: KVTransferConfig = KVTransferConfig()
     #: fault process to replay (None, or all-inf rates, = exact no-op)
     faults: FaultConfig | None = None
     #: detection / recovery / retry semantics when ``faults`` is active
     failover: FailoverConfig = FailoverConfig()
+    #: deprecated — pass ``routing=RoutingConfig(policy=...)``
+    policy: str | None = None
+    #: deprecated — pass ``routing=RoutingConfig(max_outstanding_per_replica=...)``
+    max_outstanding_per_replica: int | None = None
 
     def __post_init__(self) -> None:
         if self.num_nodes < 1:
             raise ValueError(f"num_nodes must be >= 1: {self.num_nodes}")
-        if self.policy not in LB_POLICIES:
-            raise ValueError(
-                f"policy must be one of {LB_POLICIES}: {self.policy!r}")
-        if self.max_outstanding_per_replica < 1:
-            raise ValueError(
-                f"max_outstanding_per_replica must be >= 1: "
-                f"{self.max_outstanding_per_replica}")
+        routing = self.routing
+        if self.policy is not None:
+            warnings.warn(
+                "ClusterConfig(policy=...) is deprecated; pass "
+                "routing=RoutingConfig(policy=...)",
+                DeprecationWarning, stacklevel=3)
+            routing = replace(routing, policy=self.policy)
+        if self.max_outstanding_per_replica is not None:
+            warnings.warn(
+                "ClusterConfig(max_outstanding_per_replica=...) is "
+                "deprecated; pass routing=RoutingConfig("
+                "max_outstanding_per_replica=...)",
+                DeprecationWarning, stacklevel=3)
+            routing = replace(
+                routing,
+                max_outstanding_per_replica=self.max_outstanding_per_replica)
+        object.__setattr__(self, "routing", routing)
+        # Mirror the effective values so pre-redesign readers of the
+        # flat attributes observe the same configuration.
+        object.__setattr__(self, "policy", routing.policy)
+        object.__setattr__(self, "max_outstanding_per_replica",
+                           routing.max_outstanding_per_replica)
 
 
 class ReplicaServer:
@@ -177,9 +277,17 @@ class ReplicaServer:
 
     def __init__(self, node_index: int, replica_index: int,
                  model_config: ModelConfig, serving: ServingConfig,
-                 cost: DecodeCostModel, pool: PagedKVPool):
+                 cost: DecodeCostModel, pool: PagedKVPool,
+                 role: str = "mixed"):
+        if role not in REPLICA_ROLES:
+            raise ValueError(
+                f"role must be one of {REPLICA_ROLES}: {role!r}")
         self.node_index = node_index
         self.replica_index = replica_index
+        self.role = role
+        #: finished prefills awaiting KV shipment, as ``(request,
+        #: handoff_time)`` — drained by the cluster after every step
+        self.outbox: list[tuple[Request, float]] = []
         #: flat position in the cluster's replica list (set by the owner)
         self.index = 0
         self.model_config = model_config
@@ -304,6 +412,10 @@ class ReplicaServer:
         """
         sched = self.scheduler
         doomed = list(sched.running) + list(sched.waiting)
+        # Handed-off requests whose transfer has not departed yet die
+        # with the replica too (their KV lived in its HBM).
+        doomed += [req for req, _ in self.outbox]
+        self.outbox.clear()
         for req in sched.running:
             self.pool.free(req.request_id)
         sched.running.clear()
@@ -342,6 +454,49 @@ class ReplicaServer:
             output_len=len(request.output),
             preemptions=request.preemptions, retries=request.retries))
 
+    # -- disaggregation: prefill hand-off and decode import -------------
+    def _hand_off(self, req: Request) -> None:
+        """Prefill done: free local state, park in the outbox.
+
+        The request leaves this replica's scheduler and pool at the
+        handoff instant — the KV is on its way out, and the freed slots
+        are what lets a dedicated prefill replica sustain throughput.
+        The cluster drains the outbox after every step and turns each
+        entry into a priced KV-transfer toward a decode replica.
+        """
+        if self.prefix_cache is not None:
+            self._release_cache(req)
+        self.scheduler.running.remove(req)
+        self.pool.free(req.request_id)
+        self._event(req.request_id, "handoff", self.clock)
+        self.outbox.append((req, self.clock))
+
+    def _admit_imports(self) -> None:
+        """Admission for decode-role replicas: import handed-off KV.
+
+        The KV arrives already computed, so there is nothing to
+        re-prefill and recompute-preemption is impossible here; instead
+        the full worst-case context (``budget_tokens``) is reserved up
+        front, so an imported request always runs to completion without
+        evicting anyone.  ``admit_time`` / ``first_token_time`` keep the
+        values the prefill replica set — TTFT was already served there.
+        """
+        sched = self.scheduler
+        sched._sort_waiting()
+        remaining: list[Request] = []
+        for req in sched.waiting:
+            if (len(sched.running) < sched.config.max_batch_size
+                    and sched.batch_budget_tokens() + req.budget_tokens
+                    <= sched.config.max_batch_tokens
+                    and self.pool.allocate(req.request_id,
+                                           req.budget_tokens)):
+                req.state = RUNNING
+                sched.running.append(req)
+                self._event(req.request_id, "kv-import", self.clock)
+            else:
+                remaining.append(req)
+        sched.waiting = remaining
+
     def step(self) -> None:
         """One scheduling iteration: admit + prefill, or one decode step."""
         if self._steps >= self.max_steps:
@@ -350,61 +505,76 @@ class ReplicaServer:
         self._steps += 1
         sched = self.scheduler
 
-        for req in sched.admit(self.clock):
-            self._event(req.request_id, "admit", self.clock)
-            matched = 0
-            if self.prefix_cache is not None:
-                matched = self._cache_admit(req)
-            if self.prefill_chunk is not None:
-                continue  # encoded chunk by chunk below
-            start = self.clock
-            if matched:
-                # The cached prefix skips its prefill; the suffix is
-                # priced as a chunk attending over the resident prefix.
-                duration = self.cost.chunked_prefill_time(
-                    req.prompt_len - matched, matched)
-            else:
-                duration = self.cost.prefill_time(req.prompt_len)
-            if self.slow_windows:
-                stretch = self._slowdown()
-                if stretch != 1.0:
-                    duration *= stretch
-            req.prefill_pos = req.prompt_len
-            req.output.append(_SENTINEL)
-            self.clock = start + duration
-            self._event(req.request_id, "prefill", start, duration)
-            if self.prefix_cache is not None:
-                self.prefix_cache.insert(req.prompt)
-            req.first_token_time = self.clock
-            if req.done:
-                self._finish(req)
-
-        if self.prefill_chunk is not None:
-            target = next_prefill_target(sched.running)
-            if target is not None:
-                chunk = min(self.prefill_chunk,
-                            target.prompt_len - target.prefill_pos)
-                duration = self.cost.chunked_prefill_time(
-                    chunk, target.prefill_pos)
+        # A prefill replica hands admitted requests off within the same
+        # step, leaving ``running`` empty again — progress that the
+        # deadlock guard below must see, or a backlogged prefill replica
+        # would be declared stuck the moment its admit round overflows.
+        progress = False
+        if self.role == "decode":
+            self._admit_imports()
+        else:
+            for req in sched.admit(self.clock):
+                progress = True
+                self._event(req.request_id, "admit", self.clock)
+                matched = 0
+                if self.prefix_cache is not None:
+                    matched = self._cache_admit(req)
+                if self.prefill_chunk is not None:
+                    continue  # encoded chunk by chunk below
+                start = self.clock
+                if matched:
+                    # The cached prefix skips its prefill; the suffix is
+                    # priced as a chunk attending over the resident
+                    # prefix.
+                    duration = self.cost.chunked_prefill_time(
+                        req.prompt_len - matched, matched)
+                else:
+                    duration = self.cost.prefill_time(req.prompt_len)
                 if self.slow_windows:
                     stretch = self._slowdown()
                     if stretch != 1.0:
                         duration *= stretch
-                start = self.clock
-                target.prefill_pos += chunk
+                req.prefill_pos = req.prompt_len
+                req.output.append(_SENTINEL)
                 self.clock = start + duration
-                self._event(target.request_id, "prefill-chunk", start,
-                            duration)
-                if target.prefill_pos >= target.prompt_len:
-                    target.output.append(_SENTINEL)
-                    if self.prefix_cache is not None:
-                        self.prefix_cache.insert(target.prompt)
-                    target.first_token_time = self.clock
-                    if target.done:
-                        self._finish(target)
+                self._event(req.request_id, "prefill", start, duration)
+                if self.prefix_cache is not None:
+                    self.prefix_cache.insert(req.prompt)
+                req.first_token_time = self.clock
+                if req.done:
+                    self._finish(req)
+                elif self.role == "prefill":
+                    self._hand_off(req)
+
+            if self.prefill_chunk is not None:
+                target = next_prefill_target(sched.running)
+                if target is not None:
+                    progress = True
+                    chunk = min(self.prefill_chunk,
+                                target.prompt_len - target.prefill_pos)
+                    duration = self.cost.chunked_prefill_time(
+                        chunk, target.prefill_pos)
+                    if self.slow_windows:
+                        stretch = self._slowdown()
+                        if stretch != 1.0:
+                            duration *= stretch
+                    start = self.clock
+                    target.prefill_pos += chunk
+                    self.clock = start + duration
+                    self._event(target.request_id, "prefill-chunk", start,
+                                duration)
+                    if target.prefill_pos >= target.prompt_len:
+                        target.output.append(_SENTINEL)
+                        if self.prefix_cache is not None:
+                            self.prefix_cache.insert(target.prompt)
+                        target.first_token_time = self.clock
+                        if target.done:
+                            self._finish(target)
+                        elif self.role == "prefill":
+                            self._hand_off(target)
 
         if not sched.running:
-            if sched.waiting:
+            if sched.waiting and not progress:
                 # Queue non-empty yet nothing admitted: force space for
                 # the head request (it fits alone, per validation),
                 # draining the cache before declaring deadlock.
@@ -511,6 +681,14 @@ class ClusterResult(ServingResultBase):
     availability: float = 1.0
     #: the replayed fault schedule, as ``FaultEvent.to_dict()`` rows
     fault_events: list[dict] = field(default_factory=list)
+    #: prefill→decode KV transfers priced on the interconnect
+    transfers: int = 0
+    #: total wire seconds across those transfers
+    transfer_seconds: float = 0.0
+    #: in-flight transfers re-queued because their destination died
+    transfer_requeues: int = 0
+    #: per-transfer detail (src/dst replica, tokens, bytes, duration)
+    transfer_records: list[TransferRecord] = field(default_factory=list)
 
     def per_node_requests(self) -> dict[int, int]:
         """Completed-request count per node index."""
@@ -534,7 +712,12 @@ class ClusterResult(ServingResultBase):
             failed=[f.to_dict() for f in self.failed_records],
             retries_total=self.retries_total,
             availability=self.availability,
-            fault_events=self.fault_events)
+            fault_events=self.fault_events,
+            transfers=self.transfers,
+            transfer_seconds=self.transfer_seconds,
+            transfer_requeues=self.transfer_requeues,
+            transfer_records=[t.to_dict()
+                              for t in self.transfer_records])
         return data
 
 
@@ -565,7 +748,8 @@ class ClusterSimulator:
         self.replicas = [
             ReplicaServer(n, r, model_config, serving, cost,
                           PagedKVPool(model_config, pool_config,
-                                      gcd=self.gcd))
+                                      gcd=self.gcd),
+                          role=layout.role_of(r))
             for n in range(self.config.num_nodes)
             for r in range(layout.replicas_per_node)
         ]
@@ -575,6 +759,20 @@ class ClusterSimulator:
         self._router_events: list[TraceEvent] = []
         self.assignments: dict[int, tuple[int, int]] = {}
         self._pending: list[Request] = []
+        # -- disaggregation state (all inert for colocated layouts) -----
+        self.transfer_model = KVTransferModel(
+            model_config, self.config.transfer,
+            collectives=cost.collectives, node=self.node)
+        #: in-flight KV transfers: (arrive_time, seq, request, src, dst)
+        self._transfers: list[tuple[float, int, Request, int, int]] = []
+        self._transfer_events: list[TraceEvent] = []
+        #: transfers in flight toward each replica (flat index) — makes
+        #: the handoff load metric see work the wire has not delivered
+        self._inbound: dict[int, int] = {}
+        self._handoff_next = 0            # handoff rotation cursor
+        self._affinity: dict[int, int] = {}  # session -> decode replica
+        self.transfer_records: list[TransferRecord] = []
+        self.transfer_requeues = 0
         # -- failover state (all inert on the fault-free path) ----------
         self._seq = itertools.count()     # heap tie-break counter
         self._deferred: list[tuple[float, int, Request]] = []  # retries
@@ -585,9 +783,10 @@ class ClusterSimulator:
 
     # -- load balancing ------------------------------------------------
     def _candidates(self) -> list[ReplicaServer]:
-        cap = self.config.max_outstanding_per_replica
+        """Replicas arrivals may route to: prefill-capable, under cap."""
+        cap = self.config.routing.max_outstanding_per_replica
         return [r for r in self.replicas
-                if r.healthy and r.outstanding < cap]
+                if r.healthy and r.role != "decode" and r.outstanding < cap]
 
     def _cycle(self, candidates: list[ReplicaServer]) -> ReplicaServer:
         """Deterministic rotating pick: first candidate at/after the
@@ -602,12 +801,12 @@ class ClusterSimulator:
         self._rr_next = (chosen.index + 1) % len(self.replicas)
         return chosen
 
-    def _choose(self) -> ReplicaServer | None:
+    def _choose(self, request: Request) -> ReplicaServer | None:
         """Pick a replica under the backpressure cap, per policy."""
         candidates = self._candidates()
         if not candidates:
             return None
-        policy = self.config.policy
+        policy = self.config.routing.policy
         if policy == "least-outstanding":
             best = min(r.outstanding for r in candidates)
             candidates = [r for r in candidates if r.outstanding == best]
@@ -617,6 +816,17 @@ class ClusterSimulator:
             best = min(r.kv_demand_tokens for r in candidates)
             candidates = [r for r in candidates
                           if r.kv_demand_tokens == best]
+        elif policy == "cache-aware":
+            # Route to the replica whose prefix cache holds the longest
+            # prefix of this prompt (a pure peek — probing must not
+            # perturb the caches); ties fall back to least-outstanding.
+            scores = {r.index: (r.prefix_cache.peek(request.prompt)
+                                if r.prefix_cache is not None else 0)
+                      for r in candidates}
+            best = max(scores.values())
+            candidates = [r for r in candidates if scores[r.index] == best]
+            least = min(r.outstanding for r in candidates)
+            candidates = [r for r in candidates if r.outstanding == least]
         return self._cycle(candidates)
 
     def _dispatch(self, request: Request, replica: ReplicaServer,
@@ -628,12 +838,147 @@ class ClusterSimulator:
     def _dispatch_pending(self) -> None:
         """FIFO-drain the cluster queue into replicas that freed capacity."""
         while self._pending:
-            replica = self._choose()
+            replica = self._choose(self._pending[0])
             if replica is None:
                 return
             request = self._pending.pop(0)
             self._dispatch(request, replica,
                            max(request.arrival_time, replica.clock))
+
+    # -- prefill → decode handoff ---------------------------------------
+    def _cycle_handoff(self,
+                       candidates: list[ReplicaServer]) -> ReplicaServer:
+        """Rotating pick among decode replicas (own cursor, same logic
+        as :meth:`_cycle` — sharing the arrival cursor would let
+        handoffs perturb arrival placement)."""
+        chosen = min(candidates,
+                     key=lambda r: ((r.index - self._handoff_next)
+                                    % len(self.replicas)))
+        self._handoff_next = (chosen.index + 1) % len(self.replicas)
+        return chosen
+
+    def _choose_decode(self, req: Request) -> ReplicaServer | None:
+        """Pick the decode replica a finished prefill ships its KV to.
+
+        ``least-outstanding`` counts in-flight transfers toward a
+        replica as load (the wire has committed them); ``session-
+        affinity`` pins a session's turns to one decode replica so their
+        decode contexts stay co-resident, re-pinning only when the
+        sticky target is gone.  No backpressure cap applies: a handoff
+        is mid-pipeline, the request already holds cluster resources.
+        """
+        candidates = [r for r in self.replicas
+                      if r.healthy and r.role == "decode"]
+        if not candidates:
+            return None
+        policy = self.config.routing.handoff
+        if policy == "session-affinity" and req.session_id is not None:
+            sticky = self._affinity.get(req.session_id)
+            if sticky is not None:
+                replica = self.replicas[sticky]
+                if replica.healthy and replica.role == "decode":
+                    return replica
+        if policy == "round-robin":
+            chosen = self._cycle_handoff(candidates)
+        else:  # least-outstanding; also session-affinity's initial pin
+            load = {r.index: r.outstanding + self._inbound.get(r.index, 0)
+                    for r in candidates}
+            best = min(load.values())
+            chosen = self._cycle_handoff(
+                [r for r in candidates if load[r.index] == best])
+        if policy == "session-affinity" and req.session_id is not None:
+            self._affinity[req.session_id] = chosen.index
+        return chosen
+
+    def _collect_outboxes(self, fo: FailoverConfig | None) -> None:
+        """Turn completed prefills into priced in-flight KV transfers.
+
+        Called after every replica step: each outbox entry picks a
+        decode replica, is priced through :class:`KVTransferModel`
+        (Slingshot across nodes, Infinity Fabric within one), and joins
+        the transfer heap to be delivered at ``handoff + duration``.
+        """
+        for src in self.replicas:
+            if not src.outbox:
+                continue
+            entries, src.outbox = src.outbox, []
+            for req, ready in entries:
+                dst = self._choose_decode(req)
+                if dst is None:
+                    # Every decode replica is down: ride the normal
+                    # failover path (re-prefill elsewhere later).
+                    if fo is None:  # pragma: no cover — layout invariant
+                        raise RuntimeError(
+                            "no decode replica available for handoff")
+                    self._fail_over(req, ready, fo)
+                    continue
+                tokens = req.prefill_pos
+                same_node = dst.node_index == src.node_index
+                duration = self.transfer_model.transfer_time(
+                    tokens, same_node=same_node)
+                arrive = ready + duration
+                self._inbound[dst.index] = \
+                    self._inbound.get(dst.index, 0) + 1
+                heapq.heappush(self._transfers,
+                               (arrive, next(self._seq), req,
+                                src.index, dst.index))
+                self.transfer_records.append(TransferRecord(
+                    request_id=req.request_id,
+                    src=(src.node_index, src.replica_index),
+                    dst=(dst.node_index, dst.replica_index),
+                    tokens=tokens,
+                    bytes=self.transfer_model.bytes_for(tokens),
+                    start=ready, duration_s=duration,
+                    same_node=same_node))
+                self._transfer_events.append(TraceEvent(
+                    f"req{req.request_id}/kv-transfer", ready, duration,
+                    "kv-transfer", "comm"))
+
+    def _deliver(self, fo: FailoverConfig | None) -> None:
+        """Complete the earliest in-flight transfer at its destination."""
+        arrive, _, req, _src, dst_flat = heapq.heappop(self._transfers)
+        self._inbound[dst_flat] -= 1
+        dst = self.replicas[dst_flat]
+        if not dst.healthy:  # pragma: no cover — detection re-queues
+            # in-flight transfers toward a dead replica before this
+            # can fire; kept as a defensive no-silent-drop backstop.
+            self.transfer_requeues += 1
+            self._transfer_events.append(TraceEvent(
+                f"req{req.request_id}/kv-requeue", arrive, 0.0,
+                "kv-requeue", "comm"))
+            self._fail_over(req, arrive, fo)
+            return
+        # A dead-but-undetected destination accepts the import into its
+        # queue — the same stale-router window arrivals see; detection
+        # fails the request over with the rest of its in-flight work.
+        self.assignments[req.request_id] = (dst.node_index,
+                                            dst.replica_index)
+        dst.enqueue(req, max(arrive, dst.clock))
+
+    def _requeue_transfers(self, dst_flat: int, now: float,
+                           fo: FailoverConfig) -> None:
+        """Failover: re-queue in-flight transfers toward a dead replica.
+
+        No silent drop — each affected request rides the normal retry
+        path (backoff, re-route, re-prefill), exactly like the dead
+        replica's resident requests.  Transfers *from* a dead replica
+        are unaffected: their bytes already left its HBM.
+        """
+        kept = []
+        for entry in self._transfers:
+            if entry[4] != dst_flat:
+                kept.append(entry)
+                continue
+            req = entry[2]
+            self._inbound[dst_flat] -= 1
+            self.transfer_requeues += 1
+            self._transfer_events.append(TraceEvent(
+                f"req{req.request_id}/kv-requeue", now, 0.0,
+                "kv-requeue", "comm"))
+            self._fail_over(req, now, fo)
+        if len(kept) != len(self._transfers):
+            self._transfers = kept
+            heapq.heapify(self._transfers)
 
     # ------------------------------------------------------------------
     def run(self, requests: list[Request]) -> ClusterResult:
@@ -654,17 +999,77 @@ class ClusterSimulator:
             queued = self._run_with_faults(arrivals, faults)
         return self._assemble(arrivals, queued)
 
+    def _advance_replicas(self, t_target: float,
+                          fo: FailoverConfig | None) -> float:
+        """Advance the fleet to ``t_target``, collecting handoffs.
+
+        Steps the laggard among busy replicas one at a time so a
+        prefill completing mid-advance can schedule a KV delivery
+        *earlier* than the target — the target then shrinks so the
+        delivery is processed in clock order.  Returns the (possibly
+        shrunk) target; idle and dead replicas' clocks are lifted to it.
+        """
+        while True:
+            behind = [r for r in self.replicas
+                      if r.alive and r.busy and r.clock < t_target]
+            if not behind:
+                break
+            min(behind, key=lambda r: (r.clock, r.index)).step()
+            self._collect_outboxes(fo)
+            if self._transfers and self._transfers[0][0] < t_target:
+                t_target = self._transfers[0][0]
+        for replica in self.replicas:
+            if replica.alive:
+                replica.advance_to(t_target)  # lifts idle clocks to t
+            elif replica.clock < t_target:
+                replica.clock = t_target
+        return t_target
+
     def _run_fault_free(self, arrivals: list[Request]) -> int:
-        """The original (exact) arrival/drain loop; returns queued count."""
+        """Arrival/delivery/drain loop without faults; returns queued.
+
+        For colocated layouts no transfers ever exist and this reduces
+        to the original exact arrival loop; disaggregated layouts
+        interleave KV deliveries with arrivals on the virtual clock
+        (ties resolve delivery first — imported work is mid-pipeline).
+        """
         queued = 0
-        for req in arrivals:
-            t = req.arrival_time
-            for replica in self.replicas:
-                replica.advance_to(t)
+        index = 0
+        while True:
+            t_arrive = arrivals[index].arrival_time \
+                if index < len(arrivals) else math.inf
+            t_deliver = self._transfers[0][0] if self._transfers \
+                else math.inf
+            t_router = min(t_arrive, t_deliver)
+
+            if math.isinf(t_router):
+                # Drain: step the laggard until queued work can route
+                # and every replica idles (handoffs may appear anytime).
+                self._dispatch_pending()
+                busy = [r for r in self.replicas if r.busy]
+                if not busy:
+                    if self._pending:  # pragma: no cover — cap >= 1
+                        raise RuntimeError(
+                            "cluster stalled with queued requests")
+                    break
+                min(busy, key=lambda r: (r.clock, r.index)).step()
+                self._collect_outboxes(None)
+                continue
+
+            t_router = self._advance_replicas(t_router, None)
             self._dispatch_pending()
+            t_deliver = self._transfers[0][0] if self._transfers \
+                else math.inf
+            if t_deliver <= t_router:
+                self._deliver(None)
+                continue
+
+            req = arrivals[index]
+            index += 1
+            t = req.arrival_time
             self._router_events.append(TraceEvent(
                 f"req{req.request_id}/arrive", t, 0.0, "arrive", "io"))
-            replica = self._choose() if not self._pending else None
+            replica = self._choose(req) if not self._pending else None
             if replica is None:
                 # Backpressure: every replica is at its admission cap
                 # (or earlier arrivals are still queued ahead of us).
@@ -674,19 +1079,6 @@ class ClusterSimulator:
                 self._pending.append(req)
             else:
                 self._dispatch(req, replica, t)
-
-        # Drain: step the laggard replica until queued work can route,
-        # then let every replica finish.
-        while self._pending:
-            self._dispatch_pending()
-            if not self._pending:
-                break
-            busy = [r for r in self.replicas if r.busy]
-            if not busy:  # pragma: no cover — cap >= 1 frees an idle slot
-                raise RuntimeError("cluster stalled with queued requests")
-            min(busy, key=lambda r: (r.clock, r.index)).step()
-        for replica in self.replicas:
-            replica.drain()
         return queued
 
     # -- failover path --------------------------------------------------
@@ -695,10 +1087,10 @@ class ClusterSimulator:
         """Arrival/drain loop interleaved with the seeded fault process.
 
         The router's next event is the earliest of: arrival, health-check
-        detection, replica recovery, retry-backoff expiry.  Fault onsets
-        at or before that instant are applied first (each takes effect at
-        its victim's next step boundary), so no replica ever computes
-        past an unapplied fault.
+        detection, replica recovery, retry-backoff expiry, KV-transfer
+        delivery.  Fault onsets at or before that instant are applied
+        first (each takes effect at its victim's next step boundary), so
+        no replica ever computes past an unapplied fault.
         """
         fm = FaultModel(faults, len(self.replicas),
                         gcds_per_component=self.config.layout.tp,
@@ -714,7 +1106,10 @@ class ClusterSimulator:
             t_recover = self._recoveries[0][0] \
                 if self._recoveries else math.inf
             t_retry = self._deferred[0][0] if self._deferred else math.inf
-            t_router = min(t_arrive, t_detect, t_recover, t_retry)
+            t_deliver = self._transfers[0][0] if self._transfers \
+                else math.inf
+            t_router = min(t_arrive, t_detect, t_recover, t_retry,
+                           t_deliver)
 
             if math.isinf(t_router):
                 # No router events left: drain survivors, still letting
@@ -727,6 +1122,7 @@ class ClusterSimulator:
                     self._apply_fault(fm.pop(), fo)
                 else:
                     laggard.step()
+                    self._collect_outboxes(fo)
                     self._dispatch_pending()
                 continue
 
@@ -734,16 +1130,17 @@ class ClusterSimulator:
                 self._apply_fault(fm.pop(), fo)
                 continue
 
-            for replica in self.replicas:
-                if replica.alive:
-                    replica.advance_to(t_router)
-                elif replica.clock < t_router:
-                    replica.clock = t_router
+            t_router = self._advance_replicas(t_router, fo)
             self._dispatch_pending()
 
-            # Equal-time ties resolve detection -> recovery -> retry ->
-            # arrival: a router must notice a death before it can route
-            # around it, revive, or hand the slot to new work.
+            # Equal-time ties resolve detection -> recovery -> delivery
+            # -> retry -> arrival: a router must notice a death before
+            # it can route around it, revive, deliver into the slot, or
+            # hand it to new work.  A mid-advance handoff can shrink
+            # t_router below every queue head — then only the delivery
+            # branch can fire.
+            t_deliver = self._transfers[0][0] if self._transfers \
+                else math.inf
             if t_detect == t_router:
                 _, _, flat = heapq.heappop(self._detections)
                 replica = self.replicas[flat]
@@ -751,13 +1148,18 @@ class ClusterSimulator:
                 replica._fault_event("detect", t_router)
                 for req in replica.take_in_flight():
                     self._fail_over(req, t_router, fo)
+                # In-flight transfers toward the dead replica are
+                # re-queued with its resident requests — never dropped.
+                self._requeue_transfers(flat, t_router, fo)
             elif t_recover == t_router:
                 _, _, flat = heapq.heappop(self._recoveries)
                 self.replicas[flat].revive(t_router)
                 self._dispatch_pending()
+            elif t_deliver <= t_router:
+                self._deliver(fo)
             elif t_retry == t_router:
                 _, _, req = heapq.heappop(self._deferred)
-                replica = self._choose() if not self._pending else None
+                replica = self._choose(req) if not self._pending else None
                 if replica is None:
                     self._router_events.append(TraceEvent(
                         f"req{req.request_id}/queue", t_router, 0.0,
@@ -771,7 +1173,7 @@ class ClusterSimulator:
                 self._router_events.append(TraceEvent(
                     f"req{req.request_id}/arrive", t_router, 0.0,
                     "arrive", "io"))
-                replica = self._choose() if not self._pending else None
+                replica = self._choose(req) if not self._pending else None
                 if replica is None:
                     queued += 1
                     self._router_events.append(TraceEvent(
@@ -804,6 +1206,7 @@ class ClusterSimulator:
             while replica.alive and replica.busy \
                     and replica.clock < event.time_s:
                 replica.step()
+                self._collect_outboxes(fo)
                 self._dispatch_pending()
             replica.kill(event.time_s)
             heapq.heappush(self._detections,
@@ -895,12 +1298,18 @@ class ClusterSimulator:
                          if slo is None or rec.ttft <= slo)
         lanes: dict[str, dict[str, list[TraceEvent]]] = {
             "cluster": {"router": self._router_events}}
+        if self.config.layout.disaggregated:
+            # Transfers get their own lane next to the router: wire time
+            # is cluster-level, owned by neither endpoint replica.
+            lanes["cluster"]["kv-transfer"] = self._transfer_events
         for replica in self.replicas:
+            role = f", {replica.role}" if replica.role != "mixed" else ""
             lanes.setdefault(f"node{replica.node_index}", {})[
                 f"replica{replica.replica_index} "
-                f"(TP={self.config.layout.tp})"] = replica.events
+                f"(TP={self.config.layout.tp}{role})"] = replica.events
         return ClusterResult(
-            records=records, metrics=metrics, policy=self.config.policy,
+            records=records, metrics=metrics,
+            policy=self.config.routing.policy,
             num_nodes=self.config.num_nodes,
             layout=self.config.layout.label,
             assignments=self.assignments, queued_requests=queued,
@@ -908,7 +1317,12 @@ class ClusterSimulator:
             retries_total=sum(rec.retries for rec in records)
             + sum(f.retries for f in failed),
             availability=within_slo / submitted,
-            fault_events=self._fault_events)
+            fault_events=self._fault_events,
+            transfers=len(self.transfer_records),
+            transfer_seconds=sum(t.duration_s
+                                 for t in self.transfer_records),
+            transfer_requeues=self.transfer_requeues,
+            transfer_records=self.transfer_records)
 
 
 def format_cluster(results: list[ClusterResult],
@@ -919,12 +1333,15 @@ def format_cluster(results: list[ClusterResult],
     header = ["policy", "nodes", "layout", "p50 TTFT", "p99 TTFT",
               "p50 TPOT", "p99 TPOT", "tok/s", "preempt", "queued",
               "avail", "retries", "failed", "hit%", "saved"]
+    with_transfers = any(res.transfers for res in results)
+    if with_transfers:
+        header += ["xfers", "xfer ms", "requeued"]
     rows = []
     for res in results:
         ttft = res.percentiles("ttft", (50.0, 99.0))
         tpot = res.percentiles("tpot", (50.0, 99.0))
         m = res.metrics
-        rows.append([
+        row = [
             res.policy, str(res.num_nodes), res.layout,
             f"{ttft[50.0] * 1e3:.2f} ms", f"{ttft[99.0] * 1e3:.2f} ms",
             f"{tpot[50.0] * 1e3:.2f} ms", f"{tpot[99.0] * 1e3:.2f} ms",
@@ -933,7 +1350,13 @@ def format_cluster(results: list[ClusterResult],
             f"{res.availability:.1%}", str(res.retries_total),
             str(len(res.failed_records)),
             f"{m.cache_hit_rate:.0%}" if m.cache_lookups else "-",
-            str(m.prefill_tokens_saved) if m.cache_lookups else "-"])
+            str(m.prefill_tokens_saved) if m.cache_lookups else "-"]
+        if with_transfers:
+            mean_ms = res.transfer_seconds / res.transfers * 1e3 \
+                if res.transfers else 0.0
+            row += [str(res.transfers), f"{mean_ms:.3f}",
+                    str(res.transfer_requeues)]
+        rows.append(row)
     widths = [max(len(header[i]), max(len(row[i]) for row in rows))
               for i in range(len(header))]
     lines = [title, "-" * len(title),

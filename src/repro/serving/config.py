@@ -22,7 +22,21 @@ from ..models.config import ModelConfig
 from .kv_pool import KVPoolConfig, PagedKVPool
 from .scheduler import SchedulerConfig
 
-__all__ = ["FailoverConfig", "ServingConfig"]
+__all__ = ["FailoverConfig", "KVTransferConfig", "RoutingConfig",
+           "ServingConfig", "LB_POLICIES", "HANDOFF_POLICIES",
+           "TRANSFER_GRANULARITIES"]
+
+#: Load-balancing policies the cluster router understands.
+#: ``cache-aware`` routes to the replica whose radix prefix cache holds
+#: the longest prefix of the prompt (SGLang-style cache-aware load
+#: balancing); without prefix caches it degenerates to least-outstanding.
+LB_POLICIES = ("round-robin", "least-outstanding", "jskq", "cache-aware")
+
+#: Prefill → decode handoff policies for disaggregated layouts.
+HANDOFF_POLICIES = ("least-outstanding", "round-robin", "session-affinity")
+
+#: How a finished prefill's KV cache is shipped to its decode replica.
+TRANSFER_GRANULARITIES = ("layer", "cache")
 
 
 @dataclass(frozen=True)
@@ -128,6 +142,64 @@ class ServingConfig:
                                step_overhead_s=self.step_overhead_s,
                                tp=self.tensor_parallel,
                                collectives=collectives)
+
+
+@dataclass(frozen=True)
+class RoutingConfig:
+    """How the cluster router places work on replicas.
+
+    ``policy`` places *arrivals* (and failover retries) on
+    prefill-capable replicas; ``handoff`` places finished prefills on
+    decode replicas in disaggregated layouts (ignored for colocated
+    ones).  ``max_outstanding_per_replica`` is the admission
+    backpressure cap: a replica already holding that many unfinished
+    requests refuses new ones, and when every replica refuses, arrivals
+    wait in the cluster queue — which is exactly what pushes the
+    cluster-level TTFT tail out under overload.
+    """
+
+    policy: str = "round-robin"
+    max_outstanding_per_replica: int = 32
+    handoff: str = "least-outstanding"
+
+    def __post_init__(self) -> None:
+        if self.policy not in LB_POLICIES:
+            raise ValueError(
+                f"policy must be one of {LB_POLICIES}: {self.policy!r}")
+        if self.max_outstanding_per_replica < 1:
+            raise ValueError(
+                f"max_outstanding_per_replica must be >= 1: "
+                f"{self.max_outstanding_per_replica}")
+        if self.handoff not in HANDOFF_POLICIES:
+            raise ValueError(
+                f"handoff must be one of {HANDOFF_POLICIES}: "
+                f"{self.handoff!r}")
+
+
+@dataclass(frozen=True)
+class KVTransferConfig:
+    """How prefill→decode KV shipment is priced on the interconnect.
+
+    ``granularity="layer"`` ships each layer's K/V span as its own
+    point-to-point message — the natural unit of
+    :meth:`~repro.models.packed_kv.PackedKVPool.export_span`, and it
+    pays the per-message latency ``num_layers`` times.  ``"cache"``
+    ships the whole packed cache as one message (one latency, same
+    bytes): the best case for deep models with short prompts.
+    ``dtype_bytes`` sizes the wire format (2 = fp16/bf16 KV).
+    """
+
+    granularity: str = "layer"
+    dtype_bytes: int = 2
+
+    def __post_init__(self) -> None:
+        if self.granularity not in TRANSFER_GRANULARITIES:
+            raise ValueError(
+                f"granularity must be one of {TRANSFER_GRANULARITIES}: "
+                f"{self.granularity!r}")
+        if self.dtype_bytes < 1:
+            raise ValueError(
+                f"dtype_bytes must be >= 1: {self.dtype_bytes}")
 
 
 @dataclass(frozen=True)

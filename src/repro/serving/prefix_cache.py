@@ -195,6 +195,30 @@ class RadixPrefixCache:
         return sum(1 for n in self._nodes() if n.refcount > 0)
 
     # -- lookup ----------------------------------------------------------
+    def peek(self, prompt) -> int:
+        """Length of the longest cached block-prefix, with no side effects.
+
+        A pure read for cache-aware routing: the router probes *every*
+        candidate replica's cache before picking one, so unlike
+        :meth:`match` this takes no references, moves no LRU stamps,
+        and records no stats — probing must not perturb the caches it
+        compares.  The returned length is capped the same way
+        :meth:`match` caps it (at least one token is always left to
+        forward).
+        """
+        tokens = np.asarray(prompt, dtype=np.int64).ravel()
+        block = self.block_tokens
+        node = self._root
+        pos = 0
+        while pos + block <= tokens.size:
+            child = node.children.get(
+                tuple(tokens[pos:pos + block].tolist()))
+            if child is None:
+                break
+            node = child
+            pos += block
+        return max(0, min(pos, int(tokens.size) - 1))
+
     def match(self, prompt) -> PrefixMatch:
         """Find the longest cached block-prefix of ``prompt``.
 

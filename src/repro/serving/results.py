@@ -21,7 +21,8 @@ from ..profiling.export import save_lanes_chrome_trace
 from ..profiling.tracer import TraceEvent
 from .metrics import RequestRecord, ServingMetrics
 
-__all__ = ["FailedRequest", "ServingResultBase", "ServeResult"]
+__all__ = ["FailedRequest", "ServingResultBase", "ServeResult",
+           "TransferRecord"]
 
 #: Per-request quantities ``percentiles`` knows how to extract.
 _METRIC_FIELDS = ("ttft", "tpot", "latency")
@@ -44,6 +45,32 @@ class FailedRequest:
 
     def to_dict(self) -> dict:
         return asdict(self)
+
+
+@dataclass(frozen=True)
+class TransferRecord:
+    """One prefill→decode KV handoff priced on the interconnect.
+
+    ``src``/``dst`` are ``(node_index, replica_index)`` pairs; ``start``
+    is the virtual-clock instant the prefill replica finished (and the
+    bytes hit the wire), ``duration_s`` the priced transfer time, after
+    which the decode replica imports the span and continues.
+    """
+
+    request_id: int
+    src: tuple[int, int]
+    dst: tuple[int, int]
+    tokens: int
+    bytes: int
+    start: float
+    duration_s: float
+    same_node: bool
+
+    def to_dict(self) -> dict:
+        data = asdict(self)
+        data["src"] = list(self.src)
+        data["dst"] = list(self.dst)
+        return data
 
 
 @dataclass

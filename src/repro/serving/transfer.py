@@ -1,0 +1,75 @@
+"""Pricing KV-cache shipment between prefill and decode replicas.
+
+Disaggregated serving (the architecture of PAPERS.md's "Frontier:
+Simulating the Next Generation of LLM Inference Systems", arXiv
+2508.03148) moves a finished prefill's packed KV blocks from the prefill
+replica's pool to a decode replica before generation continues.  That
+movement is not free: it rides the same fabric the collectives do, so
+this adapter prices it through
+:class:`~repro.parallel.collectives.CollectiveModel` point-to-point
+cost — cross-node transfers see the per-GCD Slingshot NIC share
+(``"system"`` span), same-node transfers the Infinity Fabric
+(``"node"`` span).
+
+Granularity is the knob that makes the crossover interesting:
+``"layer"`` ships each layer's K/V span as its own message — the
+natural unit of :meth:`~repro.models.packed_kv.PackedKVPool.export_span`
+(the exporter produces per-layer parts) — and therefore pays the
+per-message latency ``num_layers`` times; ``"cache"`` coalesces the
+whole cache into one message.  Bytes are identical either way:
+``tokens × kv_bytes_per_token``.
+"""
+
+from __future__ import annotations
+
+from ..frontier.hardware import NodeSpec
+from ..models.config import ModelConfig
+from ..parallel.collectives import CollectiveModel
+from .config import KVTransferConfig
+from .kv_pool import kv_bytes_per_token
+
+__all__ = ["KVTransferModel"]
+
+
+class KVTransferModel:
+    """Virtual-clock cost of moving a packed KV cache between replicas."""
+
+    def __init__(self, model_config: ModelConfig,
+                 config: KVTransferConfig | None = None, *,
+                 collectives: CollectiveModel | None = None,
+                 node: NodeSpec | None = None):
+        self.model_config = model_config
+        self.config = config or KVTransferConfig()
+        self.node = node or NodeSpec()
+        self.collectives = collectives or CollectiveModel(self.node)
+        self.token_bytes = kv_bytes_per_token(model_config,
+                                              self.config.dtype_bytes)
+
+    def bytes_for(self, tokens: int) -> int:
+        """Wire bytes of a ``tokens``-position cache (all layers, K+V)."""
+        if tokens < 1:
+            raise ValueError(f"tokens must be >= 1: {tokens}")
+        return tokens * self.token_bytes
+
+    @property
+    def num_messages(self) -> int:
+        """Point-to-point messages one transfer decomposes into."""
+        if self.config.granularity == "layer":
+            return self.model_config.num_layers
+        return 1
+
+    def transfer_time(self, tokens: int, *, same_node: bool = False) -> float:
+        """Seconds to ship ``tokens`` positions of KV to another replica.
+
+        Messages are serialized (per-layer export → send → import is a
+        pipeline this model deliberately does not overlap), so layer
+        granularity costs ``num_layers`` message latencies over the same
+        total bytes.
+        """
+        total = self.bytes_for(tokens)
+        span = "node" if same_node else "system"
+        n = self.num_messages
+        # token_bytes = 2 * num_layers * kv_heads * head_dim * dtype, so
+        # the per-layer split is exact.
+        event = self.collectives.p2p(total // n, span)
+        return n * event.seconds
