@@ -3,27 +3,45 @@
 ``repro.analysis`` enforces the invariants the repo's analytical models
 stand on — virtual-clock purity in the simulators, autograd-node
 immutability, unit-suffix hygiene in roofline/collective arithmetic,
-API hygiene, and float-comparison discipline — as a single-AST-walk
-checker framework with suppression comments, baseline support, and
-text/JSON output.  Entry point: ``python -m repro lint`` (rule catalog
-in docs/ANALYSIS.md).
+API hygiene, and float-comparison discipline — plus whole-program,
+flow-aware rules built on a per-function CFG + dataflow framework and
+an import/call graph: resource-leak detection for KV-pool and
+prefix-cache leases (RPR007), cross-function determinism taint
+(RPR008), dead exports (RPR009), and deprecated-API reachability
+(RPR010).  Per-file rules run in a single AST walk; project rules run
+in a second phase over content-hash-cached ASTs.  Suppression comments,
+baseline ratchet, and text/JSON output apply to both phases.  Entry
+point: ``python -m repro lint`` (rule catalog in docs/ANALYSIS.md).
 """
 
-from .base import (Checker, FileContext, all_checkers, dotted_name,
-                   register, resolve_rules)
+from .base import (Checker, FileContext, ProjectChecker, all_checkers,
+                   dotted_name, register, resolve_rules)
 from .baseline import load_baseline, split_baselined, write_baseline
+from .callgraph import CallGraph, CallSite, build_call_graph
+from .cfg import CFG, CFGNode, build_cfg, function_defs, may_raise
 from .checkers import (ApiHygieneChecker, AutogradContractChecker,
-                       FloatEqualityChecker, UnitsHygieneChecker,
-                       VirtualClockChecker)
+                       ExceptionHygieneChecker, FloatEqualityChecker,
+                       UnitsHygieneChecker, VirtualClockChecker)
+from .dataflow import (DataflowProblem, Liveness, ReachingDefinitions,
+                       solve)
 from .findings import SEVERITIES, Finding
+from .project import ASTCache, ModuleInfo, ProjectIndex, module_name_for
+from .project_rules import (DeadExportChecker, DeprecatedReachChecker,
+                            DeterminismTaintChecker, ResourceLeakChecker)
 from .runner import (LintReport, format_json, format_text,
                      iter_python_files, lint_paths, lint_source)
 from .suppressions import SuppressionSheet, collect_suppressions
 
 __all__ = [
     # Framework.
-    "Checker", "FileContext", "Finding", "SEVERITIES", "register",
-    "all_checkers", "resolve_rules", "dotted_name",
+    "Checker", "FileContext", "Finding", "ProjectChecker", "SEVERITIES",
+    "register", "all_checkers", "resolve_rules", "dotted_name",
+    # Flow machinery.
+    "CFG", "CFGNode", "build_cfg", "function_defs", "may_raise",
+    "DataflowProblem", "ReachingDefinitions", "Liveness", "solve",
+    # Whole-program machinery.
+    "ASTCache", "ModuleInfo", "ProjectIndex", "module_name_for",
+    "CallGraph", "CallSite", "build_call_graph",
     # Runner.
     "LintReport", "lint_paths", "lint_source", "iter_python_files",
     "format_text", "format_json",
@@ -33,4 +51,7 @@ __all__ = [
     # Rule catalog.
     "VirtualClockChecker", "AutogradContractChecker",
     "UnitsHygieneChecker", "ApiHygieneChecker", "FloatEqualityChecker",
+    "ExceptionHygieneChecker", "ResourceLeakChecker",
+    "DeterminismTaintChecker", "DeadExportChecker",
+    "DeprecatedReachChecker",
 ]

@@ -19,8 +19,8 @@ from pathlib import Path
 
 from .findings import Finding
 
-__all__ = ["Checker", "FileContext", "register", "all_checkers",
-           "resolve_rules", "dotted_name"]
+__all__ = ["Checker", "FileContext", "ProjectChecker", "register",
+           "all_checkers", "resolve_rules", "dotted_name"]
 
 
 @dataclass
@@ -71,6 +71,8 @@ class Checker:
     scopes: tuple[str, ...] = ()
     #: directory names (or ``test_*`` file stems) the rule skips
     exclude_scopes: tuple[str, ...] = ()
+    #: project rules run in the whole-program phase, not the file walk
+    project: bool = False
 
     @classmethod
     def applies_to(cls, parts: tuple[str, ...]) -> bool:
@@ -91,6 +93,26 @@ class Checker:
         """Called once after the walk finishes."""
 
 
+class ProjectChecker(Checker):
+    """Base class for whole-program rules (phase two of the runner).
+
+    Instead of per-node visit methods, a project checker implements
+    :meth:`check_project` over the cross-module
+    :class:`~repro.analysis.project.ProjectIndex` and
+    :class:`~repro.analysis.callgraph.CallGraph`.  Findings are filed
+    for whatever paths they concern; the runner keeps only those in the
+    linted file set, applies :meth:`applies_to` scoping per finding
+    path, and folds them into the same suppression/baseline pipeline as
+    the per-file rules.
+    """
+
+    project = True
+
+    def check_project(self, index, graph) -> list[Finding]:
+        """Return findings across the whole indexed project."""
+        return []
+
+
 #: rule id -> checker class, in registration (catalog) order
 _REGISTRY: dict[str, type[Checker]] = {}
 
@@ -106,6 +128,7 @@ def register(cls: type[Checker]) -> type[Checker]:
 def all_checkers() -> dict[str, type[Checker]]:
     """The registered rule catalog (importing ``checkers`` populates it)."""
     from . import checkers  # noqa: F401  (registration side effect)
+    from . import project_rules  # noqa: F401  (registration side effect)
     return dict(_REGISTRY)
 
 

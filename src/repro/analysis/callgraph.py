@@ -1,0 +1,187 @@
+"""Import-aware call graph over a :class:`~repro.analysis.project.ProjectIndex`.
+
+Resolution is deliberately *static and shallow*: a call target is
+resolved when its receiver chain starts from something the module table
+can name — a local definition, an import alias (following re-export
+chains), ``self``/``cls`` inside a class body, or a dotted module
+attribute.  Calls through arbitrary local variables resolve to ``None``
+and produce no edge; the project rules that consume the graph (RPR008
+determinism taint, RPR010 deprecation reachability) are may-analyses
+over the edges that *do* resolve, so a missing edge can only cause a
+missed finding, never a false one.
+
+Class constructors resolve to the class qualname; consumers that need
+the body behind it get ``__init__`` from
+:meth:`ProjectIndex.function_node`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from .base import dotted_name
+from .project import ModuleInfo, ProjectIndex
+
+__all__ = ["CallGraph", "CallSite", "build_call_graph", "resolve_call"]
+
+
+@dataclass
+class CallSite:
+    """One resolved call expression."""
+
+    caller: str        #: qualname of the enclosing function, or module name
+    callee: str        #: resolved qualname of the target
+    path: str          #: file containing the call
+    node: ast.Call     #: the call expression itself
+
+    @property
+    def line(self) -> int:
+        return self.node.lineno
+
+
+class CallGraph:
+    """Caller -> callee edges plus every resolved call site."""
+
+    def __init__(self) -> None:
+        self.edges: dict[str, set[str]] = {}
+        self.sites: list[CallSite] = []
+        self.sites_by_callee: dict[str, list[CallSite]] = {}
+        self.sites_by_caller: dict[str, list[CallSite]] = {}
+
+    def add(self, site: CallSite) -> None:
+        self.sites.append(site)
+        self.edges.setdefault(site.caller, set()).add(site.callee)
+        self.sites_by_callee.setdefault(site.callee, []).append(site)
+        self.sites_by_caller.setdefault(site.caller, []).append(site)
+
+    def callees(self, caller: str) -> set[str]:
+        return self.edges.get(caller, set())
+
+
+def resolve_call(index: ProjectIndex, info: ModuleInfo, call: ast.Call,
+                 class_name: str | None = None) -> str | None:
+    """Resolved qualname of ``call``'s target, or ``None``."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        name = func.id
+        if name in info.imports or name in info.defs or any(
+                True for _ in info.star_imports):
+            resolved = index.resolve_symbol(info.name, name)
+            # resolve_symbol falls back to module.name for unknowns;
+            # only trust it when the module table actually knows the
+            # name (otherwise every local-variable call would "resolve").
+            if name in info.imports or name in info.defs:
+                return resolved
+            for source in info.star_imports:
+                source_info = index.modules.get(source)
+                if source_info is not None and (
+                        name in source_info.defs
+                        or name in source_info.imports):
+                    return resolved
+        return None
+    dotted = dotted_name(func)
+    if not dotted or "." not in dotted:
+        return None
+    head, _, rest = dotted.partition(".")
+    if head in ("self", "cls") and class_name is not None:
+        if "." in rest:
+            return None  # self.attr.method: receiver type unknown
+        # Method lookup in the defining class; inherited methods from
+        # project-local bases are found by walking the base list.
+        return _resolve_method(index, info, class_name, rest)
+    if head in info.imports:
+        kind = info.imports[head]
+        base = kind[1] if kind[0] == "module" else \
+            index.resolve_symbol(info.name, head)
+        return f"{base}.{rest}"
+    if head in info.defs:
+        return f"{info.name}.{dotted}"
+    return None
+
+
+def _resolve_method(index: ProjectIndex, info: ModuleInfo,
+                    class_name: str, method: str, *,
+                    _depth: int = 0) -> str | None:
+    """Find ``method`` on ``class_name`` or a project-local base."""
+    if _depth > 6:
+        return None
+    methods = info.classes.get(class_name)
+    if methods is not None and method in methods:
+        return f"{info.name}.{class_name}.{method}"
+    for base_expr in info.bases.get(class_name, []):
+        base_dotted = dotted_name(base_expr)
+        if not base_dotted:
+            continue
+        resolved = index.resolve_symbol(info.name, base_dotted) \
+            if "." not in base_dotted else base_dotted
+        located = _locate_class(index, resolved)
+        if located is not None:
+            base_info, base_class = located
+            found = _resolve_method(index, base_info, base_class, method,
+                                    _depth=_depth + 1)
+            if found is not None:
+                return found
+    # Fall back to the naming class: conservative, keeps the edge
+    # pointing somewhere stable even when the method is inherited from
+    # outside the project.
+    return f"{info.name}.{class_name}.{method}"
+
+
+def _locate_class(index: ProjectIndex, qualname: str
+                  ) -> tuple[ModuleInfo, str] | None:
+    module, _, name = qualname.rpartition(".")
+    info = index.modules.get(module)
+    if info is not None and name in info.classes:
+        return info, name
+    return None
+
+
+def build_call_graph(index: ProjectIndex) -> CallGraph:
+    """Resolve every call expression in every indexed module."""
+    graph = CallGraph()
+    for info in index.modules.values():
+        _visit_body(index, info, info.tree.body, caller=info.name,
+                    class_name=None, graph=graph)
+    return graph
+
+
+def _visit_body(index: ProjectIndex, info: ModuleInfo,
+                body: list[ast.stmt], caller: str,
+                class_name: str | None, graph: CallGraph) -> None:
+    for stmt in body:
+        if isinstance(stmt, ast.ClassDef):
+            _collect_calls(index, info, stmt.bases + stmt.decorator_list
+                           + stmt.keywords, caller, class_name, graph)
+            _visit_body(index, info, stmt.body, caller=caller,
+                        class_name=stmt.name, graph=graph)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            qual = (f"{info.name}.{class_name}.{stmt.name}"
+                    if class_name else f"{info.name}.{stmt.name}")
+            _collect_calls(index, info, stmt.decorator_list, caller,
+                           class_name, graph)
+            # Defs nested inside a function keep the enclosing function
+            # as caller so the graph's node set matches
+            # ProjectIndex.all_functions().
+            _visit_body(index, info, stmt.body,
+                        caller=qual if caller == info.name else caller,
+                        class_name=class_name, graph=graph)
+        else:
+            _collect_calls(index, info, [stmt], caller, class_name, graph)
+
+
+def _collect_calls(index: ProjectIndex, info: ModuleInfo, roots,
+                   caller: str, class_name: str | None,
+                   graph: CallGraph) -> None:
+    for root in roots:
+        if not isinstance(root, ast.AST):
+            continue
+        for node in ast.walk(root):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue  # handled by _visit_body
+            if isinstance(node, ast.Call):
+                callee = resolve_call(index, info, node, class_name)
+                if callee is not None:
+                    graph.add(CallSite(caller=caller, callee=callee,
+                                       path=info.path, node=node))

@@ -1,0 +1,371 @@
+"""Intraprocedural control-flow graphs for flow-aware lint rules.
+
+:func:`build_cfg` lowers one function body to a statement-granular CFG:
+every simple statement (and every compound-statement *header* — an
+``if``/``while`` test, a ``for`` iterable, a ``with`` context
+expression) becomes one :class:`CFGNode`, joined by labeled edges.  Two
+synthetic nodes bracket the graph: ``entry`` and a single merged
+``exit`` that both normal returns and escaping exceptions reach.
+
+The graph models exactly the control constructs the flow rules need to
+reason about leases and taint:
+
+* ``if``/``elif``/``else`` — ``true``/``false`` edges off the test.
+* ``while``/``for`` (+ ``else``, ``break``, ``continue``) — back edges
+  to the header; ``while True`` gets no false edge, so code after an
+  all-``break`` loop is only reachable through a ``break``.
+* ``try``/``except``/``else``/``finally`` — every statement that *may
+  raise* (:func:`may_raise`) carries an ``exception`` edge to the
+  innermost enclosing target: each handler entry plus the propagation
+  continuation (the ``finally`` body if present, else the next enclosing
+  try, else ``exit``).  The ``finally`` subgraph is shared by the normal
+  and exceptional continuations — a deliberate merge that loses path
+  precision but keeps the graph linear in the source size, and is
+  conservative in the safe direction for may-analyses.
+* ``with`` — the context expression may raise; body exceptions propagate
+  (suppression via ``__exit__`` is not assumed).
+* ``return``/``raise`` — edges straight to ``exit`` (through any
+  enclosing ``finally``).
+
+Nested ``def``/``lambda`` bodies are *not* inlined — a nested definition
+is a single no-op statement of the enclosing graph; build a separate CFG
+per function to analyze its body.
+"""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = ["CFG", "CFGNode", "build_cfg", "function_defs", "may_raise"]
+
+#: Edge kinds a :class:`CFGNode` successor may carry.
+EDGE_KINDS = ("normal", "true", "false", "iter", "exhausted", "exception",
+              "return", "break", "continue", "case", "nomatch")
+
+
+class CFGNode:
+    """One statement (or synthetic point) in the graph."""
+
+    __slots__ = ("index", "stmt", "label", "succs", "preds")
+
+    def __init__(self, index: int, stmt: ast.stmt | None, label: str):
+        self.index = index
+        self.stmt = stmt              #: AST statement, None for synthetic
+        self.label = label            #: short description, for tests/debug
+        self.succs: list[tuple["CFGNode", str]] = []
+        self.preds: list[tuple["CFGNode", str]] = []
+
+    @property
+    def line(self) -> int:
+        return getattr(self.stmt, "lineno", 0)
+
+    def successors(self, *kinds: str) -> list["CFGNode"]:
+        """Successor nodes, optionally filtered by edge kind."""
+        return [n for n, k in self.succs if not kinds or k in kinds]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<CFGNode {self.index} {self.label!r}>"
+
+
+class CFG:
+    """Control-flow graph of one function body."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.nodes: list[CFGNode] = []
+        self.entry: CFGNode | None = None
+        self.exit: CFGNode | None = None
+
+    def statement_nodes(self) -> list[CFGNode]:
+        """Nodes that carry a real AST statement (no synthetics)."""
+        return [n for n in self.nodes if n.stmt is not None]
+
+    def reachable(self) -> set[CFGNode]:
+        """Nodes reachable from ``entry`` along any edge."""
+        seen: set[CFGNode] = set()
+        stack = [self.entry]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(s for s, _ in node.succs)
+        return seen
+
+
+#: Expression node types whose evaluation can raise at run time: calls,
+#: indexing (KeyError/IndexError), and awaits.  Attribute reads,
+#: arithmetic, and comparisons are excluded on purpose — they *can*
+#: raise on badly-typed values, but treating them as throwing would put
+#: an exception edge on nearly every statement and drown the analyses
+#: in impossible paths (every guard between an acquire and its release
+#: would become a "leak on exception").
+_RAISING_EXPRS = (ast.Call, ast.Subscript, ast.Await)
+
+
+def _walk_shallow(node: ast.AST):
+    """``ast.walk`` that does not descend into nested function bodies."""
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                ast.Lambda)) and current is not node:
+            continue
+        stack.extend(ast.iter_child_nodes(current))
+
+
+def may_raise(node: ast.AST | None) -> bool:
+    """Whether evaluating ``node`` can raise an exception.
+
+    Approximate on purpose: calls, subscripts, and awaits may raise;
+    bare names, constants, attribute reads, and arithmetic are assumed
+    not to (see ``_RAISING_EXPRS``).  Nested function bodies are
+    skipped — defining a function does not run it.
+    """
+    if node is None:
+        return False
+    if isinstance(node, (ast.Raise, ast.Assert)):
+        return True
+    return any(isinstance(sub, _RAISING_EXPRS)
+               for sub in _walk_shallow(node))
+
+
+#: Dangling edge waiting for its target: (source node, edge kind).
+_Frontier = list[tuple[CFGNode, str]]
+
+
+class _Builder:
+    def __init__(self, name: str):
+        self.cfg = CFG(name)
+        self._count = 0
+        self.cfg.entry = self._synthetic("entry")
+        self.cfg.exit = self._synthetic("exit")
+        #: innermost-last stack of exception targets; each entry is the
+        #: list of nodes a raising statement must edge to (handlers +
+        #: propagation continuation).
+        self._exc_targets: list[list[CFGNode]] = [[self.cfg.exit]]
+        #: innermost-last stack of (continue target, break frontier).
+        self._loops: list[tuple[CFGNode, _Frontier]] = []
+
+    # -- node/edge helpers ---------------------------------------------
+    def _node(self, stmt: ast.stmt, label: str) -> CFGNode:
+        node = CFGNode(self._count, stmt, label)
+        self._count += 1
+        self.cfg.nodes.append(node)
+        return node
+
+    def _synthetic(self, label: str) -> CFGNode:
+        node = CFGNode(self._count, None, label)
+        self._count += 1
+        self.cfg.nodes.append(node)
+        return node
+
+    @staticmethod
+    def _link(sources: _Frontier, target: CFGNode) -> None:
+        for source, kind in sources:
+            source.succs.append((target, kind))
+            target.preds.append((source, kind))
+
+    def _exception_edges(self, node: CFGNode) -> None:
+        for target in self._exc_targets[-1]:
+            node.succs.append((target, "exception"))
+            target.preds.append((node, "exception"))
+
+    # -- statement dispatch --------------------------------------------
+    def build(self, body: list[ast.stmt]) -> CFG:
+        frontier = self.process(body, [(self.cfg.entry, "normal")])
+        self._link(frontier, self.cfg.exit)
+        return self.cfg
+
+    def process(self, body: list[ast.stmt], frontier: _Frontier
+                ) -> _Frontier:
+        for stmt in body:
+            if not frontier:
+                break  # unreachable code after return/raise/break
+            handler = getattr(self, f"_stmt_{type(stmt).__name__}",
+                              self._stmt_simple)
+            frontier = handler(stmt, frontier)
+        return frontier
+
+    def _stmt_simple(self, stmt: ast.stmt, frontier: _Frontier
+                     ) -> _Frontier:
+        node = self._node(stmt, type(stmt).__name__)
+        self._link(frontier, node)
+        if may_raise(stmt):
+            self._exception_edges(node)
+        return [(node, "normal")]
+
+    # Defining a function/class executes only the header.
+    def _stmt_FunctionDef(self, stmt, frontier):
+        node = self._node(stmt, f"def {stmt.name}")
+        self._link(frontier, node)
+        if stmt.decorator_list and any(may_raise(d)
+                                       for d in stmt.decorator_list):
+            self._exception_edges(node)
+        return [(node, "normal")]
+
+    _stmt_AsyncFunctionDef = _stmt_FunctionDef
+
+    def _stmt_ClassDef(self, stmt, frontier):
+        node = self._node(stmt, f"class {stmt.name}")
+        self._link(frontier, node)
+        self._exception_edges(node)  # class bodies run at definition
+        return [(node, "normal")]
+
+    def _stmt_Return(self, stmt, frontier):
+        node = self._node(stmt, "return")
+        self._link(frontier, node)
+        if may_raise(stmt.value):
+            self._exception_edges(node)
+        node.succs.append((self.cfg.exit, "return"))
+        self.cfg.exit.preds.append((node, "return"))
+        return []
+
+    def _stmt_Raise(self, stmt, frontier):
+        node = self._node(stmt, "raise")
+        self._link(frontier, node)
+        self._exception_edges(node)
+        return []
+
+    def _stmt_Break(self, stmt, frontier):
+        node = self._node(stmt, "break")
+        self._link(frontier, node)
+        if self._loops:
+            self._loops[-1][1].append((node, "break"))
+        return []
+
+    def _stmt_Continue(self, stmt, frontier):
+        node = self._node(stmt, "continue")
+        self._link(frontier, node)
+        if self._loops:
+            self._link([(node, "continue")], self._loops[-1][0])
+        return []
+
+    def _stmt_If(self, stmt, frontier):
+        test = self._node(stmt, "if")
+        self._link(frontier, test)
+        if may_raise(stmt.test):
+            self._exception_edges(test)
+        out = self.process(stmt.body, [(test, "true")])
+        if stmt.orelse:
+            out += self.process(stmt.orelse, [(test, "false")])
+        else:
+            out.append((test, "false"))
+        return out
+
+    def _stmt_While(self, stmt, frontier):
+        header = self._node(stmt, "while")
+        self._link(frontier, header)
+        if may_raise(stmt.test):
+            self._exception_edges(header)
+        breaks: _Frontier = []
+        self._loops.append((header, breaks))
+        body_out = self.process(stmt.body, [(header, "true")])
+        self._link(body_out, header)  # back edge
+        self._loops.pop()
+        always = isinstance(stmt.test, ast.Constant) and bool(
+            stmt.test.value)
+        out: _Frontier = [] if always else [(header, "false")]
+        if stmt.orelse and not always:
+            out = self.process(stmt.orelse, out)
+        return out + breaks
+
+    def _stmt_For(self, stmt, frontier):
+        header = self._node(stmt, "for")
+        self._link(frontier, header)
+        # Evaluating the iterable / advancing the iterator may raise.
+        self._exception_edges(header)
+        breaks: _Frontier = []
+        self._loops.append((header, breaks))
+        body_out = self.process(stmt.body, [(header, "iter")])
+        self._link(body_out, header)  # back edge
+        self._loops.pop()
+        out: _Frontier = [(header, "exhausted")]
+        if stmt.orelse:
+            out = self.process(stmt.orelse, out)
+        return out + breaks
+
+    _stmt_AsyncFor = _stmt_For
+
+    def _stmt_With(self, stmt, frontier):
+        header = self._node(stmt, "with")
+        self._link(frontier, header)
+        self._exception_edges(header)  # __enter__ may raise
+        return self.process(stmt.body, [(header, "normal")])
+
+    _stmt_AsyncWith = _stmt_With
+
+    def _stmt_Try(self, stmt, frontier):
+        handler_entries = [self._node(h, f"except {ast.dump(h.type)[:20]}"
+                                      if h.type else "except")
+                           for h in stmt.handlers]
+        finally_entry = self._synthetic("finally") if stmt.finalbody \
+            else None
+        # Where an exception escaping the body lands: every handler,
+        # plus the propagation continuation for an unmatched type —
+        # unless a catch-all handler (bare ``except`` / ``except
+        # Exception``) guarantees a match.
+        propagate = [finally_entry] if finally_entry is not None \
+            else self._exc_targets[-1]
+        catch_all = any(
+            h.type is None or (isinstance(h.type, ast.Name)
+                               and h.type.id in ("Exception",
+                                                 "BaseException"))
+            for h in stmt.handlers)
+        self._exc_targets.append(
+            handler_entries + ([] if catch_all else list(propagate)))
+        body_out = self.process(stmt.body, frontier)
+        self._exc_targets.pop()
+
+        # Handlers and the else block see the *outer* target (or the
+        # finally), not the sibling handlers.
+        self._exc_targets.append(list(propagate))
+        handler_out: _Frontier = []
+        for entry in handler_entries:
+            if may_raise(entry.stmt.type if entry.stmt else None):
+                self._exception_edges(entry)
+            handler_out += self.process(entry.stmt.body, [(entry,
+                                                           "normal")])
+        if stmt.orelse:
+            body_out = self.process(stmt.orelse, body_out)
+        self._exc_targets.pop()
+
+        completed = body_out + handler_out
+        if finally_entry is None:
+            return completed
+        self._link(completed, finally_entry)
+        final_out = self.process(stmt.finalbody,
+                                 [(finally_entry, "normal")])
+        # The finally subgraph is shared: exceptions that entered it
+        # propagate onward after it runs.
+        for target in self._exc_targets[-1]:
+            self._link([(n, "exception") for n, _ in final_out], target)
+        return final_out
+
+    _stmt_TryStar = _stmt_Try
+
+    def _stmt_Match(self, stmt, frontier):
+        subject = self._node(stmt, "match")
+        self._link(frontier, subject)
+        if may_raise(stmt.subject):
+            self._exception_edges(subject)
+        out: _Frontier = []
+        for case in stmt.cases:
+            if case.guard is not None and may_raise(case.guard):
+                self._exception_edges(subject)
+            out += self.process(case.body, [(subject, "case")])
+        out.append((subject, "nomatch"))
+        return out
+
+
+def build_cfg(func: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+    """Build the CFG of one function definition's body."""
+    return _Builder(func.name).build(func.body)
+
+
+def function_defs(tree: ast.AST
+                  ) -> list[ast.FunctionDef | ast.AsyncFunctionDef]:
+    """Every function/method definition in ``tree``, outermost first."""
+    return [node for node in ast.walk(tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))]

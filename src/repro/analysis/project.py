@@ -1,0 +1,333 @@
+"""Whole-program pass: AST cache, module/symbol table, usage index.
+
+Phase two of the lint runner works on a :class:`ProjectIndex`: every
+file parsed once (through the content-hash :class:`ASTCache` phase one
+already populated), each module summarized into a :class:`ModuleInfo`
+(dotted name, ``__all__``, top-level bindings, import table), plus the
+cross-module usage sets the project rules consume — which names each
+module imports from where, which attributes are ever accessed, which
+modules are star-imported.
+
+Module naming: the dotted name is derived from the path by taking the
+components after the last ``src`` directory (the repo's layout and the
+layout every test fixture uses); a file outside any ``src`` tree falls
+back to its path components relative to the scanned root.  Package
+``__init__.py`` files take the package's dotted name.
+
+The cache is process-global and keyed by the SHA-256 of the file
+*content*, so re-lints of an unchanged tree skip both ``ast.parse`` and
+the per-file checker walk; ``lint_paths(..., use_cache=False)`` (the
+CLI's ``--no-cache``) bypasses it for A/B debugging.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["ASTCache", "ModuleInfo", "ProjectIndex", "module_name_for"]
+
+
+class ASTCache:
+    """Process-global parse/result cache keyed by content hash."""
+
+    def __init__(self) -> None:
+        self._trees: dict[str, ast.Module | SyntaxError] = {}
+        self._results: dict[tuple, list] = {}
+        self.parse_count = 0   #: ast.parse calls actually performed
+        self.hits = 0
+
+    @staticmethod
+    def key(source: str) -> str:
+        return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+    def parse(self, source: str, path: str, *, use_cache: bool = True
+              ) -> ast.Module:
+        """Parse ``source``, reusing a cached tree for identical content.
+
+        Raises the (cached) ``SyntaxError`` for unparseable files.
+        """
+        digest = self.key(source)
+        if use_cache:
+            cached = self._trees.get(digest)
+            if cached is not None:
+                self.hits += 1
+                if isinstance(cached, SyntaxError):
+                    raise cached
+                return cached
+        self.parse_count += 1
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            if use_cache:
+                self._trees[digest] = exc
+            raise
+        if use_cache:
+            self._trees[digest] = tree
+        return tree
+
+    def results_for(self, digest: str, path: str, rules: tuple):
+        """Cached per-file findings for identical (content, path, rules)."""
+        return self._results.get((digest, path, rules))
+
+    def store_results(self, digest: str, path: str, rules: tuple,
+                      findings: list) -> None:
+        self._results[(digest, path, rules)] = list(findings)
+
+    def clear(self) -> None:
+        self._trees.clear()
+        self._results.clear()
+        self.parse_count = 0
+        self.hits = 0
+
+
+#: The shared process-global cache instance the runner uses.
+GLOBAL_CACHE = ASTCache()
+
+
+def module_name_for(path: str | Path, root: Path | None = None) -> str:
+    """Dotted module name for ``path`` (see module docstring)."""
+    parts = list(Path(path).parts)
+    if "src" in parts:
+        parts = parts[len(parts) - parts[::-1].index("src"):]
+    elif root is not None:
+        try:
+            parts = list(Path(path).relative_to(root).parts)
+        except ValueError:
+            pass
+    if not parts:
+        return Path(path).stem
+    if parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) if parts else Path(path).stem
+
+
+@dataclass
+class ModuleInfo:
+    """Everything the project rules need to know about one module."""
+
+    path: str
+    name: str
+    tree: ast.Module
+    source: str
+    is_package: bool = False
+    #: names listed in ``__all__`` -> the Assign node's line
+    exports: dict[str, int] = field(default_factory=dict)
+    #: top-level definition name -> AST node (defs, classes, assigns)
+    defs: dict[str, ast.AST] = field(default_factory=dict)
+    #: local alias -> ("module", dotted) or ("symbol", module, name)
+    imports: dict[str, tuple] = field(default_factory=dict)
+    #: dotted module names star-imported by this module
+    star_imports: list[str] = field(default_factory=list)
+    #: class name -> {method name -> FunctionDef}
+    classes: dict[str, dict[str, ast.AST]] = field(default_factory=dict)
+    #: class name -> base-class expressions (unresolved AST)
+    bases: dict[str, list[ast.expr]] = field(default_factory=dict)
+    #: bare names read anywhere in the module (Load context)
+    name_loads: set[str] = field(default_factory=set)
+    #: attribute names accessed anywhere in the module
+    attr_uses: set[str] = field(default_factory=set)
+
+    def resolve_relative(self, module: str | None, level: int) -> str:
+        """Absolute dotted form of a possibly-relative import source."""
+        if level == 0:
+            return module or ""
+        base = self.name.split(".")
+        if not self.is_package:
+            base = base[:-1]
+        hops = level - 1
+        if hops:
+            base = base[:-hops] if hops <= len(base) else []
+        return ".".join(base + ([module] if module else [])) \
+            if base or module else ""
+
+
+def _summarize(info: ModuleInfo) -> None:
+    """Fill the symbol/usage tables of one parsed module."""
+    for node in ast.walk(info.tree):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            info.name_loads.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            info.attr_uses.add(node.attr)
+    for stmt in info.tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info.defs[stmt.name] = stmt
+        elif isinstance(stmt, ast.ClassDef):
+            info.defs[stmt.name] = stmt
+            methods = {
+                s.name: s for s in stmt.body
+                if isinstance(s, (ast.FunctionDef, ast.AsyncFunctionDef))}
+            info.classes[stmt.name] = methods
+            info.bases[stmt.name] = list(stmt.bases)
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                for sub in ast.walk(target):
+                    if isinstance(sub, ast.Name):
+                        info.defs.setdefault(sub.id, stmt)
+                        if sub.id == "__all__":
+                            _record_exports(info, stmt)
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target,
+                                                            ast.Name):
+            info.defs.setdefault(stmt.target.id, stmt)
+        elif isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                local = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else \
+                    alias.name.split(".")[0]
+                info.imports[local] = ("module", target)
+        elif isinstance(stmt, ast.ImportFrom):
+            source = info.resolve_relative(stmt.module, stmt.level)
+            for alias in stmt.names:
+                if alias.name == "*":
+                    info.star_imports.append(source)
+                else:
+                    info.imports[alias.asname or alias.name] = (
+                        "symbol", source, alias.name)
+
+
+def _record_exports(info: ModuleInfo, stmt: ast.Assign) -> None:
+    value = stmt.value
+    if isinstance(value, (ast.List, ast.Tuple)):
+        for element in value.elts:
+            if isinstance(element, ast.Constant) and isinstance(
+                    element.value, str):
+                info.exports[element.value] = stmt.lineno
+
+
+class ProjectIndex:
+    """Cross-module view of one lint invocation's file set."""
+
+    def __init__(self) -> None:
+        self.modules: dict[str, ModuleInfo] = {}
+        self.by_path: dict[str, ModuleInfo] = {}
+        #: paths actually being linted (usage-only roots excluded)
+        self.linted_paths: set[str] = set()
+        #: (source module, name) pairs pulled in by from-imports anywhere
+        self.imported_symbols: set[tuple[str, str]] = set()
+        #: dotted modules imported as whole modules anywhere
+        self.imported_modules: set[str] = set()
+        #: attribute names accessed anywhere in the project
+        self.attr_uses: set[str] = set()
+        #: bare names read (Load context) anywhere in the project
+        self.name_loads: set[str] = set()
+        #: dotted module name -> modules that star-import it
+        self.star_importers: dict[str, list[ModuleInfo]] = {}
+
+    @classmethod
+    def build(cls, files: list[tuple[str, str]],
+              usage_files: list[tuple[str, str]] | None = None,
+              cache: ASTCache | None = None, *,
+              use_cache: bool = True) -> "ProjectIndex":
+        """Index ``files`` [(path, source)] plus usage-only extras.
+
+        Files that fail to parse are skipped here — phase one already
+        reported them as RPR000 findings.
+        """
+        cache = cache or GLOBAL_CACHE
+        index = cls()
+        for linted, group in ((True, files), (False, usage_files or [])):
+            for path, source in group:
+                if path in index.by_path:
+                    continue
+                try:
+                    tree = cache.parse(source, path, use_cache=use_cache)
+                except SyntaxError:
+                    continue
+                name = module_name_for(path)
+                info = ModuleInfo(
+                    path=path, name=name, tree=tree, source=source,
+                    is_package=Path(path).name == "__init__.py")
+                _summarize(info)
+                index.modules[name] = info
+                index.by_path[path] = info
+                if linted:
+                    index.linted_paths.add(path)
+        index._aggregate()
+        return index
+
+    def _aggregate(self) -> None:
+        for info in self.modules.values():
+            self.attr_uses |= info.attr_uses
+            self.name_loads |= info.name_loads
+            for target in info.imports.values():
+                if target[0] == "module":
+                    self.imported_modules.add(target[1])
+                else:
+                    _, source, symbol = target
+                    self.imported_symbols.add((source, symbol))
+                    # ``from pkg import sub`` may pull in a submodule.
+                    self.imported_modules.add(f"{source}.{symbol}")
+            for source in info.star_imports:
+                self.star_importers.setdefault(source, []).append(info)
+
+    # -- symbol resolution ---------------------------------------------
+    def resolve_symbol(self, module: str, name: str, *,
+                       _depth: int = 0) -> str:
+        """Follow re-export chains to the defining module's qualname.
+
+        Returns a dotted ``module.name`` string; when the chain leaves
+        the indexed project the last known location is returned, so
+        external targets still compare stably.
+        """
+        if _depth > 8 or module not in self.modules:
+            return f"{module}.{name}" if module else name
+        info = self.modules[module]
+        if name in info.defs:
+            return f"{module}.{name}"
+        target = info.imports.get(name)
+        if target is not None:
+            if target[0] == "module":
+                return target[1]
+            _, source, symbol = target
+            return self.resolve_symbol(source, symbol, _depth=_depth + 1)
+        for source in info.star_imports:
+            resolved = self.resolve_symbol(source, name,
+                                           _depth=_depth + 1)
+            source_info = self.modules.get(source)
+            if source_info is not None and (
+                    name in source_info.defs
+                    or name in source_info.imports):
+                return resolved
+        return f"{module}.{name}" if module else name
+
+    def function_node(self, qualname: str):
+        """(ModuleInfo, FunctionDef) for ``module.func`` or
+        ``module.Class.method`` qualnames, else ``None``."""
+        parts = qualname.split(".")
+        for split in range(len(parts) - 1, 0, -1):
+            module = ".".join(parts[:split])
+            info = self.modules.get(module)
+            if info is None:
+                continue
+            rest = parts[split:]
+            if len(rest) == 1:
+                node = info.defs.get(rest[0])
+                if isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                    return info, node
+                if isinstance(node, ast.ClassDef):
+                    init = info.classes[rest[0]].get("__init__")
+                    if init is not None:
+                        return info, init
+                return None
+            if len(rest) == 2 and rest[0] in info.classes:
+                node = info.classes[rest[0]].get(rest[1])
+                if node is not None:
+                    return info, node
+        return None
+
+    def all_functions(self):
+        """Yield (qualname, ModuleInfo, FunctionDef) across the project."""
+        for name, info in self.modules.items():
+            for def_name, node in info.defs.items():
+                if isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                    yield f"{name}.{def_name}", info, node
+            for class_name, methods in info.classes.items():
+                for method_name, node in methods.items():
+                    yield (f"{name}.{class_name}.{method_name}", info,
+                           node)

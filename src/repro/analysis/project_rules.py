@@ -1,0 +1,622 @@
+"""Whole-program rules: leases, determinism taint, exports, deprecation.
+
+These run in the runner's second phase over a
+:class:`~repro.analysis.project.ProjectIndex` and
+:class:`~repro.analysis.callgraph.CallGraph`; findings feed the same
+suppression/baseline pipeline as the per-file rules.
+
+RPR007 is the flow-sensitive one: for every function it builds a CFG
+(:mod:`repro.analysis.cfg`) and runs a forward may-analysis
+(:mod:`repro.analysis.dataflow`) whose facts are *live leases* —
+``slot = pool.acquire()``, ``hit = cache.match(...)``,
+``store.retain(name)``.  A lease dies when it is released/freed, when
+ownership visibly escapes (returned, raised, stored into an object or
+container, passed to another call, aliased, captured by a nested
+function), or along the ``True`` edge of an ``if handle is None:`` test
+(a ``None`` miss leased nothing).  A fact that still reaches the
+function exit — in particular via an *exception edge*, which never
+carries the acquiring statement's own gen — is a lease some path never
+pays back.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .base import ProjectChecker, dotted_name, register
+from .callgraph import CallGraph
+from .cfg import CFGNode, build_cfg
+from .checkers import _NP_RANDOM_OK, _WALL_CLOCK
+from .dataflow import DataflowProblem, Facts, solve
+from .findings import Finding
+from .project import ModuleInfo, ProjectIndex
+
+__all__ = ["DeadExportChecker", "DeprecatedReachChecker",
+           "DeterminismTaintChecker", "ResourceLeakChecker"]
+
+#: Method names whose assigned result opens a lease.
+_ACQUIRE_METHODS = {"acquire"}
+#: ``match`` only counts against cache-like receivers (never ``re``).
+_MATCH_RECEIVER_HINTS = ("cache", "prefix")
+#: Method/function names that close a lease on their first argument.
+_RELEASE_NAMES = {"release", "free"}
+
+
+# ----------------------------------------------------------------------
+# Shared AST helpers
+# ----------------------------------------------------------------------
+
+def _expr_roots(stmt: ast.stmt) -> list[ast.AST]:
+    """Subtrees a CFG node actually evaluates (compound headers only).
+
+    Nested function/class definitions return their whole subtree so a
+    lease captured as a free variable counts as escaping.
+    """
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in stmt.items]
+    if isinstance(stmt, ast.Match):
+        return [stmt.subject]
+    if isinstance(stmt, ast.ExceptHandler):
+        return [stmt.type] if stmt.type is not None else []
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                         ast.ClassDef)):
+        return [stmt]
+    return [stmt]
+
+
+def _parents(roots: list[ast.AST]) -> dict[ast.AST, ast.AST]:
+    table: dict[ast.AST, ast.AST] = {}
+    for root in roots:
+        for node in ast.walk(root):
+            for child in ast.iter_child_nodes(node):
+                table[child] = node
+    return table
+
+
+def _is_release_call(call: ast.Call) -> bool:
+    name = dotted_name(call.func)
+    return bool(name) and name.split(".")[-1] in _RELEASE_NAMES
+
+
+def _release_target(call: ast.Call) -> str | None:
+    """Name released by ``x.release(handle)`` / ``free(handle)``."""
+    if not _is_release_call(call) or not call.args:
+        return None
+    first = call.args[0]
+    return first.id if isinstance(first, ast.Name) else None
+
+
+def _lease_guard(stmt: ast.stmt | None) -> tuple[str, str] | None:
+    """``(handle, edge kind that proves no lease)`` for guard tests.
+
+    Recognized guards, all idioms of conditional acquisition:
+
+    * ``if x is None:`` — no lease down the ``true`` edge
+    * ``if x is not None:`` — no lease down the ``false`` edge
+    * ``if x:`` / ``if x.hit:`` — truthiness of the handle or one of its
+      attributes signals a real lease; the falsy edge carries none
+      (a cache miss returns an empty match that retained nothing)
+    * ``not <any of the above>`` — edges swap
+    """
+    if not isinstance(stmt, (ast.If, ast.While)):
+        return None
+    test = stmt.test
+    negated = False
+    if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+        test = test.operand
+        negated = True
+
+    def edge(no_lease_on_true: bool) -> tuple[str, str]:
+        if negated:
+            no_lease_on_true = not no_lease_on_true
+        return name, "true" if no_lease_on_true else "false"
+
+    if isinstance(test, ast.Compare) and len(test.ops) == 1 \
+            and isinstance(test.left, ast.Name) \
+            and isinstance(test.comparators[0], ast.Constant) \
+            and test.comparators[0].value is None:
+        name = test.left.id
+        if isinstance(test.ops[0], ast.Is):
+            return edge(True)
+        if isinstance(test.ops[0], ast.IsNot):
+            return edge(False)
+        return None
+    name = None
+    if isinstance(test, ast.Name):
+        name = test.id
+    elif isinstance(test, ast.Attribute) \
+            and isinstance(test.value, ast.Name):
+        name = test.value.id
+    if name is not None:
+        return edge(False)
+    return None
+
+
+# ----------------------------------------------------------------------
+# RPR007 — resource leaks (must-release-on-all-paths)
+# ----------------------------------------------------------------------
+
+class _LeaseEffects:
+    """Per-statement gen/kill summary for the lease analysis."""
+
+    def __init__(self, stmt: ast.stmt | None):
+        #: handle name opened by this statement, if any
+        self.gen: str | None = None
+        self.released: set[str] = set()
+        self.escaped: set[str] = set()
+        self.assigned: set[str] = set()
+        if stmt is None:
+            return
+        self.gen = self._acquired_handle(stmt)
+        roots = _expr_roots(stmt)
+        parents = _parents(roots)
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    self.assigned.add(target.id)
+        for root in roots:
+            for node in ast.walk(root):
+                if not (isinstance(node, ast.Name)
+                        and isinstance(node.ctx, ast.Load)):
+                    continue
+                self._classify_use(node, parents)
+
+    @staticmethod
+    def _acquired_handle(stmt: ast.stmt) -> str | None:
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                and isinstance(stmt.targets[0], ast.Name) \
+                and isinstance(stmt.value, ast.Call):
+            method = dotted_name(stmt.value.func)
+            if not method:
+                return None
+            last = method.split(".")[-1]
+            receiver = method.rsplit(".", 1)[0] if "." in method else ""
+            if last in _ACQUIRE_METHODS and receiver:
+                return stmt.targets[0].id
+            if last == "match" and any(h in receiver.lower()
+                                       for h in _MATCH_RECEIVER_HINTS):
+                return stmt.targets[0].id
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+            call = stmt.value
+            method = dotted_name(call.func)
+            if method and method.split(".")[-1] == "retain" \
+                    and "." in method and len(call.args) == 1 \
+                    and isinstance(call.args[0], ast.Name):
+                return call.args[0].id
+        return None
+
+    def _classify_use(self, node: ast.Name,
+                      parents: dict[ast.AST, ast.AST]) -> None:
+        """Decide whether one Load of a name releases/escapes a lease."""
+        parent = parents.get(node)
+        # Field reads and method receivers keep the lease alive:
+        # ``match.slot``, ``slot.touch()``.
+        if isinstance(parent, ast.Attribute) and parent.value is node:
+            return
+        # Index reads keep it alive: ``pool.k[slot]``, ``slot[i]``.
+        if isinstance(parent, ast.Subscript):
+            return
+        # Truthiness / comparisons are pure reads.
+        if isinstance(parent, (ast.Compare, ast.BoolOp, ast.UnaryOp)):
+            return
+        if isinstance(parent, (ast.If, ast.While)):
+            return  # bare ``if handle:`` test
+        if isinstance(parent, ast.Call):
+            if parent.func is node:
+                self.escaped.add(node.id)
+                return
+            if _release_target(parent) == node.id:
+                self.released.add(node.id)
+                return
+            self.escaped.add(node.id)  # handed to another callable
+            return
+        if isinstance(parent, ast.keyword):
+            self.escaped.add(node.id)  # keyword argument to a call
+            return
+        # Everything else — return/raise/yield values, assignment into
+        # names/attributes/containers, tuple displays, f-strings,
+        # arithmetic, nested-function free variables — transfers or
+        # aliases ownership; stop tracking rather than false-positive.
+        self.escaped.add(node.id)
+
+
+class _LeaseProblem(DataflowProblem):
+    """Forward may-analysis; facts are ``(handle, acquiring node index)``."""
+
+    direction = "forward"
+    may = True
+
+    def __init__(self, effects: dict[CFGNode, _LeaseEffects]):
+        self.effects = effects
+        #: (handle, node index) overwritten while live, for reporting
+        self.overwrites: set[tuple[str, int, int]] = set()
+
+    def transfer(self, node: CFGNode, facts: Facts
+                 ) -> tuple[Facts, Facts]:
+        effect = self.effects.get(node)
+        if effect is None:
+            return facts, facts
+        killed = effect.released | effect.escaped
+        survivors = frozenset(f for f in facts if f[0] not in killed)
+        out_exc = survivors
+        # A reassignment of a still-live handle drops the old lease.
+        clobbered = effect.assigned - effect.released - effect.escaped
+        if effect.gen is not None:
+            clobbered |= {effect.gen}
+        for fact in survivors:
+            if fact[0] in clobbered and fact[1] != node.index:
+                self.overwrites.add((fact[0], fact[1], node.index))
+        out = frozenset(f for f in survivors if f[0] not in clobbered)
+        if effect.gen is not None:
+            out |= {(effect.gen, node.index)}
+        return out, out_exc
+
+    def edge_facts(self, node: CFGNode, kind: str, out_normal: Facts,
+                   out_exception: Facts) -> Facts:
+        if kind == "exception":
+            return out_exception
+        guard = _lease_guard(node.stmt)
+        if guard is not None and kind == guard[1]:
+            return frozenset(f for f in out_normal if f[0] != guard[0])
+        return out_normal
+
+
+@register
+class ResourceLeakChecker(ProjectChecker):
+    """RPR007: a lease not released/transferred on every path."""
+
+    rule = "RPR007"
+    severity = "error"
+    title = "resource leak: acquire/retain without release on some path"
+    exclude_scopes = ("tests",)
+
+    def check_project(self, index: ProjectIndex,
+                      graph: CallGraph) -> list[Finding]:
+        findings: list[Finding] = []
+        for qualname, info, func in index.all_functions():
+            if info.path not in index.linted_paths:
+                continue
+            findings.extend(self._check_function(qualname, info, func))
+        return findings
+
+    def _check_function(self, qualname: str, info: ModuleInfo,
+                        func) -> list[Finding]:
+        cfg = build_cfg(func)
+        effects = {node: _LeaseEffects(node.stmt)
+                   for node in cfg.statement_nodes()}
+        if not any(e.gen for e in effects.values()):
+            return []  # nothing acquired here; skip the fixpoint
+        problem = _LeaseProblem(effects)
+        solution = solve(cfg, problem)
+        by_index = {node.index: node for node in cfg.nodes}
+        short = qualname.rsplit(".", 1)[-1]
+
+        findings: list[Finding] = []
+        # Leases that still reach exit; note whether only exceptions
+        # carry them there, which makes for a sharper message.
+        leaked: dict[tuple[str, int], set[str]] = {}
+        for pred, kind in cfg.exit.preds:
+            _, out, out_exc = solution[pred]
+            for fact in problem.edge_facts(pred, kind, out, out_exc):
+                leaked.setdefault(fact, set()).add(kind)
+        for (handle, site_index), kinds in sorted(leaked.items()):
+            site = by_index[site_index]
+            via = "on an exception path" if kinds <= {"exception"} \
+                else "on some path"
+            findings.append(Finding(
+                path=info.path, line=site.line, col=1, rule=self.rule,
+                severity=self.severity,
+                message=f"lease '{handle}' acquired in {short}() is "
+                        f"never released {via} to function exit"))
+        for handle, site_index, clobber_index in sorted(
+                problem.overwrites):
+            site = by_index[site_index]
+            findings.append(Finding(
+                path=info.path, line=by_index[clobber_index].line, col=1,
+                rule=self.rule, severity=self.severity,
+                message=f"lease '{handle}' acquired in {short}() at "
+                        f"line {site.line} is overwritten while still "
+                        f"held"))
+        return findings
+
+
+# ----------------------------------------------------------------------
+# RPR008 — determinism taint across the call graph
+# ----------------------------------------------------------------------
+
+def _is_direct_source(name: str) -> bool:
+    """Call target reads wall clock or an unseeded global RNG."""
+    if not name:
+        return False
+    if name in _WALL_CLOCK:
+        return True
+    parts = name.split(".")
+    if len(parts) >= 3 and parts[-2] == "random" \
+            and parts[0] in ("np", "numpy") \
+            and parts[-1] not in _NP_RANDOM_OK:
+        return True
+    return len(parts) == 2 and parts[0] == "random" \
+        and parts[1] not in ("Random", "SystemRandom")
+
+
+def _function_returns_taint(func, call_targets: dict[int, str],
+                            tainted: set[str]) -> bool:
+    """Intraprocedural: does any return value derive from a source?
+
+    Local propagation is a simple assignment fixpoint — flow over the
+    statement list, not the CFG; over-approximation is fine because the
+    consumer is a may-analysis.
+    """
+    def expr_tainted(expr: ast.AST, local: set[str]) -> bool:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if _is_direct_source(name):
+                    return True
+                callee = call_targets.get(id(node))
+                if callee is not None and callee in tainted:
+                    return True
+            elif isinstance(node, ast.Name) \
+                    and isinstance(node.ctx, ast.Load) \
+                    and node.id in local:
+                return True
+        return False
+
+    local: set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for node in ast.walk(func):
+            if isinstance(node, (ast.Assign, ast.AnnAssign,
+                                 ast.AugAssign)) and node.value is not None:
+                if not expr_tainted(node.value, local):
+                    continue
+                targets = node.targets if isinstance(node, ast.Assign) \
+                    else [node.target]
+                for target in targets:
+                    for sub in ast.walk(target):
+                        if isinstance(sub, ast.Name) \
+                                and sub.id not in local:
+                            local.add(sub.id)
+                            changed = True
+    for node in ast.walk(func):
+        if isinstance(node, ast.Return) and node.value is not None:
+            if expr_tainted(node.value, local):
+                return True
+    return False
+
+
+@register
+class DeterminismTaintChecker(ProjectChecker):
+    """RPR008: nondeterminism flowing into simulation code cross-function."""
+
+    rule = "RPR008"
+    severity = "error"
+    title = "wall-clock/unseeded-RNG value flows into simulation code"
+    scopes = ("serving", "parallel", "frontier")
+    exclude_scopes = ("tests",)
+
+    def check_project(self, index: ProjectIndex,
+                      graph: CallGraph) -> list[Finding]:
+        # Map every resolved call node to its callee, per caller.
+        call_targets: dict[str, dict[int, str]] = {}
+        for site in graph.sites:
+            call_targets.setdefault(site.caller, {})[id(site.node)] \
+                = site.callee
+
+        tainted: set[str] = set()
+        functions = list(index.all_functions())
+        changed = True
+        while changed:
+            changed = False
+            for qualname, _info, func in functions:
+                if qualname in tainted:
+                    continue
+                if _function_returns_taint(
+                        func, call_targets.get(qualname, {}), tainted):
+                    tainted.add(qualname)
+                    changed = True
+
+        discarded = self._discarded_calls(index)
+        findings: list[Finding] = []
+        for site in graph.sites:
+            if site.callee not in tainted:
+                continue
+            if site.path not in index.linted_paths:
+                continue
+            if id(site.node) in discarded:
+                continue  # bare statement call: result never used
+            short = site.callee.rsplit(".", 1)[-1]
+            findings.append(Finding(
+                path=site.path, line=site.line, col=1, rule=self.rule,
+                severity=self.severity,
+                message=f"{short}() returns a wall-clock/unseeded-RNG "
+                        f"derived value ({site.callee}); simulation "
+                        f"code must stay on the virtual clock and "
+                        f"seeded generators"))
+        return findings
+
+    @staticmethod
+    def _discarded_calls(index: ProjectIndex) -> set[int]:
+        out: set[int] = set()
+        for info in index.modules.values():
+            for node in ast.walk(info.tree):
+                if isinstance(node, ast.Expr) \
+                        and isinstance(node.value, ast.Call):
+                    out.add(id(node.value))
+        return out
+
+
+# ----------------------------------------------------------------------
+# RPR009 — dead exports
+# ----------------------------------------------------------------------
+
+@register
+class DeadExportChecker(ProjectChecker):
+    """RPR009: ``__all__`` names nothing in the project ever uses.
+
+    A name survives when anything imports it, reads it as a module
+    attribute, reads it as a bare name anywhere (which covers both
+    star-import consumers and the re-export plumbing behind a package's
+    curated public surface), or imports it as a submodule.  What is
+    left is pure dead weight: defined, exported, referenced by nothing.
+    """
+
+    rule = "RPR009"
+    severity = "warning"
+    title = "dead export: __all__ name never imported or referenced"
+
+    def check_project(self, index: ProjectIndex,
+                      graph: CallGraph) -> list[Finding]:
+        findings: list[Finding] = []
+        for info in index.modules.values():
+            if info.path not in index.linted_paths or not info.exports:
+                continue
+            for name, line in sorted(info.exports.items()):
+                if name.startswith("__") and name.endswith("__"):
+                    continue  # __version__ etc.: metadata by convention
+                if (info.name, name) in index.imported_symbols:
+                    continue
+                if f"{info.name}.{name}" in index.imported_modules:
+                    continue  # exported submodule, imported as a module
+                if name in index.attr_uses:
+                    continue  # coarse: any mod.name access anywhere
+                if name in index.name_loads:
+                    continue  # referenced somewhere, incl. star readers
+                findings.append(Finding(
+                    path=info.path, line=line, col=1, rule=self.rule,
+                    severity=self.severity,
+                    message=f"'{name}' is exported via __all__ but "
+                            f"never imported or referenced anywhere "
+                            f"in the project"))
+        return findings
+
+
+# ----------------------------------------------------------------------
+# RPR010 — deprecated-API reachability
+# ----------------------------------------------------------------------
+
+def _warn_category(call: ast.Call) -> str:
+    """Warning category name of a ``warnings.warn``-style call."""
+    name = dotted_name(call.func)
+    if not name or name.split(".")[-1] != "warn":
+        return ""
+    category: ast.AST | None = None
+    if len(call.args) >= 2:
+        category = call.args[1]
+    for keyword in call.keywords:
+        if keyword.arg == "category":
+            category = keyword.value
+    if isinstance(category, ast.Name):
+        return category.id
+    if isinstance(category, ast.Attribute):
+        return category.attr
+    return ""
+
+
+def _body_statements(func) -> list[ast.stmt]:
+    body = list(func.body)
+    if body and isinstance(body[0], ast.Expr) \
+            and isinstance(body[0].value, ast.Constant) \
+            and isinstance(body[0].value.value, str):
+        body = body[1:]  # docstring
+    return body
+
+
+def _unconditional_shim(func) -> bool:
+    """First real statement warns with ``DeprecationWarning``."""
+    body = _body_statements(func)
+    return bool(body) and isinstance(body[0], ast.Expr) \
+        and isinstance(body[0].value, ast.Call) \
+        and _warn_category(body[0].value) == "DeprecationWarning"
+
+
+def _deprecated_kwargs(func) -> set[str]:
+    """Kwargs guarded by ``if <param> is not None: warn(..., Deprecation)``.
+
+    Matches both plain ``__init__`` parameters and dataclass
+    ``__post_init__`` field checks (``if self.field is not None:``).
+    """
+    out: set[str] = set()
+    for stmt in _body_statements(func):
+        if not isinstance(stmt, ast.If):
+            continue
+        test = stmt.test
+        if not (isinstance(test, ast.Compare) and len(test.ops) == 1
+                and isinstance(test.ops[0], ast.IsNot)
+                and isinstance(test.comparators[0], ast.Constant)
+                and test.comparators[0].value is None):
+            continue
+        left = test.left
+        name = None
+        if isinstance(left, ast.Name):
+            name = left.id
+        elif isinstance(left, ast.Attribute) \
+                and isinstance(left.value, ast.Name) \
+                and left.value.id == "self":
+            name = left.attr
+        if name is None:
+            continue
+        warns = any(isinstance(node, ast.Call)
+                    and _warn_category(node) == "DeprecationWarning"
+                    for sub in stmt.body for node in ast.walk(sub))
+        if warns:
+            out.add(name)
+    return out
+
+
+@register
+class DeprecatedReachChecker(ProjectChecker):
+    """RPR010: call sites that reach a DeprecationWarning shim."""
+
+    rule = "RPR010"
+    severity = "warning"
+    title = "call site reaches a deprecated API shim"
+    exclude_scopes = ("tests",)
+
+    def check_project(self, index: ProjectIndex,
+                      graph: CallGraph) -> list[Finding]:
+        shims: dict[str, str] = {}        # qualname -> defining path
+        kwarg_shims: dict[str, tuple[str, set[str]]] = {}
+        for qualname, info, func in index.all_functions():
+            if func.name in ("__init__", "__post_init__"):
+                kwargs = _deprecated_kwargs(func)
+                class_qual = qualname.rsplit(".", 1)[0]
+                if kwargs:
+                    kwarg_shims[class_qual] = (info.path, kwargs)
+                if _unconditional_shim(func):
+                    shims[class_qual] = info.path
+            elif _unconditional_shim(func):
+                shims[qualname] = info.path
+
+        findings: list[Finding] = []
+        for qualname, defining_path in shims.items():
+            short = qualname.rsplit(".", 1)[-1]
+            for site in graph.sites_by_callee.get(qualname, []):
+                if site.path == defining_path:
+                    continue
+                findings.append(Finding(
+                    path=site.path, line=site.line, col=1,
+                    rule=self.rule, severity=self.severity,
+                    message=f"call reaches deprecated shim {short}() "
+                            f"({qualname}); migrate to its "
+                            f"replacement"))
+        for class_qual, (defining_path, kwargs) in kwarg_shims.items():
+            short = class_qual.rsplit(".", 1)[-1]
+            for site in graph.sites_by_callee.get(class_qual, []):
+                if site.path == defining_path:
+                    continue
+                passed = {k.arg for k in site.node.keywords
+                          if k.arg is not None} & kwargs
+                for kwarg in sorted(passed):
+                    findings.append(Finding(
+                        path=site.path, line=site.line, col=1,
+                        rule=self.rule, severity=self.severity,
+                        message=f"deprecated keyword '{kwarg}' passed "
+                                f"to {short}(); it only feeds a "
+                                f"DeprecationWarning shim"))
+        return findings

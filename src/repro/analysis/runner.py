@@ -1,12 +1,21 @@
-"""The lint driver: discover files, walk each AST once, report.
+"""The lint driver: per-file walk, whole-program phase, report.
 
-One :class:`_Walker` traversal per file dispatches every node to every
-enabled checker (``visit_<NodeType>`` going down, ``leave_<NodeType>``
-coming back up), maintaining the function/class scope stacks checkers
-read from :class:`~repro.analysis.base.FileContext`.  Suppression
-comments and the baseline are applied afterwards, and unused
-suppressions are themselves reported (RPR000) so ignores cannot
-outlive the finding they excused.
+Phase one is unchanged from the original design: one :class:`_Walker`
+traversal per file dispatches every node to every enabled per-file
+checker (``visit_<NodeType>`` going down, ``leave_<NodeType>`` coming
+back up), maintaining the function/class scope stacks checkers read
+from :class:`~repro.analysis.base.FileContext`.
+
+Phase two runs the :class:`~repro.analysis.base.ProjectChecker` rules
+(RPR007+) over a :class:`~repro.analysis.project.ProjectIndex` built
+from the *same* parsed trees — the content-hash AST cache guarantees
+each file is parsed exactly once per process, and caches phase-one
+results so re-lints of unchanged files skip the walk entirely
+(``use_cache=False`` is the ``--no-cache`` escape hatch).
+
+Suppression comments apply to findings from both phases, per file, and
+unused suppressions are themselves reported (RPR000) so ignores cannot
+outlive the finding they excused.  The baseline splits last.
 
 Exit-code contract (shared with the ``repro lint`` CLI):
 0 = clean (or everything baselined), 1 = fresh findings, 2 = usage or
@@ -17,11 +26,13 @@ from __future__ import annotations
 
 import ast
 import json
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from .base import Checker, FileContext
 from .findings import Finding
+from .project import GLOBAL_CACHE, ASTCache, ProjectIndex
 from .suppressions import collect_suppressions
 
 __all__ = ["LintReport", "lint_paths", "lint_source", "iter_python_files",
@@ -39,6 +50,7 @@ class LintReport:
     baselined: list[Finding] = field(default_factory=list)
     checked_files: int = 0
     rules: list[str] = field(default_factory=list)
+    elapsed_s: float = 0.0
 
     @property
     def exit_code(self) -> int:
@@ -85,39 +97,88 @@ class _Walker:
             self.walk(child)
 
 
-def lint_source(source: str, path: str,
-                checker_classes: list[type[Checker]]) -> list[Finding]:
-    """Lint one file's text; returns findings after suppressions."""
-    parts = tuple(Path(path).parts)
-    active = [cls() for cls in checker_classes
-              if cls.applies_to(parts)]
-    ctx = FileContext(path=path, parts=parts, source=source,
-                      lines=source.splitlines())
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        return [Finding(path=path, line=exc.lineno or 1,
-                        col=(exc.offset or 0) + 1, rule=META_RULE,
-                        severity="error",
-                        message=f"file does not parse: {exc.msg}")]
+def _parse_error_finding(path: str, exc: SyntaxError) -> Finding:
+    return Finding(path=path, line=exc.lineno or 1,
+                   col=(exc.offset or 0) + 1, rule=META_RULE,
+                   severity="error",
+                   message=f"file does not parse: {exc.msg}")
+
+
+def _walk_file(tree: ast.Module, source: str, path: str,
+               parts: tuple[str, ...],
+               checker_classes: list[type[Checker]]) -> list[Finding]:
+    """Phase one on one already-parsed file: raw findings, unsuppressed."""
+    active = [cls() for cls in checker_classes]
     if not active:
         return []
+    ctx = FileContext(path=path, parts=parts, source=source,
+                      lines=source.splitlines())
     for checker in active:
         checker.begin_module(ctx, tree)
     _Walker(active, ctx).walk(tree)
     for checker in active:
         checker.end_module(ctx)
+    return ctx.findings
 
+
+def _apply_suppressions(source: str, findings: list[Finding],
+                        path: str) -> list[Finding]:
+    """Drop suppressed findings; report the ignores nothing used."""
     sheet = collect_suppressions(source)
-    kept = [f for f in ctx.findings
-            if not sheet.suppresses(f.line, f.rule)]
+    kept = [f for f in findings if not sheet.suppresses(f.line, f.rule)]
     for line, rule in sheet.unused():
         kept.append(Finding(
             path=path, line=line, col=1, rule=META_RULE,
             severity="warning",
             message=f"unused suppression: ignore[{rule}] matches no "
                     f"finding on this line"))
-    return sorted(kept)
+    return kept
+
+
+def _run_project_phase(index: ProjectIndex,
+                       project_classes: list[type[Checker]],
+                       restrict: set[str] | None) -> list[Finding]:
+    """Phase two: whole-program rules, filtered to linted paths/scopes."""
+    from .callgraph import build_call_graph
+    graph = build_call_graph(index)
+    findings: list[Finding] = []
+    for cls in project_classes:
+        for finding in cls().check_project(index, graph):
+            if finding.path not in index.linted_paths:
+                continue
+            if restrict is not None and finding.path not in restrict:
+                continue
+            if not cls.applies_to(tuple(Path(finding.path).parts)):
+                continue
+            findings.append(finding)
+    return findings
+
+
+def lint_source(source: str, path: str,
+                checker_classes: list[type[Checker]]) -> list[Finding]:
+    """Lint one file's text; returns findings after suppressions.
+
+    Project rules run against an index of this single file, so
+    cross-file evidence (imports from elsewhere, external call sites)
+    is out of reach — use :func:`lint_paths` for the real two-phase
+    analysis.  Per-file rules behave exactly as they always have.
+    """
+    parts = tuple(Path(path).parts)
+    per_file = [cls for cls in checker_classes
+                if not cls.project and cls.applies_to(parts)]
+    project_classes = [cls for cls in checker_classes if cls.project]
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [_parse_error_finding(path, exc)]
+    if not per_file and not project_classes:
+        return []
+    findings = _walk_file(tree, source, path, parts, per_file)
+    if project_classes:
+        index = ProjectIndex.build([(path, source)], use_cache=False)
+        findings.extend(_run_project_phase(index, project_classes,
+                                           restrict=None))
+    return sorted(_apply_suppressions(source, findings, path))
 
 
 def iter_python_files(paths: list[str | Path]) -> list[Path]:
@@ -137,19 +198,102 @@ def iter_python_files(paths: list[str | Path]) -> list[Path]:
 
 def lint_paths(paths: list[str | Path],
                checker_classes: list[type[Checker]],
-               baseline: set[str] | None = None) -> LintReport:
-    """Lint files/directories; apply ``baseline`` fingerprints if given."""
+               baseline: set[str] | None = None, *,
+               usage_roots: list[str | Path] | None = None,
+               restrict_to: set[str] | None = None,
+               use_cache: bool = True,
+               cache: ASTCache | None = None) -> LintReport:
+    """Lint files/directories; apply ``baseline`` fingerprints if given.
+
+    ``usage_roots`` name extra files/directories (tests, examples) that
+    are *indexed* for the project phase — their imports count as usage
+    for RPR009, their call sites resolve in the call graph — but are
+    never themselves linted.  ``restrict_to`` (the ``--changed`` mode)
+    limits reported findings and the per-file walk to the given paths
+    while still indexing the full tree, so whole-program rules keep
+    their evidence.  ``use_cache=False`` bypasses the process-global
+    AST/result cache.
+    """
     from .baseline import split_baselined
+    cache = cache or GLOBAL_CACHE
+    started = time.perf_counter()
     report = LintReport(rules=[cls.rule for cls in checker_classes])
-    for path in iter_python_files(paths):
-        source = path.read_text(encoding="utf-8")
-        findings = lint_source(source, str(path), checker_classes)
-        report.findings.extend(findings)
+    per_file = [cls for cls in checker_classes if not cls.project]
+    project_classes = [cls for cls in checker_classes if cls.project]
+    rules_key = tuple(cls.rule for cls in per_file)
+
+    sources: list[tuple[str, str]] = []
+    linted: list[tuple[str, str]] = []
+    raw: list[Finding] = []
+    unparseable: set[str] = set()
+    for file_path in iter_python_files(paths):
+        key = str(file_path)
+        source = file_path.read_text(encoding="utf-8")
+        sources.append((key, source))
+        if restrict_to is not None and key not in restrict_to:
+            continue
         report.checked_files += 1
+        linted.append((key, source))
+        parts = tuple(file_path.parts)
+        applicable = [cls for cls in per_file if cls.applies_to(parts)]
+        digest = cache.key(source)
+        cached = cache.results_for(digest, key, rules_key) \
+            if use_cache else None
+        if cached is not None:
+            raw.extend(cached)
+            continue
+        try:
+            tree = cache.parse(source, key, use_cache=use_cache)
+        except SyntaxError as exc:
+            # Not result-cached: the unparseable set must be rebuilt on
+            # every run, and re-deriving one finding is trivial anyway.
+            unparseable.add(key)
+            raw.append(_parse_error_finding(key, exc))
+            continue
+        findings = _walk_file(tree, source, key, parts, applicable)
+        if use_cache:
+            cache.store_results(digest, key, rules_key, findings)
+        raw.extend(findings)
+
+    if project_classes:
+        seen = {key for key, _ in sources}
+        usage: list[tuple[str, str]] = []
+        for file_path in iter_python_files(usage_roots or []):
+            key = str(file_path)
+            if key in seen:
+                continue
+            seen.add(key)
+            usage.append((key, file_path.read_text(encoding="utf-8")))
+        index = ProjectIndex.build(sources, usage, cache,
+                                   use_cache=use_cache)
+        if restrict_to is None:
+            restrict = None
+        else:
+            restrict = {key for key, _ in linted}
+        raw.extend(_run_project_phase(index, project_classes, restrict))
+
+    by_path: dict[str, list[Finding]] = {}
+    for finding in raw:
+        by_path.setdefault(finding.path, []).append(finding)
+    for key, source in linted:
+        parts = tuple(Path(key).parts)
+        touched = any(cls.applies_to(parts) for cls in checker_classes)
+        if key in unparseable or not touched:
+            # Parse failures keep just their RPR000 finding; files no
+            # rule applies to keep stray ignore comments unflagged (the
+            # historical single-phase behavior in both cases).
+            report.findings.extend(by_path.pop(key, []))
+            continue
+        report.findings.extend(_apply_suppressions(
+            source, by_path.pop(key, []), key))
+    for leftovers in by_path.values():
+        report.findings.extend(leftovers)
+
     report.findings.sort()
     if baseline:
         report.findings, report.baselined = split_baselined(
             report.findings, baseline)
+    report.elapsed_s = time.perf_counter() - started
     return report
 
 
@@ -171,6 +315,7 @@ def format_json(report: LintReport) -> str:
         "version": 1,
         "rules": report.rules,
         "checked_files": report.checked_files,
+        "elapsed_s": round(report.elapsed_s, 4),
         "findings": [f.to_dict() for f in report.findings],
         "baselined": [f.to_dict() for f in report.baselined],
         "exit_code": report.exit_code,

@@ -368,6 +368,66 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0 if completed == len(requests) else 1
 
 
+def _lint_usage_roots(paths: list[str]) -> list[str]:
+    """Auto-detect usage-only roots (tests/examples) next to lint roots.
+
+    Whole-program rules need to see *usage* beyond the linted tree —
+    an ``__all__`` name is not dead if a test imports it — so for each
+    directory root we index conventional sibling directories without
+    linting them.  Only directories that actually exist are returned.
+    """
+    from pathlib import Path
+    roots: list[str] = []
+    seen: set[str] = set()
+    for raw in paths:
+        base = Path(raw)
+        if not base.is_dir():
+            continue
+        for parent in (base.parent, base):
+            for name in ("tests", "examples", "benchmarks"):
+                candidate = parent / name
+                key = str(candidate)
+                if candidate.is_dir() and key not in seen \
+                        and key not in {str(Path(p)) for p in paths}:
+                    seen.add(key)
+                    roots.append(key)
+    return roots
+
+
+def _changed_files(ref: str, paths: list[str]) -> set[str]:
+    """Paths under ``paths`` whose content differs from git ``ref``."""
+    import subprocess
+    from pathlib import Path
+    top = Path(subprocess.run(
+        ["git", "rev-parse", "--show-toplevel"],
+        capture_output=True, text=True, check=True).stdout.strip())
+    proc = subprocess.run(
+        ["git", "diff", "--name-only", "-z", ref, "--"],
+        capture_output=True, text=True, check=True)
+    changed = {name for name in proc.stdout.split("\0") if name}
+    # Untracked files count as changed too — they are new code.
+    proc = subprocess.run(
+        ["git", "ls-files", "--others", "--exclude-standard", "-z"],
+        capture_output=True, text=True, check=True)
+    changed |= {name for name in proc.stdout.split("\0") if name}
+    roots = [Path(p).resolve() for p in paths]
+    out: set[str] = set()
+    for name in changed:
+        if not name.endswith(".py"):
+            continue
+        absolute = (top / name).resolve()
+        for root in roots:
+            if absolute == root or root in absolute.parents:
+                # Spell the path the way iter_python_files will.
+                try:
+                    spelled = absolute.relative_to(Path.cwd())
+                except ValueError:
+                    spelled = absolute
+                out.add(str(spelled))
+                break
+    return out
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from .analysis import (all_checkers, format_json, format_text,
                            lint_paths, load_baseline, resolve_rules,
@@ -375,12 +435,26 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     if args.list_rules:
         for rule, cls in sorted(all_checkers().items()):
             scope = ", ".join(cls.scopes) if cls.scopes else "all files"
-            print(f"{rule} [{cls.severity:>7}] {cls.title} — {scope}")
+            kind = "project" if cls.project else "file"
+            print(f"{rule} [{cls.severity:>7}] [{kind:>7}] "
+                  f"{cls.title} — {scope}")
         return 0
+    import subprocess
     try:
         checkers = resolve_rules(args.rules)
         baseline = load_baseline(args.baseline) if args.baseline else None
-        report = lint_paths(args.paths, checkers, baseline=baseline)
+        restrict = None
+        if args.changed is not None:
+            ref = args.changed or "HEAD"
+            restrict = _changed_files(ref, args.paths)
+        report = lint_paths(
+            args.paths, checkers, baseline=baseline,
+            usage_roots=_lint_usage_roots(args.paths),
+            restrict_to=restrict, use_cache=not args.no_cache)
+    except subprocess.CalledProcessError as exc:
+        print(f"error: git diff against {args.changed or 'HEAD'} "
+              f"failed: {exc.stderr or exc}", file=sys.stderr)
+        return 2
     except (ValueError, KeyError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -1073,6 +1147,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also write the report to this file (CI artifact)")
     p.add_argument("--list-rules", action="store_true",
                    help="print the rule catalog and exit")
+    p.add_argument("--changed", nargs="?", const="HEAD", default=None,
+                   metavar="REF",
+                   help="lint only files modified vs a git ref (default "
+                        "HEAD); the whole tree is still indexed so "
+                        "project rules keep their evidence")
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the content-hash AST/result cache")
     return parser
 
 

@@ -28,5 +28,7 @@ Entry point: ``python -m repro fault-bench`` (docs/RESILIENCE.md).
 from .model import (FAULT_KINDS, FaultConfig, FaultEvent, FaultModel,
                     RetryPolicy)
 
-__all__ = ["FAULT_KINDS", "FaultConfig", "FaultEvent", "FaultModel",
-           "RetryPolicy"]
+# FAULT_KINDS is public API for downstream configs even though nothing
+# in-tree reads it by name yet.
+__all__ = ["FAULT_KINDS", "FaultConfig",  # repro: ignore[RPR009]
+           "FaultEvent", "FaultModel", "RetryPolicy"]

@@ -13,7 +13,9 @@ from .graphs import GraphBatch, GraphEncoder
 from .materials import (Material, MaterialsDataset, band_gap_class,
                         generate_dataset)
 
-__all__ = [
+# embed_formulas is the documented entry point for ad-hoc embedding
+# runs; keep it exported even with no in-tree caller.
+__all__ = [  # repro: ignore[RPR009]
     "EmbeddingDiagnostics", "bootstrap_mae_ci", "cosine_similarities",
     "diagnose_embeddings",
     "kmeans", "pairwise_distances", "pca", "silhouette_score", "tsne",

@@ -8,7 +8,9 @@ from .rocprof import (KernelAggregation, KernelRecord, aggregate_step,
 from .smi import SmiSample, SmiTrace, sample_run
 from .tracer import StepTrace, TraceEvent, build_step_trace
 
-__all__ = [
+# GEMM_COMPONENTS is part of the public kernel-classification contract
+# (external notebooks key breakdowns off it).
+__all__ = [  # repro: ignore[RPR009]
     "GEMM_COMPONENTS", "LayerBreakdown", "layer_breakdown",
     "KernelAggregation", "KernelRecord", "aggregate_step", "classify_kernel",
     "lanes_to_chrome_trace", "save_chrome_trace", "save_lanes_chrome_trace",

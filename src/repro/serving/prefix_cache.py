@@ -348,9 +348,16 @@ class RadixPrefixCache:
         store_slot = None
         if self.store is not None:
             store_slot = self.store.acquire()
-            k_parts, v_parts = source.export_span(slot, pos,
-                                                  pos + self.block_tokens)
-            self.store.import_span(store_slot, 0, k_parts, v_parts)
+            try:
+                k_parts, v_parts = source.export_span(
+                    slot, pos, pos + self.block_tokens)
+                self.store.import_span(store_slot, 0, k_parts, v_parts)
+            except Exception:
+                # The slot has not escaped into a _RadixNode yet, so
+                # nothing else can ever release it — do it here or the
+                # pool slot is orphaned for the cache's lifetime.
+                self.store.release(store_slot)
+                raise
         child = _RadixNode(key, parent, parent.depth + 1, store_slot,
                            owner, next(self._clock))
         parent.children[key] = child
