@@ -37,6 +37,14 @@ Commands
     serving cluster (availability, retries, failover).  With
     ``--mtbf inf`` both sweeps reproduce the fault-free baselines
     exactly.  See docs/RESILIENCE.md.
+``overload-bench`` (alias ``overload``)
+    Sweep offered load (as multiples of the estimated saturation rate)
+    x shed policy over the cluster simulator with per-request
+    deadlines: goodput, deadline attainment, shed/timeout counts, and
+    router-queue growth.  Writes ``BENCH_overload.json``.  The shared
+    ``--deadline``/``--shed-policy``/``--offered-load`` flags put the
+    same overload knobs on ``serve-bench``, ``cluster-bench``, and
+    ``fault-bench``.  See docs/RESILIENCE.md.
 ``lint``
     Run the domain-specific static-analysis pass (``repro.analysis``)
     over source trees: virtual-clock purity, autograd contract, units
@@ -58,6 +66,8 @@ __all__ = ["build_parser", "main"]
 #: canonical tuples, so a drift here fails loudly at run time.
 _LB_CHOICES = ("round-robin", "least-outstanding", "jskq", "cache-aware")
 _HANDOFF_CHOICES = ("least-outstanding", "round-robin", "session-affinity")
+#: Mirrors ``repro.serving.SHED_POLICIES`` (same lazy-import rationale).
+_SHED_CHOICES = ("none", "bounded-queue", "deadline-estimate", "priority")
 
 
 def _model_parent(default: str, help_text: str) -> argparse.ArgumentParser:
@@ -134,6 +144,69 @@ def _artifact_parent(trace: str | None = None, smoke: str | None = None,
         parent.add_argument("--json", default="", metavar="PATH",
                             help=json_flag)
     return parent
+
+
+def _overload_parent() -> argparse.ArgumentParser:
+    """Shared overload-protection flags (deadlines / shedding / load).
+
+    Every serving-facing bench accepts the same knobs so an overload
+    scenario reproduces identically whether it is driven through
+    ``serve-bench``, ``cluster-bench``, ``fault-bench``, or the
+    dedicated ``overload-bench`` sweep.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--deadline", type=float, default=0.0,
+                        help="per-request deadline in seconds after "
+                             "arrival; expired requests are cancelled "
+                             "at every lifecycle stage (0 = none)")
+    parent.add_argument("--shed-policy", default="none",
+                        choices=list(_SHED_CHOICES),
+                        help="admission-control policy (default: none)")
+    parent.add_argument("--max-queue-depth", type=int, default=64,
+                        help="queue cap for bounded-queue / priority "
+                             "shedding (default: 64)")
+    parent.add_argument("--offered-load", type=float, default=0.0,
+                        help="offered load as a multiple of the "
+                             "estimated saturation rate; overrides "
+                             "--rate when > 0")
+    parent.add_argument("--breaker", action="store_true",
+                        help="enable the per-replica circuit breaker "
+                             "(trips on detections and stragglers)")
+    return parent
+
+
+def _overload_config(args: argparse.Namespace):
+    """Build the :class:`OverloadConfig` the shared flags describe."""
+    from .serving import OverloadConfig
+    kwargs = {}
+    if args.shed_policy in ("bounded-queue", "priority"):
+        kwargs["max_queue_depth"] = args.max_queue_depth
+    return OverloadConfig(shed_policy=args.shed_policy,
+                          breaker=args.breaker, **kwargs)
+
+
+def _saturation_rate(model_config, *, servers: int = 1,
+                     prompt_range: tuple[int, int] = (64, 256),
+                     output_range: tuple[int, int] = (16, 64),
+                     batch: int = 8) -> float:
+    """Requests/s the fleet sustains at the mean workload shape.
+
+    The same optimistic arithmetic as the deadline-estimate shedder
+    (serial prefills, decode amortized over a full batch), inverted:
+    one request's mean service time is ``prefill(mean_prompt) +
+    mean_out x step/batch``, and the fleet clears ``servers`` of those
+    concurrently.  Offered load is expressed against this rate, so
+    ``--offered-load 1.5`` means 1.5x saturation by construction.
+    """
+    from .serving import DecodeCostModel
+    cost = DecodeCostModel(model_config)
+    mean_prompt = sum(prompt_range) / 2
+    mean_out = sum(output_range) / 2
+    mean_ctx = mean_prompt + mean_out / 2
+    step_s = cost.decode_step_time(batch, int(batch * mean_ctx))
+    service_s = cost.prefill_time(int(mean_prompt)) \
+        + mean_out * step_s / batch
+    return servers / service_s
 
 
 def _cmd_observations(args: argparse.Namespace) -> int:
@@ -268,11 +341,18 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             raise ValueError(f"--prefill-chunk must be >= 0 (0 disables "
                              f"chunking): {args.prefill_chunk}")
         model = GPTModel(config, seed=args.seed)
+        deadline = args.deadline if args.deadline > 0 else None
+        rate = args.rate
+        if args.offered_load > 0:
+            rate = args.offered_load * _saturation_rate(
+                config, prompt_range=(4, 24), output_range=(4, 16),
+                batch=args.batch_size)
         if num_sessions > 0:
             session_workload = SessionWorkloadConfig(
-                num_sessions=num_sessions, arrival_rate=args.rate,
+                num_sessions=num_sessions, arrival_rate=rate,
                 num_system_prompts=args.system_prompts,
-                think_time_s=args.think_time, seed=args.seed)
+                think_time_s=args.think_time, deadline_s=deadline,
+                seed=args.seed)
 
             def make_requests():
                 # Fresh Request objects per run: the scheduler mutates
@@ -280,7 +360,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
                 return synthesize_sessions(session_workload, config)
         else:
             workload = WorkloadConfig(num_requests=num_requests,
-                                      arrival_rate=args.rate,
+                                      arrival_rate=rate,
+                                      deadline_s=deadline,
                                       seed=args.seed)
 
             def make_requests():
@@ -293,7 +374,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             num_blocks=args.pool_blocks if args.pool_blocks > 0 else None,
             prefill_chunk_tokens=args.prefill_chunk
             if args.prefill_chunk > 0 else None,
-            prefix_cache=cache_on, prefix_cache_blocks=args.cache_blocks)
+            prefix_cache=cache_on, prefix_cache_blocks=args.cache_blocks,
+            overload=_overload_config(args))
         requests = make_requests()
         engine = ServingEngine(model, serving)
         result = engine.run(requests)
@@ -301,14 +383,25 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     pool = engine.pool
+    load_note = f" ({args.offered_load:g}x saturation)" \
+        if args.offered_load > 0 else ""
+    overload_note = ""
+    if deadline is not None or args.shed_policy != "none":
+        parts = []
+        if deadline is not None:
+            parts.append(f"deadline {deadline * 1e3:.0f} ms")
+        if args.shed_policy != "none":
+            parts.append(f"shed {args.shed_policy}")
+        overload_note = ", " + ", ".join(parts)
     if num_sessions > 0:
         print(f"workload: {len(requests)} requests across {num_sessions} "
               f"sessions ({args.system_prompts} shared system prompts), "
-              f"rate {args.rate:.0f}/s, seed {args.seed}, "
-              f"policy {args.policy}")
+              f"rate {rate:.0f}/s{load_note}, seed {args.seed}, "
+              f"policy {args.policy}{overload_note}")
     else:
         print(f"workload: {len(requests)} requests, Poisson rate "
-              f"{args.rate:.0f}/s, seed {args.seed}, policy {args.policy}")
+              f"{rate:.0f}/s{load_note}, seed {args.seed}, "
+              f"policy {args.policy}{overload_note}")
     print(f"pool: {pool.num_blocks} blocks x {pool.block_size} tokens "
           f"({pool.bytes_per_token} B/token)"
           + (f", prefix cache {args.cache_blocks} blocks" if cache_on
@@ -328,7 +421,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
                 if args.pool_blocks > 0 else None,
                 prefill_chunk_tokens=args.prefill_chunk
                 if args.prefill_chunk > 0 else None,
-                prefix_cache=False)).run(make_requests())
+                prefix_cache=False,
+                overload=_overload_config(args))).run(make_requests())
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
@@ -364,8 +458,10 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     if args.json:
         path = result.save_json(args.json)
         print(f"wrote results JSON: {path}")
-    completed = result.metrics.num_requests
-    return 0 if completed == len(requests) else 1
+    # No silent drop: every request completed, was shed, or timed out.
+    accounted = result.metrics.num_requests + result.metrics.shed \
+        + result.metrics.timed_out
+    return 0 if accounted == len(requests) else 1
 
 
 def _lint_usage_roots(paths: list[str]) -> list[str]:
@@ -587,6 +683,12 @@ def _cmd_cluster_bench(args: argparse.Namespace) -> int:
             node_counts = node_counts[:1]
             policies = ["round-robin"] if args.policy == "all" \
                 else [args.policy]
+        deadline = args.deadline if args.deadline > 0 else None
+        rate = args.rate
+        if args.offered_load > 0:
+            rate = args.offered_load * _saturation_rate(
+                config, servers=node_counts[0]
+                * (layout.replicas_per_node - layout.decode_replicas))
         if args.sessions > 0:
             # Paper-sized contexts get fleet-realistic prompt lengths;
             # tiny test models fall back to the config defaults, which
@@ -596,8 +698,8 @@ def _cmd_cluster_bench(args: argparse.Namespace) -> int:
                        "output_len_range": (16, 64)} \
                 if config.max_seq_len >= 512 else {}
             session_workload = SessionWorkloadConfig(
-                num_sessions=args.sessions, arrival_rate=args.rate,
-                seed=args.seed, **lengths)
+                num_sessions=args.sessions, arrival_rate=rate,
+                deadline_s=deadline, seed=args.seed, **lengths)
 
             def make_requests():
                 # Fresh Request objects per run: the scheduler mutates
@@ -605,16 +707,17 @@ def _cmd_cluster_bench(args: argparse.Namespace) -> int:
                 return synthesize_sessions(session_workload, config)
         else:
             workload = WorkloadConfig(
-                num_requests=num_requests, arrival_rate=args.rate,
+                num_requests=num_requests, arrival_rate=rate,
                 prompt_len_range=(64, 256), output_len_range=(16, 64),
                 prompt_skew=args.prompt_skew, heavy_multiplier=8,
-                seed=args.seed)
+                deadline_s=deadline, seed=args.seed)
 
             def make_requests():
                 return synthesize_workload(workload, config)
 
         serving = ServingConfig(prefix_cache=args.prefix_cache,
-                                prefix_cache_blocks=args.cache_blocks)
+                                prefix_cache_blocks=args.cache_blocks,
+                                overload=_overload_config(args))
         transfer = KVTransferConfig(granularity=args.granularity)
 
         def routing_for(policy):
@@ -648,14 +751,25 @@ def _cmd_cluster_bench(args: argparse.Namespace) -> int:
         if args.prompt_skew else ""
     cache_note = f", prefix cache {args.cache_blocks} blocks" \
         if args.prefix_cache else ""
+    load_note = f" ({args.offered_load:g}x saturation)" \
+        if args.offered_load > 0 else ""
+    overload_note = ""
+    if deadline is not None or args.shed_policy != "none":
+        parts = []
+        if deadline is not None:
+            parts.append(f"deadline {deadline * 1e3:.0f} ms")
+        if args.shed_policy != "none":
+            parts.append(f"shed {args.shed_policy}")
+        overload_note = ", " + ", ".join(parts)
     if args.sessions > 0:
         print(f"workload: {num_requests} requests across {args.sessions} "
-              f"sessions, rate {args.rate:.0f}/s, seed "
-              f"{args.seed}{cache_note}")
+              f"sessions, rate {rate:.0f}/s{load_note}, seed "
+              f"{args.seed}{cache_note}{overload_note}")
     else:
         print(f"workload: {num_requests} requests, Poisson rate "
-              f"{args.rate:.0f}/s, prompts 64-256 tokens{skew_note}, "
-              f"seed {args.seed}{cache_note}")
+              f"{rate:.0f}/s{load_note}, prompts 64-256 "
+              f"tokens{skew_note}, seed "
+              f"{args.seed}{cache_note}{overload_note}")
     if args.disagg:
         print(f"cluster: {config.label()}, {node_counts[0]} node(s), base "
               f"layout {layout.label}, policy {policies[0]}, handoff "
@@ -690,9 +804,11 @@ def _cmd_cluster_bench(args: argparse.Namespace) -> int:
         path.write_text(json.dumps(
             _json_safe([res.to_dict() for res in results]), indent=2))
         print(f"\nwrote results JSON: {path}")
-    completed = all(r.metrics.num_requests == num_requests
+    # No silent drop: completed + shed + timed out covers every request.
+    accounted = all(r.metrics.num_requests + r.metrics.shed
+                    + r.metrics.timed_out == num_requests
                     for r in results)
-    return 0 if completed else 1
+    return 0 if accounted else 1
 
 
 def _parse_mtbf_list(spec: str, flag: str) -> list[float]:
@@ -782,7 +898,7 @@ def _fault_bench_serving(args) -> tuple[list[dict], int]:
     from .models import preset
     from .serving import (LB_POLICIES, ClusterConfig, ClusterSimulator,
                           FailoverConfig, ReplicaLayout, RoutingConfig,
-                          WorkloadConfig, format_cluster,
+                          ServingConfig, WorkloadConfig, format_cluster,
                           synthesize_workload)
 
     config = preset(args.model)
@@ -793,17 +909,35 @@ def _fault_bench_serving(args) -> tuple[list[dict], int]:
         detection_s=args.detection, recovery_s=args.recovery,
         retry=RetryPolicy(max_retries=args.max_retries, seed=args.seed),
         slo_ttft_s=args.slo if args.slo > 0 else None)
+    deadline = args.deadline if args.deadline > 0 else None
+    rate = args.rate
+    if args.offered_load > 0:
+        rate = args.offered_load * _saturation_rate(
+            config, servers=args.nodes
+            * (layout.replicas_per_node - layout.decode_replicas))
+    serving = ServingConfig(overload=_overload_config(args))
     workload = WorkloadConfig(
-        num_requests=num_requests, arrival_rate=args.rate,
+        num_requests=num_requests, arrival_rate=rate,
         prompt_len_range=(64, 256), output_len_range=(16, 64),
-        prompt_skew=args.prompt_skew, heavy_multiplier=8, seed=args.seed)
+        prompt_skew=args.prompt_skew, heavy_multiplier=8,
+        deadline_s=deadline, seed=args.seed)
     slo_note = f", SLO TTFT {args.slo * 1e3:.0f} ms" if args.slo > 0 \
         else ""
+    overload_note = ""
+    if deadline is not None or args.shed_policy != "none" or args.breaker:
+        parts = []
+        if deadline is not None:
+            parts.append(f"deadline {deadline * 1e3:.0f} ms")
+        if args.shed_policy != "none":
+            parts.append(f"shed {args.shed_policy}")
+        if args.breaker:
+            parts.append("breaker on")
+        overload_note = ", " + ", ".join(parts)
     print(f"serving: {config.label()}, {args.nodes} node(s) of "
-          f"{layout.label}, {num_requests} requests at {args.rate:.0f}/s, "
+          f"{layout.label}, {num_requests} requests at {rate:.0f}/s, "
           f"detection {args.detection * 1e3:.0f} ms, recovery "
           f"{args.recovery:.2f} s, max {args.max_retries} "
-          f"retries{slo_note}")
+          f"retries{slo_note}{overload_note}")
     rows, last_faulted = [], None
     for mtbf in _parse_mtbf_list(args.serve_mtbf, "--serve-mtbf"):
         faults = FaultConfig(mtbf_hours=mtbf, seed=args.seed + 1)
@@ -814,7 +948,7 @@ def _fault_bench_serving(args) -> tuple[list[dict], int]:
                 routing=RoutingConfig(
                     policy=policy,
                     max_outstanding_per_replica=args.max_outstanding),
-                faults=faults, failover=failover))
+                serving=serving, faults=faults, failover=failover))
             # Fresh Request objects per run: the scheduler mutates them,
             # and the seed reproduces the identical workload.
             result = sim.run(synthesize_workload(workload, config))
@@ -829,6 +963,11 @@ def _fault_bench_serving(args) -> tuple[list[dict], int]:
                 "tokens_per_s": result.metrics.tokens_per_s,
                 "ttft_p95_s": result.metrics.ttft_p95,
                 "latency_p99_s": result.metrics.latency_p99,
+                "shed": result.metrics.shed,
+                "timed_out": result.metrics.timed_out,
+                "goodput_tokens_per_s":
+                    result.metrics.goodput_tokens_per_s,
+                "breaker_trips": result.breaker_trips,
             })
             if result.fault_events:
                 last_faulted = result
@@ -930,6 +1069,172 @@ def _cmd_fault_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_overload_bench(args: argparse.Namespace) -> int:
+    from .models import preset
+    from .serving import (ClusterConfig, ClusterSimulator, OverloadConfig,
+                          ReplicaLayout, RoutingConfig, ServingConfig,
+                          WorkloadConfig, synthesize_workload)
+    try:
+        config = preset(args.model)
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    num_requests = min(args.requests, 48) if args.smoke else args.requests
+    try:
+        layout = ReplicaLayout.from_label(args.layout)
+        loads = sorted(float(t) for t in args.loads.split(",") if t.strip())
+        if not loads or any(load <= 0 for load in loads):
+            raise ValueError(f"--loads must name positive saturation "
+                             f"multiples: {args.loads!r}")
+        policies = [t.strip() for t in args.policies.split(",") if t.strip()]
+        if not policies:
+            raise ValueError(f"--policies must name at least one policy: "
+                             f"{args.policies!r}")
+        for policy in policies:
+            if policy not in _SHED_CHOICES:
+                raise ValueError(f"--policies entries must be one of "
+                                 f"{_SHED_CHOICES}: {policy!r}")
+        servers = args.nodes * (layout.replicas_per_node
+                                - layout.decode_replicas)
+        saturation = _saturation_rate(config, servers=servers)
+        # Default deadline: 10x the mean per-request service time, so an
+        # unloaded fleet attains ~everything while a saturated queue
+        # pushes the tail past it — the regime where shedding can win.
+        deadline = args.deadline if args.deadline > 0 \
+            else 10 * servers / saturation
+        overloads = {
+            policy: OverloadConfig(
+                shed_policy=policy, breaker=args.breaker,
+                **({"max_queue_depth": args.max_queue_depth}
+                   if policy in ("bounded-queue", "priority") else {}))
+            for policy in policies}
+        results: dict[tuple[float, str], object] = {}
+        for load in loads:
+            workload = WorkloadConfig(
+                num_requests=num_requests,
+                arrival_rate=load * saturation,
+                prompt_len_range=(64, 256), output_len_range=(16, 64),
+                deadline_s=deadline, seed=args.seed)
+            for policy in policies:
+                sim = ClusterSimulator(config, ClusterConfig(
+                    num_nodes=args.nodes, layout=layout,
+                    routing=RoutingConfig(
+                        max_outstanding_per_replica=args.max_outstanding),
+                    serving=ServingConfig(overload=overloads[policy])))
+                # Fresh Request objects per run: the scheduler mutates
+                # them, and the seed reproduces the identical workload.
+                results[(load, policy)] = sim.run(
+                    synthesize_workload(workload, config))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"overload sweep: {config.label()}, {args.nodes} node(s) of "
+          f"{layout.label}, {num_requests} requests/run, deadline "
+          f"{deadline * 1e3:.1f} ms, saturation {saturation:.0f} req/s, "
+          f"seed {args.seed}")
+    header = ["load", "policy", "done", "shed", "t/o", "goodput",
+              "attain", "max-queue"]
+    rows = []
+    for (load, policy), res in results.items():
+        m = res.metrics
+        rows.append([f"{load:g}x", policy, str(m.num_requests),
+                     str(m.shed), str(m.timed_out),
+                     f"{m.goodput_tokens_per_s:.0f}",
+                     f"{m.deadline_attainment:.1%}",
+                     str(res.max_queue_depth)])
+    widths = [max(len(r[i]) for r in [header, *rows])
+              for i in range(len(header))]
+    print()
+    print("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    # Acceptance verdicts.  (1) deadline-estimate shedding preserves
+    # goodput past saturation: doomed requests are refused at arrival
+    # instead of poisoning the queue for attainable ones.  Both
+    # policies see the identical offered workload, so goodput is
+    # compared over a common horizon (the slower policy's makespan) —
+    # dividing each by its own makespan would penalize the policy that
+    # salvages tail requests the other lets expire.  (2) without
+    # shedding the router queue grows with offered load; with a queue
+    # policy it stays bounded by the cap.
+    failures = 0
+    heavy = [load for load in loads if load >= 1.5]
+    if heavy and "none" in policies and "deadline-estimate" in policies:
+        print()
+        for load in heavy:
+            pair = [results[(load, "none")],
+                    results[(load, "deadline-estimate")]]
+            horizon = max(res.metrics.makespan for res in pair)
+            base, shed = (sum(r.output_len for r in res.records
+                              if r.met_deadline) / horizon
+                          for res in pair)
+            ok = shed >= base
+            failures += not ok
+            print(f"verdict: deadline-estimate goodput {shed:.0f} "
+                  f"{'>=' if ok else '<'} none {base:.0f} tok/s at "
+                  f"{load:g}x saturation (common horizon "
+                  f"{horizon * 1e3:.0f} ms) "
+                  f"[{'pass' if ok else 'FAIL'}]")
+    if len(loads) >= 2 and "none" in policies:
+        depths = [results[(load, "none")].max_queue_depth
+                  for load in loads]
+        ok = depths[-1] > depths[0]
+        failures += not ok
+        print(f"verdict: no-shed max queue depth grows with load "
+              f"({' -> '.join(str(d) for d in depths)}) "
+              f"[{'pass' if ok else 'FAIL'}]")
+        for policy in ("bounded-queue", "priority"):
+            if policy not in policies:
+                continue
+            cap = args.max_queue_depth
+            worst = max(results[(load, policy)].max_queue_depth
+                        for load in loads)
+            ok = worst <= cap
+            failures += not ok
+            print(f"verdict: {policy} max queue depth {worst} "
+                  f"{'<=' if ok else '>'} cap {cap} "
+                  f"[{'pass' if ok else 'FAIL'}]")
+    if args.trace:
+        last = results[(loads[-1], policies[-1])]
+        path = last.save_trace(args.trace)
+        print(f"\nwrote Chrome trace ({loads[-1]:g}x, {policies[-1]}): "
+              f"{path}")
+    if args.output:
+        import json
+        from pathlib import Path
+        path = Path(args.output)
+        if path.suffix != ".json":
+            path = path.with_suffix(".json")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(_json_safe({
+            "model": config.label(), "nodes": args.nodes,
+            "layout": layout.label, "requests": num_requests,
+            "deadline_s": deadline,
+            "saturation_rate_per_s": saturation,
+            "seed": args.seed,
+            "sweep": [{
+                "offered_load": load, "shed_policy": policy,
+                "completed": res.metrics.num_requests,
+                "shed": res.metrics.shed,
+                "timed_out": res.metrics.timed_out,
+                "degraded": res.metrics.degraded,
+                "goodput_tokens_per_s":
+                    res.metrics.goodput_tokens_per_s,
+                "tokens_per_s": res.metrics.tokens_per_s,
+                "deadline_attainment": res.metrics.deadline_attainment,
+                "availability": res.availability,
+                "max_queue_depth": res.max_queue_depth,
+                "breaker_trips": res.breaker_trips,
+            } for (load, policy), res in results.items()],
+        }), indent=2))
+        print(f"\nwrote results JSON: {path}")
+    # No silent drop anywhere in the sweep.
+    accounted = all(res.metrics.num_requests + res.metrics.shed
+                    + res.metrics.timed_out == num_requests
+                    for res in results.values())
+    return 0 if accounted and not failures else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -975,6 +1280,7 @@ def build_parser() -> argparse.ArgumentParser:
                 trace="export the request-lifecycle Chrome trace here",
                 smoke="tiny run for CI (<= 24 requests, <= 4 sessions)",
                 json_flag="write the serving result as a JSON artifact"),
+            _overload_parent(),
         ],
         help="continuous-batching serving benchmark + Frontier "
              "extrapolation")
@@ -1041,6 +1347,7 @@ def build_parser() -> argparse.ArgumentParser:
                 trace="export the request-lifecycle Chrome trace here",
                 smoke="tiny 2-node sweep for CI (<= 48 requests)",
                 json_flag="write the sweep results as a JSON artifact"),
+            _overload_parent(),
         ],
         help="multi-node serving cluster sweep with traced request "
              "lifecycles")
@@ -1082,6 +1389,7 @@ def build_parser() -> argparse.ArgumentParser:
                 smoke="tiny sweeps for CI (<= 48 requests, <= 300 "
                       "steps)",
                 json_flag="write sweep results as a JSON artifact"),
+            _overload_parent(),
         ],
         help="seeded fault-injection sweeps: checkpoint-restart goodput "
              "(training) and failover availability (serving)")
@@ -1130,6 +1438,47 @@ def build_parser() -> argparse.ArgumentParser:
                         "(0 = count bare completion)")
 
     p = sub.add_parser(
+        "overload-bench", aliases=["overload"],
+        parents=[
+            _model_parent("llama-1.7b-hf-52k",
+                          "model preset to serve (timing-level)"),
+            _artifact_parent(
+                trace="export the heaviest run's Chrome trace here "
+                      "(shed/timeout/queue-depth lanes)",
+                smoke="tiny sweep for CI (<= 48 requests per run)"),
+        ],
+        help="offered-load x shed-policy sweep: goodput, deadline "
+             "attainment, and queue growth under overload")
+    p.add_argument("--requests", type=int, default=200,
+                   help="Poisson-arrival requests per run (default: 200)")
+    p.add_argument("--nodes", type=int, default=1,
+                   help="Frontier nodes in the serving cluster")
+    p.add_argument("--layout", default="2xTP1",
+                   help="replica layout per node, e.g. 2xTP1 or 8xTP1; "
+                        "the small default keeps the fleet saturable so "
+                        "the policy differences are visible")
+    p.add_argument("--loads", default="0.5,1.0,1.5,2.0",
+                   help="comma-separated offered loads as multiples of "
+                        "the estimated saturation rate")
+    p.add_argument("--policies",
+                   default="none,bounded-queue,deadline-estimate,priority",
+                   help="comma-separated shed policies to sweep")
+    p.add_argument("--deadline", type=float, default=0.0,
+                   help="per-request deadline in seconds (0 = 10x the "
+                        "mean service time)")
+    p.add_argument("--max-queue-depth", type=int, default=16,
+                   help="queue cap for bounded-queue / priority "
+                        "(default: 16)")
+    p.add_argument("--max-outstanding", type=int, default=4,
+                   help="per-replica admission backpressure cap; kept "
+                        "low so overload queues at the router "
+                        "(default: 4)")
+    p.add_argument("--breaker", action="store_true",
+                   help="enable the per-replica circuit breaker")
+    p.add_argument("--output", "-o", default="BENCH_overload.json",
+                   help="write the sweep JSON here ('' disables)")
+
+    p = sub.add_parser(
         "lint",
         help="domain-specific static analysis (rule catalog: "
              "docs/ANALYSIS.md)")
@@ -1174,6 +1523,8 @@ _COMMANDS = {
     "fault-bench": _cmd_fault_bench,
     "faults": _cmd_fault_bench,  # alias, same convention as serve
     "fault": _cmd_fault_bench,  # bare-prefix alias, like serve/cluster
+    "overload-bench": _cmd_overload_bench,
+    "overload": _cmd_overload_bench,  # alias, same convention as serve
     "lint": _cmd_lint,
 }
 

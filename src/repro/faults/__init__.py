@@ -25,10 +25,11 @@ Consumers
 Entry point: ``python -m repro fault-bench`` (docs/RESILIENCE.md).
 """
 
-from .model import (FAULT_KINDS, FaultConfig, FaultEvent, FaultModel,
-                    RetryPolicy)
+from .model import (BREAKER_STATES, CircuitBreaker, FAULT_KINDS, FaultConfig,
+                    FaultEvent, FaultModel, RetryPolicy)
 
-# FAULT_KINDS is public API for downstream configs even though nothing
-# in-tree reads it by name yet.
-__all__ = ["FAULT_KINDS", "FaultConfig",  # repro: ignore[RPR009]
+# FAULT_KINDS / BREAKER_STATES are public API for downstream configs
+# even though nothing in-tree reads them by name yet.
+__all__ = ["BREAKER_STATES", "CircuitBreaker",  # repro: ignore[RPR009]
+           "FAULT_KINDS", "FaultConfig",
            "FaultEvent", "FaultModel", "RetryPolicy"]

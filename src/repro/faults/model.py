@@ -35,11 +35,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["FAULT_KINDS", "FaultConfig", "FaultEvent", "FaultModel",
-           "RetryPolicy"]
+__all__ = ["BREAKER_STATES", "CircuitBreaker", "FAULT_KINDS", "FaultConfig",
+           "FaultEvent", "FaultModel", "RetryPolicy"]
 
 #: Event kinds a :class:`FaultModel` can emit.
 FAULT_KINDS = ("failure", "straggler", "link-degrade")
+
+#: States a :class:`CircuitBreaker` moves through.
+BREAKER_STATES = ("closed", "open", "half-open")
 
 _SECONDS_PER_HOUR = 3600.0
 
@@ -244,6 +247,79 @@ class FaultModel:
         if horizon_s <= 0:
             raise ValueError(f"horizon_s must be > 0: {horizon_s}")
         return self.events_until(horizon_s)
+
+
+class CircuitBreaker:
+    """Deterministic per-component circuit breaker over fault signals.
+
+    The classic three-state machine, driven entirely by the virtual
+    clock (no RNG, no wall time):
+
+    * **closed** — traffic flows normally.
+    * **open** — a fault signal (health-check detection, straggler
+      onset) called :meth:`trip`; the component is avoided until
+      ``now + hold_s + cooldown_s``, where ``hold_s`` covers the known
+      fault window (straggler duration, remaining recovery time).
+    * **half-open** — the hold elapsed; up to ``probes`` trial requests
+      may be admitted (:meth:`note_admit`).  The first probe that
+      completes (:meth:`note_success`) closes the breaker; a trip while
+      half-open re-opens it.
+
+    Transitions out of ``open`` are lazy: :meth:`available` performs the
+    open→half-open move the first time it is queried past the hold, so
+    the breaker needs no timer wheel of its own.
+    """
+
+    def __init__(self, cooldown_s: float, probes: int) -> None:
+        if not cooldown_s > 0:
+            raise ValueError(f"cooldown_s must be > 0: {cooldown_s}")
+        if probes < 1:
+            raise ValueError(f"probes must be >= 1: {probes}")
+        self.cooldown_s = cooldown_s
+        self.probes = probes
+        self.state = "closed"
+        self.trips = 0
+        self._until = 0.0
+        self._probes_used = 0
+
+    def trip(self, now: float, hold_s: float = 0.0) -> None:
+        """Open the breaker until ``now + hold_s + cooldown_s``."""
+        self.state = "open"
+        self.trips += 1
+        self._until = now + max(0.0, hold_s) + self.cooldown_s
+        self._probes_used = 0
+
+    @property
+    def ready_at(self) -> float:
+        """Instant an open breaker will half-open (0.0 when not open).
+
+        Lets an event-driven router schedule a wake-up instead of
+        polling :meth:`available` — without it, a fleet whose breakers
+        are all open would have no next event to advance the clock to.
+        """
+        return self._until if self.state == "open" else 0.0
+
+    def available(self, now: float) -> bool:
+        """May the router send this component a request at ``now``?"""
+        if self.state == "open" and now >= self._until:
+            self.state = "half-open"
+            self._probes_used = 0
+        if self.state == "closed":
+            return True
+        if self.state == "half-open":
+            return self._probes_used < self.probes
+        return False
+
+    def note_admit(self, now: float) -> None:
+        """Record an admission; consumes a probe while half-open."""
+        if self.state == "half-open":
+            self._probes_used += 1
+
+    def note_success(self) -> None:
+        """A request completed; a half-open breaker closes."""
+        if self.state == "half-open":
+            self.state = "closed"
+            self._probes_used = 0
 
 
 @dataclass(frozen=True)

@@ -46,7 +46,15 @@ _CATEGORY_CNAME = {"fail": "terrible", "failed": "terrible",
                    # markers stay neutral
                    "kv-transfer": "thread_state_iowait",
                    "kv-requeue": "bad",
-                   "handoff": "grey", "kv-import": "grey"}
+                   "handoff": "grey", "kv-import": "grey",
+                   # overload lifecycle: shed and timed-out requests are
+                   # lost work (flagged like faults), degradation is a
+                   # warning, breaker transitions track the fault colors
+                   "shed": "terrible", "timeout": "terrible",
+                   "degrade": "bad",
+                   "breaker-open": "terrible",
+                   "breaker-half-open": "bad",
+                   "breaker-close": "good"}
 
 
 def to_chrome_trace(trace: StepTrace, process_name: str = "GCD 0") -> dict:
@@ -97,7 +105,10 @@ def lanes_to_chrome_trace(
     Every process becomes one Perfetto track group (pid) and every lane a
     thread (tid) inside it.  Zero-duration events are emitted as instant
     events (``ph: "i"``) so lifecycle markers render as ticks instead of
-    invisible slivers.
+    invisible slivers.  Events in the ``"counter"`` category become
+    Chrome counter events (``ph: "C"``) — the sampled value rides the
+    :class:`TraceEvent` ``duration_s`` slot — so time series like the
+    cluster queue depth render as a stacked area chart.
     """
     events: list[dict] = []
     for pid, (process, lanes) in enumerate(processes.items()):
@@ -107,6 +118,16 @@ def lanes_to_chrome_trace(
             events.append({"name": "thread_name", "ph": "M", "pid": pid,
                            "tid": tid, "args": {"name": lane}})
             for event in sorted(lane_events, key=lambda e: e.start_s):
+                if event.category == "counter":
+                    events.append({
+                        "name": event.name,
+                        "ph": "C",
+                        "pid": pid,
+                        "tid": tid,
+                        "ts": event.start_s * 1e6,
+                        "args": {"value": event.duration_s},
+                    })
+                    continue
                 entry = {
                     "name": event.name,
                     "cat": event.category,

@@ -8,7 +8,8 @@ simulator that routes Poisson traffic across replica layouts with
 traced request lifecycles — optionally under seeded replica failures
 with health-check detection and request failover (``repro.faults``).
 Entry points: ``python -m repro serve-bench``, ``python -m repro
-cluster-bench``, and ``python -m repro fault-bench``.
+cluster-bench``, ``python -m repro fault-bench``, and ``python -m
+repro overload-bench``.
 
 The curated public surface is ``__all__`` below; one
 :class:`ServingConfig` describes a replica for both the engine and the
@@ -20,8 +21,9 @@ cluster, and :class:`ServeResult` / :class:`ClusterResult` share
 from .cluster import (HANDOFF_POLICIES, LB_POLICIES, REPLICA_ROLES,
                       ClusterConfig, ClusterResult, ClusterSimulator,
                       ReplicaLayout, ReplicaServer, format_cluster)
-from .config import (TRANSFER_GRANULARITIES, FailoverConfig,
-                     KVTransferConfig, RoutingConfig, ServingConfig)
+from .config import (SHED_POLICIES, TRANSFER_GRANULARITIES, FailoverConfig,
+                     KVTransferConfig, OverloadConfig, RoutingConfig,
+                     ServingConfig)
 from .engine import DecodeCostModel, ServingEngine, run_sequential
 from .kv_pool import KVPoolConfig, PagedKVPool, kv_bytes_per_token
 from .metrics import (RequestRecord, ServingMetrics, TimelineSample,
@@ -30,8 +32,10 @@ from .perf_model import (DeploymentEstimate, FrontierServingEstimate,
                          ServingPerfModel, format_estimate)
 from .prefix_cache import CacheStats, PrefixMatch, RadixPrefixCache
 from .results import (FailedRequest, ServeResult, ServingResultBase,
-                      TransferRecord)
-from .scheduler import ContinuousBatchScheduler, Request, SchedulerConfig
+                      ShedRequest, TimedOutRequest, TransferRecord,
+                      slo_availability)
+from .scheduler import (PRIORITY_TIERS, ContinuousBatchScheduler, Request,
+                        SchedulerConfig)
 from .sessions import SessionWorkloadConfig, synthesize_sessions
 from .transfer import KVTransferModel
 from .workload import WorkloadConfig, synthesize_workload
@@ -41,6 +45,9 @@ __all__ = [
     "ServingConfig", "ServingResultBase", "ServeResult", "ClusterResult",
     # Fault injection & failover (see also repro.faults).
     "FailoverConfig", "FailedRequest",
+    # Overload protection: deadlines, shedding, graceful degradation.
+    "OverloadConfig", "SHED_POLICIES", "PRIORITY_TIERS",
+    "ShedRequest", "TimedOutRequest", "slo_availability",
     # Single-replica engine.
     "DecodeCostModel", "ServingEngine", "run_sequential",
     # Cluster simulator.

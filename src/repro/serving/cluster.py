@@ -69,7 +69,7 @@ import warnings
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 
-from ..faults.model import FaultConfig, FaultEvent, FaultModel
+from ..faults.model import CircuitBreaker, FaultConfig, FaultEvent, FaultModel
 from ..frontier.hardware import GCDSpec, NodeSpec
 from ..models.config import ModelConfig
 from ..parallel.collectives import CollectiveModel
@@ -80,8 +80,10 @@ from .config import (HANDOFF_POLICIES, LB_POLICIES, FailoverConfig,
 from .engine import DecodeCostModel, _validate_requests
 from .kv_pool import PagedKVPool
 from .metrics import RequestRecord, ServingMetrics, TimelineSample
-from .results import FailedRequest, ServingResultBase, TransferRecord
+from .results import (FailedRequest, ServingResultBase, ShedRequest,
+                      TimedOutRequest, TransferRecord, slo_availability)
 from .scheduler import (RUNNING, ContinuousBatchScheduler, Request,
+                        apply_degradation, estimate_backlog_eta,
                         next_prefill_target)
 from .transfer import KVTransferModel
 
@@ -310,6 +312,18 @@ class ReplicaServer:
         self.timeline: list[TimelineSample] = []
         self.events: list[TraceEvent] = []
         self._steps = 0
+        # -- overload state (inert defaults; `OverloadConfig()` keeps
+        #    every branch below cold so the default path stays
+        #    bit-identical) ---------------------------------------------
+        self.overload = serving.overload
+        #: set by the cluster when any request carries a deadline
+        self.deadline_checks = False
+        #: cancelled requests as ``(request, cancelled_at, stage)`` —
+        #: drained by the cluster after every step, like the outbox
+        self.timeouts: list[tuple[Request, float, str]] = []
+        self.breaker = CircuitBreaker(
+            self.overload.breaker_cooldown_s,
+            self.overload.breaker_probes) if self.overload.breaker else None
         # -- fault state (inert defaults; the fault-free path never
         #    mutates them, keeping that path bit-identical) -------------
         #: whether the replica processes work (False between fail/recover)
@@ -388,6 +402,79 @@ class ReplicaServer:
                     "cache-hit" if matched else "cache-miss", self.clock)
         return matched
 
+    def _cache_allowed(self, req: Request) -> bool:
+        """Degraded requests bypass the cache when so configured."""
+        return self.prefix_cache is not None and not (
+            req.degraded and self.overload.degrade_bypass_cache)
+
+    # -- overload hooks -------------------------------------------------
+    def _timeout(self, req: Request, stage: str) -> None:
+        self._event(req.request_id, "timeout", self.clock)
+        self.timeouts.append((req, self.clock, stage))
+
+    def _cancel_timeouts(self) -> None:
+        """Cancel expired requests, unwinding every piece of held state.
+
+        Runs at each step boundary (cancellation granularity matches the
+        simulation's time granularity): queued requests just leave the
+        queue; running ones additionally release their pool allocation
+        and prefix-cache lease.  Requests parked in the outbox already
+        freed both at handoff — only the pending shipment is dropped.
+        """
+        now = self.clock
+        sched = self.scheduler
+        expired = [r for r in sched.waiting
+                   if r.deadline_s is not None and now > r.deadline_s]
+        for req in expired:
+            sched.waiting.remove(req)
+            if self.prefix_cache is not None:
+                self._release_cache(req)
+            stage = "decode" if req.prefill_pos >= req.prompt_len \
+                else "queued"
+            self._timeout(req, stage)
+        expired = [r for r in sched.running
+                   if r.deadline_s is not None and now > r.deadline_s]
+        for req in expired:
+            sched.running.remove(req)
+            self.pool.free(req.request_id)
+            if self.prefix_cache is not None:
+                self._release_cache(req)
+            stage = "prefill" if req.prefill_pos < req.prompt_len \
+                else "decode"
+            self._timeout(req, stage)
+        if self.outbox:
+            kept = []
+            for req, ready in self.outbox:
+                if req.deadline_s is not None and now > req.deadline_s:
+                    self._timeout(req, "handoff")
+                else:
+                    kept.append((req, ready))
+            self.outbox = kept
+
+    def _breaker_event(self, transition: str, start: float) -> None:
+        self.events.append(TraceEvent(
+            f"breaker/{transition}", start, 0.0,
+            f"breaker-{transition}", "fault"))
+
+    def breaker_allows(self, now: float) -> bool:
+        """Whether the circuit breaker admits traffic at ``now``."""
+        if self.breaker is None:
+            return True
+        was_open = self.breaker.state == "open"
+        ok = self.breaker.available(now)
+        if was_open and self.breaker.state == "half-open":
+            self._breaker_event("half-open", now)
+        return ok
+
+    def breaker_admit(self, now: float) -> None:
+        if self.breaker is not None:
+            self.breaker.note_admit(now)
+
+    def breaker_trip(self, now: float, hold_s: float) -> None:
+        if self.breaker is not None:
+            self.breaker.trip(now, hold_s)
+            self._breaker_event("open", now)
+
     # -- fault-injection hooks (driven by the cluster simulator) --------
     def _slowdown(self) -> float:
         """Product of active stretch factors at the current clock."""
@@ -452,7 +539,13 @@ class ReplicaServer:
             admit=request.admit_time, first_token=request.first_token_time,
             finish=self.clock, prompt_len=request.prompt_len,
             output_len=len(request.output),
-            preemptions=request.preemptions, retries=request.retries))
+            preemptions=request.preemptions, retries=request.retries,
+            deadline=request.deadline_s, degraded=request.degraded))
+        if self.breaker is not None \
+                and self.breaker.state == "half-open":
+            # A probe admission completed: the replica proved itself.
+            self.breaker.note_success()
+            self._breaker_event("close", self.clock)
 
     # -- disaggregation: prefill hand-off and decode import -------------
     def _hand_off(self, req: Request) -> None:
@@ -504,6 +597,8 @@ class ReplicaServer:
                 f"{self.name} exceeded {self.max_steps} steps")
         self._steps += 1
         sched = self.scheduler
+        if self.deadline_checks:
+            self._cancel_timeouts()
 
         # A prefill replica hands admitted requests off within the same
         # step, leaving ``running`` empty again — progress that the
@@ -516,9 +611,16 @@ class ReplicaServer:
             for req in sched.admit(self.clock):
                 progress = True
                 self._event(req.request_id, "admit", self.clock)
+                overload = self.overload
+                if overload.degrading and len(sched.waiting) \
+                        >= overload.degrade_queue_depth:
+                    apply_degradation(req, overload.degrade_max_new_tokens)
+                    self._event(req.request_id, "degrade", self.clock)
                 matched = 0
-                if self.prefix_cache is not None:
+                if self._cache_allowed(req):
                     matched = self._cache_admit(req)
+                elif self.prefix_cache is not None:
+                    self.prefix_cache.stats.bypassed += 1
                 if self.prefill_chunk is not None:
                     continue  # encoded chunk by chunk below
                 start = self.clock
@@ -538,7 +640,7 @@ class ReplicaServer:
                 req.output.append(_SENTINEL)
                 self.clock = start + duration
                 self._event(req.request_id, "prefill", start, duration)
-                if self.prefix_cache is not None:
+                if self._cache_allowed(req):
                     self.prefix_cache.insert(req.prompt)
                 req.first_token_time = self.clock
                 if req.done:
@@ -565,7 +667,7 @@ class ReplicaServer:
                                 duration)
                     if target.prefill_pos >= target.prompt_len:
                         target.output.append(_SENTINEL)
-                        if self.prefix_cache is not None:
+                        if self._cache_allowed(target):
                             self.prefix_cache.insert(target.prompt)
                         target.first_token_time = self.clock
                         if target.done:
@@ -689,6 +791,14 @@ class ClusterResult(ServingResultBase):
     transfer_requeues: int = 0
     #: per-transfer detail (src/dst replica, tokens, bytes, duration)
     transfer_records: list[TransferRecord] = field(default_factory=list)
+    #: deepest the cluster-level queue ever got
+    max_queue_depth: int = 0
+    #: ``(time, depth)`` samples of the cluster queue, recorded whenever
+    #: the depth changes (also exported as a Chrome-trace counter)
+    queue_depth_series: list[tuple[float, int]] = field(
+        default_factory=list)
+    #: circuit-breaker trips summed over all replicas
+    breaker_trips: int = 0
 
     def per_node_requests(self) -> dict[int, int]:
         """Completed-request count per node index."""
@@ -717,7 +827,10 @@ class ClusterResult(ServingResultBase):
             transfer_seconds=self.transfer_seconds,
             transfer_requeues=self.transfer_requeues,
             transfer_records=[t.to_dict()
-                              for t in self.transfer_records])
+                              for t in self.transfer_records],
+            max_queue_depth=self.max_queue_depth,
+            queue_depth_series=[list(s) for s in self.queue_depth_series],
+            breaker_trips=self.breaker_trips)
         return data
 
 
@@ -773,6 +886,18 @@ class ClusterSimulator:
         self._affinity: dict[int, int] = {}  # session -> decode replica
         self.transfer_records: list[TransferRecord] = []
         self.transfer_requeues = 0
+        # -- overload state (inert under the default OverloadConfig) ----
+        self._overload = serving.overload
+        self._shed: list[ShedRequest] = []
+        self._timed_out: list[TimedOutRequest] = []
+        #: (time, depth) samples — recorded only once a queue appears,
+        #: so queue-free runs carry no series (and no trace lane)
+        self._queue_series: list[tuple[float, int]] = []
+        #: the router's wall-clock view, advanced with each event; the
+        #: breaker and pending-queue expiry need a "now" outside the
+        #: arrival branches
+        self._router_clock = 0.0
+        self._has_deadlines = False
         # -- failover state (all inert on the fault-free path) ----------
         self._seq = itertools.count()     # heap tie-break counter
         self._deferred: list[tuple[float, int, Request]] = []  # retries
@@ -785,8 +910,15 @@ class ClusterSimulator:
     def _candidates(self) -> list[ReplicaServer]:
         """Replicas arrivals may route to: prefill-capable, under cap."""
         cap = self.config.routing.max_outstanding_per_replica
-        return [r for r in self.replicas
-                if r.healthy and r.role != "decode" and r.outstanding < cap]
+        candidates = [r for r in self.replicas
+                      if r.healthy and r.role != "decode"
+                      and r.outstanding < cap]
+        if self._overload.breaker:
+            # Route around open breakers; half-open ones admit only
+            # their probe allowance until a success closes them.
+            candidates = [r for r in candidates
+                          if r.breaker_allows(self._router_clock)]
+        return candidates
 
     def _cycle(self, candidates: list[ReplicaServer]) -> ReplicaServer:
         """Deterministic rotating pick: first candidate at/after the
@@ -833,17 +965,141 @@ class ClusterSimulator:
                   now: float) -> None:
         self.assignments[request.request_id] = (replica.node_index,
                                                 replica.replica_index)
+        replica.breaker_admit(now)
         replica.enqueue(request, now)
 
     def _dispatch_pending(self) -> None:
         """FIFO-drain the cluster queue into replicas that freed capacity."""
+        if self._has_deadlines and self._pending:
+            self._expire_pending(self._router_clock)
         while self._pending:
             replica = self._choose(self._pending[0])
             if replica is None:
-                return
+                break
             request = self._pending.pop(0)
             self._dispatch(request, replica,
                            max(request.arrival_time, replica.clock))
+        self._sample_queue(self._router_clock)
+
+    # -- overload: shedding, timeout bookkeeping, queue depth -----------
+    def _sample_queue(self, now: float) -> None:
+        """Record the cluster queue depth when it changes.
+
+        The series starts at the first nonzero depth — a run that never
+        queues carries no series (and therefore no counter lane in the
+        trace), keeping queue-free runs' artifacts unchanged.
+        """
+        depth = len(self._pending)
+        if not self._queue_series:
+            if depth == 0:
+                return
+            self._queue_series.append((now, depth))
+        elif self._queue_series[-1][1] != depth:
+            self._queue_series.append((now, depth))
+
+    def _timeout_router(self, req: Request, now: float,
+                        stage: str) -> None:
+        """Record a deadline cancellation decided at the router."""
+        self._timed_out.append(TimedOutRequest(
+            request_id=req.request_id, arrival=req.arrival_time,
+            deadline=req.deadline_s, cancelled_at=now, stage=stage,
+            prompt_len=req.prompt_len, output_len=len(req.output)))
+        self._router_events.append(TraceEvent(
+            f"req{req.request_id}/timeout", now, 0.0, "timeout", "io"))
+
+    def _expire_pending(self, now: float) -> None:
+        """Drop cluster-queued requests whose deadline already passed."""
+        kept = []
+        for req in self._pending:
+            if req.deadline_s is not None and now > req.deadline_s:
+                self._timeout_router(req, now, "queued")
+            else:
+                kept.append(req)
+        self._pending = kept
+
+    def _shed_request(self, req: Request, now: float,
+                      reason: str) -> None:
+        self._shed.append(ShedRequest(
+            request_id=req.request_id, arrival=req.arrival_time,
+            shed_at=now, policy=self._overload.shed_policy,
+            reason=reason, tier=req.tier, prompt_len=req.prompt_len,
+            deadline=req.deadline_s))
+        self._router_events.append(TraceEvent(
+            f"req{req.request_id}/shed", now, 0.0, "shed", "io"))
+
+    def _shed_reason(self, req: Request, now: float) -> str | None:
+        """Admission-control verdict for an arrival; None admits it.
+
+        ``deadline-estimate`` prices the cluster-wide backlog (pending
+        queue plus every healthy prefill-capable replica's work) through
+        the shared cost model, spreading it across those replicas;
+        arrivals whose deadline the optimistic estimate already breaks
+        are provably unattainable.  The queue-depth policies only act
+        when the arrival would join the cluster queue.
+        """
+        overload = self._overload
+        policy = overload.shed_policy
+        if policy == "deadline-estimate":
+            if req.deadline_s is None:
+                return None
+            servers = [r for r in self.replicas
+                       if r.alive and r.healthy and r.role != "decode"]
+            if not servers:
+                return None
+            backlog = list(self._pending)
+            for r in servers:
+                backlog += r.scheduler.waiting
+                backlog += r.scheduler.running
+            eta = estimate_backlog_eta(
+                servers[0].cost, backlog, req,
+                servers[0].scheduler.config.max_batch_size,
+                servers=len(servers))
+            if now + overload.estimate_margin * eta > req.deadline_s:
+                return "deadline-unattainable"
+            return None
+        would_queue = bool(self._pending) or not self._candidates()
+        if not would_queue:
+            return None
+        if policy == "bounded-queue":
+            if len(self._pending) >= overload.max_queue_depth:
+                return "queue-full"
+            return None
+        # priority: interactive arrivals displace queued batch work
+        if len(self._pending) < overload.max_queue_depth:
+            return None
+        if req.tier == "batch":
+            return "queue-full"
+        for i in range(len(self._pending) - 1, -1, -1):
+            if self._pending[i].tier == "batch":
+                victim = self._pending.pop(i)
+                self._shed_request(victim, now, "priority-evict")
+                return None
+        return "queue-full"
+
+    def _breaker_ready(self) -> float:
+        """Earliest instant an open breaker half-opens (inf if none).
+
+        An extra router event source: with every prefill-capable replica
+        behind an open breaker and the fleet idle, nothing else would
+        advance the clock to the point the pending queue can drain.
+        """
+        holds = [r.breaker.ready_at for r in self.replicas
+                 if r.breaker is not None and r.healthy
+                 and r.role != "decode" and r.breaker.state == "open"]
+        return min(holds, default=math.inf)
+
+    def _drain_timeouts(self) -> None:
+        """Convert replicas' raw cancellations into timeout records."""
+        for replica in self.replicas:
+            if not replica.timeouts:
+                continue
+            for req, at, stage in replica.timeouts:
+                self._timed_out.append(TimedOutRequest(
+                    request_id=req.request_id, arrival=req.arrival_time,
+                    deadline=req.deadline_s, cancelled_at=at, stage=stage,
+                    prompt_len=req.prompt_len,
+                    output_len=len(req.output)))
+            replica.timeouts.clear()
 
     # -- prefill → decode handoff ---------------------------------------
     def _cycle_handoff(self,
@@ -897,7 +1153,11 @@ class ClusterSimulator:
         decode replica, is priced through :class:`KVTransferModel`
         (Slingshot across nodes, Infinity Fabric within one), and joins
         the transfer heap to be delivered at ``handoff + duration``.
+        Replica-level deadline cancellations are drained here too — the
+        same after-every-step choke point the outboxes use.
         """
+        if self._has_deadlines:
+            self._drain_timeouts()
         for src in self.replicas:
             if not src.outbox:
                 continue
@@ -914,6 +1174,14 @@ class ClusterSimulator:
                     continue
                 tokens = req.prefill_pos
                 same_node = dst.node_index == src.node_index
+                if req.deadline_s is not None \
+                        and self.transfer_model.delivery_time(
+                            tokens, ready, same_node=same_node) \
+                        > req.deadline_s:
+                    # Dead on arrival: cancel the pending shipment
+                    # instead of burning wire time on doomed KV.
+                    self._timeout_router(req, ready, "handoff")
+                    continue
                 duration = self.transfer_model.transfer_time(
                     tokens, same_node=same_node)
                 arrive = ready + duration
@@ -946,7 +1214,7 @@ class ClusterSimulator:
             self._transfer_events.append(TraceEvent(
                 f"req{req.request_id}/kv-requeue", arrive, 0.0,
                 "kv-requeue", "comm"))
-            self._fail_over(req, arrive, fo)
+            self._fail_over(req, arrive, fo, stage="kv-in-flight")
             return
         # A dead-but-undetected destination accepts the import into its
         # queue — the same stale-router window arrivals see; detection
@@ -975,7 +1243,7 @@ class ClusterSimulator:
             self._transfer_events.append(TraceEvent(
                 f"req{req.request_id}/kv-requeue", now, 0.0,
                 "kv-requeue", "comm"))
-            self._fail_over(req, now, fo)
+            self._fail_over(req, now, fo, stage="kv-in-flight")
         if len(kept) != len(self._transfers):
             self._transfers = kept
             heapq.heapify(self._transfers)
@@ -992,6 +1260,10 @@ class ClusterSimulator:
                                                    r.request_id))
         self.assignments: dict[int, tuple[int, int]] = {}
         self._pending: list[Request] = []
+        self._has_deadlines = any(r.deadline_s is not None
+                                  for r in arrivals)
+        for replica in self.replicas:
+            replica.deadline_checks = self._has_deadlines
         faults = self.config.faults
         if faults is None or faults.fault_free:
             queued = self._run_fault_free(arrivals)
@@ -1052,11 +1324,15 @@ class ClusterSimulator:
                         raise RuntimeError(
                             "cluster stalled with queued requests")
                     break
-                min(busy, key=lambda r: (r.clock, r.index)).step()
+                laggard = min(busy, key=lambda r: (r.clock, r.index))
+                laggard.step()
+                self._router_clock = max(self._router_clock,
+                                         laggard.clock)
                 self._collect_outboxes(None)
                 continue
 
             t_router = self._advance_replicas(t_router, None)
+            self._router_clock = max(self._router_clock, t_router)
             self._dispatch_pending()
             t_deliver = self._transfers[0][0] if self._transfers \
                 else math.inf
@@ -1069,6 +1345,12 @@ class ClusterSimulator:
             t = req.arrival_time
             self._router_events.append(TraceEvent(
                 f"req{req.request_id}/arrive", t, 0.0, "arrive", "io"))
+            if self._overload.shedding:
+                reason = self._shed_reason(req, t)
+                if reason is not None:
+                    self._shed_request(req, t, reason)
+                    self._sample_queue(t)
+                    continue
             replica = self._choose(req) if not self._pending else None
             if replica is None:
                 # Backpressure: every replica is at its admission cap
@@ -1077,6 +1359,7 @@ class ClusterSimulator:
                 self._router_events.append(TraceEvent(
                     f"req{req.request_id}/queue", t, 0.0, "queue", "io"))
                 self._pending.append(req)
+                self._sample_queue(t)
             else:
                 self._dispatch(req, replica, t)
         return queued
@@ -1108,8 +1391,10 @@ class ClusterSimulator:
             t_retry = self._deferred[0][0] if self._deferred else math.inf
             t_deliver = self._transfers[0][0] if self._transfers \
                 else math.inf
+            t_breaker = self._breaker_ready() \
+                if self._overload.breaker and self._pending else math.inf
             t_router = min(t_arrive, t_detect, t_recover, t_retry,
-                           t_deliver)
+                           t_deliver, t_breaker)
 
             if math.isinf(t_router):
                 # No router events left: drain survivors, still letting
@@ -1122,6 +1407,8 @@ class ClusterSimulator:
                     self._apply_fault(fm.pop(), fo)
                 else:
                     laggard.step()
+                    self._router_clock = max(self._router_clock,
+                                             laggard.clock)
                     self._collect_outboxes(fo)
                     self._dispatch_pending()
                 continue
@@ -1131,6 +1418,7 @@ class ClusterSimulator:
                 continue
 
             t_router = self._advance_replicas(t_router, fo)
+            self._router_clock = max(self._router_clock, t_router)
             self._dispatch_pending()
 
             # Equal-time ties resolve detection -> recovery -> delivery
@@ -1146,6 +1434,13 @@ class ClusterSimulator:
                 replica = self.replicas[flat]
                 replica.healthy = False
                 replica._fault_event("detect", t_router)
+                # Open the breaker across the expected outage: detection
+                # fires detection_s after death, recovery recovery_s, so
+                # the remaining downtime is their difference (a fail-stop
+                # replica never returns — hold the breaker open forever).
+                replica.breaker_trip(
+                    t_router, math.inf if fo.fail_stop
+                    else fo.recovery_s - fo.detection_s)
                 for req in replica.take_in_flight():
                     self._fail_over(req, t_router, fo)
                 # In-flight transfers toward the dead replica are
@@ -1158,6 +1453,9 @@ class ClusterSimulator:
             elif t_deliver <= t_router:
                 self._deliver(fo)
             elif t_retry == t_router:
+                # Retries bypass admission control: the request already
+                # holds mid-pipeline investment (a served TTFT, billed
+                # prefill) that shedding it would discard.
                 _, _, req = heapq.heappop(self._deferred)
                 replica = self._choose(req) if not self._pending else None
                 if replica is None:
@@ -1165,14 +1463,25 @@ class ClusterSimulator:
                         f"req{req.request_id}/queue", t_router, 0.0,
                         "queue", "io"))
                     self._pending.append(req)
+                    self._sample_queue(t_router)
                 else:
                     self._dispatch(req, replica, t_router)
+            elif t_arrive > t_router:
+                # Breaker-reopen tick: _dispatch_pending above already
+                # routed what the half-open breaker's probes admit.
+                continue
             else:
                 req = arrivals[index]
                 index += 1
                 self._router_events.append(TraceEvent(
                     f"req{req.request_id}/arrive", t_router, 0.0,
                     "arrive", "io"))
+                if self._overload.shedding:
+                    reason = self._shed_reason(req, t_router)
+                    if reason is not None:
+                        self._shed_request(req, t_router, reason)
+                        self._sample_queue(t_router)
+                        continue
                 replica = self._choose(req) if not self._pending else None
                 if replica is None:
                     queued += 1
@@ -1180,6 +1489,7 @@ class ClusterSimulator:
                         f"req{req.request_id}/queue", t_router, 0.0,
                         "queue", "io"))
                     self._pending.append(req)
+                    self._sample_queue(t_router)
                 else:
                     self._dispatch(req, replica, t_router)
 
@@ -1223,6 +1533,9 @@ class ClusterSimulator:
                  event.factor))
             replica._fault_event("straggler", event.time_s,
                                  event.window_s)
+            # A straggler is overload's soft failure: open the breaker
+            # across the slow window so fresh traffic routes around it.
+            replica.breaker_trip(event.time_s, event.window_s)
         else:  # link-degrade: the component is a *node* index
             for replica in self.replicas:
                 if replica.node_index != event.component:
@@ -1239,8 +1552,18 @@ class ClusterSimulator:
                                      event.window_s)
 
     def _fail_over(self, req: Request, now: float,
-                   fo: FailoverConfig) -> None:
-        """Re-queue a killed request with backoff, or abandon it."""
+                   fo: FailoverConfig, stage: str = "queued") -> None:
+        """Re-queue a killed request with backoff, or abandon it.
+
+        An expired deadline short-circuits the retry: there is no point
+        re-prefilling work whose answer can no longer arrive in time.
+        ``stage`` names where the request was when its replica (or its
+        KV transfer's destination) died, for the timeout record.
+        """
+        if self._has_deadlines and req.deadline_s is not None \
+                and now > req.deadline_s:
+            self._timeout_router(req, now, stage)
+            return
         retry = fo.retry
         if req.retries >= retry.max_retries:
             self._failed.append(FailedRequest(
@@ -1264,18 +1587,25 @@ class ClusterSimulator:
         records = sorted((rec for r in self.replicas for rec in r.records),
                          key=lambda rec: rec.request_id)
         failed = sorted(self._failed, key=lambda f: f.request_id)
-        if len(records) + len(failed) != submitted:
+        shed = sorted(self._shed, key=lambda s: s.request_id)
+        timed_out = sorted(self._timed_out, key=lambda t: t.request_id)
+        if len(records) + len(failed) + len(shed) + len(timed_out) \
+                != submitted:
             raise RuntimeError(  # pragma: no cover — simulator invariant
                 f"request accounting broken: {len(records)} completed + "
-                f"{len(failed)} failed != {submitted} submitted")
+                f"{len(failed)} failed + {len(shed)} shed + "
+                f"{len(timed_out)} timed out != {submitted} submitted")
         if not records:
             fo = self.config.failover
             faults = self.config.faults
             raise ValueError(
-                f"no requests completed: all {submitted} exhausted "
-                f"max_retries={fo.retry.max_retries} under mtbf_hours="
-                f"{faults.mtbf_hours if faults else math.inf}; raise "
-                f"max_retries, shorten recovery_s, or raise mtbf_hours")
+                f"no requests completed: all {submitted} were shed "
+                f"({len(shed)}), timed out ({len(timed_out)}), or "
+                f"exhausted max_retries={fo.retry.max_retries} under "
+                f"mtbf_hours="
+                f"{faults.mtbf_hours if faults else math.inf}; relax "
+                f"the overload policy, raise max_retries, shorten "
+                f"recovery_s, or raise mtbf_hours")
         timeline = sorted((s for r in self.replicas for s in r.timeline),
                           key=lambda s: s.time)
         cache_stats = None
@@ -1292,16 +1622,24 @@ class ClusterSimulator:
                                       for r in self.replicas),
             preemptions=sum(r.scheduler.total_preemptions
                             for r in self.replicas),
-            cache=cache_stats)
+            cache=cache_stats, shed=len(shed), timed_out=len(timed_out),
+            deadline_total=sum(1 for r in arrivals
+                               if r.deadline_s is not None))
         slo = self.config.failover.slo_ttft_s
-        within_slo = sum(1 for rec in records
-                         if slo is None or rec.ttft <= slo)
         lanes: dict[str, dict[str, list[TraceEvent]]] = {
             "cluster": {"router": self._router_events}}
         if self.config.layout.disaggregated:
             # Transfers get their own lane next to the router: wire time
             # is cluster-level, owned by neither endpoint replica.
             lanes["cluster"]["kv-transfer"] = self._transfer_events
+        if self._queue_series:
+            # Queue depth as a counter lane: each sample's value rides
+            # the TraceEvent duration slot (the exporter turns
+            # category="counter" into Chrome ``ph: "C"`` events).
+            lanes["cluster"]["queue-depth"] = [
+                TraceEvent("cluster-queue-depth", t, float(depth),
+                           "counter", "io")
+                for t, depth in self._queue_series]
         for replica in self.replicas:
             role = f", {replica.role}" if replica.role != "mixed" else ""
             lanes.setdefault(f"node{replica.node_index}", {})[
@@ -1309,6 +1647,7 @@ class ClusterSimulator:
                 f"(TP={self.config.layout.tp}{role})"] = replica.events
         return ClusterResult(
             records=records, metrics=metrics,
+            shed_records=shed, timeout_records=timed_out,
             policy=self.config.routing.policy,
             num_nodes=self.config.num_nodes,
             layout=self.config.layout.label,
@@ -1316,13 +1655,18 @@ class ClusterSimulator:
             lanes=lanes, submitted=submitted, failed_records=failed,
             retries_total=sum(rec.retries for rec in records)
             + sum(f.retries for f in failed),
-            availability=within_slo / submitted,
+            availability=slo_availability(records, submitted, slo),
             fault_events=self._fault_events,
             transfers=len(self.transfer_records),
             transfer_seconds=sum(t.duration_s
                                  for t in self.transfer_records),
             transfer_requeues=self.transfer_requeues,
-            transfer_records=self.transfer_records)
+            transfer_records=self.transfer_records,
+            max_queue_depth=max((d for _, d in self._queue_series),
+                                default=0),
+            queue_depth_series=list(self._queue_series),
+            breaker_trips=sum(r.breaker.trips for r in self.replicas
+                              if r.breaker is not None))
 
 
 def format_cluster(results: list[ClusterResult],
@@ -1336,6 +1680,10 @@ def format_cluster(results: list[ClusterResult],
     with_transfers = any(res.transfers for res in results)
     if with_transfers:
         header += ["xfers", "xfer ms", "requeued"]
+    with_overload = any(res.metrics.shed or res.metrics.timed_out
+                        or res.metrics.degraded for res in results)
+    if with_overload:
+        header += ["shed", "t/o", "degr", "goodput", "attain"]
     rows = []
     for res in results:
         ttft = res.percentiles("ttft", (50.0, 99.0))
@@ -1356,6 +1704,10 @@ def format_cluster(results: list[ClusterResult],
                 if res.transfers else 0.0
             row += [str(res.transfers), f"{mean_ms:.3f}",
                     str(res.transfer_requeues)]
+        if with_overload:
+            row += [str(m.shed), str(m.timed_out), str(m.degraded),
+                    f"{m.goodput_tokens_per_s:.0f}",
+                    f"{m.deadline_attainment:.1%}"]
         rows.append(row)
     widths = [max(len(header[i]), max(len(row[i]) for row in rows))
               for i in range(len(header))]

@@ -22,9 +22,9 @@ from ..models.config import ModelConfig
 from .kv_pool import KVPoolConfig, PagedKVPool
 from .scheduler import SchedulerConfig
 
-__all__ = ["FailoverConfig", "KVTransferConfig", "RoutingConfig",
-           "ServingConfig", "LB_POLICIES", "HANDOFF_POLICIES",
-           "TRANSFER_GRANULARITIES"]
+__all__ = ["FailoverConfig", "KVTransferConfig", "OverloadConfig",
+           "RoutingConfig", "ServingConfig", "LB_POLICIES",
+           "HANDOFF_POLICIES", "SHED_POLICIES", "TRANSFER_GRANULARITIES"]
 
 #: Load-balancing policies the cluster router understands.
 #: ``cache-aware`` routes to the replica whose radix prefix cache holds
@@ -37,6 +37,102 @@ HANDOFF_POLICIES = ("least-outstanding", "round-robin", "session-affinity")
 
 #: How a finished prefill's KV cache is shipped to its decode replica.
 TRANSFER_GRANULARITIES = ("layer", "cache")
+
+#: Load-shedding policies the admission controller understands.
+#: ``none`` admits everything (today's behaviour); ``bounded-queue``
+#: sheds arrivals once the admission queue is at ``max_queue_depth``;
+#: ``deadline-estimate`` prices the backlog through the decode cost
+#: model and sheds requests that provably cannot meet their deadline;
+#: ``priority`` is ``bounded-queue`` that sheds ``batch``-tier requests
+#: before ``interactive`` ones (evicting queued batch work if needed).
+SHED_POLICIES = ("none", "bounded-queue", "deadline-estimate", "priority")
+
+
+@dataclass(frozen=True)
+class OverloadConfig:
+    """Overload protection and graceful degradation knobs.
+
+    The default instance is a **bit-for-bit no-op**: shedding off, no
+    degraded mode, no circuit breaker.  With no request deadlines set,
+    an engine or cluster run under ``OverloadConfig()`` reproduces the
+    pre-overload behaviour exactly (pinned by parity tests).
+
+    ``shed_policy``
+        One of :data:`SHED_POLICIES`; applied at admission time.
+    ``max_queue_depth``
+        Queue cap for the ``bounded-queue`` and ``priority`` policies
+        (required by them, ignored by the others).
+    ``estimate_margin``
+        Safety factor on the ``deadline-estimate`` backlog estimate;
+        values > 1 shed more aggressively.
+    ``degrade_queue_depth``
+        Entering degraded service mode: requests admitted while the
+        queue is at least this deep get their decode budget capped to
+        ``degrade_max_new_tokens`` and (if ``degrade_bypass_cache``)
+        skip prefix-cache admission.  ``None`` disables degraded mode.
+    ``breaker`` / ``breaker_cooldown_s`` / ``breaker_probes``
+        Per-replica circuit breaker over fault signals: a health-check
+        detection or straggler onset trips the breaker open; after the
+        fault window plus ``breaker_cooldown_s`` it half-opens and
+        admits up to ``breaker_probes`` probe requests, closing on the
+        first probe that completes.
+    """
+
+    shed_policy: str = "none"
+    max_queue_depth: int | None = None
+    estimate_margin: float = 1.0
+    degrade_queue_depth: int | None = None
+    degrade_max_new_tokens: int | None = None
+    degrade_bypass_cache: bool = True
+    breaker: bool = False
+    breaker_cooldown_s: float = 0.25
+    breaker_probes: int = 2
+
+    def __post_init__(self) -> None:
+        if self.shed_policy not in SHED_POLICIES:
+            raise ValueError(
+                f"shed_policy must be one of {SHED_POLICIES}: "
+                f"{self.shed_policy!r}")
+        if self.shed_policy in ("bounded-queue", "priority") \
+                and self.max_queue_depth is None:
+            raise ValueError(
+                f"shed_policy {self.shed_policy!r} requires max_queue_depth")
+        if self.max_queue_depth is not None and self.max_queue_depth < 1:
+            raise ValueError(
+                f"max_queue_depth must be >= 1 (or None): "
+                f"{self.max_queue_depth}")
+        if not self.estimate_margin > 0:
+            raise ValueError(
+                f"estimate_margin must be > 0: {self.estimate_margin}")
+        if self.degrade_queue_depth is not None \
+                and self.degrade_queue_depth < 1:
+            raise ValueError(
+                f"degrade_queue_depth must be >= 1 (or None): "
+                f"{self.degrade_queue_depth}")
+        if self.degrade_max_new_tokens is not None \
+                and self.degrade_max_new_tokens < 1:
+            raise ValueError(
+                f"degrade_max_new_tokens must be >= 1 (or None): "
+                f"{self.degrade_max_new_tokens}")
+        if not self.breaker_cooldown_s > 0:
+            raise ValueError(
+                f"breaker_cooldown_s must be > 0: {self.breaker_cooldown_s}")
+        if self.breaker_probes < 1:
+            raise ValueError(
+                f"breaker_probes must be >= 1: {self.breaker_probes}")
+
+    @property
+    def shedding(self) -> bool:
+        return self.shed_policy != "none"
+
+    @property
+    def degrading(self) -> bool:
+        return self.degrade_queue_depth is not None
+
+    @property
+    def active(self) -> bool:
+        """True when any overload-protection feature is switched on."""
+        return self.shedding or self.degrading or self.breaker
 
 
 @dataclass(frozen=True)
@@ -72,6 +168,9 @@ class ServingConfig:
     # LRU-evicted under pressure before any preemption.
     prefix_cache: bool = False
     prefix_cache_blocks: int = 64
+    # Overload protection (deadlines, load shedding, degraded mode,
+    # circuit breaker).  The default is a bit-for-bit no-op.
+    overload: OverloadConfig = OverloadConfig()
     # Engine loop bound.
     max_steps: int = 1_000_000
 

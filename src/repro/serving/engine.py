@@ -41,8 +41,9 @@ from .config import ServingConfig
 from .kv_pool import PagedKVPool, kv_bytes_per_token
 from .metrics import RequestRecord, ServingMetrics, TimelineSample
 from .perf_model import TP_ALLREDUCES_PER_LAYER
-from .results import ServeResult
+from .results import ServeResult, ShedRequest, TimedOutRequest
 from .scheduler import (ContinuousBatchScheduler, Request, SchedulerConfig,
+                        apply_degradation, estimate_backlog_eta,
                         next_prefill_target)
 
 __all__ = ["DecodeCostModel", "ServeResult", "ServingEngine",
@@ -292,10 +293,17 @@ class ServingEngine:
                                                   r.request_id))
         sched = self.scheduler
         cache = self.prefix_cache
+        overload = self.config.overload
+        # With OverloadConfig() defaults and no deadlines every overload
+        # branch below is skipped: the run is bit-identical to the
+        # pre-overload engine (pinned by the parity tests).
+        has_deadlines = any(r.deadline_s is not None for r in requests)
         clock = 0.0
         trace: list[tuple[float, str, int]] = []
         events: list[TraceEvent] = []
         records: list[RequestRecord] = []
+        shed_records: list[ShedRequest] = []
+        timeout_records: list[TimedOutRequest] = []
         outputs: dict[int, np.ndarray] = {}
         timeline: list[TimelineSample] = []
 
@@ -307,6 +315,85 @@ class ServingEngine:
                                            "decode") else "io"
             events.append(TraceEvent(f"req{request_id}/{stage}", start,
                                      duration, stage, phase))
+
+        def cache_ok(req: Request) -> bool:
+            # Degraded requests bypass prefix-cache admission (match and
+            # insert) when the config says so: under pressure the cache
+            # only adds copy traffic for work we are trying to shrink.
+            return cache is not None and not (
+                req.degraded and overload.degrade_bypass_cache)
+
+        def shed(req: Request, reason: str) -> None:
+            trace.append((clock, "shed", req.request_id))
+            event(req.request_id, "shed", clock)
+            shed_records.append(ShedRequest(
+                request_id=req.request_id, arrival=req.arrival_time,
+                shed_at=clock, policy=overload.shed_policy, reason=reason,
+                tier=req.tier, prompt_len=req.prompt_len,
+                deadline=req.deadline_s))
+
+        def shed_reason(req: Request) -> str | None:
+            """Admission-control verdict for an arriving request."""
+            policy = overload.shed_policy
+            if policy == "deadline-estimate":
+                if req.deadline_s is None:
+                    return None
+                eta = estimate_backlog_eta(
+                    self.cost, sched.waiting + sched.running, req,
+                    sched.config.max_batch_size)
+                if clock + overload.estimate_margin * eta > req.deadline_s:
+                    return "deadline-unattainable"
+                return None
+            if policy == "bounded-queue":
+                if len(sched.waiting) >= overload.max_queue_depth:
+                    return "queue-full"
+                return None
+            if policy == "priority":
+                if len(sched.waiting) < overload.max_queue_depth:
+                    return None
+                if req.tier == "batch":
+                    return "queue-full"
+                # Interactive arrival at a full queue: displace the
+                # youngest queued batch-tier request instead.
+                for victim in reversed(sched.waiting):
+                    if victim.tier == "batch":
+                        sched.waiting.remove(victim)
+                        shed(victim, "priority-evict")
+                        return None
+                return "queue-full"
+            return None
+
+        def timeout(req: Request, stage: str) -> None:
+            trace.append((clock, "timeout", req.request_id))
+            event(req.request_id, "timeout", clock)
+            timeout_records.append(TimedOutRequest(
+                request_id=req.request_id, arrival=req.arrival_time,
+                deadline=req.deadline_s, cancelled_at=clock, stage=stage,
+                prompt_len=req.prompt_len, output_len=len(req.output)))
+
+        def cancel_timeouts() -> None:
+            """Unwind every request whose deadline has passed.
+
+            Queued requests only leave the admission queue; running ones
+            also release their paged-pool allocation, packed slot, and
+            any prefix-cache lease — cancellation must leave zero
+            retained resources at every lifecycle stage.
+            """
+            expired = [r for r in sched.waiting
+                       if r.deadline_s is not None and clock > r.deadline_s]
+            for req in expired:
+                sched.waiting.remove(req)
+                timeout(req, "queued")
+            expired = [r for r in sched.running
+                       if r.deadline_s is not None and clock > r.deadline_s]
+            for req in expired:
+                sched.running.remove(req)
+                self.pool.free(req.request_id)
+                self._release_cache(req)
+                self._release_slot(req)
+                stage = "prefill" if req.prefill_pos < req.prompt_len \
+                    else "decode"
+                timeout(req, stage)
 
         if cache is not None:
             def reclaim(blocks: int) -> int:
@@ -333,7 +420,8 @@ class ServingEngine:
                 request_id=req.request_id, arrival=req.arrival_time,
                 admit=req.admit_time, first_token=req.first_token_time,
                 finish=clock, prompt_len=req.prompt_len,
-                output_len=len(req.output), preemptions=req.preemptions))
+                output_len=len(req.output), preemptions=req.preemptions,
+                deadline=req.deadline_s, degraded=req.degraded))
 
         steps = 0
         while pending or not sched.idle:
@@ -343,16 +431,31 @@ class ServingEngine:
 
             while pending and pending[0].arrival_time <= clock:
                 req = pending.pop(0)
-                sched.submit(req)
                 trace.append((clock, "arrive", req.request_id))
                 event(req.request_id, "arrive", clock)
+                if overload.shedding:
+                    reason = shed_reason(req)
+                    if reason is not None:
+                        shed(req, reason)
+                        continue
+                sched.submit(req)
+
+            if has_deadlines:
+                cancel_timeouts()
 
             for req in sched.admit(clock):
                 trace.append((clock, "admit", req.request_id))
                 event(req.request_id, "admit", clock)
+                if overload.degrading and len(sched.waiting) \
+                        >= overload.degrade_queue_depth:
+                    apply_degradation(req, overload.degrade_max_new_tokens)
+                    trace.append((clock, "degrade", req.request_id))
+                    event(req.request_id, "degrade", clock)
                 self._assign_slot(req)
                 matched = 0
-                if cache is not None:
+                if cache is not None and not cache_ok(req):
+                    cache.stats.bypassed += 1
+                if cache_ok(req):
                     matched = self._cache_admit(req)
                     stage = "cache-hit" if matched else "cache-miss"
                     trace.append((clock, stage, req.request_id))
@@ -369,7 +472,7 @@ class ServingEngine:
                     else:
                         clock += self.cost.prefill_time(req.prompt_len)
                     event(req.request_id, "prefill", start, clock - start)
-                    if cache is not None:
+                    if cache_ok(req):
                         cache.insert(req.prompt, self.packed, req.slot)
                     req.first_token_time = clock
                     if req.done:
@@ -388,7 +491,7 @@ class ServingEngine:
                           clock - start)
                     if target.prefill_pos >= target.prompt_len:
                         req = target
-                        if cache is not None:
+                        if cache_ok(req):
                             cache.insert(req.prompt, self.packed, req.slot)
                         req.first_token_time = clock
                         if req.done:
@@ -480,15 +583,28 @@ class ServingEngine:
                 pool_utilization=self.pool.utilization,
                 context_tokens=total_ctx))
 
+        # No silent drop: every submitted request completed, was shed,
+        # or timed out — exactly one of the three.
+        if len(records) + len(shed_records) + len(timeout_records) \
+                != len(requests):
+            raise RuntimeError(
+                f"request accounting broke: {len(records)} completed + "
+                f"{len(shed_records)} shed + {len(timeout_records)} "
+                f"timed out != {len(requests)} submitted")
         metrics = ServingMetrics.from_records(
             records, timeline, makespan=clock,
             peak_pool_utilization=self.pool.peak_utilization,
             preemptions=sched.total_preemptions,
-            cache=cache.stats if cache is not None else None)
+            cache=cache.stats if cache is not None else None,
+            shed=len(shed_records), timed_out=len(timeout_records),
+            deadline_total=sum(1 for r in requests
+                               if r.deadline_s is not None))
         records.sort(key=lambda r: r.request_id)
         lanes = {"engine": {f"replica (TP={self.cost.tp})": events}}
         return ServeResult(records=records, metrics=metrics, trace=trace,
-                           outputs=outputs, lanes=lanes)
+                           outputs=outputs, lanes=lanes,
+                           shed_records=shed_records,
+                           timeout_records=timeout_records)
 
 
 def run_sequential(model, requests: list[Request],

@@ -38,6 +38,15 @@ class RequestRecord:
     output_len: int
     preemptions: int = 0
     retries: int = 0
+    #: absolute completion deadline the request carried (None = no TTL)
+    deadline: float | None = None
+    #: True when degraded service mode touched this request
+    degraded: bool = False
+
+    @property
+    def met_deadline(self) -> bool:
+        """Completed in time (vacuously true without a deadline)."""
+        return self.deadline is None or self.finish <= self.deadline
 
     @property
     def ttft(self) -> float:
@@ -92,13 +101,23 @@ class ServingMetrics:
     cache_hit_rate: float = 0.0
     prefill_tokens_saved: int = 0
     cache_evicted_blocks: int = 0
+    # Overload counters (all zero / identity when protection is off).
+    shed: int = 0
+    timed_out: int = 0
+    degraded: int = 0
+    #: fraction of deadline-bearing submissions that finished in time
+    deadline_attainment: float = 1.0
+    #: output tokens from requests that met their deadline, per second
+    #: (equals ``tokens_per_s`` when no request carries a deadline)
+    goodput_tokens_per_s: float = 0.0
 
     @classmethod
     def from_records(cls, records: list[RequestRecord],
                      timeline: list[TimelineSample], makespan: float,
                      peak_pool_utilization: float = 0.0,
                      preemptions: int = 0,
-                     cache=None) -> "ServingMetrics":
+                     cache=None, shed: int = 0, timed_out: int = 0,
+                     deadline_total: int | None = None) -> "ServingMetrics":
         if not records:
             raise ValueError("no completed requests to aggregate")
         ttft = np.array([r.ttft for r in records])
@@ -110,6 +129,15 @@ class ServingMetrics:
         ctx = np.array([s.context_tokens for s in timeline]) if timeline \
             else np.array([0.0])
         queue = max((s.queue_depth for s in timeline), default=0)
+        # Deadline attainment: met / total deadline-bearing submissions.
+        # Callers that shed or cancel requests pass the true denominator
+        # via ``deadline_total``; by default only completions count.
+        met = sum(1 for r in records
+                  if r.deadline is not None and r.met_deadline)
+        if deadline_total is None:
+            deadline_total = sum(1 for r in records
+                                 if r.deadline is not None)
+        good_tokens = sum(r.output_len for r in records if r.met_deadline)
         return cls(
             num_requests=len(records),
             total_output_tokens=tokens,
@@ -132,6 +160,13 @@ class ServingMetrics:
             cache_hit_rate=cache.hit_rate if cache else 0.0,
             prefill_tokens_saved=cache.hit_tokens if cache else 0,
             cache_evicted_blocks=cache.evicted_blocks if cache else 0,
+            shed=int(shed),
+            timed_out=int(timed_out),
+            degraded=sum(1 for r in records if r.degraded),
+            deadline_attainment=(met / deadline_total
+                                 if deadline_total else 1.0),
+            goodput_tokens_per_s=(good_tokens / makespan
+                                  if makespan > 0 else 0.0),
         )
 
     def rows(self) -> list[tuple[str, str]]:
@@ -159,7 +194,13 @@ class ServingMetrics:
              f"({self.cache_hits}/{self.cache_lookups})"),
             ("prefill tokens saved", str(self.prefill_tokens_saved)),
             ("cache blocks evicted", str(self.cache_evicted_blocks)),
-        ] if self.cache_lookups else [])
+        ] if self.cache_lookups else []) + ([
+            ("shed / timed out / degraded",
+             f"{self.shed} / {self.timed_out} / {self.degraded}"),
+            ("deadline attainment", f"{self.deadline_attainment:.1%}"),
+            ("goodput", f"{self.goodput_tokens_per_s:.1f} tok/s"),
+        ] if self.shed or self.timed_out or self.degraded
+            or self.deadline_attainment < 1.0 else [])
 
 
 def format_metrics(metrics: ServingMetrics,

@@ -71,6 +71,7 @@ class CacheStats:
     inserted_blocks: int = 0
     evictions: int = 0       # evict() calls that freed at least a block
     evicted_blocks: int = 0
+    bypassed: int = 0        # admissions skipped by degraded service mode
 
     @property
     def hit_rate(self) -> float:
@@ -92,7 +93,8 @@ class CacheStats:
             lookup_tokens=self.lookup_tokens + other.lookup_tokens,
             inserted_blocks=self.inserted_blocks + other.inserted_blocks,
             evictions=self.evictions + other.evictions,
-            evicted_blocks=self.evicted_blocks + other.evicted_blocks)
+            evicted_blocks=self.evicted_blocks + other.evicted_blocks,
+            bypassed=self.bypassed + other.bypassed)
 
 
 class _RadixNode:

@@ -22,10 +22,36 @@ from ..profiling.tracer import TraceEvent
 from .metrics import RequestRecord, ServingMetrics
 
 __all__ = ["FailedRequest", "ServingResultBase", "ServeResult",
-           "TransferRecord"]
+           "ShedRequest", "TimedOutRequest", "TransferRecord",
+           "slo_availability"]
 
 #: Per-request quantities ``percentiles`` knows how to extract.
 _METRIC_FIELDS = ("ttft", "tpot", "latency")
+
+#: Lifecycle stages a timed-out request can be cancelled in.
+TIMEOUT_STAGES = ("queued", "prefill", "decode", "kv-in-flight", "handoff")
+
+
+def slo_availability(records: list[RequestRecord], submitted: int,
+                     slo_ttft_s: float | None = None) -> float:
+    """SLO attainment: ``completed_within_slo / submitted``.
+
+    The denominator is **every submitted request** — shed, timed-out,
+    and failed requests all count against availability rather than
+    silently shrinking the denominator (a shed request is a user who
+    got no answer, exactly like a failed one).  The numerator is the
+    completed requests whose TTFT met ``slo_ttft_s`` (bare completion
+    when the SLO is None)::
+
+        availability = |{r completed : ttft(r) <= slo}| / submitted
+    """
+    if submitted < 1:
+        raise ValueError(f"submitted must be >= 1: {submitted}")
+    if slo_ttft_s is None:
+        within = len(records)
+    else:
+        within = sum(1 for r in records if r.ttft <= slo_ttft_s)
+    return within / submitted
 
 
 @dataclass(frozen=True)
@@ -42,6 +68,51 @@ class FailedRequest:
     failed_at: float
     retries: int
     prompt_len: int
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class ShedRequest:
+    """A request refused at admission by the load shedder.
+
+    ``reason`` explains the decision: ``queue-full`` (bounded-queue /
+    priority cap), ``deadline-unattainable`` (the cost-model estimate
+    proved the deadline impossible), or ``priority-evict`` (a queued
+    batch-tier request displaced by an arriving interactive one).
+    """
+
+    request_id: int
+    arrival: float
+    shed_at: float
+    policy: str
+    reason: str
+    tier: str
+    prompt_len: int
+    deadline: float | None = None
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class TimedOutRequest:
+    """A request cancelled because its deadline passed.
+
+    ``stage`` (one of :data:`TIMEOUT_STAGES`) names where in the
+    lifecycle the cancellation unwound it — the accounting counterpart
+    of the state-reclamation paths (pool slots, cache leases, in-flight
+    KV) the cancellation released.
+    """
+
+    request_id: int
+    arrival: float
+    deadline: float
+    cancelled_at: float
+    stage: str
+    prompt_len: int
+    output_len: int = 0
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -79,6 +150,10 @@ class ServingResultBase:
 
     records: list[RequestRecord]
     metrics: ServingMetrics
+    #: requests refused at admission by the load shedder
+    shed_records: list[ShedRequest] = field(default_factory=list)
+    #: requests cancelled mid-lifecycle after missing their deadline
+    timeout_records: list[TimedOutRequest] = field(default_factory=list)
 
     def percentiles(self, metric: str = "ttft",
                     qs: tuple[float, ...] = (50.0, 95.0, 99.0)
@@ -104,6 +179,8 @@ class ServingResultBase:
         return {
             "metrics": asdict(self.metrics),
             "records": [asdict(r) for r in self.records],
+            "shed": [s.to_dict() for s in self.shed_records],
+            "timed_out": [t.to_dict() for t in self.timeout_records],
         }
 
     def save_json(self, path: str | Path) -> Path:

@@ -32,12 +32,17 @@ import numpy as np
 from .kv_pool import PagedKVPool
 
 __all__ = ["Request", "SchedulerConfig", "ContinuousBatchScheduler",
-           "next_prefill_target"]
+           "next_prefill_target", "PRIORITY_TIERS", "apply_degradation",
+           "estimate_backlog_eta"]
 
 _POLICIES = ("fcfs", "spf")
 
 #: Request lifecycle states.
 WAITING, RUNNING, FINISHED = "waiting", "running", "finished"
+
+#: Priority tiers the load shedder distinguishes: ``batch`` requests are
+#: shed before ``interactive`` ones under the ``priority`` shed policy.
+PRIORITY_TIERS = ("interactive", "batch")
 
 
 @dataclass
@@ -51,6 +56,14 @@ class Request:
     eos_id: int | None = None
     #: conversation this request belongs to (session workloads only)
     session_id: int | None = None
+    #: absolute virtual-clock completion deadline (None = no TTL); a
+    #: request not finished by then is cancelled and its state unwound
+    deadline_s: float | None = None
+    #: priority tier, one of :data:`PRIORITY_TIERS`
+    tier: str = "interactive"
+    #: True once degraded service mode touched this request (capped
+    #: decode budget and/or bypassed prefix-cache admission)
+    degraded: bool = False
 
     # Runtime bookkeeping (owned by scheduler/engine).
     state: str = WAITING
@@ -74,6 +87,11 @@ class Request:
             raise ValueError("prompt must be non-empty")
         if self.max_new_tokens < 1:
             raise ValueError("max_new_tokens must be >= 1")
+        if self.deadline_s is not None and self.deadline_s <= self.arrival_time:
+            raise ValueError("deadline_s must lie after arrival_time")
+        if self.tier not in PRIORITY_TIERS:
+            raise ValueError(f"tier must be one of {PRIORITY_TIERS}: "
+                             f"{self.tier!r}")
 
     @property
     def prompt_len(self) -> int:
@@ -141,6 +159,49 @@ def next_prefill_target(running: list[Request]) -> Request | None:
         if best_key is None or key < best_key:
             best, best_key = req, key
     return best
+
+
+def apply_degradation(request: Request, max_new_tokens: int | None) -> None:
+    """Put a request into degraded service mode.
+
+    Caps the decode budget (if a cap is configured) and marks the
+    request so downstream stages (prefix-cache admission, metrics) can
+    see it ran degraded.  Idempotent: re-applying with the same cap is a
+    no-op beyond the flag.
+    """
+    if max_new_tokens is not None and request.max_new_tokens > max_new_tokens:
+        request.max_new_tokens = max(1, max_new_tokens)
+    request.degraded = True
+
+
+def estimate_backlog_eta(cost, backlog: list[Request], request: Request,
+                         max_batch_size: int, servers: int = 1) -> float:
+    """Optimistic seconds until ``request`` could finish behind ``backlog``.
+
+    Prices the queued + in-flight work through the decode cost model:
+    remaining prefills run serially, remaining decode tokens amortise
+    over a full batch (perfect continuous batching), and the total
+    divides across ``servers`` healthy replicas.  The estimate is
+    deliberately *optimistic* — if even this lower bound lands past the
+    request's deadline, the request provably cannot meet it and the
+    ``deadline-estimate`` shed policy drops it at admission instead of
+    letting it congest the queue.
+    """
+    work = list(backlog) + [request]
+    prefill_s = 0.0
+    decode_tokens = 0
+    budgets = []
+    for req in work:
+        remaining_prompt = req.prompt_len - req.prefill_pos
+        if remaining_prompt > 0:
+            prefill_s += cost.prefill_time(remaining_prompt)
+        decode_tokens += max(0, req.max_new_tokens - len(req.output))
+        budgets.append(req.budget_tokens)
+    seats = max(1, min(max_batch_size, len(work)))
+    mean_ctx = sum(budgets) / len(budgets)
+    step_s = cost.decode_step_time(seats, int(seats * mean_ctx))
+    decode_s = decode_tokens * step_s / seats
+    return (prefill_s + decode_s) / max(1, servers)
 
 
 @dataclass(frozen=True)

@@ -63,6 +63,8 @@ class SessionWorkloadConfig:
     diurnal_amplitude: float = 0.0      # 0 = homogeneous Poisson
     diurnal_period_s: float = 60.0
     eos_id: int | None = None
+    # Relative completion TTL per request (None = no deadlines).
+    deadline_s: float | None = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -82,6 +84,8 @@ class SessionWorkloadConfig:
         _check_len_range("output_len_range", self.output_len_range)
         _check_fraction("diurnal_amplitude", self.diurnal_amplitude)
         _check_rate("diurnal_period_s", self.diurnal_period_s)
+        if self.deadline_s is not None:
+            _check_rate("deadline_s", self.deadline_s)
 
 
 def synthesize_sessions(config: SessionWorkloadConfig,
@@ -150,6 +154,8 @@ def synthesize_sessions(config: SessionWorkloadConfig,
     entries.sort(key=lambda e: (e[0], e[1], e[2]))
     return [Request(request_id=i, prompt=prompt, max_new_tokens=out_len,
                     arrival_time=arrival, eos_id=config.eos_id,
-                    session_id=sid)
+                    session_id=sid,
+                    deadline_s=None if config.deadline_s is None
+                    else arrival + config.deadline_s)
             for i, (arrival, sid, _turn, prompt, out_len)
             in enumerate(entries)]

@@ -73,3 +73,15 @@ class KVTransferModel:
         # the per-layer split is exact.
         event = self.collectives.p2p(total // n, span)
         return n * event.seconds
+
+    def delivery_time(self, tokens: int, now: float, *,
+                      same_node: bool = False) -> float:
+        """Virtual-clock instant a transfer departing at ``now`` arrives.
+
+        Lets the handoff path ask, before committing wire time, whether
+        the KV would be dead on arrival (delivery past the request's
+        deadline) — in which case the shipment is cancelled and the
+        request times out in the ``handoff`` stage instead of burning
+        interconnect bandwidth on work that will be discarded.
+        """
+        return now + self.transfer_time(tokens, same_node=same_node)

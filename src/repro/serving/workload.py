@@ -64,6 +64,13 @@ class WorkloadConfig:
     prompt_skew: float = 0.0            # heavy-tail request fraction
     heavy_multiplier: int = 4           # heavy prompts reach mult * p_hi
     eos_id: int | None = None
+    # Relative completion TTL: each request's absolute deadline is
+    # ``arrival + deadline_s`` (None = no deadlines, the default).
+    deadline_s: float | None = None
+    # Fraction of requests tagged ``tier="batch"`` (shed first under the
+    # ``priority`` policy).  0 keeps the seeded draw stream bit-identical
+    # to earlier PRs; enabling it draws one extra uniform per request.
+    batch_fraction: float = 0.0
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -73,6 +80,9 @@ class WorkloadConfig:
         _check_len_range("output_len_range", self.output_len_range)
         _check_fraction("prompt_skew", self.prompt_skew)
         _check_count("heavy_multiplier", self.heavy_multiplier)
+        if self.deadline_s is not None:
+            _check_rate("deadline_s", self.deadline_s)
+        _check_fraction("batch_fraction", self.batch_fraction)
 
 
 def synthesize_workload(config: WorkloadConfig,
@@ -104,7 +114,13 @@ def synthesize_workload(config: WorkloadConfig,
         out_len = int(rng.integers(o_lo, o_hi + 1))
         out_len = min(out_len, budget - prompt_len)
         prompt = rng.integers(0, model_config.vocab_size, size=prompt_len)
+        tier = "interactive"
+        if config.batch_fraction > 0 and rng.random() < config.batch_fraction:
+            tier = "batch"
+        deadline = None if config.deadline_s is None \
+            else t + config.deadline_s
         requests.append(Request(
             request_id=i, prompt=prompt, max_new_tokens=out_len,
-            arrival_time=t, eos_id=config.eos_id))
+            arrival_time=t, eos_id=config.eos_id, deadline_s=deadline,
+            tier=tier))
     return requests
