@@ -22,6 +22,16 @@ prefill
     through the same cache (the ``prefill_chunk_tokens`` execution path).
     Tokens are asserted equal; wall times show the overhead chunking
     pays for its TTFT fairness.
+
+speculative (``--spec-decode``)
+    The plain batched decode loop versus :func:`spec_decode_step`
+    (propose k, verify the whole window in one stacked forward, roll
+    rejections back), swept over draft source × k × temperature.  The
+    prompts tile a short pattern so generation revisits earlier context
+    — the regime prompt-lookup drafting exists for.  Greedy rows assert
+    token equality (speculative greedy is bitwise-identical by
+    construction); each row records its measured acceptance rate, giving
+    the acceptance-vs-speedup curve.
 """
 
 from __future__ import annotations
@@ -31,8 +41,12 @@ import time
 import numpy as np
 
 from .models import GPTModel, KVCache, PackedKVPool, preset
+from .models.speculative import (DRAFT_SOURCES, NGramDraft, ModelDraft,
+                                 SamplingParams, draft_model_config,
+                                 request_rng, sample_token, spec_decode_step)
 
-__all__ = ["bench_decode", "bench_prefill", "run_perf_bench",
+__all__ = ["bench_decode", "bench_prefill", "bench_spec_decode",
+           "run_spec_bench", "run_perf_bench",
            "format_perf_bench", "compare_perf_baseline"]
 
 
@@ -150,11 +164,165 @@ def bench_prefill(model: GPTModel, prompt_len: int = 48,
     }
 
 
+def _patterned_prompts(model, batch_size: int, prompt_len: int,
+                       seed: int, pattern_len: int = 8) -> list[np.ndarray]:
+    """Prompts that tile a rotated seeded pattern.
+
+    Periodic context drives greedy decoding of the test models into
+    cycles that revisit the prompt — the structured regime (code,
+    templated text) where prompt-lookup drafting earns its keep.  Random
+    prompts would benchmark the draft at its uninformative worst.
+    """
+    rng = np.random.default_rng(seed)
+    pattern = rng.integers(0, model.config.vocab_size, size=pattern_len)
+    reps = prompt_len // pattern_len + 1
+    return [np.tile(np.roll(pattern, i), reps)[:prompt_len].astype(np.int64)
+            for i in range(batch_size)]
+
+
+def bench_spec_decode(model: GPTModel, draft: str = "ngram", k: int = 4,
+                      temperature: float = 0.0, batch_size: int = 4,
+                      prompt_len: int = 24, new_tokens: int = 20,
+                      seed: int = 0, repeats: int = 1,
+                      draft_layers: int = 1) -> dict:
+    """Time plain batched decode vs speculative decode of one batch.
+
+    Both paths prefill identically (untimed) and then generate at least
+    ``new_tokens`` per request; outputs are trimmed to ``new_tokens``
+    before the greedy equality check.  ``tokens_match`` is ``None`` for
+    sampled rows — rejection sampling consumes a different rng stream
+    than plain sampling, so per-token equality is not defined there (the
+    distributions match instead; see ``tests/test_speculative.py``).
+    """
+    if draft not in DRAFT_SOURCES:
+        raise ValueError(f"draft must be one of {DRAFT_SOURCES}: {draft!r}")
+    if k < 1:
+        raise ValueError(f"k must be >= 1: {k}")
+    cfg = model.config
+    if prompt_len + new_tokens + k + 1 > cfg.max_seq_len:
+        raise ValueError(
+            f"prompt_len + new_tokens + k + 1 = "
+            f"{prompt_len + new_tokens + k + 1} exceeds max_seq_len "
+            f"{cfg.max_seq_len}")
+    prompts = _patterned_prompts(model, batch_size, prompt_len, seed)
+    params = [SamplingParams(temperature=temperature)
+              for _ in range(batch_size)]
+
+    def prefill(pool):
+        slots, last = [], []
+        for prompt in prompts:
+            slot = pool.acquire()
+            logits = model._forward_cached(prompt[None],
+                                           pool.slot_caches(slot))
+            slots.append(slot)
+            last.append(int(logits.data[0, -1].argmax()))
+        return slots, last
+
+    plain_best, plain_tokens = np.inf, None
+    for _ in range(repeats):
+        pool = PackedKVPool.for_model(cfg, num_slots=batch_size,
+                                      block_tokens=max(16, prompt_len))
+        slots, last = prefill(pool)
+        tokens = [[t] for t in last]
+        rngs = [request_rng(seed + i) if temperature > 0 else None
+                for i in range(batch_size)]
+        t0 = time.perf_counter()
+        for _ in range(new_tokens - 1):
+            logits = model.decode_step_batched(
+                np.array([t[-1] for t in tokens], dtype=np.int64),
+                pool, slots)
+            for i in range(batch_size):
+                tokens[i].append(int(sample_token(logits[i], params[i],
+                                                  rngs[i])))
+        plain_best = min(plain_best, time.perf_counter() - t0)
+        plain_tokens = [t[:new_tokens] for t in tokens]
+
+    spec_best, spec_tokens = np.inf, None
+    accepted = proposed = 0
+    for _ in range(repeats):
+        pool = PackedKVPool.for_model(cfg, num_slots=batch_size,
+                                      block_tokens=max(16, prompt_len))
+        slots, last = prefill(pool)
+        tokens = [[t] for t in last]
+        rngs = [request_rng(seed + i) if temperature > 0 else None
+                for i in range(batch_size)]
+        if draft == "ngram":
+            proposer = NGramDraft()
+        else:
+            proposer = ModelDraft(
+                GPTModel(draft_model_config(cfg, num_layers=draft_layers),
+                         seed=seed + 1),
+                num_slots=batch_size,
+                block_tokens=max(16, prompt_len))
+        accepted = proposed = 0
+        # The draft prefill is timed: it is real work the plain path
+        # does not pay, so excluding it would flatter the model draft.
+        t0 = time.perf_counter()
+        for i in range(batch_size):
+            proposer.start(i, np.concatenate([
+                prompts[i], np.asarray(tokens[i][:-1], dtype=np.int64)]))
+        while min(len(t) for t in tokens) < new_tokens:
+            contexts = [np.concatenate([
+                prompts[i], np.asarray(tokens[i], dtype=np.int64)])
+                for i in range(batch_size)]
+            # Finished rows keep emitting one token per step (limit 1)
+            # until the slowest row catches up; the trim below removes
+            # the overshoot.
+            limits = [max(1, new_tokens - len(tokens[i]))
+                      for i in range(batch_size)]
+            results = spec_decode_step(
+                model, pool, slots, proposer, contexts, params, rngs, k,
+                limits, [None] * batch_size,
+                keys=list(range(batch_size)))
+            for i, (emitted, acc) in enumerate(results):
+                tokens[i].extend(emitted)
+                accepted += acc
+                proposed += k
+        spec_best = min(spec_best, time.perf_counter() - t0)
+        spec_tokens = [t[:new_tokens] for t in tokens]
+
+    return {
+        "draft": draft,
+        "k": k,
+        "temperature": temperature,
+        "batch_size": batch_size,
+        "prompt_len": prompt_len,
+        "new_tokens": new_tokens,
+        "plain_s": plain_best,
+        "spec_s": spec_best,
+        "speedup": plain_best / spec_best if spec_best > 0 else np.inf,
+        "acceptance_rate": accepted / proposed if proposed else 0.0,
+        "tokens_match": (plain_tokens == spec_tokens
+                         if temperature == 0.0 else None),
+    }
+
+
+def run_spec_bench(model_name: str = "tiny-llama",
+                   drafts: tuple[str, ...] = ("ngram", "model"),
+                   ks: tuple[int, ...] = (2, 4, 8),
+                   temperatures: tuple[float, ...] = (0.0, 0.8),
+                   batch_size: int = 4, prompt_len: int = 24,
+                   new_tokens: int = 20, seed: int = 0,
+                   repeats: int = 3) -> list[dict]:
+    """The acceptance-rate vs speedup sweep: draft × k × temperature."""
+    model = GPTModel(preset(model_name), seed=seed)
+    return [bench_spec_decode(model, draft=draft, k=k,
+                              temperature=temp, batch_size=batch_size,
+                              prompt_len=prompt_len, new_tokens=new_tokens,
+                              seed=seed, repeats=repeats)
+            for draft in drafts for k in ks for temp in temperatures]
+
+
 def run_perf_bench(model_name: str = "tiny-llama",
                    batch_sizes: tuple[int, ...] = (1, 2, 4, 8),
                    prompt_len: int = 32, new_tokens: int = 16,
                    chunk_tokens: int = 16, prefill_len: int = 48,
-                   seed: int = 0, repeats: int = 3) -> dict:
+                   seed: int = 0, repeats: int = 3,
+                   spec_decode: bool = False,
+                   spec_drafts: tuple[str, ...] = ("ngram", "model"),
+                   spec_ks: tuple[int, ...] = (2, 4, 8),
+                   spec_temperatures: tuple[float, ...] = (0.0, 0.8),
+                   spec_tokens: int = 20) -> dict:
     """The full perf-bench sweep, as one JSON-ready dict."""
     model = GPTModel(preset(model_name), seed=seed)
     decode = [bench_decode(model, b, prompt_len=prompt_len,
@@ -164,13 +332,19 @@ def run_perf_bench(model_name: str = "tiny-llama",
     prefill = bench_prefill(model, prompt_len=prefill_len,
                             chunk_tokens=chunk_tokens, seed=seed,
                             repeats=repeats)
-    return {
+    results = {
         "model": model_name,
         "seed": seed,
         "repeats": repeats,
         "decode": decode,
         "prefill": prefill,
     }
+    if spec_decode:
+        results["speculative"] = run_spec_bench(
+            model_name, drafts=spec_drafts, ks=spec_ks,
+            temperatures=spec_temperatures, new_tokens=spec_tokens,
+            seed=seed, repeats=repeats)
+    return results
 
 
 def compare_perf_baseline(results: dict, baseline: dict,
@@ -208,6 +382,28 @@ def compare_perf_baseline(results: dict, baseline: dict,
                 f"prefill: chunking overhead {prefill['overhead_ratio']:.2f}x "
                 f"rose above {ceiling:.2f}x (baseline "
                 f"{base_prefill['overhead_ratio']:.2f}x + {threshold:.0%})")
+    # Speculative rows ratchet like decode rows, keyed by the sweep
+    # point; greedy token equality is a hard invariant, not a ratchet.
+    spec_key = lambda row: (row["draft"], row["k"], row["temperature"],
+                            row["new_tokens"])
+    base_spec = {spec_key(row): row
+                 for row in baseline.get("speculative", [])}
+    for row in results.get("speculative", []):
+        label = (f"spec {row['draft']} k={row['k']} "
+                 f"T={row['temperature']:g}")
+        if row["tokens_match"] is False:
+            problems.append(
+                f"{label}: greedy speculative tokens diverged from "
+                f"plain decode")
+        base = base_spec.get(spec_key(row))
+        if base is None:
+            continue
+        floor = (1.0 - threshold) * base["speedup"]
+        if row["speedup"] < floor:
+            problems.append(
+                f"{label}: speedup {row['speedup']:.2f}x fell below "
+                f"{floor:.2f}x (baseline {base['speedup']:.2f}x - "
+                f"{threshold:.0%})")
     return problems
 
 
@@ -237,4 +433,26 @@ def format_perf_bench(results: dict) -> str:
         f"{p['chunk_tokens']} at {p['chunked_s'] * 1e3:.1f} ms "
         f"({p['overhead_ratio']:.2f}x) — tokens "
         f"{'match' if p['tokens_match'] else 'MISMATCH'}")
+    spec = results.get("speculative")
+    if spec:
+        lines.append("")
+        lines.append("speculative decode (acceptance vs speedup)")
+        header = ["draft", "k", "temp", "plain", "spec", "speedup",
+                  "accept", "tokens"]
+        rows = []
+        for row in spec:
+            match = {True: "match", False: "MISMATCH",
+                     None: "sampled"}[row["tokens_match"]]
+            rows.append([row["draft"], str(row["k"]),
+                         f"{row['temperature']:g}",
+                         f"{row['plain_s'] * 1e3:.1f} ms",
+                         f"{row['spec_s'] * 1e3:.1f} ms",
+                         f"{row['speedup']:.2f}x",
+                         f"{row['acceptance_rate']:.0%}", match])
+        widths = [max(len(header[i]), max(len(r[i]) for r in rows))
+                  for i in range(len(header))]
+        lines.append("  ".join(h.ljust(widths[i])
+                               for i, h in enumerate(header)))
+        lines += ["  ".join(c.ljust(widths[i]) for i, c in enumerate(r))
+                  for r in rows]
     return "\n".join(lines)

@@ -324,7 +324,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     from .models import GPTModel, preset
     from .serving import (DecodeCostModel, ServingConfig, ServingEngine,
                           ServingPerfModel, SessionWorkloadConfig,
-                          WorkloadConfig, format_estimate, format_metrics,
+                          SpecDecodeConfig, WorkloadConfig,
+                          format_estimate, format_metrics,
                           run_sequential, synthesize_sessions,
                           synthesize_workload)
     try:
@@ -362,11 +363,15 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             workload = WorkloadConfig(num_requests=num_requests,
                                       arrival_rate=rate,
                                       deadline_s=deadline,
+                                      temperature=args.temperature,
                                       seed=args.seed)
 
             def make_requests():
                 return synthesize_workload(workload, config)
 
+        spec = None
+        if args.spec_decode != "none":
+            spec = SpecDecodeConfig(k=args.spec_k, draft=args.spec_decode)
         cache_on = args.prefix_cache or args.compare_cache
         serving = ServingConfig(
             policy=args.policy, max_batch_size=args.batch_size,
@@ -375,7 +380,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             prefill_chunk_tokens=args.prefill_chunk
             if args.prefill_chunk > 0 else None,
             prefix_cache=cache_on, prefix_cache_blocks=args.cache_blocks,
-            overload=_overload_config(args))
+            spec_decode=spec, overload=_overload_config(args))
         requests = make_requests()
         engine = ServingEngine(model, serving)
         result = engine.run(requests)
@@ -992,14 +997,26 @@ def _cmd_perf_bench(args: argparse.Namespace) -> int:
         if not batch_sizes:
             raise ValueError(f"--batch-sizes must name at least one "
                              f"batch size: {args.batch_sizes!r}")
-        new_tokens, repeats = args.tokens, args.repeats
+        spec_ks = tuple(int(k) for k in args.spec_k.split(",")
+                        if k.strip())
+        spec_temps = tuple(float(t) for t in args.spec_temps.split(",")
+                           if t.strip())
+        spec_drafts = tuple(d.strip() for d in args.spec_drafts.split(",")
+                            if d.strip())
+        new_tokens, repeats, spec_tokens = (args.tokens, args.repeats,
+                                            args.spec_tokens)
         if args.smoke:
             batch_sizes = tuple(b for b in batch_sizes if b <= 8) or (1, 8)
             new_tokens, repeats = min(new_tokens, 8), 1
+            spec_ks = tuple(k for k in spec_ks if k <= 4) or (4,)
+            spec_tokens = min(spec_tokens, 12)
         results = run_perf_bench(
             args.model, batch_sizes=batch_sizes, prompt_len=args.prompt,
             new_tokens=new_tokens, chunk_tokens=args.chunk,
-            prefill_len=args.prefill_len, seed=args.seed, repeats=repeats)
+            prefill_len=args.prefill_len, seed=args.seed, repeats=repeats,
+            spec_decode=args.spec_decode, spec_drafts=spec_drafts,
+            spec_ks=spec_ks, spec_temperatures=spec_temps,
+            spec_tokens=spec_tokens)
     except (KeyError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -1014,7 +1031,9 @@ def _cmd_perf_bench(args: argparse.Namespace) -> int:
         path.write_text(json.dumps(_json_safe(results), indent=2) + "\n")
         print(f"\nwrote results JSON: {path}")
     ok = all(r["tokens_match"] for r in results["decode"]) \
-        and results["prefill"]["tokens_match"]
+        and results["prefill"]["tokens_match"] \
+        and all(r["tokens_match"] is not False
+                for r in results.get("speculative", []))
     if args.baseline:
         import json
         from pathlib import Path
@@ -1286,6 +1305,16 @@ def build_parser() -> argparse.ArgumentParser:
              "extrapolation")
     p.add_argument("--policy", default="fcfs", choices=["fcfs", "spf"],
                    help="admission policy (default: fcfs)")
+    p.add_argument("--temperature", type=float, default=0.0,
+                   help="per-request sampling temperature (0 = greedy; "
+                        "each request gets its own seeded rng)")
+    p.add_argument("--spec-decode", default="none",
+                   choices=["none", "model", "ngram"],
+                   help="speculative decoding draft source "
+                        "(default: none)")
+    p.add_argument("--spec-k", type=int, default=4,
+                   help="tokens drafted per speculative step "
+                        "(default: 4)")
     p.add_argument("--batch-size", type=int, default=8,
                    help="max concurrent requests in the decode batch")
     p.add_argument("--block-size", type=int, default=16,
@@ -1324,6 +1353,21 @@ def build_parser() -> argparse.ArgumentParser:
                    help="chunk size for the chunked-prefill comparison")
     p.add_argument("--repeats", type=int, default=3,
                    help="timing repeats; best-of is reported (default: 3)")
+    p.add_argument("--spec-decode", action="store_true",
+                   help="also sweep speculative decoding (draft x k x "
+                        "temperature acceptance/speedup curves)")
+    p.add_argument("--spec-k", default="2,4,8",
+                   help="comma-separated speculation depths to sweep "
+                        "(default: 2,4,8)")
+    p.add_argument("--spec-temps", default="0,0.8",
+                   help="comma-separated sampling temperatures for the "
+                        "speculative sweep (default: 0,0.8)")
+    p.add_argument("--spec-drafts", default="ngram,model",
+                   help="comma-separated draft sources to sweep "
+                        "(default: ngram,model)")
+    p.add_argument("--spec-tokens", type=int, default=20,
+                   help="new tokens per request in the speculative "
+                        "sweep (default: 20)")
     p.add_argument("--output", "-o", default="BENCH_decode.json",
                    help="write results JSON here ('' disables)")
     p.add_argument("--baseline", default="", metavar="PATH",

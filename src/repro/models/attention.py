@@ -465,7 +465,7 @@ class CausalSelfAttention(Module):
                                           v_new.data)
             if self.flash:
                 k_pad, v_pad = pool.gather(layer, slots,
-                                           int(lengths.max()))
+                                           int(lengths.max()), reuse=True)
                 ctx = flash_decode_forward(q.data,
                                            self._expand_kv_np(k_pad),
                                            self._expand_kv_np(v_pad),
@@ -488,7 +488,9 @@ class CausalSelfAttention(Module):
         slots = np.asarray(slots, dtype=np.int64)
         for n in np.unique(lengths):
             rows = np.nonzero(lengths == n)[0]
-            k_g, v_g = pool.gather(layer, slots[rows], int(n))
+            # Each group's gather is fully consumed before the next, so
+            # the pool's reusable scratch is safe here.
+            k_g, v_g = pool.gather(layer, slots[rows], int(n), reuse=True)
             k_g = self._expand_kv_np(k_g)
             v_g = self._expand_kv_np(v_g)
             scores = (q[rows] @ np.swapaxes(k_g, -1, -2)) * scale
@@ -497,6 +499,97 @@ class CausalSelfAttention(Module):
             probs = e / e.sum(axis=-1, keepdims=True)
             ctx[rows] = probs @ v_g
         return ctx
+
+    def _rope_np_rows(self, x: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+        """Rotary embedding with a per-row position offset (raw arrays).
+
+        ``x`` has shape (batch, heads, span, head_dim); row ``i`` covers
+        absolute positions ``offsets[i] .. offsets[i] + span - 1``.  The
+        per-row op sequence mirrors :meth:`_rope_np` exactly (gathered
+        cos/sin tables, identical elementwise math), so each row is
+        bit-identical to the single-request rope at its own offset.
+        """
+        rot = self.rotary
+        span = x.shape[2]
+        positions = (np.asarray(offsets, dtype=np.int64)[:, None]
+                     + np.arange(span)[None, :])
+        top = int(positions.max()) + 1
+        if top > rot.cos.shape[0]:
+            raise ValueError(
+                f"positions up to {top} exceed rotary table "
+                f"({rot.cos.shape[0]})")
+        rd = rot.rotary_dim
+        cos = rot.cos[positions][:, None]  # (batch, 1, span, rd)
+        sin = rot.sin[positions][:, None]
+        half = rd // 2
+
+        def rotate(t: np.ndarray) -> np.ndarray:
+            return np.concatenate([-t[..., half:], t[..., :half]], axis=-1)
+
+        if rd == x.shape[-1]:
+            return x * cos + rotate(x) * sin
+        x_rot, x_pass = x[..., :rd], x[..., rd:]
+        return np.concatenate(
+            [x_rot * cos + rotate(x_rot) * sin, x_pass], axis=-1)
+
+    def forward_verify_batched(self, x: Tensor, pool, slots, layer: int
+                               ) -> Tensor:
+        """``span`` new positions for N ragged-length requests, one forward.
+
+        The verification kernel of speculative decoding: ``x`` has shape
+        (batch, span, hidden) where row ``i`` holds the last accepted
+        token followed by the drafted candidates of the request leasing
+        ``slots[i]``.  All ``span`` positions are appended to the pool
+        (rollback later shrinks the slot via ``pool.truncate``), and each
+        row attends over its full context.
+
+        This always runs the standard exact op sequence — per row the
+        same ops as :meth:`_forward_cached_np` at that row's offset,
+        stacked by unique context length — even on flash configs, just
+        as chunked prefill does: per-slice matmuls and elementwise ops
+        keep every row bit-identical to the sequential cached forward,
+        which is what makes greedy speculative decoding bitwise equal to
+        plain greedy decoding.
+        """
+        batch, span, _ = x.shape
+        h = self.hidden_size
+        kv_dim = self.num_kv_heads * self.head_dim
+        offsets = pool.lengths_of(layer, slots)
+        qkv = self.qkv(x).data
+
+        def split(t: np.ndarray, heads: int) -> np.ndarray:
+            return (t.reshape(batch, span, heads, self.head_dim)
+                     .transpose(0, 2, 1, 3))
+
+        q = self._rope_np_rows(split(qkv[..., :h], self.num_heads), offsets)
+        k_new = self._rope_np_rows(
+            split(qkv[..., h:h + kv_dim], self.num_kv_heads), offsets)
+        v_new = split(qkv[..., h + kv_dim:], self.num_kv_heads)
+
+        index = np.asarray(slots, dtype=np.int64)
+        for row in range(batch):
+            pool.append(layer, int(index[row]),
+                        k_new[row:row + 1], v_new[row:row + 1])
+
+        ctx = np.zeros_like(q)
+        scale = 1.0 / np.sqrt(self.head_dim)
+        for n in np.unique(offsets):
+            rows = np.nonzero(offsets == n)[0]
+            total = int(n) + span
+            k_g, v_g = pool.gather(layer, index[rows], total, reuse=True)
+            k_g = self._expand_kv_np(k_g)
+            v_g = self._expand_kv_np(v_g)
+            scores = (q[rows] @ np.swapaxes(k_g, -1, -2)) * scale
+            qi = np.arange(int(n), total)[:, None]
+            kj = np.arange(total)[None, :]
+            scores = np.where(kj > qi, -1e30, scores)
+            shifted = scores - scores.max(axis=-1, keepdims=True)
+            e = np.exp(shifted)
+            probs = e / e.sum(axis=-1, keepdims=True)
+            ctx[rows] = probs @ v_g
+        merged = (Tensor(ctx).transpose(0, 2, 1, 3)
+                  .reshape(batch, span, self.hidden_size))
+        return self.out_proj(merged)
 
 
 class KVCache:
@@ -542,6 +635,22 @@ class KVCache:
             self.v[:, :, self._length:need] = v_new
         self._length = need
         return self.k[:, :, :need], self.v[:, :, :need]
+
+    def truncate(self, new_len: int) -> None:
+        """Shrink the cache to ``new_len`` positions (rollback primitive).
+
+        Replaces ad-hoc ``_length`` writes: the discarded tail is
+        re-zeroed so capacity beyond the logical length never exposes
+        stale values, matching the pool-side
+        :meth:`~repro.models.packed_kv.PackedKVPool.truncate` contract.
+        """
+        if not 0 <= new_len <= self._length:
+            raise ValueError(
+                f"new_len {new_len} outside [0, {self._length}]")
+        if self.k is not None and new_len < self._length:
+            self.k[:, :, new_len:self._length] = 0.0
+            self.v[:, :, new_len:self._length] = 0.0
+        self._length = new_len
 
     def memory_bytes(self, dtype_bytes: int = 2) -> int:
         """Logical cache footprint — GQA's inference saving is visible here."""

@@ -93,6 +93,9 @@ class PackedKVPool:
         self._free = list(range(num_slots - 1, -1, -1))
         self._refs = [0] * num_slots
         self.grow_count = 0
+        # Reusable gather scratch (see gather(reuse=True)); grown lazily.
+        self._scratch_k: np.ndarray | None = None
+        self._scratch_v: np.ndarray | None = None
 
     @classmethod
     def for_model(cls, config, num_slots: int, block_tokens: int = 16,
@@ -144,6 +147,36 @@ class PackedKVPool:
         """Outstanding references on ``slot`` (0 = free)."""
         self._check_slot(slot)
         return self._refs[slot]
+
+    def truncate(self, slot: int, new_len: int) -> None:
+        """Shrink a leased slot to ``new_len`` tokens in every layer.
+
+        This is the rollback primitive for speculative decoding: after a
+        verify step appends ``k + 1`` candidate positions, the rejected
+        suffix is discarded by shrinking the slot's length.  Truncation
+        refuses shared slots (refcount > 1) — under
+        :class:`~repro.serving.prefix_cache.RadixPrefixCache` sharing,
+        other holders would observe their context shrinking under them —
+        and the truncated tail is re-zeroed so the padded-``gather``
+        invariant (zeros beyond each row's length) keeps holding.
+        """
+        self._check_slot(slot)
+        if self._refs[slot] < 1:
+            raise ValueError(f"slot {slot} is not leased")
+        if self._refs[slot] > 1:
+            raise ValueError(
+                f"cannot truncate slot {slot}: shared by "
+                f"{self._refs[slot]} holders")
+        shortest = int(self._lengths[:, slot].min())
+        if not 0 <= new_len <= shortest:
+            raise ValueError(
+                f"new_len {new_len} outside [0, {shortest}] for slot {slot}")
+        for layer in range(self.num_layers):
+            old = int(self._lengths[layer, slot])
+            if old > new_len:
+                self.k[layer][slot, :, new_len:old] = 0.0
+                self.v[layer][slot, :, new_len:old] = 0.0
+        self._lengths[:, slot] = new_len
 
     def _check_slot(self, slot: int) -> None:
         if not 0 <= slot < self.num_slots:
@@ -215,18 +248,47 @@ class PackedKVPool:
         return offsets + 1
 
     # -- reads -----------------------------------------------------------
-    def gather(self, layer: int, slots, length: int
+    def gather(self, layer: int, slots, length: int, reuse: bool = False
                ) -> tuple[np.ndarray, np.ndarray]:
         """Stack ``slots``' K/V prefixes into contiguous arrays.
 
-        Returns ``(batch, kv_heads, length, head_dim)`` copies.  Rows
+        Returns ``(batch, kv_heads, length, head_dim)`` arrays.  Rows
         whose slot holds fewer than ``length`` tokens are zero beyond
         their length (buffers are zero-initialized), which the flash
         decode kernel masks out.
+
+        With ``reuse=True`` the rows are copied into a pool-owned
+        scratch buffer that is grown geometrically and reused across
+        steps, and the returned arrays are views into it.  Decode-hot
+        callers use this to avoid a fresh ``(batch, kv_heads, length,
+        head_dim)`` allocation per layer per step; the views are only
+        valid until the next ``reuse=True`` gather.
         """
         index = np.asarray(slots, dtype=np.int64)
-        return (self.k[layer][index][:, :, :length].copy(),
-                self.v[layer][index][:, :, :length].copy())
+        if not reuse:
+            # Single advanced-index copy (fancy index combined with the
+            # basic length slice), not a full-capacity copy followed by
+            # a second slice copy.
+            return (self.k[layer][index, :, :length],
+                    self.v[layer][index, :, :length])
+        batch = index.size
+        if (self._scratch_k is None or self._scratch_k.shape[0] < batch
+                or self._scratch_k.shape[2] < length):
+            rows = max(batch, (0 if self._scratch_k is None
+                               else self._scratch_k.shape[0]))
+            cap = max(length, (0 if self._scratch_k is None
+                               else 2 * self._scratch_k.shape[2]))
+            cap = min(-(-cap // self.block_tokens) * self.block_tokens,
+                      self.max_len)
+            shape = (rows, self.num_kv_heads, cap, self.head_dim)
+            self._scratch_k = np.empty(shape, dtype=self.dtype)
+            self._scratch_v = np.empty(shape, dtype=self.dtype)
+        out_k = self._scratch_k[:batch, :, :length]
+        out_v = self._scratch_v[:batch, :, :length]
+        for row, slot in enumerate(index):
+            out_k[row] = self.k[layer][slot, :, :length]
+            out_v[row] = self.v[layer][slot, :, :length]
+        return out_k, out_v
 
     def export_span(self, slot: int, start: int, end: int
                     ) -> tuple[list[np.ndarray], list[np.ndarray]]:

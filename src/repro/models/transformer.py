@@ -81,6 +81,22 @@ class TransformerLayer(Module):
         x = x + self.mlp(self.norm2(x))
         return x
 
+    def forward_verify_batched(self, x: Tensor, pool, slots,
+                               layer_index: int) -> Tensor:
+        """Batched multi-position verify over a packed KV pool.
+
+        Same residual wiring as :meth:`forward_decode_batched`; the
+        attention call appends ``x.shape[1]`` positions per slot.
+        """
+        if self.arch == "neox":
+            return x + self.attn.forward_verify_batched(
+                self.norm1(x), pool, slots, layer_index) \
+                + self.mlp(self.norm2(x))
+        x = x + self.attn.forward_verify_batched(self.norm1(x), pool, slots,
+                                                 layer_index)
+        x = x + self.mlp(self.norm2(x))
+        return x
+
 
 class GPTModel(Module):
     """A causal language model in either the NeoX or LLaMA family.
@@ -277,6 +293,32 @@ class GPTModel(Module):
             x = self.final_norm(x)
             logits = x @ self.embed.weight.swapaxes(0, 1)
         return logits.data[:, -1, :]
+
+    def verify_step_batched(self, blocks: np.ndarray, pool, slots
+                            ) -> np.ndarray:
+        """Advance N requests ``span`` positions in a single stacked forward.
+
+        The speculative-decoding verification step: ``blocks[i]`` holds
+        the newest accepted token of the request leasing ``slots[i]``
+        followed by its drafted candidates (shape ``(batch, span)``).
+        All ``span`` positions are appended to each slot — the caller
+        rolls rejected suffixes back with ``pool.truncate``.  Returns
+        logits of shape (batch, span, vocab): row ``i``, position ``j``
+        is the next-token distribution after ``blocks[i, :j + 1]``,
+        bit-equal to the sequential cached forward on every config
+        (verification always uses the standard exact kernel, like
+        chunked prefill).
+        """
+        tokens = np.asarray(blocks, dtype=np.int64)
+        if tokens.ndim != 2:
+            raise ValueError(f"blocks must be 2-D: {tokens.shape}")
+        with no_grad():
+            x = self.embed(tokens)
+            for index, layer in enumerate(self.layers):
+                x = layer.forward_verify_batched(x, pool, slots, index)
+            x = self.final_norm(x)
+            logits = x @ self.embed.weight.swapaxes(0, 1)
+        return logits.data
 
 
 def _logsumexp(x: np.ndarray) -> np.ndarray:

@@ -66,6 +66,8 @@ import itertools
 import math
 import re
 import warnings
+
+import numpy as np
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 
@@ -307,6 +309,30 @@ class ReplicaServer:
             model_config, pool, store_kv=False)
         if self.prefix_cache is not None:
             self.scheduler.reclaim = self._cache_reclaim
+        # Timing-level speculative decoding: decode steps emit a seeded
+        # truncated-geometric number of sentinels per request (per-token
+        # acceptance probability ``spec.acceptance``), priced as one
+        # stacked verify pass plus, for a model draft, k draft steps.
+        self.spec = serving.spec_decode
+        self.draft_cost = None
+        self._spec_rng = None
+        self.spec_steps = 0
+        self.draft_proposed = 0
+        self.draft_accepted = 0
+        if self.spec is not None:
+            if self.spec.acceptance is None:
+                raise ValueError(
+                    "cluster replicas decode sentinel tokens, so "
+                    "SpecDecodeConfig.acceptance (the assumed per-token "
+                    "draft acceptance probability) must be set")
+            draft_cfg = self.spec.draft_config(model_config)
+            if draft_cfg is not None:
+                self.draft_cost = DecodeCostModel(
+                    draft_cfg, gcd=cost.gcd,
+                    step_overhead_s=cost.step_overhead_s, tp=cost.tp,
+                    collectives=cost.collectives)
+            self._spec_rng = np.random.default_rng(np.random.SeedSequence(
+                (0x5BEC, node_index, replica_index)))
         self.clock = 0.0
         self.records: list[RequestRecord] = []
         self.timeline: list[TimelineSample] = []
@@ -696,17 +722,37 @@ class ReplicaServer:
 
         batch = [r for r in sched.running
                  if r.prefill_pos >= r.prompt_len]
+        # Speculative window for this step, clipped exactly as in the
+        # engine (a plain step is spec_extra == 1).
+        k_eff = 0
+        spec_extra = 1
+        if self.spec is not None and batch:
+            ctx_max = max(r.context_len for r in batch)
+            rem_min = min(r.max_new_tokens - len(r.output) for r in batch)
+            k_eff = min(self.spec.k,
+                        self.model_config.max_seq_len - 1 - ctx_max,
+                        rem_min - 1)
+            if k_eff >= 1:
+                spec_extra = k_eff + 1
+            else:
+                k_eff = 0
         for req in batch:
             if req not in sched.running:
                 continue  # preempted earlier in this same step
             preempted_self = False
             while not self.pool.allocate(req.request_id,
-                                         req.context_len + 1):
+                                         req.context_len + spec_extra):
                 # Unreferenced cache blocks are reclaimed before anyone
                 # is preempted — eviction costs nothing, preemption
                 # discards prefill progress.
                 if self.prefix_cache is not None \
                         and self._cache_reclaim(1) > 0:
+                    continue
+                if spec_extra > 1:
+                    # Never preempt anyone just to fit the speculative
+                    # window: fall back to a plain step (engine rule).
+                    k_eff = 0
+                    spec_extra = 1
                     continue
                 # Same youngest-first (vLLM recompute) rule as the engine.
                 victim = sched.running[-1]
@@ -719,14 +765,36 @@ class ReplicaServer:
                     break
             if preempted_self:
                 continue
-            req.output.append(_SENTINEL)
         survivors = [r for r in batch if r in sched.running]
         if not survivors:
             return
-        total_ctx = sum(r.context_len for r in survivors)
-        # Billed with the executed batch shape (no max(1, ...) floor):
-        # a step that decodes nothing charges nothing.
-        step_s = self.cost.decode_step_time(len(survivors), total_ctx)
+        if k_eff >= 1:
+            # Seeded truncated-geometric acceptance: each of the k_eff
+            # drafted positions is kept with probability ``acceptance``
+            # until the first rejection; the bonus token always lands.
+            for req in survivors:
+                room = min(k_eff, req.max_new_tokens - len(req.output) - 1)
+                accepted = 0
+                while accepted < room \
+                        and self._spec_rng.random() < self.spec.acceptance:
+                    accepted += 1
+                req.output.extend([_SENTINEL] * (accepted + 1))
+                self.draft_accepted += accepted
+            self.spec_steps += 1
+            self.draft_proposed += k_eff * len(survivors)
+            total_ctx = sum(r.context_len for r in survivors)
+            step_s = self.cost.verify_step_time(len(survivors), total_ctx,
+                                                k_eff + 1)
+            if self.draft_cost is not None:
+                step_s += k_eff * self.draft_cost.decode_step_time(
+                    len(survivors), total_ctx)
+        else:
+            for req in survivors:
+                req.output.append(_SENTINEL)
+            total_ctx = sum(r.context_len for r in survivors)
+            # Billed with the executed batch shape (no max(1, ...)
+            # floor): a step that decodes nothing charges nothing.
+            step_s = self.cost.decode_step_time(len(survivors), total_ctx)
         if self.slow_windows:
             stretch = self._slowdown()
             if stretch != 1.0:
@@ -1624,7 +1692,10 @@ class ClusterSimulator:
                             for r in self.replicas),
             cache=cache_stats, shed=len(shed), timed_out=len(timed_out),
             deadline_total=sum(1 for r in arrivals
-                               if r.deadline_s is not None))
+                               if r.deadline_s is not None),
+            spec_steps=sum(r.spec_steps for r in self.replicas),
+            draft_proposed=sum(r.draft_proposed for r in self.replicas),
+            draft_accepted=sum(r.draft_accepted for r in self.replicas))
         slo = self.config.failover.slo_ttft_s
         lanes: dict[str, dict[str, list[TraceEvent]]] = {
             "cluster": {"router": self._router_events}}

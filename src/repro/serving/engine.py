@@ -35,6 +35,7 @@ from ..frontier.roofline import RooflineModel
 from ..models.config import ModelConfig
 from ..models.flops import GEMMShape
 from ..models.packed_kv import PackedKVPool
+from ..models.speculative import SamplingParams, sample_token, spec_decode_step
 from ..parallel.collectives import CollectiveModel, GroupTopology
 from ..profiling.tracer import TraceEvent
 from .config import ServingConfig
@@ -104,6 +105,37 @@ class DecodeCostModel:
             + self.kv_token_bytes * total_context_tokens / self.tp
         return self.step_overhead_s + hbm_bytes / (self.gcd.hbm_bw_gbs * 1e9) \
             + self._tp_comm(batch_size)
+
+    def verify_step_time(self, batch_size: int, total_context_tokens: int,
+                         span: int) -> float:
+        """One stacked verify forward of ``span`` positions per row.
+
+        The speculative-decoding payoff lives here: the weight matrix
+        streams from HBM *once* for the whole ``span``-token window,
+        where ``span`` sequential decode steps would stream it ``span``
+        times.  KV traffic and the per-layer allreduce tax still scale
+        with the verified tokens.  ``span == 1`` prices exactly like
+        :meth:`decode_step_time`.
+        """
+        if span < 1:
+            raise ValueError(f"span must be >= 1: {span}")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        hbm_bytes = self.weight_bytes \
+            + self.kv_token_bytes * total_context_tokens / self.tp
+        return self.step_overhead_s + hbm_bytes / (self.gcd.hbm_bw_gbs * 1e9) \
+            + self._tp_comm(batch_size * span)
+
+    def restore_time(self, context_tokens: int) -> float:
+        """Re-import a captured KV snapshot (pure HBM write, no compute).
+
+        Prices the state-capture preemption resume path: the saved span
+        streams back into the slot at HBM bandwidth — no re-prefill.
+        """
+        if context_tokens < 0:
+            raise ValueError("context_tokens must be >= 0")
+        return self.kv_token_bytes * context_tokens / self.tp \
+            / (self.gcd.hbm_bw_gbs * 1e9)
 
     def chunked_prefill_time(self, chunk_tokens: int,
                              prior_context_tokens: int = 0) -> float:
@@ -207,6 +239,19 @@ class ServingEngine:
             model.config, self.pool, store_kv=True)
         if self.prefix_cache is not None:
             self.scheduler.reclaim = self.prefix_cache.evict
+        # Speculative decoding: a draft proposer keyed by request_id
+        # (ModelDraft leases a lockstep slot in its own packed pool;
+        # NGramDraft is stateless) and a cost model for draft forwards.
+        self.spec = self.config.spec_decode
+        self.proposer = None
+        self.draft_cost = None
+        if self.spec is not None:
+            self.proposer = self.spec.build_proposer(
+                model.config, sched_cfg.max_batch_size,
+                block_tokens=self.config.block_size)
+            draft_cfg = self.spec.draft_config(model.config)
+            if draft_cfg is not None:
+                self.draft_cost = self.config.build_cost_model(draft_cfg)
 
     # ------------------------------------------------------------------
     def _validate(self, requests: list[Request]) -> None:
@@ -227,6 +272,40 @@ class ServingEngine:
         if req.cache_match is not None:
             self.prefix_cache.release(req.cache_match)
             req.cache_match = None
+
+    def _emit(self, req: Request, logits_row: np.ndarray) -> None:
+        """Append the next token: argmax (greedy) or per-request sampling.
+
+        Greedy requests take the exact legacy path; sampling requests
+        draw from their private seeded stream with the same warping ops
+        as ``GPTModel.generate``, so engine and sequential outputs stay
+        bit-identical either way.
+        """
+        if not req.sampling:
+            req.output.append(int(logits_row.argmax()))
+            return
+        params = SamplingParams(req.temperature, req.top_k, req.top_p)
+        req.output.append(sample_token(logits_row, params, req.make_rng()))
+
+    def _spec_attach(self, req: Request) -> float:
+        """Start the draft proposer for a decoding request.
+
+        Returns the virtual seconds to bill (a model draft prefills its
+        own slot over the request's context; the n-gram draft is free).
+        """
+        if self.proposer is None or req.done:
+            return 0.0
+        ctx = np.concatenate([req.prompt,
+                              np.asarray(req.output[:-1], dtype=np.int64)])
+        self.proposer.start(req.request_id, ctx)
+        if self.draft_cost is not None:
+            return self.draft_cost.prefill_time(len(ctx))
+        return 0.0
+
+    def _spec_detach(self, req: Request) -> None:
+        """Release the draft proposer state (finish/preempt/cancel)."""
+        if self.proposer is not None:
+            self.proposer.release(req.request_id)
 
     def _cache_admit(self, req: Request) -> int:
         """Match the prompt against the prefix cache; seed the slot.
@@ -262,7 +341,7 @@ class ServingEngine:
         tokens = req.prompt[req.prefill_pos:]
         logits = self.model._forward_cached(tokens[None], req.caches)
         req.prefill_pos = req.prompt_len
-        req.output.append(int(logits.data[0, -1].argmax()))
+        self._emit(req, logits.data[0, -1])
 
     def _prefill_chunk(self, req: Request) -> int:
         """Encode the next <= prefill_chunk_tokens prompt positions.
@@ -276,14 +355,14 @@ class ServingEngine:
         logits = self.model._forward_cached(tokens[None], req.caches)
         req.prefill_pos += chunk
         if req.prefill_pos >= req.prompt_len:
-            req.output.append(int(logits.data[0, -1].argmax()))
+            self._emit(req, logits.data[0, -1])
         return chunk
 
     def _decode_one(self, req: Request) -> None:
         """Advance one request by one token over its caches."""
         last = np.array([req.output[-1]], dtype=np.int64)
         logits = self.model._forward_cached(last[None], req.caches)
-        req.output.append(int(logits.data[0, -1].argmax()))
+        self._emit(req, logits.data[0, -1])
 
     # ------------------------------------------------------------------
     def run(self, requests: list[Request]) -> ServeResult:
@@ -306,6 +385,9 @@ class ServingEngine:
         timeout_records: list[TimedOutRequest] = []
         outputs: dict[int, np.ndarray] = {}
         timeline: list[TimelineSample] = []
+        spec_steps = 0
+        draft_proposed = 0
+        draft_accepted = 0
 
         def event(request_id: int, stage: str, start: float,
                   duration: float = 0.0) -> None:
@@ -391,6 +473,7 @@ class ServingEngine:
                 self.pool.free(req.request_id)
                 self._release_cache(req)
                 self._release_slot(req)
+                self._spec_detach(req)
                 stage = "prefill" if req.prefill_pos < req.prompt_len \
                     else "decode"
                 timeout(req, stage)
@@ -410,6 +493,7 @@ class ServingEngine:
         def finish(req: Request) -> None:
             self._release_cache(req)
             self._release_slot(req)
+            self._spec_detach(req)
             sched.finish(req, clock)
             trace.append((clock, "finish", req.request_id))
             event(req.request_id, "decode", req.first_token_time,
@@ -452,6 +536,23 @@ class ServingEngine:
                     trace.append((clock, "degrade", req.request_id))
                     event(req.request_id, "degrade", clock)
                 self._assign_slot(req)
+                if req.saved_kv is not None:
+                    # State-capture resume (sampled requests): re-import
+                    # the snapshot instead of re-prefilling — the output
+                    # and RNG stream survived the preemption, so decoding
+                    # continues exactly where it stopped.
+                    k_parts, v_parts = req.saved_kv
+                    self.packed.import_span(req.slot, 0, k_parts, v_parts)
+                    start = clock
+                    clock += self.cost.restore_time(req.saved_len)
+                    event(req.request_id, "kv-restore", start,
+                          clock - start)
+                    trace.append((clock, "kv-restore", req.request_id))
+                    req.prefill_pos = req.prompt_len
+                    req.saved_kv = None
+                    req.saved_len = 0
+                    clock += self._spec_attach(req)
+                    continue
                 matched = 0
                 if cache is not None and not cache_ok(req):
                     cache.stats.bypassed += 1
@@ -477,6 +578,8 @@ class ServingEngine:
                     req.first_token_time = clock
                     if req.done:
                         finish(req)
+                    else:
+                        clock += self._spec_attach(req)
                 # else: the prompt is encoded chunk by chunk below,
                 # interleaved with decode steps of the running batch.
 
@@ -496,6 +599,8 @@ class ServingEngine:
                         req.first_token_time = clock
                         if req.done:
                             finish(req)
+                        else:
+                            clock += self._spec_attach(req)
 
             if not sched.running:
                 if pending and not sched.waiting:
@@ -518,6 +623,7 @@ class ServingEngine:
                             "deadlock: empty batch but admission failed")
                     self._release_cache(victim)
                     self._release_slot(victim)
+                    self._spec_detach(victim)
                     trace.append((clock, "preempt", victim.request_id))
                     event(victim.request_id, "preempt", clock)
                 continue
@@ -526,12 +632,29 @@ class ServingEngine:
             # (requests still mid-prefill under chunking don't decode yet).
             batch = [r for r in sched.running
                      if r.prefill_pos >= r.prompt_len]
+            # Speculative window for this step: k_eff drafted tokens
+            # plus one bonus position, clipped by the tightest request's
+            # sequence-length and output-budget headroom (a plain step
+            # is spec_extra == 1).
+            k_eff = 0
+            spec_extra = 1
+            if self.proposer is not None and batch:
+                ctx_max = max(r.context_len for r in batch)
+                rem_min = min(r.max_new_tokens - len(r.output)
+                              for r in batch)
+                k_eff = min(self.spec.k,
+                            self.model.config.max_seq_len - 1 - ctx_max,
+                            rem_min - 1)
+                if k_eff >= 1:
+                    spec_extra = k_eff + 1
+                else:
+                    k_eff = 0
             for req in batch:
                 if req not in sched.running:
                     continue  # preempted earlier in this same step
                 preempted_self = False
                 while not self.pool.allocate(req.request_id,
-                                             req.context_len + 1):
+                                             req.context_len + spec_extra):
                     # Cache blocks go first: an unreferenced LRU block
                     # is free capacity, a preemption discards progress.
                     if cache is not None and cache.evict(1) > 0:
@@ -539,16 +662,24 @@ class ServingEngine:
                             "cache/evict", clock, 0.0, "cache-evict",
                             "io"))
                         continue
+                    if spec_extra > 1:
+                        # Never preempt anyone just to fit the
+                        # speculative window: degrade to a plain
+                        # single-token step for everyone instead.
+                        k_eff = 0
+                        spec_extra = 1
+                        continue
+                    victim = sched.running[-1]
                     # Victim = youngest admission, *including* req itself
                     # (vLLM recompute rule).  The oldest running request
                     # is therefore never evicted, so it always completes
                     # — without this, two requests crossing block
                     # boundaries alternately can evict each other
                     # forever, each eviction discarding all progress.
-                    victim = sched.running[-1]
                     sched.preempt(victim)
                     self._release_cache(victim)
                     self._release_slot(victim)
+                    self._spec_detach(victim)
                     trace.append((clock, "preempt", victim.request_id))
                     event(victim.request_id, "preempt", clock)
                     if victim is req:
@@ -562,17 +693,61 @@ class ServingEngine:
 
             # The whole step is ONE stacked forward over the packed pool
             # — the compute the cost model has credited all along.
-            last = np.array([r.output[-1] for r in survivors],
-                            dtype=np.int64)
             slots = [r.slot for r in survivors]
-            logits = self.model.decode_step_batched(last, self.packed,
-                                                    slots)
-            for i, req in enumerate(survivors):
-                req.output.append(int(logits[i].argmax()))
-            total_ctx = sum(r.context_len for r in survivors)
-            # Billed time uses the executed batch shape, not max(1, ...):
-            # an empty step executes nothing and bills nothing.
-            clock += self.cost.decode_step_time(len(survivors), total_ctx)
+            if k_eff >= 1:
+                # Speculative step: propose k_eff tokens per request,
+                # verify all suffixes in one stacked (batch, k_eff + 1)
+                # forward, roll rejected tokens back via pool.truncate.
+                contexts = [np.concatenate([
+                    np.asarray(r.prompt, dtype=np.int64),
+                    np.asarray(r.output, dtype=np.int64)])
+                    for r in survivors]
+                results = spec_decode_step(
+                    self.model, self.packed, slots, self.proposer,
+                    contexts,
+                    [SamplingParams(temperature=r.temperature,
+                                    top_k=r.top_k, top_p=r.top_p)
+                     for r in survivors],
+                    [r.make_rng() if r.sampling else None
+                     for r in survivors],
+                    k_eff,
+                    [r.max_new_tokens - len(r.output) for r in survivors],
+                    [r.eos_id for r in survivors],
+                    keys=[r.request_id for r in survivors])
+                start = clock
+                for i, req in enumerate(survivors):
+                    emitted, acc = results[i]
+                    req.output.extend(emitted)
+                    draft_proposed += k_eff
+                    draft_accepted += acc
+                spec_steps += 1
+                total_ctx = sum(r.context_len for r in survivors)
+                # One target verify pass (weights streamed ONCE for the
+                # whole window — the speedup source) plus, for a model
+                # draft, k_eff cheap draft decode steps.
+                clock += self.cost.verify_step_time(
+                    len(survivors), total_ctx, k_eff + 1)
+                if self.draft_cost is not None:
+                    clock += k_eff * self.draft_cost.decode_step_time(
+                        len(survivors), total_ctx)
+                for i, req in enumerate(survivors):
+                    _, acc = results[i]
+                    stage = "spec-accept" if acc == k_eff \
+                        else "spec-reject"
+                    event(req.request_id, stage, start, clock - start)
+            else:
+                last = np.array([r.output[-1] for r in survivors],
+                                dtype=np.int64)
+                logits = self.model.decode_step_batched(last, self.packed,
+                                                        slots)
+                for i, req in enumerate(survivors):
+                    self._emit(req, logits[i])
+                total_ctx = sum(r.context_len for r in survivors)
+                # Billed time uses the executed batch shape, not
+                # max(1, ...): an empty step executes nothing and bills
+                # nothing.
+                clock += self.cost.decode_step_time(len(survivors),
+                                                    total_ctx)
             for req in survivors:
                 if req.done:
                     finish(req)
@@ -598,7 +773,9 @@ class ServingEngine:
             cache=cache.stats if cache is not None else None,
             shed=len(shed_records), timed_out=len(timeout_records),
             deadline_total=sum(1 for r in requests
-                               if r.deadline_s is not None))
+                               if r.deadline_s is not None),
+            spec_steps=spec_steps, draft_proposed=draft_proposed,
+            draft_accepted=draft_accepted)
         records.sort(key=lambda r: r.request_id)
         lanes = {"engine": {f"replica (TP={self.cost.tp})": events}}
         return ServeResult(records=records, metrics=metrics, trace=trace,
@@ -635,7 +812,17 @@ def run_sequential(model, requests: list[Request],
                                                r.request_id)):
         clock = max(clock, req.arrival_time)
         admit = clock
+        # A FRESH generator per call (not req.make_rng()): the baseline
+        # must not consume the request's own stream, so the same Request
+        # object can be replayed through the engine afterwards.
+        rng = None
+        if req.temperature > 0:
+            seed = req.sampling_seed if req.sampling_seed is not None \
+                else req.request_id
+            rng = np.random.default_rng(np.random.SeedSequence(int(seed)))
         out = model.generate(req.prompt, req.max_new_tokens,
+                             temperature=req.temperature, rng=rng,
+                             top_k=req.top_k, top_p=req.top_p,
                              use_cache=True, eos_id=req.eos_id)
         generated = out[req.prompt_len:]
         clock += cost.prefill_time(req.prompt_len)

@@ -110,6 +110,12 @@ class ServingMetrics:
     #: output tokens from requests that met their deadline, per second
     #: (equals ``tokens_per_s`` when no request carries a deadline)
     goodput_tokens_per_s: float = 0.0
+    # Speculative-decoding counters (all zero when spec decode is off).
+    spec_steps: int = 0
+    draft_proposed: int = 0
+    draft_accepted: int = 0
+    #: fraction of drafted tokens the target verified and kept
+    acceptance_rate: float = 0.0
 
     @classmethod
     def from_records(cls, records: list[RequestRecord],
@@ -117,7 +123,9 @@ class ServingMetrics:
                      peak_pool_utilization: float = 0.0,
                      preemptions: int = 0,
                      cache=None, shed: int = 0, timed_out: int = 0,
-                     deadline_total: int | None = None) -> "ServingMetrics":
+                     deadline_total: int | None = None,
+                     spec_steps: int = 0, draft_proposed: int = 0,
+                     draft_accepted: int = 0) -> "ServingMetrics":
         if not records:
             raise ValueError("no completed requests to aggregate")
         ttft = np.array([r.ttft for r in records])
@@ -167,6 +175,11 @@ class ServingMetrics:
                                  if deadline_total else 1.0),
             goodput_tokens_per_s=(good_tokens / makespan
                                   if makespan > 0 else 0.0),
+            spec_steps=int(spec_steps),
+            draft_proposed=int(draft_proposed),
+            draft_accepted=int(draft_accepted),
+            acceptance_rate=(draft_accepted / draft_proposed
+                             if draft_proposed else 0.0),
         )
 
     def rows(self) -> list[tuple[str, str]]:
@@ -200,7 +213,12 @@ class ServingMetrics:
             ("deadline attainment", f"{self.deadline_attainment:.1%}"),
             ("goodput", f"{self.goodput_tokens_per_s:.1f} tok/s"),
         ] if self.shed or self.timed_out or self.degraded
-            or self.deadline_attainment < 1.0 else [])
+            or self.deadline_attainment < 1.0 else []) + ([
+            ("speculative steps", str(self.spec_steps)),
+            ("draft acceptance",
+             f"{self.acceptance_rate:.1%} "
+             f"({self.draft_accepted}/{self.draft_proposed})"),
+        ] if self.spec_steps else [])
 
 
 def format_metrics(metrics: ServingMetrics,

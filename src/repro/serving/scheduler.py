@@ -64,11 +64,26 @@ class Request:
     #: True once degraded service mode touched this request (capped
     #: decode budget and/or bypassed prefix-cache admission)
     degraded: bool = False
+    #: sampling temperature; 0 decodes greedily (the default, bit-for-bit
+    #: the original engine behaviour), > 0 samples from the warped
+    #: next-token distribution with optional ``top_k`` / ``top_p``
+    temperature: float = 0.0
+    top_k: int = 0
+    top_p: float = 1.0
+    #: seed of this request's private sampling stream (None derives the
+    #: stream from ``request_id``), so reruns are reproducible
+    sampling_seed: int | None = None
 
     # Runtime bookkeeping (owned by scheduler/engine).
     state: str = WAITING
     output: list[int] = field(default_factory=list)
     caches: list | None = None
+    #: per-request np.random.Generator (lazily built; see make_rng)
+    rng: object | None = field(default=None, repr=False)
+    #: captured KV snapshot across preemption (sampled requests only):
+    #: (k_parts, v_parts) from PackedKVPool.export_span
+    saved_kv: tuple | None = field(default=None, repr=False)
+    saved_len: int = 0
     #: leased PackedKVPool slot while running (owned by the engine)
     slot: int | None = None
     #: live prefix-cache lease (owned by the engine/replica)
@@ -92,6 +107,12 @@ class Request:
         if self.tier not in PRIORITY_TIERS:
             raise ValueError(f"tier must be one of {PRIORITY_TIERS}: "
                              f"{self.tier!r}")
+        if self.temperature < 0.0:
+            raise ValueError(f"temperature must be >= 0: {self.temperature}")
+        if self.top_k < 0:
+            raise ValueError(f"top_k must be >= 0: {self.top_k}")
+        if not 0.0 < self.top_p <= 1.0:
+            raise ValueError(f"top_p must be in (0, 1]: {self.top_p}")
 
     @property
     def prompt_len(self) -> int:
@@ -114,10 +135,71 @@ class Request:
         return self.eos_id is not None and len(self.output) > 0 \
             and self.output[-1] == self.eos_id
 
+    @property
+    def sampling(self) -> bool:
+        """True when this request samples (temperature > 0)."""
+        return self.temperature > 0.0
+
+    def make_rng(self):
+        """This request's private sampling stream, created on first use.
+
+        Seeded from ``sampling_seed`` (falling back to ``request_id``)
+        through a ``SeedSequence`` — the same construction as
+        :func:`repro.models.speculative.request_rng` — so an identical
+        request produces identical draws across engine restarts.
+        """
+        if self.rng is None:
+            seed = self.sampling_seed if self.sampling_seed is not None \
+                else self.request_id
+            self.rng = np.random.default_rng(
+                np.random.SeedSequence(int(seed)))
+        return self.rng
+
+    def _capture_decode_state(self) -> bool:
+        """Snapshot KV + keep output/rng across a preemption, if possible.
+
+        Greedy requests recompute on resume (re-prefill reproduces the
+        same tokens bit-for-bit, the original vLLM-recompute behaviour);
+        a *sampling* request cannot replay its RNG stream, so it carries
+        its decoded state across the preemption instead: the KV span is
+        exported from the packed slot, the output list and generator
+        survive, and resume re-imports the span without re-prefilling.
+        Returns False (caller falls back to recompute) whenever the
+        request has no private, fully-prefilled slot to export.
+        """
+        if not self.sampling or not self.output \
+                or self.prefill_pos < self.prompt_len:
+            return False
+        if self.caches is None or self.slot is None:
+            return False
+        pool = getattr(self.caches[0], "pool", None)
+        if pool is None or pool.refcount(self.slot) != 1:
+            return False
+        ctx = pool.length(0, self.slot)
+        if ctx < 1:
+            return False
+        self.saved_kv = pool.export_span(self.slot, 0, ctx)
+        self.saved_len = ctx
+        return True
+
     def reset_for_requeue(self) -> None:
-        """Drop generated state so the request can be re-prefilled."""
+        """Drop generated state so the request can be re-prefilled.
+
+        Sampled requests that can capture their decode state keep their
+        output and RNG (see :meth:`_capture_decode_state`); everyone
+        else recomputes from the prompt.
+        """
+        if self._capture_decode_state():
+            self.caches = None
+            self.prefill_pos = 0
+            self.state = WAITING
+            self.preemptions += 1
+            return
         self.output.clear()
         self.caches = None
+        self.rng = None
+        self.saved_kv = None
+        self.saved_len = 0
         self.prefill_pos = 0
         self.state = WAITING
         self.first_token_time = None
@@ -133,6 +215,9 @@ class Request:
         """
         self.output.clear()
         self.caches = None
+        self.rng = None
+        self.saved_kv = None
+        self.saved_len = 0
         self.prefill_pos = 0
         self.state = WAITING
         self.admit_time = None
@@ -216,6 +301,11 @@ class SchedulerConfig:
     policy: str = "fcfs"
     max_batch_size: int = 8
     max_batch_tokens: int = 4096
+    #: quantize prompt lengths to multiples of this many tokens when
+    #: ordering the waiting queue (0 = off, the exact legacy order), so
+    #: co-admitted requests share context-length buckets and the
+    #: grouped exact decode path makes fewer per-length kernel calls
+    bucket_tokens: int = 0
 
     def __post_init__(self) -> None:
         if self.policy not in _POLICIES:
@@ -225,6 +315,9 @@ class SchedulerConfig:
             raise ValueError("max_batch_size must be >= 1")
         if self.max_batch_tokens < 1:
             raise ValueError("max_batch_tokens must be >= 1")
+        if self.bucket_tokens < 0:
+            raise ValueError(
+                f"bucket_tokens must be >= 0: {self.bucket_tokens}")
 
 
 class ContinuousBatchScheduler:
@@ -249,8 +342,19 @@ class ContinuousBatchScheduler:
         self.waiting.append(request)
 
     def _sort_waiting(self) -> None:
+        bt = self.config.bucket_tokens
         if self.config.policy == "spf":
-            key = lambda r: (r.prompt_len, r.arrival_time, r.request_id)
+            if bt > 0:
+                key = lambda r: (r.prompt_len // bt, r.arrival_time,
+                                 r.request_id)
+            else:
+                key = lambda r: (r.prompt_len, r.arrival_time, r.request_id)
+        elif bt > 0:
+            # Length-bucketed FCFS: requests whose prompts round to the
+            # same bucket keep arrival order, but buckets are co-admitted
+            # together so the running batch shares context lengths.
+            key = lambda r: (r.prompt_len // bt, r.arrival_time,
+                             r.request_id)
         else:
             key = lambda r: (r.arrival_time, r.request_id)
         self.waiting.sort(key=key)

@@ -71,6 +71,14 @@ class WorkloadConfig:
     # ``priority`` policy).  0 keeps the seeded draw stream bit-identical
     # to earlier PRs; enabling it draws one extra uniform per request.
     batch_fraction: float = 0.0
+    # Per-request sampling parameters, applied to every request.  The
+    # defaults are greedy decoding; each request's private sampling seed
+    # is derived arithmetically (SeedSequence spawn of ``seed`` and the
+    # request id), NOT drawn from the workload generator, so enabling
+    # sampling leaves the seeded arrival/length stream bit-identical.
+    temperature: float = 0.0
+    top_k: int = 0
+    top_p: float = 1.0
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -83,6 +91,12 @@ class WorkloadConfig:
         if self.deadline_s is not None:
             _check_rate("deadline_s", self.deadline_s)
         _check_fraction("batch_fraction", self.batch_fraction)
+        if self.temperature < 0:
+            raise ValueError(
+                f"temperature must be >= 0: {self.temperature}")
+        _check_count("top_k", self.top_k, minimum=0)
+        if not 0.0 < self.top_p <= 1.0:
+            raise ValueError(f"top_p must be in (0, 1]: {self.top_p}")
 
 
 def synthesize_workload(config: WorkloadConfig,
@@ -119,8 +133,16 @@ def synthesize_workload(config: WorkloadConfig,
             tier = "batch"
         deadline = None if config.deadline_s is None \
             else t + config.deadline_s
+        sampling_seed = None
+        if config.temperature > 0:
+            # Arithmetic derivation — no rng draw, so the arrival /
+            # length stream above stays bit-identical to greedy runs.
+            sampling_seed = int(np.random.SeedSequence(
+                (config.seed, i)).generate_state(1, np.uint64)[0])
         requests.append(Request(
             request_id=i, prompt=prompt, max_new_tokens=out_len,
             arrival_time=t, eos_id=config.eos_id, deadline_s=deadline,
-            tier=tier))
+            tier=tier, temperature=config.temperature,
+            top_k=config.top_k, top_p=config.top_p,
+            sampling_seed=sampling_seed))
     return requests
